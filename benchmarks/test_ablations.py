@@ -1,0 +1,62 @@
+"""Ablations called out in DESIGN.md: objective choice and rule-set content."""
+
+from benchmarks._common import write_table
+from repro.core import SatAdapter, standard_rules
+from repro.hardware import spin_qubit_target
+from repro.workloads import random_template_circuit
+
+
+def test_ablation_objectives(benchmark):
+    """SAT_F vs SAT_R vs SAT_P on the same workload (objective trade-off)."""
+    circuit = random_template_circuit(4, 30, seed=1)
+    target = spin_qubit_target(4, "D0")
+
+    def run(objective):
+        return SatAdapter(objective=objective).adapt(circuit, target)
+
+    fidelity_result = benchmark(run, "fidelity")
+    idle_result = run("idle")
+    combined_result = run("combined")
+
+    rows = []
+    for name, result in (("sat_f", fidelity_result), ("sat_r", idle_result), ("sat_p", combined_result)):
+        rows.append(
+            [
+                name,
+                f"{result.cost.gate_fidelity_product:.5f}",
+                f"{result.cost.total_idle_time:.0f}",
+                f"{result.cost.duration:.0f}",
+            ]
+        )
+    table = write_table(
+        "ablation_objectives.txt",
+        ["objective", "fidelity_product", "idle_time_ns", "duration_ns"],
+        rows,
+    )
+    print("\nAblation — SMT objective choice\n" + table)
+
+    # The fidelity objective wins on fidelity, the idle objective on idle time.
+    assert fidelity_result.cost.gate_fidelity_product >= idle_result.cost.gate_fidelity_product - 1e-9
+    assert idle_result.cost.total_idle_time <= fidelity_result.cost.total_idle_time + 1e-6
+
+
+def test_ablation_rule_set(benchmark):
+    """Dropping the KAK rule from the SMT rule set reduces (or keeps) quality."""
+    circuit = random_template_circuit(3, 25, seed=2)
+    target = spin_qubit_target(3, "D0")
+
+    def run(include_kak):
+        rules = standard_rules(include_kak=include_kak)
+        return SatAdapter(objective="idle", rules=rules).adapt(circuit, target)
+
+    with_kak = benchmark(run, True)
+    without_kak = run(False)
+    rows = [
+        ["with_kak", f"{with_kak.cost.total_idle_time:.0f}", f"{with_kak.cost.duration:.0f}"],
+        ["without_kak", f"{without_kak.cost.total_idle_time:.0f}", f"{without_kak.cost.duration:.0f}"],
+    ]
+    table = write_table("ablation_rules.txt", ["rule_set", "idle_time_ns", "duration_ns"], rows)
+    print("\nAblation — substitution rule set (idle objective)\n" + table)
+
+    # A strictly larger rule set can only help the (modelled) objective.
+    assert with_kak.cost.duration <= without_kak.cost.duration + 300.0

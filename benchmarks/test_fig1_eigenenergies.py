@@ -1,0 +1,39 @@
+"""Figure 1: eigenenergies of the two-spin Hamiltonian in the two regimes."""
+
+import numpy as np
+
+from benchmarks._common import write_table
+from repro.hardware import crot_regime_pair, eigenenergies_vs_detuning, swap_regime_pair
+
+
+def test_fig1a_swap_regime(benchmark):
+    """Fig. 1a: J >> dEz — the antiparallel branches split into S/T0 with detuning."""
+    pair = swap_regime_pair()
+    detunings = np.linspace(0.0, 85.0, 18)
+    sweep = benchmark(eigenenergies_vs_detuning, pair, tuple(detunings))
+    rows = [
+        [f"{sweep['detuning'][i]:.1f}"] + [f"{sweep[f'E{k}'][i]:+.4f}" for k in range(4)]
+        for i in range(len(detunings))
+    ]
+    table = write_table("fig1a.txt", ["detuning_GHz", "E0", "E1", "E2", "E3"], rows)
+    print("\nFigure 1a — eigenenergies, swap regime (J >> dEz)\n" + table)
+    # The singlet-triplet splitting (middle branches) grows with detuning.
+    splitting_start = sweep["E2"][0] - sweep["E1"][0]
+    splitting_end = sweep["E2"][-1] - sweep["E1"][-1]
+    assert splitting_end > splitting_start
+
+
+def test_fig1b_crot_regime(benchmark):
+    """Fig. 1b: dEz >> J — antiparallel branches shift, parallel branches do not."""
+    pair = crot_regime_pair()
+    detunings = np.linspace(0.0, 90.0, 18)
+    sweep = benchmark(eigenenergies_vs_detuning, pair, tuple(detunings))
+    rows = [
+        [f"{sweep['detuning'][i]:.1f}"] + [f"{sweep[f'E{k}'][i]:+.4f}" for k in range(4)]
+        for i in range(len(detunings))
+    ]
+    table = write_table("fig1b.txt", ["detuning_GHz", "E0", "E1", "E2", "E3"], rows)
+    print("\nFigure 1b — eigenenergies, CROT/CPHASE regime (dEz >> J)\n" + table)
+    assert abs(sweep["E0"][0] - sweep["E0"][-1]) < 1e-9
+    assert abs(sweep["E3"][0] - sweep["E3"][-1]) < 1e-9
+    assert sweep["E1"][-1] < sweep["E1"][0]

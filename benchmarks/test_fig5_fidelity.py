@@ -1,0 +1,44 @@
+"""Figure 5: change in circuit fidelity (product of gate fidelities) vs baseline."""
+
+import pytest
+
+from benchmarks._common import evaluation_sweep, techniques, write_table
+from repro.core import SatAdapter
+from repro.hardware import spin_qubit_target
+from repro.workloads import random_template_circuit
+
+
+@pytest.mark.parametrize("durations", ["D0", "D1"])
+def test_fig5_circuit_fidelity_change(benchmark, durations):
+    """Regenerate the Fig. 5 series: relative fidelity change per technique."""
+    # Benchmark the headline technique on a representative workload; the full
+    # sweep is computed (and cached) outside the timed region.
+    circuit = random_template_circuit(3, 20, seed=0)
+    target = spin_qubit_target(3, durations)
+    benchmark(SatAdapter(objective="fidelity").adapt, circuit, target)
+
+    sweep = evaluation_sweep(durations)
+    technique_names = [name for name, _ in techniques()]
+    rows = []
+    for workload, per_technique in sweep.items():
+        baseline = per_technique["direct"].cost.gate_fidelity_product
+        row = [workload]
+        for name in technique_names:
+            change = (per_technique[name].cost.gate_fidelity_product - baseline) / baseline
+            row.append(f"{100 * change:+.2f}%")
+        rows.append(row)
+    table = write_table(f"fig5_fidelity_{durations}.txt", ["workload"] + technique_names, rows)
+    print(f"\nFigure 5 — change in circuit fidelity vs direct translation ({durations})\n" + table)
+
+    # Qualitative shape checks from the paper:
+    for workload, per_technique in sweep.items():
+        baseline = per_technique["direct"].cost.gate_fidelity_product
+        # SAT_F never loses fidelity relative to the baseline.
+        assert per_technique["sat_f"].cost.gate_fidelity_product >= baseline - 1e-9
+        # SAT_F is at least as good as template optimization with the same goal.
+        assert (
+            per_technique["sat_f"].cost.gate_fidelity_product
+            >= per_technique["template_f"].cost.gate_fidelity_product - 1e-9
+        )
+        # KAK with the diabatic CZ decreases the fidelity (Fig. 5 observation).
+        assert per_technique["kak_czd"].cost.gate_fidelity_product <= baseline + 1e-12

@@ -1,0 +1,50 @@
+"""Figure 6: decrease in qubit idle time vs the direct-translation baseline."""
+
+import pytest
+
+from benchmarks._common import evaluation_sweep, techniques, write_table
+from repro.core import SatAdapter
+from repro.hardware import spin_qubit_target
+from repro.workloads import random_template_circuit
+
+
+@pytest.mark.parametrize("durations", ["D0", "D1"])
+def test_fig6_idle_time_decrease(benchmark, durations):
+    """Regenerate the Fig. 6 series: relative idle-time decrease per technique."""
+    circuit = random_template_circuit(3, 20, seed=0)
+    target = spin_qubit_target(3, durations)
+    benchmark(SatAdapter(objective="idle").adapt, circuit, target)
+
+    sweep = evaluation_sweep(durations)
+    technique_names = [name for name, _ in techniques()]
+    rows = []
+    for workload, per_technique in sweep.items():
+        baseline = per_technique["direct"].cost.total_idle_time
+        row = [workload]
+        for name in technique_names:
+            if baseline > 0:
+                decrease = (baseline - per_technique[name].cost.total_idle_time) / baseline
+            else:
+                decrease = 0.0
+            row.append(f"{100 * decrease:+.1f}%")
+        rows.append(row)
+    table = write_table(f"fig6_idle_{durations}.txt", ["workload"] + technique_names, rows)
+    print(f"\nFigure 6 — decrease in qubit idle time vs direct translation ({durations})\n" + table)
+
+    # Qualitative shape: the SAT idle-time objective never increases the idle
+    # time and achieves the best (or tied-best) reduction among all techniques
+    # for the larger circuits.
+    for workload, per_technique in sweep.items():
+        baseline = per_technique["direct"].cost.total_idle_time
+        sat_idle = per_technique["sat_r"].cost.total_idle_time
+        assert sat_idle <= baseline + 1e-6
+    # On the larger circuits the SAT idle objective beats (or ties) the
+    # baselines that optimize locally or not at all; the KAK baselines are
+    # excluded from the hard assertion because the SMT model's block-level
+    # schedule is an approximation of the measured instruction-level one.
+    large = [w for w in sweep if w.endswith("x40") or w.startswith("qv-4")]
+    for workload in large:
+        per_technique = sweep[workload]
+        sat_idle = per_technique["sat_r"].cost.total_idle_time
+        for name in ("direct", "template_f", "template_r"):
+            assert sat_idle <= per_technique[name].cost.total_idle_time + 1e-6

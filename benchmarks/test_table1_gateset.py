@@ -1,0 +1,28 @@
+"""Table I: investigated gate durations and fidelities of the spin platform."""
+
+from benchmarks._common import write_table
+from repro.hardware import TABLE1_DURATION_D0, TABLE1_DURATION_D1, TABLE1_FIDELITY, spin_qubit_target
+
+
+def test_table1_gate_set(benchmark):
+    """Regenerate Table I from the target construction."""
+    target_d0 = benchmark(spin_qubit_target, 4, "D0")
+    target_d1 = spin_qubit_target(4, "D1")
+
+    gates = ["su2", "cz", "cz_d", "crot", "swap_d", "swap_c"]
+    rows = []
+    for gate in gates:
+        props_d0 = (
+            target_d0.single_qubit_gates if gate == "su2" else target_d0.two_qubit_gates[gate]
+        )
+        props_d1 = (
+            target_d1.single_qubit_gates if gate == "su2" else target_d1.two_qubit_gates[gate]
+        )
+        rows.append([gate, f"{props_d0.fidelity:.3f}", f"{props_d0.duration:.0f}", f"{props_d1.duration:.0f}"])
+        assert props_d0.fidelity == TABLE1_FIDELITY[gate]
+        assert props_d0.duration == TABLE1_DURATION_D0[gate]
+        assert props_d1.duration == TABLE1_DURATION_D1[gate]
+    table = write_table(
+        "table1.txt", ["gate", "fidelity", "duration_D0_ns", "duration_D1_ns"], rows
+    )
+    print("\nTable I — gate durations and fidelities\n" + table)

@@ -1,0 +1,87 @@
+"""Quantum circuit intermediate representation.
+
+This subpackage provides the circuit data structures used throughout the
+reproduction: a gate library with exact unitaries (:mod:`repro.circuits.gates`),
+a :class:`QuantumCircuit` container of gate instructions, unitary computation
+and comparison utilities, and a lightweight DAG view used by the transpiler
+passes.
+
+The qubit-ordering convention is little-endian (qubit 0 is the least
+significant bit of a basis-state index), matching Qiskit so that published
+gate identities can be checked verbatim.
+"""
+
+from repro.circuits.gates import (
+    Gate,
+    CROTGate,
+    adjoint,
+    controlled_phase,
+    crot,
+    crx,
+    cry,
+    crz,
+    cx,
+    cy,
+    cz,
+    h,
+    identity,
+    iswap,
+    rx,
+    ry,
+    rz,
+    s,
+    sdg,
+    swap,
+    t,
+    tdg,
+    u3,
+    x,
+    y,
+    z,
+    GATE_BUILDERS,
+)
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    instruction_unitary,
+    process_fidelity,
+)
+from repro.circuits.dag import CircuitDag
+
+__all__ = [
+    "Gate",
+    "CROTGate",
+    "Instruction",
+    "QuantumCircuit",
+    "CircuitDag",
+    "adjoint",
+    "allclose_up_to_global_phase",
+    "circuit_unitary",
+    "instruction_unitary",
+    "process_fidelity",
+    "controlled_phase",
+    "crot",
+    "crx",
+    "cry",
+    "crz",
+    "cx",
+    "cy",
+    "cz",
+    "h",
+    "identity",
+    "iswap",
+    "rx",
+    "ry",
+    "rz",
+    "s",
+    "sdg",
+    "swap",
+    "t",
+    "tdg",
+    "u3",
+    "x",
+    "y",
+    "z",
+    "GATE_BUILDERS",
+]

@@ -1,0 +1,75 @@
+"""A lightweight DAG view of a circuit.
+
+The DAG has one node per instruction; a directed edge connects two
+instructions when they act on a shared qubit and are consecutive on that
+qubit.  The transpiler passes use this view for dependency analysis (block
+dependency graph construction, ASAP scheduling and idle-time accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+
+
+class CircuitDag:
+    """Dependency DAG over the instructions of a circuit."""
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        last_on_qubit: Dict[int, int] = {}
+        for index, instruction in enumerate(circuit.instructions):
+            self.graph.add_node(index, instruction=instruction)
+            for qubit in instruction.qubits:
+                if qubit in last_on_qubit:
+                    self.graph.add_edge(last_on_qubit[qubit], index)
+                last_on_qubit[qubit] = index
+
+    # ------------------------------------------------------------------
+    def instruction(self, node: int) -> Instruction:
+        """Return the instruction at DAG node ``node``."""
+        return self.graph.nodes[node]["instruction"]
+
+    def topological_order(self) -> List[int]:
+        """Return node indices in a topological (execution-compatible) order."""
+        return list(nx.topological_sort(self.graph))
+
+    def predecessors(self, node: int) -> List[int]:
+        """Direct predecessors of a node."""
+        return list(self.graph.predecessors(node))
+
+    def successors(self, node: int) -> List[int]:
+        """Direct successors of a node."""
+        return list(self.graph.successors(node))
+
+    def longest_path_length(self, weights: Dict[int, float] | None = None) -> float:
+        """Length of the longest path, optionally weighting nodes.
+
+        Without weights every node counts 1 (this equals the circuit depth).
+        """
+        order = self.topological_order()
+        distance: Dict[int, float] = {}
+        for node in order:
+            node_weight = 1.0 if weights is None else weights[node]
+            incoming = [distance[p] for p in self.graph.predecessors(node)]
+            distance[node] = node_weight + (max(incoming) if incoming else 0.0)
+        return max(distance.values(), default=0.0)
+
+    def layers(self) -> List[List[int]]:
+        """Group nodes into as-soon-as-possible layers."""
+        level: Dict[int, int] = {}
+        for node in self.topological_order():
+            preds = list(self.graph.predecessors(node))
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        grouped: Dict[int, List[int]] = {}
+        for node, node_level in level.items():
+            grouped.setdefault(node_level, []).append(node)
+        return [sorted(grouped[l]) for l in sorted(grouped)]
+
+    def as_networkx(self) -> nx.DiGraph:
+        """Return the underlying networkx graph (a reference, not a copy)."""
+        return self.graph

@@ -1,0 +1,327 @@
+"""Gate library with exact unitary matrices.
+
+A :class:`Gate` is an immutable description of a quantum operation: a name,
+the number of qubits it acts on, an optional parameter list and its unitary
+matrix.  Hardware-specific realizations of the same unitary (for example the
+adiabatic and diabatic CZ of the spin-qubit platform, or the direct and
+composite swap) share a matrix but carry different names, so that cost
+models can attach distinct fidelities and durations to them.
+
+All matrices are given in little-endian convention: for a two-qubit gate
+acting on (q0, q1), q0 indexes the least significant bit of the basis state.
+Controlled gates take the *first* qubit of the instruction as the control.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An immutable quantum gate.
+
+    Parameters
+    ----------
+    name:
+        Canonical lowercase gate name (e.g. ``"cx"``, ``"swap_d"``).
+    num_qubits:
+        Number of qubits the gate acts on.
+    params:
+        Tuple of real parameters (rotation angles).
+    matrix:
+        The unitary matrix as a nested tuple (kept hashable); use
+        :meth:`to_matrix` to obtain a numpy array.
+    label:
+        Optional human-readable label.
+    """
+
+    name: str
+    num_qubits: int
+    params: Tuple[float, ...] = ()
+    matrix: Tuple[Tuple[complex, ...], ...] = field(default=(), repr=False)
+    label: Optional[str] = None
+
+    def to_matrix(self) -> np.ndarray:
+        """Return the gate unitary as a numpy array."""
+        return np.array(self.matrix, dtype=complex)
+
+    def inverse(self) -> "Gate":
+        """Return the adjoint gate."""
+        return adjoint(self)
+
+    def with_name(self, name: str) -> "Gate":
+        """Return a copy of this gate under a different name (same unitary)."""
+        return Gate(name, self.num_qubits, self.params, self.matrix, self.label)
+
+    def __repr__(self) -> str:
+        if self.params:
+            rendered = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"{self.name}({rendered})"
+        return self.name
+
+
+def _freeze(matrix: np.ndarray) -> Tuple[Tuple[complex, ...], ...]:
+    return tuple(tuple(complex(entry) for entry in row) for row in matrix)
+
+
+def _gate(name: str, matrix: np.ndarray, params: Sequence[float] = ()) -> Gate:
+    matrix = np.asarray(matrix, dtype=complex)
+    dimension = matrix.shape[0]
+    num_qubits = int(round(math.log2(dimension)))
+    if 2**num_qubits != dimension or matrix.shape != (dimension, dimension):
+        raise ValueError(f"matrix of gate {name!r} has invalid shape {matrix.shape}")
+    return Gate(name, num_qubits, tuple(float(p) for p in params), _freeze(matrix))
+
+
+def adjoint(gate: Gate) -> Gate:
+    """Return the Hermitian adjoint of a gate (named ``<name>_dg``)."""
+    matrix = gate.to_matrix().conj().T
+    name = gate.name[:-3] if gate.name.endswith("_dg") else gate.name + "_dg"
+    return _gate(name, matrix, tuple(-p for p in gate.params))
+
+
+# ----------------------------------------------------------------------
+# Single-qubit gates
+# ----------------------------------------------------------------------
+def identity(num_qubits: int = 1) -> Gate:
+    """Identity gate on ``num_qubits`` qubits."""
+    return _gate("id", np.eye(2**num_qubits))
+
+
+def x() -> Gate:
+    """Pauli X."""
+    return _gate("x", np.array([[0, 1], [1, 0]]))
+
+
+def y() -> Gate:
+    """Pauli Y."""
+    return _gate("y", np.array([[0, -1j], [1j, 0]]))
+
+
+def z() -> Gate:
+    """Pauli Z."""
+    return _gate("z", np.array([[1, 0], [0, -1]]))
+
+
+def h() -> Gate:
+    """Hadamard."""
+    return _gate("h", np.array([[1, 1], [1, -1]]) / math.sqrt(2))
+
+
+def s() -> Gate:
+    """Phase gate S = sqrt(Z)."""
+    return _gate("s", np.array([[1, 0], [0, 1j]]))
+
+
+def sdg() -> Gate:
+    """Adjoint phase gate."""
+    return _gate("sdg", np.array([[1, 0], [0, -1j]]))
+
+
+def t() -> Gate:
+    """T gate (pi/8)."""
+    return _gate("t", np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]]))
+
+
+def tdg() -> Gate:
+    """Adjoint T gate."""
+    return _gate("tdg", np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]]))
+
+
+def rx(theta: float) -> Gate:
+    """Rotation around X by ``theta``."""
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    return _gate("rx", np.array([[cos, -1j * sin], [-1j * sin, cos]]), [theta])
+
+
+def ry(theta: float) -> Gate:
+    """Rotation around Y by ``theta``."""
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    return _gate("ry", np.array([[cos, -sin], [sin, cos]]), [theta])
+
+
+def rz(theta: float) -> Gate:
+    """Rotation around Z by ``theta``."""
+    phase = cmath.exp(1j * theta / 2)
+    return _gate("rz", np.array([[1 / phase, 0], [0, phase]]), [theta])
+
+
+def u3(theta: float, phi: float, lam: float) -> Gate:
+    """General SU(2) rotation with Euler angles (theta, phi, lambda)."""
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    matrix = np.array(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ]
+    )
+    return _gate("u3", matrix, [theta, phi, lam])
+
+
+# ----------------------------------------------------------------------
+# Two-qubit gates
+# ----------------------------------------------------------------------
+def _controlled(name: str, target_matrix: np.ndarray, params: Sequence[float] = ()) -> Gate:
+    """Build a controlled gate with the first qubit as control (little-endian)."""
+    matrix = np.eye(4, dtype=complex)
+    # Little-endian: control is qubit 0, so control=1 states are indices 1 and 3.
+    matrix[np.ix_([1, 3], [1, 3])] = target_matrix
+    return _gate(name, matrix, params)
+
+
+def cx() -> Gate:
+    """Controlled-NOT (control = first qubit)."""
+    return _controlled("cx", np.array([[0, 1], [1, 0]], dtype=complex))
+
+
+def cy() -> Gate:
+    """Controlled-Y."""
+    return _controlled("cy", np.array([[0, -1j], [1j, 0]], dtype=complex))
+
+
+def cz() -> Gate:
+    """Controlled-Z (adiabatic CZ on the spin-qubit platform)."""
+    return _gate("cz", np.diag([1, 1, 1, -1]))
+
+
+def cz_diabatic() -> Gate:
+    """Diabatic CZ: same unitary as :func:`cz`, different hardware realization."""
+    return _gate("cz_d", np.diag([1, 1, 1, -1]))
+
+
+def controlled_phase(theta: float) -> Gate:
+    """CPHASE gate: phase ``exp(i theta)`` on the |11> state."""
+    return _gate("cphase", np.diag([1, 1, 1, cmath.exp(1j * theta)]), [theta])
+
+
+def crx(theta: float) -> Gate:
+    """Controlled X rotation."""
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    return _controlled(
+        "crx", np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex), [theta]
+    )
+
+
+def cry(theta: float) -> Gate:
+    """Controlled Y rotation."""
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    return _controlled(
+        "cry", np.array([[cos, -sin], [sin, cos]], dtype=complex), [theta]
+    )
+
+
+def crz(theta: float) -> Gate:
+    """Controlled Z rotation."""
+    phase = cmath.exp(1j * theta / 2)
+    return _controlled(
+        "crz", np.array([[1 / phase, 0], [0, phase]], dtype=complex), [theta]
+    )
+
+
+def crot(theta: float, phi: float = 0.0) -> Gate:
+    """Conditional rotation (CROT) of the spin-qubit platform.
+
+    Rotates the target qubit by ``theta`` around an axis in the XY plane at
+    azimuthal angle ``phi`` when the control qubit is |1>.  ``crot(pi)`` is a
+    CNOT up to a single-qubit phase correction on the control
+    (``CNOT = (S on control) . CROT(pi)``).
+    """
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    axis_rotation = np.array(
+        [
+            [cos, -1j * sin * cmath.exp(-1j * phi)],
+            [-1j * sin * cmath.exp(1j * phi), cos],
+        ],
+        dtype=complex,
+    )
+    return _controlled("crot", axis_rotation, [theta, phi])
+
+
+def CROTGate(theta: float, phi: float = 0.0) -> Gate:
+    """Alias of :func:`crot` kept for API symmetry with the paper's naming."""
+    return crot(theta, phi)
+
+
+def swap() -> Gate:
+    """SWAP gate (abstract)."""
+    return _gate(
+        "swap",
+        np.array([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]),
+    )
+
+
+def swap_direct() -> Gate:
+    """Diabatic (direct) swap realization of the spin platform (swap_d)."""
+    return swap().with_name("swap_d")
+
+
+def swap_composite() -> Gate:
+    """Composite-pulse swap realization of the spin platform (swap_c)."""
+    return swap().with_name("swap_c")
+
+
+def iswap() -> Gate:
+    """iSWAP gate."""
+    return _gate(
+        "iswap",
+        np.array([[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]]),
+    )
+
+
+def rzx(theta: float) -> Gate:
+    """ZX interaction rotation exp(-i theta/2 Z (x) X) (control-first order)."""
+    cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+    # Z acts on qubit 0 (first), X on qubit 1 (second); little-endian kron order
+    # places qubit 0 as the rightmost factor.
+    z_matrix = np.diag([1.0, -1.0])
+    x_matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+    generator = np.kron(x_matrix, z_matrix)
+    matrix = cos * np.eye(4) - 1j * sin * generator
+    return _gate("rzx", matrix, [theta])
+
+
+# ----------------------------------------------------------------------
+# Builders registry (used by text serialization and random circuit generation)
+# ----------------------------------------------------------------------
+GATE_BUILDERS: Dict[str, Callable[..., Gate]] = {
+    "id": identity,
+    "x": x,
+    "y": y,
+    "z": z,
+    "h": h,
+    "s": s,
+    "sdg": sdg,
+    "t": t,
+    "tdg": tdg,
+    "rx": rx,
+    "ry": ry,
+    "rz": rz,
+    "u3": u3,
+    "cx": cx,
+    "cy": cy,
+    "cz": cz,
+    "cz_d": cz_diabatic,
+    "cphase": controlled_phase,
+    "crx": crx,
+    "cry": cry,
+    "crz": crz,
+    "crot": crot,
+    "swap": swap,
+    "swap_d": swap_direct,
+    "swap_c": swap_composite,
+    "iswap": iswap,
+    "rzx": rzx,
+}
+
+
+def build_gate(name: str, *params: float) -> Gate:
+    """Construct a gate by name from :data:`GATE_BUILDERS`."""
+    if name not in GATE_BUILDERS:
+        raise KeyError(f"unknown gate {name!r}")
+    return GATE_BUILDERS[name](*params)

@@ -1,0 +1,94 @@
+"""Unitary computation and comparison utilities.
+
+The functions here turn circuits and instructions into full unitary
+matrices (little-endian qubit ordering) and compare unitaries up to a
+global phase, which is how all substitution rules of the paper are verified
+to be genuine circuit equivalences.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+
+
+def instruction_unitary(instruction: Instruction, num_qubits: int) -> np.ndarray:
+    """Return the ``2**num_qubits`` unitary of a single instruction."""
+    return expand_gate_matrix(
+        instruction.gate.to_matrix(), instruction.qubits, num_qubits
+    )
+
+
+def expand_gate_matrix(
+    matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed a k-qubit gate matrix acting on ``qubits`` into the full register.
+
+    The gate matrix is given in little-endian convention over its own qubit
+    list: ``qubits[0]`` is the least significant bit of the gate's index.
+    """
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError("gate matrix does not match the number of qubits")
+    full_dim = 2**num_qubits
+    result = np.zeros((full_dim, full_dim), dtype=complex)
+    other_qubits = [q for q in range(num_qubits) if q not in qubits]
+
+    for column in range(full_dim):
+        # Decompose the column index into gate-local and spectator parts.
+        local_in = 0
+        for position, qubit in enumerate(qubits):
+            if (column >> qubit) & 1:
+                local_in |= 1 << position
+        spectator = column
+        for qubit in qubits:
+            spectator &= ~(1 << qubit)
+        for local_out in range(2**k):
+            amplitude = matrix[local_out, local_in]
+            if amplitude == 0:
+                continue
+            row = spectator
+            for position, qubit in enumerate(qubits):
+                if (local_out >> position) & 1:
+                    row |= 1 << qubit
+            result[row, column] += amplitude
+    return result
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Return the unitary of a whole circuit (little-endian)."""
+    dimension = 2**circuit.num_qubits
+    unitary = np.eye(dimension, dtype=complex)
+    for instruction in circuit.instructions:
+        unitary = instruction_unitary(instruction, circuit.num_qubits) @ unitary
+    return unitary
+
+
+def allclose_up_to_global_phase(
+    first: np.ndarray, second: np.ndarray, atol: float = 1e-9
+) -> bool:
+    """Return True when two unitaries are equal up to a global phase."""
+    if first.shape != second.shape:
+        return False
+    # Find the largest-magnitude entry of `first` to fix the relative phase.
+    index = np.unravel_index(np.argmax(np.abs(first)), first.shape)
+    if abs(first[index]) < atol:
+        return bool(np.allclose(first, second, atol=atol))
+    if abs(second[index]) < atol:
+        return False
+    phase = second[index] / first[index]
+    if not np.isclose(abs(phase), 1.0, atol=1e-7):
+        return False
+    return bool(np.allclose(first * phase, second, atol=atol))
+
+
+def process_fidelity(first: np.ndarray, second: np.ndarray) -> float:
+    """Return the process fidelity |tr(U^dag V)|^2 / d^2 between two unitaries."""
+    if first.shape != second.shape:
+        raise ValueError("unitaries must have the same dimension")
+    dimension = first.shape[0]
+    overlap = np.trace(first.conj().T @ second)
+    return float(abs(overlap) ** 2 / dimension**2)

@@ -1,0 +1,174 @@
+"""The SAT/SMT-based circuit adapter and the adaptation result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.unitary import allclose_up_to_global_phase, circuit_unitary
+from repro.core.model import AdaptationModel, ModelSolution, OBJECTIVE_COMBINED
+from repro.core.preprocessing import PreprocessedCircuit, preprocess
+from repro.core.rules import Substitution, SubstitutionRule, evaluate_rules, standard_rules
+from repro.hardware.target import Target
+from repro.synthesis.single_qubit import merge_single_qubit_runs
+from repro.transpiler.basis import translate_instruction_to_cz
+from repro.transpiler.cost import CircuitCost, analyze_cost
+from repro.transpiler.routing import route_circuit
+
+
+@dataclass
+class AdaptationResult:
+    """An adapted circuit together with its costs and provenance."""
+
+    technique: str
+    adapted_circuit: QuantumCircuit
+    cost: CircuitCost
+    baseline_cost: Optional[CircuitCost] = None
+    chosen_substitutions: List[Substitution] = field(default_factory=list)
+    objective_value: Optional[float] = None
+    statistics: Dict[str, int] = field(default_factory=dict)
+
+    # Convenience metrics used throughout the evaluation section -----------
+    @property
+    def fidelity_change(self) -> float:
+        """Relative change in gate-fidelity product vs the baseline adaptation."""
+        if self.baseline_cost is None:
+            raise ValueError("no baseline cost recorded")
+        baseline = self.baseline_cost.gate_fidelity_product
+        return (self.cost.gate_fidelity_product - baseline) / baseline
+
+    @property
+    def idle_time_decrease(self) -> float:
+        """Relative decrease in total qubit idle time vs the baseline adaptation."""
+        if self.baseline_cost is None:
+            raise ValueError("no baseline cost recorded")
+        baseline = self.baseline_cost.total_idle_time
+        if baseline <= 0:
+            return 0.0
+        return (baseline - self.cost.total_idle_time) / baseline
+
+
+def apply_substitutions(
+    preprocessed: PreprocessedCircuit, chosen: Sequence[Substitution]
+) -> QuantumCircuit:
+    """Apply chosen substitutions and fall back to basis translation elsewhere.
+
+    "A substitution s is applied ... by substituting quantum gates ps with
+    gs.  A quantum gate ... is substituted by the basis translation performed
+    in the preprocessing step if the quantum gate is not part of any chosen
+    substitution." (Section IV.C.4)
+    """
+    circuit = preprocessed.circuit
+    target = preprocessed.target
+    by_block: Dict[int, List[Substitution]] = {}
+    for substitution in chosen:
+        by_block.setdefault(substitution.block_index, []).append(substitution)
+
+    adapted = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_adapted")
+    for preprocessed_block in preprocessed.blocks:
+        block = preprocessed_block.block
+        block_subs = by_block.get(block.index, [])
+        # Map each substituted position to the substitution anchored there.
+        anchor: Dict[int, Substitution] = {}
+        covered: Dict[int, Substitution] = {}
+        for substitution in block_subs:
+            positions = substitution.substituted_positions
+            anchor[min(positions)] = substitution
+            for position in positions:
+                covered[position] = substitution
+        for position, instruction in enumerate(block.instructions):
+            if position in covered:
+                if position in anchor:
+                    for replacement in anchor[position].replacement:
+                        adapted.append(replacement.gate, replacement.qubits)
+                continue
+            if len(instruction.qubits) == 1 or target.supports(instruction.name):
+                adapted.append(instruction.gate, instruction.qubits)
+            else:
+                for replacement in translate_instruction_to_cz(instruction):
+                    adapted.append(replacement.gate, replacement.qubits)
+    return adapted
+
+
+class SatAdapter:
+    """Quantum circuit adaptation driven by the SMT model (Section IV).
+
+    Parameters
+    ----------
+    objective:
+        One of ``"fidelity"`` (SAT_F, Eq. 8), ``"idle"`` (SAT_R, Eq. 9) or
+        ``"combined"`` (SAT_P, Eq. 10).
+    rules:
+        Substitution rules to consider; defaults to the Fig. 3 rule set.
+    merge_single_qubit_gates:
+        Merge adjacent single-qubit gates in the adapted circuit.
+    verify:
+        Check that the adapted circuit is unitarily equivalent (up to global
+        phase) to the routed input; only feasible for small circuits.
+    """
+
+    technique_name = "sat"
+
+    def __init__(
+        self,
+        objective: str = OBJECTIVE_COMBINED,
+        rules: Optional[Sequence[SubstitutionRule]] = None,
+        merge_single_qubit_gates: bool = False,
+        verify: bool = False,
+        max_improvement_rounds: int = 400,
+    ) -> None:
+        self.objective = objective
+        self.rules = list(rules) if rules is not None else standard_rules()
+        self.merge_single_qubit_gates = merge_single_qubit_gates
+        self.verify = verify
+        self.max_improvement_rounds = max_improvement_rounds
+
+    # ------------------------------------------------------------------
+    def adapt(self, circuit: QuantumCircuit, target: Target) -> AdaptationResult:
+        """Adapt ``circuit`` to ``target`` and return the result with costs."""
+        routed = self._route_if_needed(circuit, target)
+        preprocessed = preprocess(routed, target)
+        substitutions = evaluate_rules(preprocessed, self.rules)
+        model = AdaptationModel(
+            preprocessed,
+            substitutions,
+            objective=self.objective,
+            max_improvement_rounds=self.max_improvement_rounds,
+        )
+        solution = model.solve()
+        adapted = apply_substitutions(preprocessed, solution.chosen_substitutions)
+        if self.merge_single_qubit_gates:
+            adapted = merge_single_qubit_runs(adapted)
+        if self.verify:
+            self._verify(routed, adapted)
+        baseline = preprocessed.reference_circuit()
+        return AdaptationResult(
+            technique=f"{self.technique_name}_{self.objective}",
+            adapted_circuit=adapted,
+            cost=analyze_cost(adapted, target),
+            baseline_cost=analyze_cost(baseline, target),
+            chosen_substitutions=solution.chosen_substitutions,
+            objective_value=solution.objective_value,
+            statistics=solution.statistics,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _route_if_needed(circuit: QuantumCircuit, target: Target) -> QuantumCircuit:
+        needs_routing = any(
+            len(instruction.qubits) == 2 and not target.are_connected(*instruction.qubits)
+            for instruction in circuit.instructions
+        )
+        if not needs_routing and circuit.num_qubits <= target.num_qubits:
+            return circuit
+        return route_circuit(circuit, target)
+
+    @staticmethod
+    def _verify(reference: QuantumCircuit, adapted: QuantumCircuit) -> None:
+        if reference.num_qubits > 6:
+            return
+        if not allclose_up_to_global_phase(
+            circuit_unitary(adapted), circuit_unitary(reference), atol=1e-6
+        ):
+            raise RuntimeError("adapted circuit is not equivalent to the input circuit")

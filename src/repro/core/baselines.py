@@ -1,0 +1,172 @@
+"""Baseline adaptation techniques the SMT approach is compared against.
+
+Three baselines mirror Section V of the paper:
+
+* :class:`DirectTranslationAdapter` -- direct basis translation: every
+  non-native two-qubit gate becomes CZ plus single-qubit gates.  This is
+  also the reference every other technique is normalized against.
+* :class:`KakAdapter` -- every two-qubit block is replaced by its KAK
+  resynthesis using CZ (or diabatic CZ) and single-qubit gates.
+* :class:`TemplateOptimizationAdapter` -- template optimization: the Fig. 3
+  substitution rules are applied greedily, one block and one template at a
+  time, keeping a substitution whenever it improves the local objective
+  (circuit fidelity or qubit idle time).  This captures the "only a local
+  solution can be determined for one template at a time" behaviour the
+  paper contrasts with the global SMT optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.adapter import AdaptationResult, SatAdapter, apply_substitutions
+from repro.core.preprocessing import preprocess
+from repro.core.rules import (
+    KakDecompositionRule,
+    Substitution,
+    SubstitutionRule,
+    evaluate_rules,
+    standard_rules,
+)
+from repro.hardware.target import Target
+from repro.synthesis.single_qubit import merge_single_qubit_runs
+from repro.transpiler.cost import analyze_cost
+
+
+class DirectTranslationAdapter:
+    """Adaptation by direct basis translation (the paper's baseline)."""
+
+    technique_name = "direct"
+
+    def __init__(self, merge_single_qubit_gates: bool = False) -> None:
+        self.merge_single_qubit_gates = merge_single_qubit_gates
+
+    def adapt(self, circuit: QuantumCircuit, target: Target) -> AdaptationResult:
+        """Translate every foreign gate through the CZ equivalence library."""
+        routed = SatAdapter._route_if_needed(circuit, target)
+        preprocessed = preprocess(routed, target)
+        adapted = preprocessed.reference_circuit()
+        if self.merge_single_qubit_gates:
+            adapted = merge_single_qubit_runs(adapted)
+        cost = analyze_cost(adapted, target)
+        return AdaptationResult(
+            technique=self.technique_name,
+            adapted_circuit=adapted,
+            cost=cost,
+            baseline_cost=cost,
+        )
+
+
+class KakAdapter:
+    """Adaptation by per-block KAK decomposition with (diabatic) CZ gates."""
+
+    def __init__(self, cz_gate: str = "cz", merge_single_qubit_gates: bool = False) -> None:
+        self.cz_gate = cz_gate
+        self.merge_single_qubit_gates = merge_single_qubit_gates
+        self.technique_name = "kak" if cz_gate == "cz" else "kak_czd"
+
+    def adapt(self, circuit: QuantumCircuit, target: Target) -> AdaptationResult:
+        """Replace every two-qubit block by its KAK resynthesis."""
+        routed = SatAdapter._route_if_needed(circuit, target)
+        preprocessed = preprocess(routed, target)
+        substitutions = evaluate_rules(preprocessed, [KakDecompositionRule(self.cz_gate)])
+        adapted = apply_substitutions(preprocessed, substitutions)
+        if self.merge_single_qubit_gates:
+            adapted = merge_single_qubit_runs(adapted)
+        return AdaptationResult(
+            technique=self.technique_name,
+            adapted_circuit=adapted,
+            cost=analyze_cost(adapted, target),
+            baseline_cost=analyze_cost(preprocessed.reference_circuit(), target),
+            chosen_substitutions=list(substitutions),
+        )
+
+
+class TemplateOptimizationAdapter:
+    """Greedy, per-template local optimization (the template baseline).
+
+    Parameters
+    ----------
+    objective:
+        ``"fidelity"`` keeps a substitution when it improves the block's
+        log-fidelity; ``"idle"`` keeps it when it reduces the block duration.
+    rules:
+        Substitution rules to try; defaults to the Fig. 3 set without the
+        KAK rule (template optimization works on circuit identities).
+    """
+
+    def __init__(
+        self,
+        objective: str = "fidelity",
+        rules: Optional[Sequence[SubstitutionRule]] = None,
+        merge_single_qubit_gates: bool = False,
+    ) -> None:
+        if objective not in ("fidelity", "idle"):
+            raise ValueError("objective must be 'fidelity' or 'idle'")
+        self.objective = objective
+        self.rules = list(rules) if rules is not None else standard_rules(include_kak=False)
+        self.merge_single_qubit_gates = merge_single_qubit_gates
+        self.technique_name = f"template_{objective}"
+
+    # ------------------------------------------------------------------
+    def _is_improvement(self, substitution: Substitution) -> bool:
+        if self.objective == "fidelity":
+            return substitution.log_fidelity_delta > 1e-12
+        return substitution.duration_delta < -1e-9
+
+    def _local_score(self, substitution: Substitution) -> float:
+        if self.objective == "fidelity":
+            return substitution.log_fidelity_delta
+        return -substitution.duration_delta
+
+    def adapt(self, circuit: QuantumCircuit, target: Target) -> AdaptationResult:
+        """Apply the best locally-improving substitution per matched template."""
+        routed = SatAdapter._route_if_needed(circuit, target)
+        preprocessed = preprocess(routed, target)
+        substitutions = evaluate_rules(preprocessed, self.rules)
+
+        # Greedy, local selection: walk the matches block by block in match
+        # order; accept a substitution when it improves the local objective
+        # and does not overlap an already accepted one.
+        accepted: List[Substitution] = []
+        by_block: Dict[int, List[Substitution]] = {}
+        for substitution in substitutions:
+            by_block.setdefault(substitution.block_index, []).append(substitution)
+        for block_index in sorted(by_block):
+            taken: List[Substitution] = []
+            candidates = sorted(
+                by_block[block_index], key=self._local_score, reverse=True
+            )
+            for candidate in candidates:
+                if not self._is_improvement(candidate):
+                    continue
+                if any(candidate.conflicts_with(existing) for existing in taken):
+                    continue
+                taken.append(candidate)
+            accepted.extend(taken)
+
+        adapted = apply_substitutions(preprocessed, accepted)
+        if self.merge_single_qubit_gates:
+            adapted = merge_single_qubit_runs(adapted)
+        return AdaptationResult(
+            technique=self.technique_name,
+            adapted_circuit=adapted,
+            cost=analyze_cost(adapted, target),
+            baseline_cost=analyze_cost(preprocessed.reference_circuit(), target),
+            chosen_substitutions=accepted,
+        )
+
+
+def all_techniques(objectives: Sequence[str] = ("fidelity", "idle", "combined")) -> List[object]:
+    """Return one instance of every technique evaluated in Section V."""
+    adapters: List[object] = [
+        DirectTranslationAdapter(),
+        KakAdapter("cz"),
+        KakAdapter("cz_d"),
+        TemplateOptimizationAdapter("fidelity"),
+        TemplateOptimizationAdapter("idle"),
+    ]
+    for objective in objectives:
+        adapters.append(SatAdapter(objective=objective))
+    return adapters

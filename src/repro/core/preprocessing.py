@@ -1,0 +1,99 @@
+"""Preprocessing: block partition, reference translation and reference costs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import networkx as nx
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.hardware.target import Target
+from repro.transpiler.basis import translate_block_reference
+from repro.transpiler.blocks import Block, block_dependency_graph, collect_two_qubit_blocks
+from repro.transpiler.scheduling import asap_schedule, gate_fidelity
+
+
+@dataclass
+class PreprocessedBlock:
+    """One block with its reference adaptation and reference costs."""
+
+    block: Block
+    reference_instructions: List[Instruction]
+    reference_duration: float
+    reference_log_fidelity: float
+
+    @property
+    def index(self) -> int:
+        """The block index (shared with the dependency graph node id)."""
+        return self.block.index
+
+
+@dataclass
+class PreprocessedCircuit:
+    """Output of the preprocessing step (Fig. 2a)."""
+
+    circuit: QuantumCircuit
+    target: Target
+    blocks: List[PreprocessedBlock] = field(default_factory=list)
+    dependency_graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    def block(self, index: int) -> PreprocessedBlock:
+        """Return the preprocessed block with the given index."""
+        return self.blocks[index]
+
+    def reference_circuit(self) -> QuantumCircuit:
+        """The full reference adaptation (direct basis translation per block)."""
+        reference = QuantumCircuit(self.circuit.num_qubits, name=f"{self.circuit.name}_reference")
+        for preprocessed in self.blocks:
+            for instruction in preprocessed.reference_instructions:
+                reference.append(instruction.gate, instruction.qubits)
+        return reference
+
+    def total_reference_duration(self) -> float:
+        """Sum of the per-block reference durations."""
+        return sum(block.reference_duration for block in self.blocks)
+
+
+def _block_critical_path(instructions: List[Instruction], target: Target, num_qubits: int) -> float:
+    """Critical-path duration of a list of instructions on the target."""
+    if not instructions:
+        return 0.0
+    scratch = QuantumCircuit(num_qubits, name="block_schedule")
+    for instruction in instructions:
+        scratch.append(instruction.gate, instruction.qubits)
+    return asap_schedule(scratch, target).total_duration
+
+
+def _block_log_fidelity(instructions: List[Instruction], target: Target) -> float:
+    """Sum of log gate fidelities of a list of instructions on the target."""
+    return sum(math.log(gate_fidelity(instruction, target)) for instruction in instructions)
+
+
+def preprocess(circuit: QuantumCircuit, target: Target) -> PreprocessedCircuit:
+    """Run the preprocessing step on a (routed) circuit.
+
+    The circuit must already comply with the target topology: every
+    two-qubit gate must act on a connected pair (use
+    :func:`repro.transpiler.route_circuit` first when it does not).
+    """
+    for instruction in circuit.instructions:
+        if len(instruction.qubits) == 2 and not target.are_connected(*instruction.qubits):
+            raise ValueError(
+                f"instruction {instruction!r} acts on unconnected qubits; route the circuit first"
+            )
+    blocks = collect_two_qubit_blocks(circuit)
+    graph = block_dependency_graph(circuit, blocks)
+    preprocessed = PreprocessedCircuit(circuit=circuit, target=target, dependency_graph=graph)
+    for block in blocks:
+        reference = translate_block_reference(block)
+        preprocessed.blocks.append(
+            PreprocessedBlock(
+                block=block,
+                reference_instructions=reference,
+                reference_duration=_block_critical_path(reference, target, circuit.num_qubits),
+                reference_log_fidelity=_block_log_fidelity(reference, target),
+            )
+        )
+    return preprocessed

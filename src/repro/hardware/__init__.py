@@ -1,0 +1,44 @@
+"""Hardware-modality models: gate properties, targets and spin-qubit physics.
+
+The central object is the :class:`Target`: the set of native gates of a
+hardware modality together with their durations and fidelities, the qubit
+connectivity and the coherence times.  Two calibrations of the
+semiconducting spin-qubit device of the paper (Table I, columns D0 and D1)
+and an IBM-like superconducting source target are provided.
+
+:mod:`repro.hardware.spin_physics` models the two-spin effective
+Hamiltonian underlying the platform and reproduces the eigenenergy diagrams
+of Fig. 1 as well as protocol-level gate durations.
+"""
+
+from repro.hardware.target import GateProperties, Target, linear_coupling_map
+from repro.hardware.spin_targets import (
+    TABLE1_FIDELITY,
+    TABLE1_DURATION_D0,
+    TABLE1_DURATION_D1,
+    ibm_like_source_target,
+    spin_qubit_target,
+)
+from repro.hardware.spin_physics import (
+    SpinPair,
+    exchange_coupling,
+    eigenenergies_vs_detuning,
+    swap_regime_pair,
+    crot_regime_pair,
+)
+
+__all__ = [
+    "GateProperties",
+    "Target",
+    "linear_coupling_map",
+    "TABLE1_FIDELITY",
+    "TABLE1_DURATION_D0",
+    "TABLE1_DURATION_D1",
+    "ibm_like_source_target",
+    "spin_qubit_target",
+    "SpinPair",
+    "exchange_coupling",
+    "eigenenergies_vs_detuning",
+    "swap_regime_pair",
+    "crot_regime_pair",
+]

@@ -1,0 +1,107 @@
+"""Concrete targets: the Table I spin-qubit calibrations and an IBM-like source.
+
+Table I of the paper lists, for the semiconducting spin-qubit platform of
+Petit et al. (2022), the fidelity of each native operation and two duration
+calibrations: D0 (as measured on the device) and D1 (a projection for scaled
+up devices with different materials / driving).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hardware.target import GateProperties, Target, linear_coupling_map
+
+#: Gate fidelities from Table I (shared by the D0 and D1 calibrations).
+TABLE1_FIDELITY: Dict[str, float] = {
+    "su2": 0.999,
+    "cz": 0.999,
+    "cz_d": 0.99,
+    "crot": 0.994,
+    "swap_d": 0.99,
+    "swap_c": 0.999,
+}
+
+#: Gate durations in nanoseconds, calibration D0 (Table I).
+TABLE1_DURATION_D0: Dict[str, float] = {
+    "su2": 30.0,
+    "cz": 152.0,
+    "cz_d": 67.0,
+    "crot": 660.0,
+    "swap_d": 19.0,
+    "swap_c": 89.0,
+}
+
+#: Gate durations in nanoseconds, calibration D1 (Table I).
+TABLE1_DURATION_D1: Dict[str, float] = {
+    "su2": 30.0,
+    "cz": 151.0,
+    "cz_d": 7.0,
+    "crot": 660.0,
+    "swap_d": 9.0,
+    "swap_c": 13.0,
+}
+
+#: Coherence times assumed in the evaluation (Section V.B): T2 = 2900 ns and
+#: a T1 three orders of magnitude larger.
+SPIN_T2_NS = 2900.0
+SPIN_T1_NS = 2900.0 * 1000.0
+
+
+def spin_qubit_target(
+    num_qubits: int = 4,
+    durations: str = "D0",
+    include_diabatic_cz: bool = True,
+) -> Target:
+    """Build the semiconducting spin-qubit target of Table I.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits (chain connectivity).
+    durations:
+        ``"D0"`` or ``"D1"``, selecting the Table I duration column.
+    include_diabatic_cz:
+        Whether the diabatic CZ realization is part of the native gate set
+        (the paper's worked example excludes it, the evaluation includes it).
+    """
+    if durations not in ("D0", "D1"):
+        raise ValueError("durations must be 'D0' or 'D1'")
+    table = TABLE1_DURATION_D0 if durations == "D0" else TABLE1_DURATION_D1
+    two_qubit = {}
+    for name in ("cz", "cz_d", "crot", "swap_d", "swap_c"):
+        if name == "cz_d" and not include_diabatic_cz:
+            continue
+        two_qubit[name] = GateProperties(table[name], TABLE1_FIDELITY[name])
+    return Target(
+        name=f"spin-{durations}",
+        num_qubits=num_qubits,
+        single_qubit_gates=GateProperties(table["su2"], TABLE1_FIDELITY["su2"]),
+        two_qubit_gates=two_qubit,
+        coupling_map=linear_coupling_map(num_qubits),
+        t1=SPIN_T1_NS,
+        t2=SPIN_T2_NS,
+    )
+
+
+def ibm_like_source_target(num_qubits: int = 4) -> Target:
+    """An IBM-superconducting-like source modality (CNOT + SU(2) basis).
+
+    Used as the source basis of the adaptation examples: the input circuits
+    are expressed with CX/CZ/SWAP and arbitrary single-qubit gates.  The
+    costs are representative published values for transmon devices and only
+    matter for reporting the source-side costs, not for the adaptation.
+    """
+    return Target(
+        name="ibm-like",
+        num_qubits=num_qubits,
+        single_qubit_gates=GateProperties(35.0, 0.9997),
+        two_qubit_gates={
+            "cx": GateProperties(300.0, 0.99),
+            "cz": GateProperties(300.0, 0.99),
+            "swap": GateProperties(900.0, 0.97),
+        },
+        coupling_map=linear_coupling_map(num_qubits),
+        t1=100_000.0,
+        t2=120_000.0,
+    )

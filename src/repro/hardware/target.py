@@ -1,0 +1,133 @@
+"""Target descriptions: native gates, their costs, connectivity and coherence."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class GateProperties:
+    """Calibration data of one native gate: duration (ns) and fidelity."""
+
+    duration: float
+    fidelity: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("gate duration must be non-negative")
+        if not 0 < self.fidelity <= 1:
+            raise ValueError("gate fidelity must lie in (0, 1]")
+
+    @property
+    def error(self) -> float:
+        """The gate error ``1 - fidelity``."""
+        return 1.0 - self.fidelity
+
+    @property
+    def log_fidelity(self) -> float:
+        """Natural log of the fidelity (additive cost used by the SMT model)."""
+        return math.log(self.fidelity)
+
+
+def linear_coupling_map(num_qubits: int) -> List[Tuple[int, int]]:
+    """Return the nearest-neighbour (chain) coupling map used by spin devices."""
+    return [(i, i + 1) for i in range(num_qubits - 1)]
+
+
+@dataclass
+class Target:
+    """A hardware modality: native gate set with costs, topology, coherence.
+
+    Parameters
+    ----------
+    name:
+        Human-readable target name.
+    num_qubits:
+        Number of physical qubits.
+    single_qubit_gates:
+        Properties of the (arbitrary SU(2)) single-qubit gate.
+    two_qubit_gates:
+        Mapping from native two-qubit gate name to its properties.
+    coupling_map:
+        Iterable of connected qubit pairs (assumed symmetric).  ``None``
+        means all-to-all connectivity.
+    t1, t2:
+        Relaxation and dephasing times in nanoseconds.
+    """
+
+    name: str
+    num_qubits: int
+    single_qubit_gates: GateProperties
+    two_qubit_gates: Dict[str, GateProperties]
+    coupling_map: Optional[Sequence[Tuple[int, int]]] = None
+    t1: float = 2.9e6
+    t2: float = 2900.0
+
+    #: Names treated as the (arbitrary SU(2)) single-qubit gate of a target.
+    SINGLE_QUBIT_GATE_NAMES = frozenset(
+        {"u3", "rz", "rx", "ry", "h", "x", "y", "z", "s", "sdg", "t", "tdg", "id", "su2"}
+    )
+
+    # ------------------------------------------------------------------
+    def gate_properties(self, name: str, num_qubits: int = 1) -> GateProperties:
+        """Look up the properties of a gate by name."""
+        if name in self.two_qubit_gates:
+            return self.two_qubit_gates[name]
+        if num_qubits == 1 and name in self.SINGLE_QUBIT_GATE_NAMES:
+            return self.single_qubit_gates
+        raise KeyError(f"gate {name!r} is not native to target {self.name!r}")
+
+    def supports(self, name: str) -> bool:
+        """Return True when ``name`` is a native gate of this target."""
+        return name in self.two_qubit_gates or name in self.SINGLE_QUBIT_GATE_NAMES
+
+    def basis_two_qubit_gates(self) -> List[str]:
+        """Names of the native two-qubit gates."""
+        return list(self.two_qubit_gates)
+
+    # ------------------------------------------------------------------
+    def coupling_graph(self) -> nx.Graph:
+        """Return the connectivity graph."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        if self.coupling_map is None:
+            for i in range(self.num_qubits):
+                for j in range(i + 1, self.num_qubits):
+                    graph.add_edge(i, j)
+        else:
+            graph.add_edges_from(self.coupling_map)
+        return graph
+
+    def are_connected(self, qubit_a: int, qubit_b: int) -> bool:
+        """Return True when a two-qubit gate can act directly on the pair."""
+        if self.coupling_map is None:
+            return True
+        pairs = {frozenset(pair) for pair in self.coupling_map}
+        return frozenset((qubit_a, qubit_b)) in pairs
+
+    def with_num_qubits(self, num_qubits: int) -> "Target":
+        """Return a copy of this target resized to ``num_qubits`` (chain topology)."""
+        coupling = None if self.coupling_map is None else linear_coupling_map(num_qubits)
+        return Target(
+            name=self.name,
+            num_qubits=num_qubits,
+            single_qubit_gates=self.single_qubit_gates,
+            two_qubit_gates=dict(self.two_qubit_gates),
+            coupling_map=coupling,
+            t1=self.t1,
+            t2=self.t2,
+        )
+
+    def idle_survival_probability(self, idle_duration: float) -> float:
+        """Probability that a qubit state survives ``idle_duration`` ns of idling.
+
+        Follows Eq. (7) of the paper: ``exp(-d / T)`` with ``T`` the coherence
+        time of the modality (T2 is used, being the limiting time scale).
+        """
+        if idle_duration <= 0:
+            return 1.0
+        return math.exp(-idle_duration / self.t2)

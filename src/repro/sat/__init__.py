@@ -1,0 +1,52 @@
+"""Conflict-driven clause-learning (CDCL) SAT solving.
+
+This subpackage is the Boolean reasoning substrate used by :mod:`repro.smt`.
+It provides a self-contained CDCL solver with the standard modern feature
+set -- two-watched-literal propagation, first-UIP clause learning, VSIDS
+branching with phase saving, Luby restarts and incremental solving under
+assumptions -- together with DIMACS I/O and cardinality / pseudo-Boolean
+encoders.
+
+The public API mirrors the shape of classic incremental solvers (MiniSat,
+CaDiCaL): variables are positive integers, literals are signed integers and
+clauses are iterables of literals.
+
+Example
+-------
+>>> from repro.sat import Solver
+>>> solver = Solver()
+>>> solver.add_clause([1, 2])
+>>> solver.add_clause([-1, 2])
+>>> solver.add_clause([-2, 3])
+>>> solver.solve()
+True
+>>> solver.model_value(3)
+True
+"""
+
+from repro.sat.solver import Solver, SolverResult, SolverStatistics
+from repro.sat.dimacs import parse_dimacs, to_dimacs
+from repro.sat.encodings import (
+    CardinalityEncoder,
+    at_least_k,
+    at_most_k,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_k,
+    exactly_one,
+)
+
+__all__ = [
+    "Solver",
+    "SolverResult",
+    "SolverStatistics",
+    "parse_dimacs",
+    "to_dimacs",
+    "CardinalityEncoder",
+    "at_most_one_pairwise",
+    "at_most_one_sequential",
+    "at_most_k",
+    "at_least_k",
+    "exactly_k",
+    "exactly_one",
+]

@@ -1,0 +1,76 @@
+"""DIMACS CNF parsing and serialization.
+
+The DIMACS CNF format is the lingua franca of SAT solvers; supporting it
+makes the :class:`repro.sat.Solver` easy to exercise against standard
+benchmark instances and simplifies debugging (a failing SMT query can be
+dumped and inspected with any off-the-shelf solver).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF text into ``(num_vars, clauses)``.
+
+    Comment lines (``c ...``) and the problem line (``p cnf V C``) are
+    handled; clauses may span multiple lines and are terminated by ``0``.
+
+    Raises
+    ------
+    ValueError
+        If the problem line is malformed or a literal exceeds the declared
+        variable count.
+    """
+    num_vars = 0
+    declared_clauses: int | None = None
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    seen_problem_line = False
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            seen_problem_line = True
+            continue
+        if line.startswith("%"):
+            break  # SATLIB-style trailer
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                clauses.append(current)
+                current = []
+            else:
+                if seen_problem_line and abs(literal) > num_vars:
+                    raise ValueError(
+                        f"literal {literal} exceeds declared variable count {num_vars}"
+                    )
+                current.append(literal)
+    if current:
+        clauses.append(current)
+    if not seen_problem_line:
+        num_vars = max((abs(lit) for clause in clauses for lit in clause), default=0)
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        # Tolerate the mismatch (common in the wild) but keep the parsed set.
+        pass
+    return num_vars, clauses
+
+
+def to_dimacs(num_vars: int, clauses: Iterable[Iterable[int]]) -> str:
+    """Serialize clauses to DIMACS CNF text."""
+    clause_list = [list(clause) for clause in clauses]
+    max_var = max(
+        [num_vars] + [abs(lit) for clause in clause_list for lit in clause], default=0
+    )
+    lines = [f"p cnf {max_var} {len(clause_list)}"]
+    for clause in clause_list:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,162 @@
+"""Cardinality and pseudo-Boolean constraint encodings to CNF.
+
+These encodings translate "at most / at least / exactly k of these literals
+are true" constraints into clauses understood by :class:`repro.sat.Solver`.
+They are used by :mod:`repro.smt` when compiling pseudo-Boolean objectives
+and by the adaptation model for mutual-exclusion constraints between
+substitutions (Eq. (1) of the paper is a pairwise at-most-one constraint).
+
+The sequential-counter encoding (Sinz 2005) is used for the general case and
+the pairwise encoding for small at-most-one constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+
+class CardinalityEncoder:
+    """Helper that allocates auxiliary variables for cardinality encodings.
+
+    Parameters
+    ----------
+    new_var:
+        Callable returning a fresh, unused variable number each time it is
+        invoked (typically ``Solver.new_var``).
+    """
+
+    def __init__(self, new_var: Callable[[], int]) -> None:
+        self._new_var = new_var
+
+    # ------------------------------------------------------------------
+    def at_most_one(self, literals: Sequence[int]) -> List[List[int]]:
+        """Encode ``sum(literals) <= 1`` choosing pairwise or sequential."""
+        if len(literals) <= 4:
+            return at_most_one_pairwise(literals)
+        return at_most_one_sequential(literals, self._new_var)
+
+    def at_most_k(self, literals: Sequence[int], bound: int) -> List[List[int]]:
+        """Encode ``sum(literals) <= bound`` with a sequential counter."""
+        return at_most_k(literals, bound, self._new_var)
+
+    def at_least_k(self, literals: Sequence[int], bound: int) -> List[List[int]]:
+        """Encode ``sum(literals) >= bound``."""
+        return at_least_k(literals, bound, self._new_var)
+
+    def exactly_k(self, literals: Sequence[int], bound: int) -> List[List[int]]:
+        """Encode ``sum(literals) == bound``."""
+        return exactly_k(literals, bound, self._new_var)
+
+
+def at_most_one_pairwise(literals: Sequence[int]) -> List[List[int]]:
+    """Pairwise (binomial) at-most-one encoding: O(n^2) binary clauses."""
+    clauses: List[List[int]] = []
+    for index, first in enumerate(literals):
+        for second in literals[index + 1 :]:
+            clauses.append([-first, -second])
+    return clauses
+
+
+def at_most_one_sequential(
+    literals: Sequence[int], new_var: Callable[[], int]
+) -> List[List[int]]:
+    """Sequential (ladder) at-most-one encoding: O(n) clauses, n-1 aux vars."""
+    literals = list(literals)
+    if len(literals) <= 1:
+        return []
+    clauses: List[List[int]] = []
+    registers = [new_var() for _ in range(len(literals) - 1)]
+    clauses.append([-literals[0], registers[0]])
+    for index in range(1, len(literals) - 1):
+        clauses.append([-literals[index], registers[index]])
+        clauses.append([-registers[index - 1], registers[index]])
+        clauses.append([-literals[index], -registers[index - 1]])
+    clauses.append([-literals[-1], -registers[-1]])
+    return clauses
+
+
+def at_most_k(
+    literals: Sequence[int], bound: int, new_var: Callable[[], int]
+) -> List[List[int]]:
+    """Sinz sequential-counter encoding of ``sum(literals) <= bound``."""
+    literals = list(literals)
+    count = len(literals)
+    if bound < 0:
+        # Unsatisfiable unless there are no literals at all; force all false
+        # and add an empty clause when literals exist.
+        if not literals:
+            return [[]]
+        return [[-lit] for lit in literals] + [[literals[0]], [-literals[0]]]
+    if bound >= count:
+        return []
+    if bound == 0:
+        return [[-lit] for lit in literals]
+
+    # registers[i][j] is true when at least j+1 of the first i+1 literals hold.
+    registers = [[new_var() for _ in range(bound)] for _ in range(count)]
+    clauses: List[List[int]] = []
+    clauses.append([-literals[0], registers[0][0]])
+    for j in range(1, bound):
+        clauses.append([-registers[0][j]])
+    for i in range(1, count):
+        clauses.append([-literals[i], registers[i][0]])
+        clauses.append([-registers[i - 1][0], registers[i][0]])
+        for j in range(1, bound):
+            clauses.append([-literals[i], -registers[i - 1][j - 1], registers[i][j]])
+            clauses.append([-registers[i - 1][j], registers[i][j]])
+        clauses.append([-literals[i], -registers[i - 1][bound - 1]])
+    return clauses
+
+
+def at_least_k(
+    literals: Sequence[int], bound: int, new_var: Callable[[], int]
+) -> List[List[int]]:
+    """Encode ``sum(literals) >= bound`` as at-most on the negated literals."""
+    literals = list(literals)
+    if bound <= 0:
+        return []
+    if bound > len(literals):
+        return [[]]
+    if bound == 1:
+        return [list(literals)]
+    negated = [-lit for lit in literals]
+    return at_most_k(negated, len(literals) - bound, new_var)
+
+
+def exactly_k(
+    literals: Sequence[int], bound: int, new_var: Callable[[], int]
+) -> List[List[int]]:
+    """Encode ``sum(literals) == bound``."""
+    return at_most_k(literals, bound, new_var) + at_least_k(literals, bound, new_var)
+
+
+def exactly_one(
+    literals: Sequence[int], new_var: Callable[[], int] | None = None
+) -> List[List[int]]:
+    """Encode ``sum(literals) == 1`` (pairwise at-most-one plus the clause)."""
+    literals = list(literals)
+    clauses = [list(literals)]
+    if new_var is not None and len(literals) > 4:
+        clauses.extend(at_most_one_sequential(literals, new_var))
+    else:
+        clauses.extend(at_most_one_pairwise(literals))
+    return clauses
+
+
+def pseudo_boolean_leq(
+    terms: Iterable[tuple[int, int]], bound: int, new_var: Callable[[], int]
+) -> List[List[int]]:
+    """Encode ``sum(weight_i * lit_i) <= bound`` for non-negative weights.
+
+    A simple weight-expansion into a cardinality constraint is used: each
+    weighted literal is repeated ``weight`` times.  This is adequate for the
+    small pseudo-Boolean side constraints arising in the adaptation model
+    (weights are small integers after scaling); it is not intended as a
+    general-purpose competitive PB encoder.
+    """
+    expanded: List[int] = []
+    for weight, literal in terms:
+        if weight < 0:
+            raise ValueError("pseudo_boolean_leq requires non-negative weights")
+        expanded.extend([literal] * weight)
+    return at_most_k(expanded, bound, new_var)

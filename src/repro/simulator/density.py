@@ -1,0 +1,129 @@
+"""Density-matrix simulation with gate-fidelity and idle-time noise.
+
+The noise model follows Section V.B of the paper: every gate is followed by
+a depolarizing channel whose strength corresponds to the gate's fidelity on
+the target, and thermal relaxation (T1/T2) acts on every qubit for the idle
+windows of the ASAP schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.unitary import expand_gate_matrix
+from repro.hardware.target import Target
+from repro.simulator.metrics import hellinger_fidelity
+from repro.simulator.noise import depolarizing_kraus, depolarizing_strength_for_fidelity, thermal_relaxation_kraus
+from repro.simulator.statevector import measurement_probabilities, simulate_statevector
+from repro.transpiler.scheduling import asap_schedule, gate_fidelity
+
+
+@dataclass
+class NoisySimulationResult:
+    """Outcome of a noisy simulation."""
+
+    probabilities: Dict[str, float]
+    ideal_probabilities: Dict[str, float]
+    hellinger_fidelity: float
+    total_idle_time: float
+    duration: float
+
+
+class DensityMatrixSimulator:
+    """Small exact density-matrix simulator with the paper's noise model."""
+
+    def __init__(self, target: Target, include_idle_noise: bool = True) -> None:
+        self.target = target
+        self.include_idle_noise = include_idle_noise
+
+    # ------------------------------------------------------------------
+    def _apply_unitary(self, rho: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        return matrix @ rho @ matrix.conj().T
+
+    def _apply_kraus(
+        self, rho: np.ndarray, kraus: Sequence[np.ndarray], qubit: int, num_qubits: int
+    ) -> np.ndarray:
+        result = np.zeros_like(rho)
+        for operator in kraus:
+            full = expand_gate_matrix(operator, (qubit,), num_qubits)
+            result = result + full @ rho @ full.conj().T
+        return result
+
+    # ------------------------------------------------------------------
+    def evolve(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Return the final density matrix of the noisy evolution."""
+        num_qubits = circuit.num_qubits
+        dimension = 2**num_qubits
+        rho = np.zeros((dimension, dimension), dtype=complex)
+        rho[0, 0] = 1.0
+
+        schedule = asap_schedule(circuit, self.target)
+
+        # Interleave gates and idle windows in time order so that thermal
+        # relaxation acts at (approximately) the right point of the evolution.
+        events = []
+        for index, instruction in enumerate(circuit.instructions):
+            events.append((schedule.start_times[index], 0, ("gate", index)))
+        if self.include_idle_noise:
+            for qubit, start, duration in schedule.idle_windows():
+                events.append((start, 1, ("idle", qubit, duration)))
+        events.sort(key=lambda event: (event[0], event[1]))
+
+        for _, __, payload in events:
+            if payload[0] == "gate":
+                instruction = circuit.instructions[payload[1]]
+                matrix = expand_gate_matrix(
+                    instruction.gate.to_matrix(), instruction.qubits, num_qubits
+                )
+                rho = self._apply_unitary(rho, matrix)
+                fidelity = gate_fidelity(instruction, self.target)
+                strength = depolarizing_strength_for_fidelity(
+                    fidelity, len(instruction.qubits)
+                )
+                if strength > 0:
+                    kraus = depolarizing_kraus(strength)
+                    for qubit in instruction.qubits:
+                        rho = self._apply_kraus(rho, kraus, qubit, num_qubits)
+            else:
+                _, qubit, duration = payload
+                kraus = thermal_relaxation_kraus(duration, self.target.t1, self.target.t2)
+                rho = self._apply_kraus(rho, kraus, qubit, num_qubits)
+        return rho
+
+    # ------------------------------------------------------------------
+    def probabilities(self, circuit: QuantumCircuit) -> Dict[str, float]:
+        """Measurement outcome distribution of the noisy evolution."""
+        rho = self.evolve(circuit)
+        diagonal = np.clip(np.real(np.diag(rho)), 0.0, None)
+        diagonal = diagonal / diagonal.sum()
+        return {
+            format(index, f"0{circuit.num_qubits}b"): float(diagonal[index])
+            for index in range(len(diagonal))
+            if diagonal[index] > 1e-9
+        }
+
+    def run(
+        self, circuit: QuantumCircuit, ideal_circuit: Optional[QuantumCircuit] = None
+    ) -> NoisySimulationResult:
+        """Simulate noisily and compare against the ideal distribution.
+
+        ``ideal_circuit`` defaults to the circuit itself (its noiseless
+        statevector defines the reference distribution); pass the original,
+        un-adapted circuit to compare an adaptation against the intended
+        computation.
+        """
+        reference = ideal_circuit if ideal_circuit is not None else circuit
+        ideal = measurement_probabilities(simulate_statevector(reference), reference.num_qubits)
+        noisy = self.probabilities(circuit)
+        schedule = asap_schedule(circuit, self.target)
+        return NoisySimulationResult(
+            probabilities=noisy,
+            ideal_probabilities=ideal,
+            hellinger_fidelity=hellinger_fidelity(noisy, ideal),
+            total_idle_time=schedule.total_idle_time,
+            duration=schedule.total_duration,
+        )

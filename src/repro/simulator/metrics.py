@@ -1,0 +1,37 @@
+"""Distribution comparison metrics (Hellinger fidelity and friends)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+
+def _normalize(distribution: Mapping[str, float]) -> Dict[str, float]:
+    total = sum(distribution.values())
+    if total <= 0:
+        raise ValueError("distribution has no probability mass")
+    return {key: value / total for key, value in distribution.items() if value > 0}
+
+
+def hellinger_distance(first: Mapping[str, float], second: Mapping[str, float]) -> float:
+    """Hellinger distance between two outcome distributions (in [0, 1])."""
+    p = _normalize(first)
+    q = _normalize(second)
+    keys = set(p) | set(q)
+    bhattacharyya = sum(math.sqrt(p.get(key, 0.0) * q.get(key, 0.0)) for key in keys)
+    bhattacharyya = min(1.0, bhattacharyya)
+    return math.sqrt(1.0 - bhattacharyya)
+
+
+def hellinger_fidelity(first: Mapping[str, float], second: Mapping[str, float]) -> float:
+    """Hellinger fidelity ``(1 - H^2)^2`` (the metric reported by the paper)."""
+    distance = hellinger_distance(first, second)
+    return (1.0 - distance**2) ** 2
+
+
+def total_variation_distance(first: Mapping[str, float], second: Mapping[str, float]) -> float:
+    """Total variation distance between two outcome distributions."""
+    p = _normalize(first)
+    q = _normalize(second)
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(key, 0.0) - q.get(key, 0.0)) for key in keys)

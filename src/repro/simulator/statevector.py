@@ -1,0 +1,57 @@
+"""Noiseless statevector simulation."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.unitary import expand_gate_matrix
+
+
+def simulate_statevector(
+    circuit: QuantumCircuit, initial_state: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Evolve |0...0> (or ``initial_state``) through the circuit.
+
+    Returns the final statevector in little-endian basis ordering.
+    """
+    dimension = 2**circuit.num_qubits
+    if initial_state is None:
+        state = np.zeros(dimension, dtype=complex)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial_state, dtype=complex).copy()
+        if state.shape != (dimension,):
+            raise ValueError("initial state has the wrong dimension")
+    for instruction in circuit.instructions:
+        matrix = expand_gate_matrix(
+            instruction.gate.to_matrix(), instruction.qubits, circuit.num_qubits
+        )
+        state = matrix @ state
+    return state
+
+
+def measurement_probabilities(
+    state_or_circuit, num_qubits: Optional[int] = None
+) -> Dict[str, float]:
+    """Return the computational-basis outcome distribution.
+
+    Accepts either a statevector or a circuit (which is simulated first).
+    Keys are little-endian bitstrings (qubit 0 is the rightmost character).
+    """
+    if isinstance(state_or_circuit, QuantumCircuit):
+        state = simulate_statevector(state_or_circuit)
+        num_qubits = state_or_circuit.num_qubits
+    else:
+        state = np.asarray(state_or_circuit, dtype=complex)
+        if num_qubits is None:
+            num_qubits = int(round(np.log2(state.shape[0])))
+    probabilities = np.abs(state) ** 2
+    probabilities = probabilities / probabilities.sum()
+    return {
+        format(index, f"0{num_qubits}b"): float(probabilities[index])
+        for index in range(len(probabilities))
+        if probabilities[index] > 1e-14
+    }

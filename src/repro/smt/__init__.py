@@ -1,0 +1,77 @@
+"""A small satisfiability-modulo-theories (SMT) solver with optimization.
+
+This subpackage provides the reasoning engine used by the quantum circuit
+adaptation model of the paper (which originally relied on Z3).  It supports
+the quantifier-free fragment the model needs:
+
+* arbitrary propositional structure over Boolean variables and linear real
+  arithmetic atoms (Tseitin-encoded into CNF and delegated to
+  :class:`repro.sat.Solver`),
+* a theory solver for linear real arithmetic implementing the general
+  simplex procedure of Dutertre and de Moura with exact
+  :class:`fractions.Fraction` arithmetic and delta-rationals for strict
+  inequalities,
+* optimization modulo theories (OMT) of linear objectives via iterative
+  objective strengthening with in-theory simplex optimization per Boolean
+  skeleton.
+
+The public facade, :class:`Optimize`, intentionally mirrors the subset of
+the ``z3.Optimize`` API used by the paper's model (``add``, ``maximize``,
+``minimize``, ``check``, ``model``).
+
+Example
+-------
+>>> from repro.smt import Bool, Real, Optimize, RealVal
+>>> x, y = Real("x"), Real("y")
+>>> choose = Bool("choose")
+>>> opt = Optimize()
+>>> opt.add(x >= RealVal(0), y >= RealVal(0), x + y <= RealVal(10))
+>>> opt.add(choose.implies(x >= RealVal(4)))
+>>> opt.add(choose)
+>>> handle = opt.maximize(y - x)
+>>> opt.check()
+<CheckResult.SAT: 'sat'>
+>>> opt.model()[y]
+Fraction(6, 1)
+"""
+
+from repro.smt.terms import (
+    And,
+    Bool,
+    BoolVal,
+    Expr,
+    Iff,
+    Implies,
+    Ite,
+    LinearExpr,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    Sum,
+)
+from repro.smt.rational import DeltaRational
+from repro.smt.solver import CheckResult, Model, SmtSolver
+from repro.smt.optimize import Optimize, ObjectiveHandle
+
+__all__ = [
+    "And",
+    "Bool",
+    "BoolVal",
+    "Expr",
+    "Iff",
+    "Implies",
+    "Ite",
+    "LinearExpr",
+    "Not",
+    "Or",
+    "Real",
+    "RealVal",
+    "Sum",
+    "DeltaRational",
+    "CheckResult",
+    "Model",
+    "SmtSolver",
+    "Optimize",
+    "ObjectiveHandle",
+]

@@ -1,0 +1,174 @@
+"""Tseitin conversion of Boolean structure into CNF over SAT variables.
+
+The converter walks an :class:`repro.smt.terms.Expr`, allocates one SAT
+variable per Boolean variable and per distinct theory atom, introduces
+definition variables for internal connectives, and emits equisatisfiable
+clauses.  Equality atoms are split into a conjunction of two inequalities so
+that the theory solver only ever sees (possibly negated) ``<=`` / ``<``
+atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.smt.terms import (
+    And,
+    BoolVal,
+    BoolVar,
+    Comparison,
+    Expr,
+    Iff,
+    Implies,
+    Ite,
+    LinearExpr,
+    Not,
+    Or,
+)
+
+
+class CnfConverter:
+    """Converts expressions to CNF, sharing subformula definitions."""
+
+    def __init__(self) -> None:
+        self._next_var = 1
+        self.clauses: List[List[int]] = []
+        self.bool_vars: Dict[str, int] = {}
+        self.atoms: Dict[tuple, int] = {}
+        self.atom_by_var: Dict[int, Comparison] = {}
+        self._definitions: Dict[tuple, int] = {}
+        self._true_var: int | None = None
+
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh SAT variable."""
+        var = self._next_var
+        self._next_var += 1
+        return var
+
+    def num_vars(self) -> int:
+        """Return the number of SAT variables allocated so far."""
+        return self._next_var - 1
+
+    # ------------------------------------------------------------------
+    def add_assertion(self, expression: Expr) -> None:
+        """Assert ``expression`` (add clauses forcing it to be true)."""
+        literal = self._encode(expression)
+        self.clauses.append([literal])
+
+    def literal_for_bool(self, name: str) -> int:
+        """Return (allocating if needed) the SAT variable of a Boolean var."""
+        if name not in self.bool_vars:
+            self.bool_vars[name] = self.new_var()
+        return self.bool_vars[name]
+
+    def literal_for_atom(self, atom: Comparison) -> int:
+        """Return (allocating if needed) the SAT variable of a theory atom."""
+        if atom.op == "=":
+            raise ValueError("equality atoms must be split before reaching the theory")
+        key = atom.key()
+        if key not in self.atoms:
+            var = self.new_var()
+            self.atoms[key] = var
+            self.atom_by_var[var] = atom
+        return self.atoms[key]
+
+    # ------------------------------------------------------------------
+    def _true_literal(self) -> int:
+        if self._true_var is None:
+            self._true_var = self.new_var()
+            self.clauses.append([self._true_var])
+        return self._true_var
+
+    def _define(self, key: tuple, make_clauses) -> int:
+        """Return a definition variable for ``key``, creating it on demand."""
+        if key in self._definitions:
+            return self._definitions[key]
+        var = self.new_var()
+        self._definitions[key] = var
+        make_clauses(var)
+        return var
+
+    def _encode(self, expression: Expr) -> int:
+        """Return a literal equivalent to ``expression``."""
+        if isinstance(expression, BoolVal):
+            true_lit = self._true_literal()
+            return true_lit if expression.value else -true_lit
+        if isinstance(expression, BoolVar):
+            return self.literal_for_bool(expression.name)
+        if isinstance(expression, Comparison):
+            if expression.op == "=":
+                return self._encode(self._split_equality(expression))
+            return self.literal_for_atom(expression)
+        if isinstance(expression, Not):
+            return -self._encode(expression.operand)
+        if isinstance(expression, And):
+            return self._encode_and(expression)
+        if isinstance(expression, Or):
+            return self._encode_or(expression)
+        if isinstance(expression, Implies):
+            return self._encode_or(Or(Not(expression.antecedent), expression.consequent))
+        if isinstance(expression, Iff):
+            return self._encode_iff(expression)
+        if isinstance(expression, Ite):
+            rewritten = And(
+                Implies(expression.condition, expression.then_branch),
+                Implies(Not(expression.condition), expression.else_branch),
+            )
+            return self._encode_and(rewritten)
+        raise TypeError(f"cannot encode expression of type {type(expression).__name__}")
+
+    @staticmethod
+    def _split_equality(atom: Comparison) -> Expr:
+        """Rewrite ``p = b`` as ``p <= b and -p <= -b``."""
+        poly = atom.poly
+        negated_poly = LinearExpr(
+            {name: -coeff for name, coeff in poly.coeffs.items()}, 0
+        )
+        return And(
+            Comparison(poly, "<=", atom.bound),
+            Comparison(negated_poly, "<=", -atom.bound),
+        )
+
+    def _encode_and(self, expression: And) -> int:
+        if not expression.operands:
+            return self._true_literal()
+        literals = [self._encode(operand) for operand in expression.operands]
+        if len(literals) == 1:
+            return literals[0]
+        key = ("and",) + tuple(sorted(literals))
+
+        def make(var: int) -> None:
+            for literal in literals:
+                self.clauses.append([-var, literal])
+            self.clauses.append([var] + [-literal for literal in literals])
+
+        return self._define(key, make)
+
+    def _encode_or(self, expression: Or) -> int:
+        if not expression.operands:
+            return -self._true_literal()
+        literals = [self._encode(operand) for operand in expression.operands]
+        if len(literals) == 1:
+            return literals[0]
+        key = ("or",) + tuple(sorted(literals))
+
+        def make(var: int) -> None:
+            for literal in literals:
+                self.clauses.append([var, -literal])
+            self.clauses.append([-var] + list(literals))
+
+        return self._define(key, make)
+
+    def _encode_iff(self, expression: Iff) -> int:
+        left = self._encode(expression.left)
+        right = self._encode(expression.right)
+        key = ("iff", min(left, right), max(left, right))
+
+        def make(var: int) -> None:
+            self.clauses.append([-var, -left, right])
+            self.clauses.append([-var, left, -right])
+            self.clauses.append([var, left, right])
+            self.clauses.append([var, -left, -right])
+
+        return self._define(key, make)

@@ -1,0 +1,85 @@
+"""Delta-rationals: exact rationals extended with an infinitesimal.
+
+Strict inequalities such as ``x < 3`` cannot be represented directly as
+bounds over the rationals.  The standard trick (Dutertre & de Moura, 2006)
+is to work in the ordered field Q[delta] of pairs ``value + coeff * delta``
+where ``delta`` is a positive infinitesimal: ``x < 3`` becomes
+``x <= 3 - delta``.  At the end of solving, a small concrete value for
+``delta`` can be chosen that satisfies every asserted bound, turning the
+symbolic assignment into a plain rational model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+Rational = Union[int, float, Fraction]
+
+
+def to_fraction(value: Rational) -> Fraction:
+    """Convert an int/float/Fraction to an exact :class:`Fraction`."""
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**12)
+    raise TypeError(f"cannot interpret {value!r} as a rational number")
+
+
+@dataclass(frozen=True)
+class DeltaRational:
+    """A number of the form ``value + coeff * delta`` with ``delta`` infinitesimal."""
+
+    value: Fraction
+    coeff: Fraction = Fraction(0)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of(value: Rational, coeff: Rational = 0) -> "DeltaRational":
+        """Build a delta-rational from plain numbers."""
+        return DeltaRational(to_fraction(value), to_fraction(coeff))
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.value + other.value, self.coeff + other.coeff)
+
+    def __sub__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.value - other.value, self.coeff - other.coeff)
+
+    def __neg__(self) -> "DeltaRational":
+        return DeltaRational(-self.value, -self.coeff)
+
+    def scale(self, factor: Rational) -> "DeltaRational":
+        """Multiply by a plain rational scalar."""
+        fraction = to_fraction(factor)
+        return DeltaRational(self.value * fraction, self.coeff * fraction)
+
+    # ------------------------------------------------------------------
+    def __lt__(self, other: "DeltaRational") -> bool:
+        return (self.value, self.coeff) < (other.value, other.coeff)
+
+    def __le__(self, other: "DeltaRational") -> bool:
+        return (self.value, self.coeff) <= (other.value, other.coeff)
+
+    def __gt__(self, other: "DeltaRational") -> bool:
+        return (self.value, self.coeff) > (other.value, other.coeff)
+
+    def __ge__(self, other: "DeltaRational") -> bool:
+        return (self.value, self.coeff) >= (other.value, other.coeff)
+
+    # ------------------------------------------------------------------
+    def substitute_delta(self, delta: Fraction) -> Fraction:
+        """Evaluate the number for a concrete positive ``delta``."""
+        return self.value + self.coeff * delta
+
+    def __repr__(self) -> str:
+        if self.coeff == 0:
+            return f"{self.value}"
+        sign = "+" if self.coeff > 0 else "-"
+        return f"{self.value} {sign} {abs(self.coeff)}*delta"
+
+
+ZERO = DeltaRational(Fraction(0))

@@ -1,0 +1,401 @@
+"""General simplex procedure for linear real arithmetic (theory solver).
+
+This implements the solver described by Dutertre and de Moura, *A Fast
+Linear-Arithmetic Solver for DPLL(T)* (CAV 2006): every asserted atom is a
+bound on a variable (original or slack), the tableau keeps basic variables
+expressed as linear combinations of non-basic variables, and ``check``
+repairs bound violations by pivoting, using Bland's rule for termination.
+
+Strict bounds are handled with delta-rationals (see
+:mod:`repro.smt.rational`).  In addition to satisfiability checking the
+solver supports maximizing a linear objective over the currently asserted
+bounds (primal simplex), which the OMT layer uses to obtain the best
+objective value for each Boolean skeleton.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.smt.rational import DeltaRational, to_fraction
+
+Reason = Hashable
+Conflict = List[Reason]
+
+
+class Simplex:
+    """Incrementally asserted bounds over linear forms, with a feasibility check."""
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        # Tableau rows: basic variable index -> {non-basic index: coefficient}.
+        self._rows: Dict[int, Dict[int, Fraction]] = {}
+        self._lower: Dict[int, Tuple[DeltaRational, Reason]] = {}
+        self._upper: Dict[int, Tuple[DeltaRational, Reason]] = {}
+        self._beta: Dict[int, DeltaRational] = {}
+        self._slack_of_poly: Dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # Variable and row management
+    # ------------------------------------------------------------------
+    def variable(self, name: str) -> int:
+        """Return the index of problem variable ``name``, creating it if new."""
+        if name in self._index:
+            return self._index[name]
+        index = len(self._names)
+        self._names.append(name)
+        self._index[name] = index
+        self._beta[index] = DeltaRational.of(0)
+        return index
+
+    def variable_names(self) -> List[str]:
+        """Return the names of all problem variables (slacks included)."""
+        return list(self._names)
+
+    def slack_for(self, poly: Mapping[str, Fraction]) -> int:
+        """Return a variable constrained to equal ``poly`` (a slack variable).
+
+        Single-variable polynomials with unit coefficient map directly to the
+        underlying variable; anything else gets a dedicated slack variable
+        whose tableau row encodes the definition.
+        """
+        items = tuple(sorted((name, to_fraction(coeff)) for name, coeff in poly.items()))
+        items = tuple((name, coeff) for name, coeff in items if coeff != 0)
+        if len(items) == 1 and items[0][1] == 1:
+            return self.variable(items[0][0])
+        if items in self._slack_of_poly:
+            return self._slack_of_poly[items]
+        slack_name = f"__slack{len(self._slack_of_poly)}"
+        slack = self.variable(slack_name)
+        row: Dict[int, Fraction] = {}
+        for name, coeff in items:
+            var = self.variable(name)
+            self._accumulate_expansion(row, var, coeff)
+        row.pop(slack, None)
+        self._rows[slack] = row
+        self._beta[slack] = self._row_value(row)
+        self._slack_of_poly[items] = slack
+        return slack
+
+    def _accumulate_expansion(
+        self, row: Dict[int, Fraction], var: int, coeff: Fraction
+    ) -> None:
+        """Add ``coeff * var`` to ``row``, substituting basic variables."""
+        if var in self._rows:
+            for nonbasic, inner_coeff in self._rows[var].items():
+                row[nonbasic] = row.get(nonbasic, Fraction(0)) + coeff * inner_coeff
+                if row[nonbasic] == 0:
+                    del row[nonbasic]
+        else:
+            row[var] = row.get(var, Fraction(0)) + coeff
+            if row[var] == 0:
+                del row[var]
+
+    def _row_value(self, row: Mapping[int, Fraction]) -> DeltaRational:
+        total = DeltaRational.of(0)
+        for var, coeff in row.items():
+            total = total + self._beta[var].scale(coeff)
+        return total
+
+    # ------------------------------------------------------------------
+    # Bound assertion
+    # ------------------------------------------------------------------
+    def assert_upper(
+        self, var: int, bound: DeltaRational, reason: Reason
+    ) -> Optional[Conflict]:
+        """Assert ``var <= bound``; return a conflict (list of reasons) or None."""
+        current = self._upper.get(var)
+        if current is not None and current[0] <= bound:
+            return None
+        lower = self._lower.get(var)
+        if lower is not None and bound < lower[0]:
+            return [lower[1], reason]
+        self._upper[var] = (bound, reason)
+        if var not in self._rows and self._beta[var] > bound:
+            self._update_nonbasic(var, bound)
+        return None
+
+    def assert_lower(
+        self, var: int, bound: DeltaRational, reason: Reason
+    ) -> Optional[Conflict]:
+        """Assert ``var >= bound``; return a conflict (list of reasons) or None."""
+        current = self._lower.get(var)
+        if current is not None and current[0] >= bound:
+            return None
+        upper = self._upper.get(var)
+        if upper is not None and bound > upper[0]:
+            return [upper[1], reason]
+        self._lower[var] = (bound, reason)
+        if var not in self._rows and self._beta[var] < bound:
+            self._update_nonbasic(var, bound)
+        return None
+
+    def _update_nonbasic(self, var: int, value: DeltaRational) -> None:
+        delta = value - self._beta[var]
+        self._beta[var] = value
+        for basic, row in self._rows.items():
+            coeff = row.get(var)
+            if coeff:
+                self._beta[basic] = self._beta[basic] + delta.scale(coeff)
+
+    # ------------------------------------------------------------------
+    # Feasibility check
+    # ------------------------------------------------------------------
+    def check(self) -> Optional[Conflict]:
+        """Restore feasibility; return None if satisfiable, else a conflict."""
+        while True:
+            violating = self._find_violating_basic()
+            if violating is None:
+                return None
+            basic, needs_increase = violating
+            row = self._rows[basic]
+            entering = self._find_entering(row, needs_increase)
+            if entering is None:
+                return self._build_conflict(basic, needs_increase, row)
+            target = (
+                self._lower[basic][0] if needs_increase else self._upper[basic][0]
+            )
+            self._pivot_and_update(basic, entering, target)
+
+    def _find_violating_basic(self) -> Optional[Tuple[int, bool]]:
+        best: Optional[Tuple[int, bool]] = None
+        for basic in sorted(self._rows):
+            lower = self._lower.get(basic)
+            if lower is not None and self._beta[basic] < lower[0]:
+                best = (basic, True)
+                break
+            upper = self._upper.get(basic)
+            if upper is not None and self._beta[basic] > upper[0]:
+                best = (basic, False)
+                break
+        return best
+
+    def _find_entering(self, row: Mapping[int, Fraction], needs_increase: bool) -> Optional[int]:
+        for nonbasic in sorted(row):
+            coeff = row[nonbasic]
+            if needs_increase:
+                can_move = (coeff > 0 and self._can_increase(nonbasic)) or (
+                    coeff < 0 and self._can_decrease(nonbasic)
+                )
+            else:
+                can_move = (coeff > 0 and self._can_decrease(nonbasic)) or (
+                    coeff < 0 and self._can_increase(nonbasic)
+                )
+            if can_move:
+                return nonbasic
+        return None
+
+    def _can_increase(self, var: int) -> bool:
+        upper = self._upper.get(var)
+        return upper is None or self._beta[var] < upper[0]
+
+    def _can_decrease(self, var: int) -> bool:
+        lower = self._lower.get(var)
+        return lower is None or self._beta[var] > lower[0]
+
+    def _build_conflict(
+        self, basic: int, needs_increase: bool, row: Mapping[int, Fraction]
+    ) -> Conflict:
+        reasons: List[Reason] = []
+        if needs_increase:
+            reasons.append(self._lower[basic][1])
+            for nonbasic, coeff in row.items():
+                if coeff > 0:
+                    reasons.append(self._upper[nonbasic][1])
+                else:
+                    reasons.append(self._lower[nonbasic][1])
+        else:
+            reasons.append(self._upper[basic][1])
+            for nonbasic, coeff in row.items():
+                if coeff > 0:
+                    reasons.append(self._lower[nonbasic][1])
+                else:
+                    reasons.append(self._upper[nonbasic][1])
+        # Filter duplicates while preserving order.
+        unique: List[Reason] = []
+        for reason in reasons:
+            if reason not in unique:
+                unique.append(reason)
+        return unique
+
+    def _pivot_and_update(self, basic: int, entering: int, target: DeltaRational) -> None:
+        row = self._rows[basic]
+        coeff = row[entering]
+        theta = (target - self._beta[basic]).scale(Fraction(1, 1) / coeff)
+        self._beta[basic] = target
+        self._beta[entering] = self._beta[entering] + theta
+        for other_basic, other_row in self._rows.items():
+            if other_basic == basic:
+                continue
+            other_coeff = other_row.get(entering)
+            if other_coeff:
+                self._beta[other_basic] = self._beta[other_basic] + theta.scale(other_coeff)
+        self._pivot(basic, entering)
+
+    def _pivot(self, basic: int, entering: int) -> None:
+        """Swap roles: ``entering`` becomes basic, ``basic`` becomes non-basic."""
+        row = self._rows.pop(basic)
+        pivot_coeff = row.pop(entering)
+        # entering = (basic - sum(other terms)) / pivot_coeff
+        new_row: Dict[int, Fraction] = {basic: Fraction(1) / pivot_coeff}
+        for var, coeff in row.items():
+            new_row[var] = -coeff / pivot_coeff
+        self._rows[entering] = new_row
+        for other_basic in list(self._rows):
+            if other_basic == entering:
+                continue
+            other_row = self._rows[other_basic]
+            coeff = other_row.pop(entering, None)
+            if coeff is None or coeff == 0:
+                continue
+            for var, entering_coeff in new_row.items():
+                updated = other_row.get(var, Fraction(0)) + coeff * entering_coeff
+                if updated == 0:
+                    other_row.pop(var, None)
+                else:
+                    other_row[var] = updated
+
+    # ------------------------------------------------------------------
+    # Optimization
+    # ------------------------------------------------------------------
+    def maximize(self, poly: Mapping[str, Fraction]) -> Optional[DeltaRational]:
+        """Maximize ``poly`` subject to the asserted bounds.
+
+        Must be called on a feasible state (after a successful
+        :meth:`check`).  Returns the optimal objective value, or ``None``
+        when the objective is unbounded.  The internal assignment is moved
+        to the optimum, so :meth:`model` afterwards reflects it.
+        """
+        objective: Dict[int, Fraction] = {}
+        for name, coeff in poly.items():
+            var = self.variable(name)
+            self._accumulate_expansion(objective, var, to_fraction(coeff))
+
+        max_iterations = 10000
+        for _ in range(max_iterations):
+            entering, direction = self._find_improving(objective)
+            if entering is None:
+                return self._objective_value(poly)
+            limit, blocking_basic = self._ratio_test(entering, direction)
+            if limit is None:
+                return None  # unbounded
+            if blocking_basic is None:
+                # Blocked by the entering variable's own bound.
+                bound = (
+                    self._upper[entering][0]
+                    if direction > 0
+                    else self._lower[entering][0]
+                )
+                self._update_nonbasic(entering, bound)
+            else:
+                target = self._blocking_target(blocking_basic, entering, direction)
+                self._pivot_and_update(blocking_basic, entering, target)
+                # Re-express the objective without the (now basic) entering var.
+                coeff = objective.pop(entering, Fraction(0))
+                if coeff:
+                    for var, row_coeff in self._rows[entering].items():
+                        objective[var] = objective.get(var, Fraction(0)) + coeff * row_coeff
+                        if objective[var] == 0:
+                            del objective[var]
+        raise RuntimeError("simplex optimization did not converge")
+
+    def _find_improving(
+        self, objective: Mapping[int, Fraction]
+    ) -> Tuple[Optional[int], int]:
+        for var in sorted(objective):
+            coeff = objective[var]
+            if coeff == 0 or var in self._rows:
+                continue
+            if coeff > 0 and self._can_increase(var):
+                return var, 1
+            if coeff < 0 and self._can_decrease(var):
+                return var, -1
+        return None, 0
+
+    def _ratio_test(
+        self, entering: int, direction: int
+    ) -> Tuple[Optional[DeltaRational], Optional[int]]:
+        """Return (max step, blocking basic var or None); (None, None) if unbounded."""
+        best_limit: Optional[DeltaRational] = None
+        blocking: Optional[int] = None
+
+        if direction > 0:
+            own = self._upper.get(entering)
+            if own is not None:
+                best_limit = own[0] - self._beta[entering]
+        else:
+            own = self._lower.get(entering)
+            if own is not None:
+                best_limit = self._beta[entering] - own[0]
+
+        for basic in sorted(self._rows):
+            coeff = self._rows[basic].get(entering)
+            if not coeff:
+                continue
+            rate = coeff * direction  # change of basic per unit step
+            if rate > 0:
+                upper = self._upper.get(basic)
+                if upper is None:
+                    continue
+                slack = upper[0] - self._beta[basic]
+            else:
+                lower = self._lower.get(basic)
+                if lower is None:
+                    continue
+                slack = self._beta[basic] - lower[0]
+            limit = slack.scale(Fraction(1, 1) / abs(rate))
+            if best_limit is None or limit < best_limit:
+                best_limit = limit
+                blocking = basic
+        if best_limit is None:
+            return None, None
+        return best_limit, blocking
+
+    def _blocking_target(
+        self, blocking_basic: int, entering: int, direction: int
+    ) -> DeltaRational:
+        coeff = self._rows[blocking_basic][entering]
+        rate = coeff * direction
+        if rate > 0:
+            return self._upper[blocking_basic][0]
+        return self._lower[blocking_basic][0]
+
+    def _objective_value(self, poly: Mapping[str, Fraction]) -> DeltaRational:
+        total = DeltaRational.of(0)
+        for name, coeff in poly.items():
+            var = self._index[name]
+            total = total + self._beta[var].scale(to_fraction(coeff))
+        return total
+
+    # ------------------------------------------------------------------
+    # Model extraction
+    # ------------------------------------------------------------------
+    def model(self) -> Dict[str, Fraction]:
+        """Return concrete rational values for all problem variables."""
+        delta = self._choose_delta()
+        values: Dict[str, Fraction] = {}
+        for name, var in self._index.items():
+            if name.startswith("__slack"):
+                continue
+            values[name] = self._beta[var].substitute_delta(delta)
+        return values
+
+    def _choose_delta(self) -> Fraction:
+        """Pick a concrete positive value for the infinitesimal delta."""
+        candidate = Fraction(1)
+        for var, beta in self._beta.items():
+            for bound_entry, is_lower in (
+                (self._lower.get(var), True),
+                (self._upper.get(var), False),
+            ):
+                if bound_entry is None:
+                    continue
+                bound = bound_entry[0]
+                difference = (beta - bound) if is_lower else (bound - beta)
+                # difference >= 0 as delta-rational; ensure it stays >= 0
+                # after substituting a concrete delta.
+                if difference.coeff < 0 and difference.value > 0:
+                    candidate = min(candidate, difference.value / (-difference.coeff))
+        return candidate / 2

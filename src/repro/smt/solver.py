@@ -1,0 +1,205 @@
+"""Lazy DPLL(T) SMT solver for linear real arithmetic.
+
+The solver uses the classic lazy (offline) SMT architecture:
+
+1. the Boolean structure of all assertions is Tseitin-encoded and handed to
+   the CDCL SAT solver (:class:`repro.sat.Solver`);
+2. each complete propositional model induces a conjunction of theory
+   literals (bounds on linear forms) which is checked by the simplex-based
+   theory solver (:class:`repro.smt.simplex.Simplex`);
+3. theory conflicts are returned as small sets of inconsistent literals and
+   added back to the SAT solver as blocking clauses;
+4. the loop repeats until a theory-consistent propositional model is found
+   (SAT) or the SAT solver reports unsatisfiability (UNSAT).
+
+Problem sizes in the circuit-adaptation model are modest (tens of Boolean
+selection variables, a few hundred scheduling atoms), for which this simple
+architecture is entirely adequate.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.sat import Solver as SatSolver
+from repro.smt.cnf import CnfConverter
+from repro.smt.rational import DeltaRational
+from repro.smt.simplex import Simplex
+from repro.smt.terms import BoolVar, Comparison, Expr, LinearExpr
+
+
+class CheckResult(Enum):
+    """Result of an SMT ``check`` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class Model:
+    """A satisfying assignment: Boolean values plus rational real values."""
+
+    def __init__(
+        self,
+        bool_values: Mapping[str, bool],
+        real_values: Mapping[str, Fraction],
+    ) -> None:
+        self._bool_values = dict(bool_values)
+        self._real_values = dict(real_values)
+
+    def __getitem__(self, key):
+        """Evaluate a :class:`BoolVar`, :class:`LinearExpr` or variable name."""
+        if isinstance(key, BoolVar):
+            return self._bool_values.get(key.name, False)
+        if isinstance(key, LinearExpr):
+            return self.eval_linear(key)
+        if isinstance(key, str):
+            if key in self._bool_values:
+                return self._bool_values[key]
+            return self._real_values.get(key, Fraction(0))
+        raise TypeError(f"cannot evaluate {key!r} in a model")
+
+    def eval_linear(self, expression: LinearExpr) -> Fraction:
+        """Evaluate a linear expression under the model."""
+        total = expression.constant
+        for name, coeff in expression.coeffs.items():
+            total += coeff * self._real_values.get(name, Fraction(0))
+        return total
+
+    def eval_bool(self, name: str) -> bool:
+        """Return the value of a Boolean variable (False when unconstrained)."""
+        return self._bool_values.get(name, False)
+
+    def bool_values(self) -> Dict[str, bool]:
+        """Return all Boolean variable values."""
+        return dict(self._bool_values)
+
+    def real_values(self) -> Dict[str, Fraction]:
+        """Return all real variable values."""
+        return dict(self._real_values)
+
+    def __repr__(self) -> str:
+        bools = ", ".join(f"{k}={v}" for k, v in sorted(self._bool_values.items()))
+        reals = ", ".join(f"{k}={v}" for k, v in sorted(self._real_values.items()))
+        return f"Model({bools}; {reals})"
+
+
+class SmtSolver:
+    """Lazy DPLL(T) solver for Boolean combinations of linear real atoms."""
+
+    def __init__(self, max_theory_iterations: int = 100000) -> None:
+        self._converter = CnfConverter()
+        self._assertions: List[Expr] = []
+        self._clauses_dispatched = 0
+        self._sat = SatSolver()
+        self._max_theory_iterations = max_theory_iterations
+        self._model: Optional[Model] = None
+        self._last_simplex: Optional[Simplex] = None
+        self.statistics: Dict[str, int] = {"theory_checks": 0, "theory_conflicts": 0}
+
+    # ------------------------------------------------------------------
+    def add(self, *expressions: Expr) -> None:
+        """Assert one or more Boolean expressions."""
+        for expression in expressions:
+            self._assertions.append(expression)
+            self._converter.add_assertion(expression)
+
+    def assertions(self) -> List[Expr]:
+        """Return the asserted expressions."""
+        return list(self._assertions)
+
+    # ------------------------------------------------------------------
+    def _sync_clauses(self) -> None:
+        clauses = self._converter.clauses
+        while self._clauses_dispatched < len(clauses):
+            self._sat.add_clause(clauses[self._clauses_dispatched])
+            self._clauses_dispatched += 1
+
+    def check(self, assumptions: Tuple[Expr, ...] = ()) -> CheckResult:
+        """Check satisfiability of the asserted formulas."""
+        assumption_literals = [self._converter._encode(expr) for expr in assumptions]
+        self._sync_clauses()
+        for _ in range(self._max_theory_iterations):
+            self.statistics["theory_checks"] += 1
+            if not self._sat.solve(assumption_literals):
+                self._model = None
+                return CheckResult.UNSAT
+            sat_model = self._sat.model()
+            simplex, conflict = self._theory_check(sat_model)
+            if conflict is None:
+                self._store_model(sat_model, simplex)
+                self._last_simplex = simplex
+                return CheckResult.SAT
+            self.statistics["theory_conflicts"] += 1
+            blocking = [-literal for literal in conflict]
+            self._converter.clauses.append(blocking)
+            self._sync_clauses()
+        return CheckResult.UNKNOWN
+
+    # ------------------------------------------------------------------
+    def _theory_check(
+        self, sat_model: Mapping[int, bool]
+    ) -> Tuple[Simplex, Optional[List[int]]]:
+        """Check the theory literals implied by a propositional model.
+
+        Returns the simplex instance and either ``None`` (consistent) or the
+        conflicting subset of SAT literals.
+        """
+        simplex = Simplex()
+        for var, atom in self._converter.atom_by_var.items():
+            if var not in sat_model:
+                continue
+            literal = var if sat_model[var] else -var
+            conflict = self._assert_atom(simplex, atom, sat_model[var], literal)
+            if conflict is not None:
+                return simplex, conflict
+        conflict = simplex.check()
+        if conflict is not None:
+            return simplex, list(conflict)
+        return simplex, None
+
+    @staticmethod
+    def _assert_atom(
+        simplex: Simplex, atom: Comparison, value: bool, literal: int
+    ) -> Optional[List[int]]:
+        """Assert a (possibly negated) atom into the simplex solver."""
+        slack = simplex.slack_for(atom.poly.coeffs)
+        if value:
+            if atom.op == "<=":
+                bound = DeltaRational.of(atom.bound)
+                conflict = simplex.assert_upper(slack, bound, literal)
+            else:  # "<"
+                bound = DeltaRational.of(atom.bound, -1)
+                conflict = simplex.assert_upper(slack, bound, literal)
+        else:
+            if atom.op == "<=":
+                # not (p <= b)  <=>  p > b
+                bound = DeltaRational.of(atom.bound, 1)
+                conflict = simplex.assert_lower(slack, bound, literal)
+            else:  # not (p < b)  <=>  p >= b
+                bound = DeltaRational.of(atom.bound)
+                conflict = simplex.assert_lower(slack, bound, literal)
+        if conflict is None:
+            return None
+        return list(conflict)
+
+    def _store_model(self, sat_model: Mapping[int, bool], simplex: Simplex) -> None:
+        bool_values = {
+            name: sat_model.get(var, False)
+            for name, var in self._converter.bool_vars.items()
+        }
+        real_values = simplex.model()
+        self._model = Model(bool_values, real_values)
+
+    # ------------------------------------------------------------------
+    def model(self) -> Model:
+        """Return the model of the last successful :meth:`check` call."""
+        if self._model is None:
+            raise RuntimeError("no model available; call check() first and get SAT")
+        return self._model
+
+    def last_simplex(self) -> Optional[Simplex]:
+        """Return the theory solver state of the last SAT answer (for OMT)."""
+        return self._last_simplex

@@ -1,0 +1,392 @@
+"""Expression terms for the SMT solver.
+
+Two families of expressions are provided:
+
+* :class:`LinearExpr` -- linear real arithmetic terms (a rational constant
+  plus a rational-weighted sum of real variables).  Comparisons between
+  linear expressions produce :class:`Comparison` atoms.
+* Boolean expressions -- :class:`BoolVar`, :class:`BoolVal`, :class:`Not`,
+  :class:`And`, :class:`Or`, :class:`Implies`, :class:`Iff`, :class:`Ite`
+  and :class:`Comparison` (theory atoms are Boolean-valued).
+
+Operators are overloaded so models read naturally::
+
+    x, y = Real("x"), Real("y")
+    use_fast = Bool("use_fast")
+    constraint = Implies(use_fast, x + 2 * y <= RealVal(10))
+
+Expressions are immutable and structurally hashable, which the CNF
+conversion relies on to share subformulas.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.smt.rational import Rational, to_fraction
+
+
+class Expr:
+    """Base class for Boolean-valued expressions."""
+
+    def key(self) -> tuple:
+        """Structural identity key used for hashing and equality."""
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.key() == other.key()
+
+    # Boolean connective sugar -----------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def implies(self, other: "Expr") -> "Expr":
+        """Return the implication ``self -> other``."""
+        return Implies(self, other)
+
+    def iff(self, other: "Expr") -> "Expr":
+        """Return the bi-implication ``self <-> other``."""
+        return Iff(self, other)
+
+
+class BoolVal(Expr):
+    """A Boolean constant (``True`` or ``False``)."""
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def key(self) -> tuple:
+        return ("const", self.value)
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+class BoolVar(Expr):
+    """A named Boolean variable."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def key(self) -> tuple:
+        return ("bvar", self.name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Not(Expr):
+    """Logical negation."""
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def key(self) -> tuple:
+        return ("not", self.operand.key())
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+class And(Expr):
+    """N-ary conjunction."""
+
+    def __init__(self, *operands: Expr) -> None:
+        flattened: list[Expr] = []
+        for operand in operands:
+            if isinstance(operand, And):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        self.operands: Tuple[Expr, ...] = tuple(flattened)
+
+    def key(self) -> tuple:
+        return ("and",) + tuple(operand.key() for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return "(and " + " ".join(repr(operand) for operand in self.operands) + ")"
+
+
+class Or(Expr):
+    """N-ary disjunction."""
+
+    def __init__(self, *operands: Expr) -> None:
+        flattened: list[Expr] = []
+        for operand in operands:
+            if isinstance(operand, Or):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        self.operands: Tuple[Expr, ...] = tuple(flattened)
+
+    def key(self) -> tuple:
+        return ("or",) + tuple(operand.key() for operand in self.operands)
+
+    def __repr__(self) -> str:
+        return "(or " + " ".join(repr(operand) for operand in self.operands) + ")"
+
+
+class Implies(Expr):
+    """Implication ``antecedent -> consequent``."""
+
+    def __init__(self, antecedent: Expr, consequent: Expr) -> None:
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def key(self) -> tuple:
+        return ("implies", self.antecedent.key(), self.consequent.key())
+
+    def __repr__(self) -> str:
+        return f"(=> {self.antecedent!r} {self.consequent!r})"
+
+
+class Iff(Expr):
+    """Bi-implication."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def key(self) -> tuple:
+        return ("iff", self.left.key(), self.right.key())
+
+    def __repr__(self) -> str:
+        return f"(= {self.left!r} {self.right!r})"
+
+
+class Ite(Expr):
+    """Boolean if-then-else: ``condition ? then_branch : else_branch``."""
+
+    def __init__(self, condition: Expr, then_branch: Expr, else_branch: Expr) -> None:
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def key(self) -> tuple:
+        return (
+            "ite",
+            self.condition.key(),
+            self.then_branch.key(),
+            self.else_branch.key(),
+        )
+
+    def __repr__(self) -> str:
+        return f"(ite {self.condition!r} {self.then_branch!r} {self.else_branch!r})"
+
+
+# ----------------------------------------------------------------------
+# Linear real arithmetic
+# ----------------------------------------------------------------------
+NumberLike = Union[Rational, "LinearExpr"]
+
+
+class LinearExpr:
+    """A linear expression ``constant + sum(coeff_i * var_i)`` over the reals.
+
+    Instances are immutable; arithmetic operators return new expressions.
+    Variables are identified by their string names.
+    """
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(
+        self,
+        coeffs: Mapping[str, Fraction] | None = None,
+        constant: Rational = 0,
+    ) -> None:
+        cleaned: Dict[str, Fraction] = {}
+        if coeffs:
+            for name, coeff in coeffs.items():
+                fraction = to_fraction(coeff)
+                if fraction != 0:
+                    cleaned[name] = fraction
+        self.coeffs: Dict[str, Fraction] = cleaned
+        self.constant: Fraction = to_fraction(constant)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def variable(name: str) -> "LinearExpr":
+        """Return the expression consisting of a single variable."""
+        return LinearExpr({name: Fraction(1)})
+
+    @staticmethod
+    def constant_expr(value: Rational) -> "LinearExpr":
+        """Return a constant expression."""
+        return LinearExpr({}, value)
+
+    @staticmethod
+    def _coerce(value: NumberLike) -> "LinearExpr":
+        if isinstance(value, LinearExpr):
+            return value
+        return LinearExpr.constant_expr(value)
+
+    def is_constant(self) -> bool:
+        """Return True when the expression has no variable terms."""
+        return not self.coeffs
+
+    def variables(self) -> Tuple[str, ...]:
+        """Return the names of the variables appearing in the expression."""
+        return tuple(sorted(self.coeffs))
+
+    # Arithmetic --------------------------------------------------------
+    def __add__(self, other: NumberLike) -> "LinearExpr":
+        other_expr = self._coerce(other)
+        coeffs = dict(self.coeffs)
+        for name, coeff in other_expr.coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + coeff
+        return LinearExpr(coeffs, self.constant + other_expr.constant)
+
+    def __radd__(self, other: NumberLike) -> "LinearExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: NumberLike) -> "LinearExpr":
+        return self.__add__(self._coerce(other).__neg__())
+
+    def __rsub__(self, other: NumberLike) -> "LinearExpr":
+        return self._coerce(other).__sub__(self)
+
+    def __neg__(self) -> "LinearExpr":
+        return LinearExpr(
+            {name: -coeff for name, coeff in self.coeffs.items()}, -self.constant
+        )
+
+    def __mul__(self, factor: Rational) -> "LinearExpr":
+        if isinstance(factor, LinearExpr):
+            if factor.is_constant():
+                factor = factor.constant
+            elif self.is_constant():
+                return factor.__mul__(self.constant)
+            else:
+                raise TypeError("products of two non-constant expressions are not linear")
+        fraction = to_fraction(factor)
+        return LinearExpr(
+            {name: coeff * fraction for name, coeff in self.coeffs.items()},
+            self.constant * fraction,
+        )
+
+    def __rmul__(self, factor: Rational) -> "LinearExpr":
+        return self.__mul__(factor)
+
+    def __truediv__(self, divisor: Rational) -> "LinearExpr":
+        fraction = to_fraction(divisor)
+        if fraction == 0:
+            raise ZeroDivisionError("division of a linear expression by zero")
+        return self.__mul__(Fraction(1, 1) / fraction)
+
+    # Comparisons produce theory atoms ---------------------------------
+    def __le__(self, other: NumberLike) -> "Comparison":
+        return Comparison.build(self, other, "<=")
+
+    def __lt__(self, other: NumberLike) -> "Comparison":
+        return Comparison.build(self, other, "<")
+
+    def __ge__(self, other: NumberLike) -> "Comparison":
+        return Comparison.build(self._coerce(other), self, "<=")
+
+    def __gt__(self, other: NumberLike) -> "Comparison":
+        return Comparison.build(self._coerce(other), self, "<")
+
+    def eq(self, other: NumberLike) -> "Comparison":
+        """Return the equality atom ``self == other``."""
+        return Comparison.build(self, other, "=")
+
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, Rational]) -> Fraction:
+        """Evaluate the expression under a variable assignment."""
+        total = self.constant
+        for name, coeff in self.coeffs.items():
+            total += coeff * to_fraction(assignment[name])
+        return total
+
+    def key(self) -> tuple:
+        return ("lin", tuple(sorted(self.coeffs.items())), self.constant)
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LinearExpr):
+            return self.key() == other.key()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        parts = [f"{coeff}*{name}" for name, coeff in sorted(self.coeffs.items())]
+        if self.constant != 0 or not parts:
+            parts.append(str(self.constant))
+        return " + ".join(parts)
+
+
+class Comparison(Expr):
+    """A linear arithmetic atom ``polynomial <op> bound``.
+
+    The polynomial has no constant part; the constant is folded into
+    ``bound``.  Supported operators are ``<=``, ``<`` and ``=``.
+    """
+
+    def __init__(self, poly: LinearExpr, op: str, bound: Fraction) -> None:
+        if op not in ("<=", "<", "="):
+            raise ValueError(f"unsupported comparison operator {op!r}")
+        self.poly = poly
+        self.op = op
+        self.bound = bound
+
+    @staticmethod
+    def build(left: NumberLike, right: NumberLike, op: str) -> "Comparison":
+        """Normalize ``left <op> right`` into ``poly <op> bound`` form."""
+        left_expr = LinearExpr._coerce(left)
+        right_expr = LinearExpr._coerce(right)
+        difference = left_expr - right_expr
+        bound = -difference.constant
+        poly = LinearExpr(difference.coeffs, 0)
+        return Comparison(poly, op, bound)
+
+    def key(self) -> tuple:
+        return ("cmp", self.poly.key(), self.op, self.bound)
+
+    def __repr__(self) -> str:
+        return f"({self.poly!r} {self.op} {self.bound})"
+
+
+# ----------------------------------------------------------------------
+# Constructors mirroring the z3 surface used in the adaptation model
+# ----------------------------------------------------------------------
+def Bool(name: str) -> BoolVar:
+    """Create a Boolean variable."""
+    return BoolVar(name)
+
+def Real(name: str) -> LinearExpr:
+    """Create a real-valued variable (as a linear expression)."""
+    return LinearExpr.variable(name)
+
+
+def RealVal(value: Rational) -> LinearExpr:
+    """Create a real constant."""
+    return LinearExpr.constant_expr(value)
+
+
+def Sum(terms: Iterable[NumberLike]) -> LinearExpr:
+    """Sum an iterable of linear expressions / numbers."""
+    total = LinearExpr.constant_expr(0)
+    for term in terms:
+        total = total + term
+    return total
+
+
+def Bools(names: Sequence[str]) -> Tuple[BoolVar, ...]:
+    """Create several Boolean variables at once."""
+    return tuple(BoolVar(name) for name in names)
+
+
+def Reals(names: Sequence[str]) -> Tuple[LinearExpr, ...]:
+    """Create several real variables at once."""
+    return tuple(LinearExpr.variable(name) for name in names)

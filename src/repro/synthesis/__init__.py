@@ -1,0 +1,46 @@
+"""Unitary synthesis: single-qubit ZYZ and two-qubit KAK decompositions.
+
+This subpackage implements the decomposition machinery that the paper's KAK
+substitution rule (Fig. 3e) and the direct-basis-translation equivalence
+library rely on:
+
+* :func:`zyz_decompose` -- Euler-angle decomposition of any 2x2 unitary,
+* :func:`kak_decompose` -- Cartan (KAK) decomposition of any 4x4 unitary
+  into local gates around the canonical interaction
+  ``N(a, b, c) = exp(i(a XX + b YY + c ZZ))``,
+* :func:`decompose_two_qubit` -- resynthesis of an arbitrary two-qubit
+  unitary into the spin-qubit CZ + SU(2) basis,
+* :func:`makhlin_invariants` / :func:`weyl_coordinates` -- local-equivalence
+  invariants used by tests and by the rule engine.
+
+The CZ-count of the resynthesis is exact for the common local-equivalence
+classes (identity 0, CNOT/CZ 1, classes with c = 0 including iSWAP 2,
+classes with |c| = pi/4 including SWAP 3) and uses a conservative 4-CZ
+construction for fully generic interactions (the theoretical optimum is 3;
+see DESIGN.md for the impact of this substitution).
+"""
+
+from repro.synthesis.single_qubit import zyz_decompose, u3_params, merge_single_qubit_runs
+from repro.synthesis.kak import (
+    KakDecomposition,
+    canonical_gate_matrix,
+    kak_decompose,
+    kron_factor,
+    makhlin_invariants,
+    weyl_coordinates,
+)
+from repro.synthesis.two_qubit import decompose_two_qubit, synthesize_canonical
+
+__all__ = [
+    "zyz_decompose",
+    "u3_params",
+    "merge_single_qubit_runs",
+    "KakDecomposition",
+    "canonical_gate_matrix",
+    "kak_decompose",
+    "kron_factor",
+    "makhlin_invariants",
+    "weyl_coordinates",
+    "decompose_two_qubit",
+    "synthesize_canonical",
+]

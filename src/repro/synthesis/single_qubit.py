@@ -1,0 +1,119 @@
+"""Single-qubit synthesis: ZYZ Euler decomposition and 1q-run merging."""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.circuits import gates as glib
+from repro.circuits.circuit import Instruction, QuantumCircuit
+
+
+def zyz_decompose(matrix: np.ndarray, atol: float = 1e-12) -> Tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary as ``e^{i gamma} Rz(phi) Ry(theta) Rz(lam)``.
+
+    Returns ``(theta, phi, lam, gamma)``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError("zyz_decompose expects a 2x2 matrix")
+    determinant = np.linalg.det(matrix)
+    if abs(abs(determinant) - 1.0) > 1e-8:
+        raise ValueError("matrix is not unitary (|det| != 1)")
+    # Normalize to SU(2).
+    su2 = matrix / cmath.sqrt(determinant)
+    gamma = cmath.phase(cmath.sqrt(determinant))
+
+    # su2 = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #        [sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    cos_half = abs(su2[0, 0])
+    sin_half = abs(su2[1, 0])
+    theta = 2 * math.atan2(sin_half, cos_half)
+    if abs(su2[0, 0]) > atol and abs(su2[1, 0]) > atol:
+        plus = 2 * cmath.phase(su2[1, 1])
+        minus = 2 * cmath.phase(su2[1, 0])
+        phi = (plus + minus) / 2
+        lam = (plus - minus) / 2
+    elif abs(su2[0, 0]) > atol:
+        # theta ~ 0: only phi + lam matters.
+        phi = 2 * cmath.phase(su2[1, 1])
+        lam = 0.0
+    else:
+        # theta ~ pi: only phi - lam matters.
+        phi = 2 * cmath.phase(su2[1, 0])
+        lam = 0.0
+    return theta, phi, lam, gamma
+
+
+def u3_params(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Return ``(theta, phi, lam, gamma)`` so that ``matrix = e^{i gamma} u3(theta, phi, lam)``."""
+    theta, phi, lam, gamma = zyz_decompose(matrix)
+    # u3(theta, phi, lam) = e^{i (phi + lam)/2} Rz(phi) Ry(theta) Rz(lam)
+    return theta, phi, lam, gamma - (phi + lam) / 2
+
+
+def gate_from_matrix(matrix: np.ndarray, atol: float = 1e-9):
+    """Return a named gate reproducing a 2x2 unitary up to global phase.
+
+    Simple gates (identity, Pauli, Hadamard, S, T and their adjoints, plain
+    rotations) are recognized; anything else becomes a ``u3`` gate.
+    """
+    from repro.circuits.unitary import allclose_up_to_global_phase
+
+    candidates = [
+        glib.identity(),
+        glib.x(),
+        glib.y(),
+        glib.z(),
+        glib.h(),
+        glib.s(),
+        glib.sdg(),
+        glib.t(),
+        glib.tdg(),
+    ]
+    for candidate in candidates:
+        if allclose_up_to_global_phase(candidate.to_matrix(), matrix, atol=atol):
+            return candidate
+    theta, phi, lam, _ = u3_params(matrix)
+    return glib.u3(theta, phi, lam)
+
+
+def merge_single_qubit_runs(circuit: QuantumCircuit, atol: float = 1e-9) -> QuantumCircuit:
+    """Merge consecutive single-qubit gates on the same qubit into one gate.
+
+    Runs that multiply to the identity are dropped entirely.  Multi-qubit
+    gates are left untouched and act as barriers.
+    """
+    merged = QuantumCircuit(circuit.num_qubits, circuit.name)
+    pending: dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        if np.allclose(matrix, np.eye(2), atol=atol) or _is_global_phase(matrix, atol):
+            return
+        merged.append(gate_from_matrix(matrix, atol), [qubit])
+
+    for instruction in circuit.instructions:
+        if len(instruction.qubits) == 1:
+            qubit = instruction.qubits[0]
+            current = pending.get(qubit, np.eye(2, dtype=complex))
+            pending[qubit] = instruction.gate.to_matrix() @ current
+        else:
+            for qubit in instruction.qubits:
+                flush(qubit)
+            merged.append(instruction.gate, instruction.qubits)
+    for qubit in list(pending):
+        flush(qubit)
+    return merged
+
+
+def _is_global_phase(matrix: np.ndarray, atol: float) -> bool:
+    phase = matrix[0, 0]
+    if abs(abs(phase) - 1.0) > atol:
+        return False
+    return bool(np.allclose(matrix, phase * np.eye(2), atol=atol))

@@ -1,0 +1,138 @@
+"""Two-qubit block collection and the block dependency graph.
+
+This implements preprocessing step (a) of the paper (Fig. 2): "the input
+quantum circuit is partitioned into two-qubit blocks that contain gates
+interacting on the same qubit pair.  The order of the blocks is given by a
+block dependency graph that contains each block as a vertex and an edge
+(b', b) if block b' must be computed before block b."
+
+Single-qubit gates are attached to the enclosing block on their qubit; a
+run of gates on a qubit that is never involved in a two-qubit gate forms a
+single-qubit block of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+
+
+@dataclass
+class Block:
+    """A maximal run of gates acting within one qubit pair (or one qubit)."""
+
+    index: int
+    qubits: Tuple[int, ...]
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True when the block spans a qubit pair."""
+        return len(self.qubits) == 2
+
+    def gate_names(self) -> List[str]:
+        """Names of the gates inside the block, in order."""
+        return [instruction.name for instruction in self.instructions]
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of two-qubit gates inside the block."""
+        return sum(1 for inst in self.instructions if len(inst.qubits) == 2)
+
+    def as_circuit(self) -> QuantumCircuit:
+        """Return the block as a standalone circuit on local qubits (0, 1).
+
+        The block's first qubit maps to local qubit 0 and the second (if
+        present) to local qubit 1.
+        """
+        mapping = {qubit: position for position, qubit in enumerate(self.qubits)}
+        circuit = QuantumCircuit(max(2, len(self.qubits)), name=f"block{self.index}")
+        for instruction in self.instructions:
+            circuit.append(instruction.gate, [mapping[q] for q in instruction.qubits])
+        return circuit
+
+    def __repr__(self) -> str:
+        return f"Block({self.index}, qubits={self.qubits}, gates={self.gate_names()})"
+
+
+def collect_two_qubit_blocks(circuit: QuantumCircuit) -> List[Block]:
+    """Partition a circuit into two-qubit blocks (plus lone 1q blocks).
+
+    The scan keeps, per qubit, the block currently open on that qubit.  A
+    two-qubit gate joins the open block if that block spans exactly the same
+    qubit pair; otherwise the open blocks on both qubits are closed and a
+    new block for the pair is opened.  Single-qubit gates join the open
+    block on their qubit, or open a provisional single-qubit block.
+    """
+    blocks: List[Block] = []
+    open_block: Dict[int, Optional[Block]] = {q: None for q in range(circuit.num_qubits)}
+
+    def close(qubit: int) -> None:
+        open_block[qubit] = None
+
+    def new_block(qubits: Tuple[int, ...]) -> Block:
+        block = Block(index=len(blocks), qubits=qubits)
+        blocks.append(block)
+        for qubit in qubits:
+            open_block[qubit] = block
+        return block
+
+    for instruction in circuit.instructions:
+        qubits = instruction.qubits
+        if len(qubits) == 1:
+            qubit = qubits[0]
+            block = open_block[qubit]
+            if block is None:
+                block = new_block((qubit,))
+            block.instructions.append(instruction)
+            continue
+        if len(qubits) != 2:
+            raise ValueError("block collection supports 1- and 2-qubit gates only")
+        pair = tuple(sorted(qubits))
+        first_block = open_block[qubits[0]]
+        second_block = open_block[qubits[1]]
+        if (
+            first_block is not None
+            and first_block is second_block
+            and tuple(sorted(first_block.qubits)) == pair
+        ):
+            first_block.instructions.append(instruction)
+            continue
+        # A 1q block on one of the qubits can be absorbed into the new pair block
+        # if it has not been interleaved with a pair block on the other qubit.
+        absorbable: List[Instruction] = []
+        for block in (first_block, second_block):
+            if block is not None and not block.is_two_qubit and block is blocks[-1]:
+                absorbable = block.instructions + absorbable
+                blocks.remove(block)
+                for qubit in block.qubits:
+                    open_block[qubit] = None
+                # Reindex the remaining blocks.
+                for position, remaining in enumerate(blocks):
+                    remaining.index = position
+        close(qubits[0])
+        close(qubits[1])
+        block = new_block(pair)
+        block.instructions.extend(absorbable)
+        block.instructions.append(instruction)
+    return blocks
+
+
+def block_dependency_graph(circuit: QuantumCircuit, blocks: List[Block]) -> nx.DiGraph:
+    """Build the block dependency DAG: an edge (b', b) if b' precedes b on a qubit."""
+    graph = nx.DiGraph()
+    for block in blocks:
+        graph.add_node(block.index, block=block)
+    last_block_on_qubit: Dict[int, int] = {}
+    # Blocks are created in program order, and all gates of a block on a given
+    # qubit appear contiguously relative to other blocks using that qubit, so
+    # scanning blocks in index order gives the per-qubit ordering.
+    for block in blocks:
+        for qubit in block.qubits:
+            if qubit in last_block_on_qubit and last_block_on_qubit[qubit] != block.index:
+                graph.add_edge(last_block_on_qubit[qubit], block.index)
+            last_block_on_qubit[qubit] = block.index
+    return graph

@@ -1,0 +1,53 @@
+"""Cost analysis of a circuit on a target: fidelity, duration, idle time."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware.target import Target
+from repro.transpiler.scheduling import asap_schedule, gate_fidelity
+
+
+@dataclass
+class CircuitCost:
+    """Aggregate costs of a circuit on a target."""
+
+    gate_fidelity_product: float
+    log_fidelity: float
+    duration: float
+    total_idle_time: float
+    idle_survival_probability: float
+    two_qubit_gate_count: int
+    gate_count: int
+
+    @property
+    def combined_score(self) -> float:
+        """Product of gate fidelity and idle-time survival probability."""
+        return self.gate_fidelity_product * self.idle_survival_probability
+
+
+def analyze_cost(circuit: QuantumCircuit, target: Target) -> CircuitCost:
+    """Compute the fidelity / duration / idle-time costs of a circuit.
+
+    The circuit fidelity is the product of individual gate fidelities
+    (Section V.A); the idle-time survival probability follows Eq. (7) with
+    the target's coherence time.
+    """
+    log_fidelity = 0.0
+    for instruction in circuit.instructions:
+        log_fidelity += math.log(gate_fidelity(instruction, target))
+    schedule = asap_schedule(circuit, target)
+    idle = schedule.total_idle_time
+    survival = target.idle_survival_probability(idle)
+    return CircuitCost(
+        gate_fidelity_product=math.exp(log_fidelity),
+        log_fidelity=log_fidelity,
+        duration=schedule.total_duration,
+        total_idle_time=idle,
+        idle_survival_probability=survival,
+        two_qubit_gate_count=circuit.two_qubit_gate_count(),
+        gate_count=len(circuit),
+    )

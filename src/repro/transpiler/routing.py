@@ -1,0 +1,75 @@
+"""Layout and routing: make every two-qubit gate act on connected qubits.
+
+The paper transpiles the input circuit to the hardware topology with Qiskit
+before the adaptation step; this module provides the equivalent
+functionality.  The router is intentionally simple and deterministic: a
+trivial initial layout followed by greedy SWAP insertion along shortest
+paths in the coupling graph.  Inserted SWAPs are regular ``swap`` gates, so
+the subsequent adaptation step is free to choose between the hardware's
+swap realizations for them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware.target import Target
+
+
+def trivial_layout(circuit: QuantumCircuit, target: Target) -> Dict[int, int]:
+    """Identity mapping from virtual to physical qubits."""
+    if circuit.num_qubits > target.num_qubits:
+        raise ValueError(
+            f"circuit needs {circuit.num_qubits} qubits but target has {target.num_qubits}"
+        )
+    return {virtual: virtual for virtual in range(circuit.num_qubits)}
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    target: Target,
+    initial_layout: Dict[int, int] | None = None,
+) -> QuantumCircuit:
+    """Insert SWAP gates so every multi-qubit gate acts on coupled qubits.
+
+    Returns a new circuit over the target's physical qubits.  Measurement of
+    routing quality (number of inserted SWAPs) can be read off by comparing
+    ``count_ops()["swap"]`` before and after.
+    """
+    layout = dict(initial_layout or trivial_layout(circuit, target))
+    graph = target.coupling_graph()
+    routed = QuantumCircuit(target.num_qubits, name=f"{circuit.name}_routed")
+
+    for instruction in circuit.instructions:
+        if len(instruction.qubits) == 1:
+            routed.append(instruction.gate, [layout[instruction.qubits[0]]])
+            continue
+        if len(instruction.qubits) != 2:
+            raise ValueError("routing supports 1- and 2-qubit gates only")
+        virtual_a, virtual_b = instruction.qubits
+        physical_a, physical_b = layout[virtual_a], layout[virtual_b]
+        if not target.are_connected(physical_a, physical_b):
+            path = nx.shortest_path(graph, physical_a, physical_b)
+            # Move qubit A along the path until it neighbours qubit B.
+            for step in range(len(path) - 2):
+                routed.swap(path[step], path[step + 1])
+                _swap_layout_entries(layout, path[step], path[step + 1])
+            physical_a, physical_b = layout[virtual_a], layout[virtual_b]
+            if not target.are_connected(physical_a, physical_b):
+                raise RuntimeError("routing failed to connect the qubit pair")
+        routed.append(instruction.gate, [physical_a, physical_b])
+    return routed
+
+
+def _swap_layout_entries(layout: Dict[int, int], physical_a: int, physical_b: int) -> None:
+    """Update the virtual->physical layout after swapping two physical qubits."""
+    inverse = {physical: virtual for virtual, physical in layout.items()}
+    virtual_a = inverse.get(physical_a)
+    virtual_b = inverse.get(physical_b)
+    if virtual_a is not None:
+        layout[virtual_a] = physical_b
+    if virtual_b is not None:
+        layout[virtual_b] = physical_a

@@ -1,0 +1,108 @@
+"""ASAP scheduling, circuit duration and qubit idle time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.hardware.target import Target
+
+
+@dataclass
+class ScheduledCircuit:
+    """A circuit with start times (ns) assigned to every instruction."""
+
+    circuit: QuantumCircuit
+    target: Target
+    start_times: List[float] = field(default_factory=list)
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def total_duration(self) -> float:
+        """Wall-clock duration of the schedule."""
+        if not self.start_times:
+            return 0.0
+        return max(start + duration for start, duration in zip(self.start_times, self.durations))
+
+    def busy_time_per_qubit(self) -> Dict[int, float]:
+        """Total time each qubit spends executing gates."""
+        busy: Dict[int, float] = {q: 0.0 for q in range(self.circuit.num_qubits)}
+        for instruction, duration in zip(self.circuit.instructions, self.durations):
+            for qubit in instruction.qubits:
+                busy[qubit] += duration
+        return busy
+
+    def idle_time_per_qubit(self, active_only: bool = True) -> Dict[int, float]:
+        """Idle time of each qubit: total duration minus its busy time.
+
+        With ``active_only`` (the default) qubits that never execute a gate
+        are excluded, matching the convention that unused qubits are not
+        initialized.
+        """
+        total = self.total_duration
+        busy = self.busy_time_per_qubit()
+        idle: Dict[int, float] = {}
+        for qubit, busy_time in busy.items():
+            if active_only and busy_time == 0.0:
+                continue
+            idle[qubit] = total - busy_time
+        return idle
+
+    @property
+    def total_idle_time(self) -> float:
+        """Summed idle time over the active qubits (the Fig. 6 metric)."""
+        return sum(self.idle_time_per_qubit().values())
+
+    def idle_windows(self) -> List[Tuple[int, float, float]]:
+        """Explicit idle intervals ``(qubit, start, duration)`` of active qubits.
+
+        Used by the noisy simulator to apply thermal relaxation while a
+        qubit waits between gates (and before the end of the circuit).
+        """
+        total = self.total_duration
+        last_end: Dict[int, float] = {}
+        windows: List[Tuple[int, float, float]] = []
+        order = sorted(
+            range(len(self.start_times)), key=lambda index: self.start_times[index]
+        )
+        for index in order:
+            instruction = self.circuit.instructions[index]
+            start = self.start_times[index]
+            for qubit in instruction.qubits:
+                previous_end = last_end.get(qubit, 0.0)
+                if start - previous_end > 1e-9:
+                    windows.append((qubit, previous_end, start - previous_end))
+                last_end[qubit] = start + self.durations[index]
+        for qubit, end in last_end.items():
+            if total - end > 1e-9:
+                windows.append((qubit, end, total - end))
+        return windows
+
+
+def gate_duration(instruction: Instruction, target: Target) -> float:
+    """Duration (ns) of one instruction on the target."""
+    return target.gate_properties(instruction.name, len(instruction.qubits)).duration
+
+
+def gate_fidelity(instruction: Instruction, target: Target) -> float:
+    """Fidelity of one instruction on the target."""
+    return target.gate_properties(instruction.name, len(instruction.qubits)).fidelity
+
+
+def asap_schedule(circuit: QuantumCircuit, target: Target) -> ScheduledCircuit:
+    """As-soon-as-possible schedule of a circuit on a target.
+
+    Every instruction starts as soon as all qubits it uses become free.
+    """
+    qubit_free_at: Dict[int, float] = {q: 0.0 for q in range(circuit.num_qubits)}
+    start_times: List[float] = []
+    durations: List[float] = []
+    for instruction in circuit.instructions:
+        duration = gate_duration(instruction, target)
+        start = max(qubit_free_at[q] for q in instruction.qubits)
+        for qubit in instruction.qubits:
+            qubit_free_at[qubit] = start + duration
+        start_times.append(start)
+        durations.append(duration)
+    return ScheduledCircuit(circuit, target, start_times, durations)

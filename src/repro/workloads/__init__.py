@@ -1,0 +1,25 @@
+"""Workload generators used by the evaluation (Section V).
+
+The paper evaluates the adaptation techniques on quantum-volume circuits
+and on random circuits built from the gates appearing in the Fig. 3
+templates (CNOT, CZ, SWAP and single-qubit rotations), with up to 4 qubits
+and depth up to 160.  Both generators are deterministic given a seed.
+"""
+
+from repro.workloads.quantum_volume import quantum_volume_circuit
+from repro.workloads.random_circuits import (
+    random_template_circuit,
+    evaluation_suite,
+    WorkloadSpec,
+)
+from repro.workloads.named import ghz_circuit, qft_circuit, bernstein_vazirani_circuit
+
+__all__ = [
+    "quantum_volume_circuit",
+    "random_template_circuit",
+    "evaluation_suite",
+    "WorkloadSpec",
+    "ghz_circuit",
+    "qft_circuit",
+    "bernstein_vazirani_circuit",
+]

@@ -1,0 +1,60 @@
+"""Named benchmark circuits (GHZ, QFT, Bernstein-Vazirani).
+
+These small structured circuits complement the random workloads in the
+examples and tests; they exercise characteristic patterns (entanglement
+chains, controlled-phase ladders, CNOT fans).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """Prepare an n-qubit GHZ state with a Hadamard and a CNOT chain."""
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least 2 qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = True) -> QuantumCircuit:
+    """Quantum Fourier transform with controlled-phase ladder."""
+    if num_qubits < 1:
+        raise ValueError("the QFT needs at least 1 qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circuit.cphase(angle, control, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def bernstein_vazirani_circuit(secret: str) -> QuantumCircuit:
+    """Bernstein-Vazirani circuit for a binary secret string.
+
+    The last qubit is the oracle ancilla; the secret has one qubit per bit.
+    """
+    if not secret or any(bit not in "01" for bit in secret):
+        raise ValueError("the secret must be a non-empty binary string")
+    num_qubits = len(secret) + 1
+    circuit = QuantumCircuit(num_qubits, name=f"bv_{secret}")
+    ancilla = num_qubits - 1
+    circuit.x(ancilla)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for index, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cx(index, ancilla)
+    for qubit in range(num_qubits - 1):
+        circuit.h(qubit)
+    return circuit

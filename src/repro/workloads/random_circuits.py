@@ -1,0 +1,98 @@
+"""Random circuits built from the template gate set of Fig. 3.
+
+These circuits mix CNOT, CZ, SWAP and single-qubit rotations on randomly
+chosen (connected) qubit pairs, mirroring the "random circuits containing
+gates from the templates" workload of the evaluation section.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of one evaluation workload instance."""
+
+    kind: str
+    num_qubits: int
+    depth: int
+    seed: int
+
+    @property
+    def name(self) -> str:
+        """A short identifier used in result tables."""
+        return f"{self.kind}-q{self.num_qubits}-d{self.depth}-s{self.seed}"
+
+
+def random_template_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: int = 0,
+    two_qubit_probability: float = 0.45,
+    coupling_map: Optional[Sequence[Tuple[int, int]]] = None,
+) -> QuantumCircuit:
+    """Generate a random circuit from the Fig. 3 template gate set.
+
+    Parameters
+    ----------
+    num_qubits:
+        Circuit width.
+    depth:
+        Number of gate layers to emit (approximately; single-qubit layers
+        count as one).
+    seed:
+        Pseudo-random seed.
+    two_qubit_probability:
+        Probability of emitting a two-qubit gate per slot.
+    coupling_map:
+        Restrict two-qubit gates to these pairs (defaults to a chain, which
+        matches the spin-qubit topology so no routing is necessary).
+    """
+    if num_qubits < 2:
+        raise ValueError("random template circuits need at least 2 qubits")
+    rng = random.Random(seed)
+    pairs = (
+        [(i, i + 1) for i in range(num_qubits - 1)]
+        if coupling_map is None
+        else list(coupling_map)
+    )
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}_s{seed}")
+    for _ in range(depth):
+        if rng.random() < two_qubit_probability:
+            qubit_a, qubit_b = rng.choice(pairs)
+            if rng.random() < 0.5:
+                qubit_a, qubit_b = qubit_b, qubit_a
+            kind = rng.choice(["cx", "cx", "cz", "swap"])
+            getattr(circuit, kind)(qubit_a, qubit_b)
+        else:
+            qubit = rng.randrange(num_qubits)
+            kind = rng.choice(["h", "rx", "ry", "rz", "t", "x"])
+            if kind in ("rx", "ry", "rz"):
+                getattr(circuit, kind)(2 * math.pi * rng.random(), qubit)
+            else:
+                getattr(circuit, kind)(qubit)
+    return circuit
+
+
+def evaluation_suite(max_qubits: int = 4, seeds: Sequence[int] = (0, 1)) -> List[WorkloadSpec]:
+    """The workload grid used to regenerate Figures 5-7.
+
+    Quantum-volume circuits of width 2..max_qubits and random template
+    circuits with depths up to 160 (scaled down for the smallest sizes so
+    the suite stays laptop-runnable), mirroring "up to 4 qubits and a depth
+    of up to 160".
+    """
+    specs: List[WorkloadSpec] = []
+    for seed in seeds:
+        for num_qubits in range(2, max_qubits + 1):
+            specs.append(WorkloadSpec("qv", num_qubits, num_qubits, seed))
+        for num_qubits, depth in ((2, 20), (3, 40), (4, 80), (4, 160)):
+            if num_qubits <= max_qubits:
+                specs.append(WorkloadSpec("random", num_qubits, depth, seed))
+    return specs

@@ -1,0 +1,174 @@
+"""Tests for the Fig. 3 substitution rules and their cost evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, allclose_up_to_global_phase, circuit_unitary
+from repro.circuits.circuit import Instruction
+from repro.core import evaluate_rules, preprocess, standard_rules
+from repro.core.rules import (
+    CompositeSwapRule,
+    ConditionalRotationRule,
+    DirectSwapRule,
+    KakDecompositionRule,
+)
+from repro.hardware import spin_qubit_target
+
+
+def instructions_unitary(instructions, num_qubits):
+    circuit = QuantumCircuit(num_qubits)
+    for instruction in instructions:
+        circuit.append(instruction.gate, instruction.qubits)
+    return circuit_unitary(circuit)
+
+
+class TestRuleCorrectness:
+    """Every substitution rule must be a genuine circuit equivalence (Fig. 3)."""
+
+    def test_crot_rule_equivalence(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        target = spin_qubit_target(2)
+        preprocessed = preprocess(circuit, target)
+        subs = evaluate_rules(preprocessed, [ConditionalRotationRule()])
+        assert len(subs) == 1
+        original = instructions_unitary(preprocessed.blocks[0].block.instructions, 2)
+        replacement = instructions_unitary(subs[0].replacement, 2)
+        assert allclose_up_to_global_phase(original, replacement, atol=1e-9)
+
+    @pytest.mark.parametrize("rule_cls, gate_name", [
+        (DirectSwapRule, "swap_d"),
+        (CompositeSwapRule, "swap_c"),
+    ])
+    def test_swap_rules_equivalence(self, rule_cls, gate_name):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        target = spin_qubit_target(2)
+        preprocessed = preprocess(circuit, target)
+        subs = evaluate_rules(preprocessed, [rule_cls()])
+        assert len(subs) == 1
+        assert subs[0].replacement[0].name == gate_name
+        original = instructions_unitary(preprocessed.blocks[0].block.instructions, 2)
+        replacement = instructions_unitary(subs[0].replacement, 2)
+        assert allclose_up_to_global_phase(original, replacement, atol=1e-9)
+
+    @pytest.mark.parametrize("cz_gate", ["cz", "cz_d"])
+    def test_kak_rule_equivalence(self, cz_gate):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).rz(0.4, 1).cx(0, 1).swap(0, 1)
+        target = spin_qubit_target(2)
+        preprocessed = preprocess(circuit, target)
+        subs = evaluate_rules(preprocessed, [KakDecompositionRule(cz_gate)])
+        assert len(subs) == 1
+        assert set(subs[0].substituted_positions) == set(range(len(circuit)))
+        original = instructions_unitary(preprocessed.blocks[0].block.instructions, 2)
+        replacement = instructions_unitary(subs[0].replacement, 2)
+        assert allclose_up_to_global_phase(original, replacement, atol=1e-6)
+        names = {inst.name for inst in subs[0].replacement if len(inst.qubits) == 2}
+        assert names <= {cz_gate}
+
+    def test_kak_rule_skips_single_qubit_blocks(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).rz(0.3, 0)
+        target = spin_qubit_target(2)
+        preprocessed = preprocess(circuit, target)
+        subs = evaluate_rules(preprocessed, [KakDecompositionRule()])
+        assert subs == []
+
+    def test_invalid_kak_gate_rejected(self):
+        with pytest.raises(ValueError):
+            KakDecompositionRule("cx")
+
+
+class TestRuleCosts:
+    def test_swap_substitution_deltas(self):
+        """swap_d is much faster but less faithful than the CZ-translated SWAP;
+        swap_c is both faster and at least as faithful."""
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        target = spin_qubit_target(2, "D0")
+        preprocessed = preprocess(circuit, target)
+        subs = {s.rule_name: s for s in evaluate_rules(preprocessed, standard_rules())}
+        # Reference translation of a SWAP: 3 CZ + 6 single-qubit gates.
+        reference_duration = 3 * 152.0 + 6 * 30.0
+        assert subs["swap_d"].duration_delta == pytest.approx(19.0 - reference_duration)
+        assert subs["swap_c"].duration_delta == pytest.approx(89.0 - reference_duration)
+        reference_log_fidelity = 3 * math.log(0.999) + 6 * math.log(0.999)
+        assert subs["swap_d"].log_fidelity_delta == pytest.approx(
+            math.log(0.99) - reference_log_fidelity
+        )
+        assert subs["swap_c"].log_fidelity_delta == pytest.approx(
+            math.log(0.999) - reference_log_fidelity
+        )
+        assert subs["swap_c"].log_fidelity_delta > 0
+
+    def test_crot_substitution_slower_on_d0(self):
+        """With D0 timings the CROT (660 ns) is slower than H-CZ-H (212 ns)."""
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        target = spin_qubit_target(2, "D0")
+        preprocessed = preprocess(circuit, target)
+        subs = {s.rule_name: s for s in evaluate_rules(preprocessed, standard_rules())}
+        assert subs["crot"].duration_delta > 0
+        assert subs["crot"].log_fidelity_delta < 0
+
+    def test_conflicts_detected(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        target = spin_qubit_target(2)
+        preprocessed = preprocess(circuit, target)
+        subs = evaluate_rules(preprocessed, standard_rules())
+        by_name = {s.rule_name: s for s in subs}
+        assert by_name["swap_d"].conflicts_with(by_name["swap_c"])
+        assert by_name["kak"].conflicts_with(by_name["swap_d"])
+
+    def test_no_conflict_across_blocks(self):
+        circuit = QuantumCircuit(3)
+        circuit.swap(0, 1).swap(1, 2)
+        target = spin_qubit_target(3)
+        preprocessed = preprocess(circuit, target)
+        subs = [s for s in evaluate_rules(preprocessed, [DirectSwapRule()])]
+        assert len(subs) == 2
+        assert not subs[0].conflicts_with(subs[1])
+
+    def test_rule_counts_on_multi_gate_block(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).swap(0, 1).cx(1, 0)
+        target = spin_qubit_target(2)
+        preprocessed = preprocess(circuit, target)
+        subs = evaluate_rules(preprocessed, standard_rules())
+        names = [s.rule_name for s in subs]
+        assert names.count("crot") == 2
+        assert names.count("swap_d") == 1
+        assert names.count("swap_c") == 1
+        assert names.count("kak") == 1
+
+
+class TestPreprocessing:
+    def test_reference_costs_of_simple_block(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        target = spin_qubit_target(2, "D0")
+        preprocessed = preprocess(circuit, target)
+        block = preprocessed.blocks[0]
+        # H(30) CZ(152) H(30) critical path.
+        assert block.reference_duration == pytest.approx(212.0)
+        assert block.reference_log_fidelity == pytest.approx(3 * math.log(0.999))
+
+    def test_reference_circuit_equivalent_to_input(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).swap(1, 2).cx(1, 2)
+        target = spin_qubit_target(3)
+        preprocessed = preprocess(circuit, target)
+        reference = preprocessed.reference_circuit()
+        assert allclose_up_to_global_phase(
+            circuit_unitary(reference), circuit_unitary(circuit), atol=1e-7
+        )
+
+    def test_unrouted_circuit_rejected(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        with pytest.raises(ValueError):
+            preprocess(circuit, spin_qubit_target(4))

@@ -1,0 +1,159 @@
+"""Tests for targets (Table I) and the spin-qubit physics model (Fig. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    GateProperties,
+    Target,
+    TABLE1_DURATION_D0,
+    TABLE1_DURATION_D1,
+    TABLE1_FIDELITY,
+    crot_regime_pair,
+    eigenenergies_vs_detuning,
+    exchange_coupling,
+    ibm_like_source_target,
+    linear_coupling_map,
+    spin_qubit_target,
+    swap_regime_pair,
+)
+
+
+class TestGateProperties:
+    def test_error_and_log_fidelity(self):
+        props = GateProperties(duration=152.0, fidelity=0.999)
+        assert props.error == pytest.approx(0.001)
+        assert props.log_fidelity == pytest.approx(math.log(0.999))
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            GateProperties(-1.0, 0.99)
+        with pytest.raises(ValueError):
+            GateProperties(10.0, 0.0)
+        with pytest.raises(ValueError):
+            GateProperties(10.0, 1.5)
+
+
+class TestSpinTarget:
+    def test_table1_values_match_paper(self):
+        assert TABLE1_FIDELITY == {
+            "su2": 0.999, "cz": 0.999, "cz_d": 0.99,
+            "crot": 0.994, "swap_d": 0.99, "swap_c": 0.999,
+        }
+        assert TABLE1_DURATION_D0["cz"] == 152.0
+        assert TABLE1_DURATION_D0["crot"] == 660.0
+        assert TABLE1_DURATION_D1["cz_d"] == 7.0
+        assert TABLE1_DURATION_D1["swap_c"] == 13.0
+
+    @pytest.mark.parametrize("durations", ["D0", "D1"])
+    def test_spin_target_gate_set(self, durations):
+        target = spin_qubit_target(4, durations)
+        assert set(target.basis_two_qubit_gates()) == {"cz", "cz_d", "crot", "swap_d", "swap_c"}
+        assert target.gate_properties("cz").fidelity == 0.999
+        assert target.gate_properties("u3").duration == 30.0
+        assert target.t2 == pytest.approx(2900.0)
+        assert target.t1 == pytest.approx(2.9e6)
+
+    def test_diabatic_cz_exclusion(self):
+        target = spin_qubit_target(3, include_diabatic_cz=False)
+        assert not target.supports("cz_d")
+        assert target.supports("cz")
+
+    def test_unknown_duration_column_rejected(self):
+        with pytest.raises(ValueError):
+            spin_qubit_target(4, "D2")
+
+    def test_chain_connectivity(self):
+        target = spin_qubit_target(4)
+        assert target.are_connected(0, 1)
+        assert target.are_connected(2, 1)
+        assert not target.are_connected(0, 2)
+        assert linear_coupling_map(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_unknown_two_qubit_gate_rejected(self):
+        target = spin_qubit_target(4)
+        with pytest.raises(KeyError):
+            target.gate_properties("cx", 2)
+
+    def test_idle_survival_probability(self):
+        target = spin_qubit_target(4)
+        assert target.idle_survival_probability(0.0) == 1.0
+        assert target.idle_survival_probability(2900.0) == pytest.approx(math.exp(-1))
+
+    def test_resizing(self):
+        target = spin_qubit_target(4).with_num_qubits(6)
+        assert target.num_qubits == 6
+        assert target.are_connected(4, 5)
+
+    def test_ibm_like_source(self):
+        source = ibm_like_source_target(3)
+        assert source.supports("cx")
+        assert source.supports("swap")
+        assert not source.supports("crot")
+
+
+class TestSpinPhysics:
+    def test_exchange_coupling_increases_with_detuning(self):
+        j_low = exchange_coupling(0.0, 1.0, 100.0)
+        j_high = exchange_coupling(80.0, 1.0, 100.0)
+        assert j_high > j_low > 0
+
+    def test_exchange_requires_detuning_below_charging_energy(self):
+        with pytest.raises(ValueError):
+            exchange_coupling(120.0, 1.0, 100.0)
+
+    def test_hamiltonian_is_hermitian(self):
+        pair = swap_regime_pair()
+        hamiltonian = pair.hamiltonian(50.0)
+        assert np.allclose(hamiltonian, hamiltonian.conj().T)
+
+    def test_fig1a_regime_singlet_triplet_splitting_grows(self):
+        """In the J >> dEz regime the antiparallel splitting grows with detuning."""
+        pair = swap_regime_pair()
+        assert pair.exchange(80.0) > pair.zeeman_difference
+        low = pair.antiparallel_splitting(0.0)
+        high = pair.antiparallel_splitting(80.0)
+        assert high > low
+
+    def test_fig1b_regime_parallel_states_unshifted(self):
+        """In the dEz >> J regime the parallel states stay at +-Ez while the
+        antiparallel states shift with detuning."""
+        pair = crot_regime_pair()
+        assert pair.zeeman_difference > pair.exchange(0.0)
+        energies_zero = pair.eigenenergies(0.0)
+        energies_high = pair.eigenenergies(90.0)
+        # Highest/lowest branches (parallel spins) are unaffected by J.
+        assert energies_zero[0] == pytest.approx(energies_high[0], abs=1e-9)
+        assert energies_zero[3] == pytest.approx(energies_high[3], abs=1e-9)
+        # The middle (antiparallel) branches shift downwards with detuning.
+        assert energies_high[1] < energies_zero[1]
+
+    def test_eigenenergy_sweep_structure(self):
+        pair = swap_regime_pair()
+        sweep = eigenenergies_vs_detuning(pair, np.linspace(0, 80, 9))
+        assert set(sweep) == {"detuning", "E0", "E1", "E2", "E3"}
+        assert all(len(sweep[key]) == 9 for key in sweep)
+        # Branches stay sorted.
+        for i in range(9):
+            assert sweep["E0"][i] <= sweep["E1"][i] <= sweep["E2"][i] <= sweep["E3"][i]
+
+    def test_swap_faster_than_cphase_and_crot_ordering(self):
+        """Protocol durations: swap (large J) is fast; CROT (Rabi-limited) is slow,
+        matching the ordering of Table I."""
+        swap_pair = swap_regime_pair()
+        crot_pair = crot_regime_pair()
+        swap_duration = swap_pair.swap_gate_duration(80.0)
+        cphase_duration = crot_pair.cphase_gate_duration(60.0)
+        crot_duration = crot_pair.crot_gate_duration(rabi_frequency=0.00076)
+        assert swap_duration < cphase_duration < crot_duration
+
+    def test_crot_addressability_grows_with_exchange(self):
+        pair = crot_regime_pair()
+        assert pair.crot_addressability(80.0) > pair.crot_addressability(0.0)
+
+    def test_invalid_protocol_parameters(self):
+        pair = crot_regime_pair()
+        with pytest.raises(ValueError):
+            pair.crot_gate_duration(0.0)

@@ -1,0 +1,64 @@
+"""Tests for DIMACS parsing and serialization."""
+
+import pytest
+
+from repro.sat import Solver, parse_dimacs, to_dimacs
+
+
+SAMPLE = """c sample instance
+p cnf 3 2
+1 -3 0
+2 3 -1 0
+"""
+
+
+class TestParse:
+    def test_parse_simple(self):
+        num_vars, clauses = parse_dimacs(SAMPLE)
+        assert num_vars == 3
+        assert clauses == [[1, -3], [2, 3, -1]]
+
+    def test_parse_multiline_clause(self):
+        text = "p cnf 4 1\n1 2\n3 4 0\n"
+        _, clauses = parse_dimacs(text)
+        assert clauses == [[1, 2, 3, 4]]
+
+    def test_parse_without_problem_line(self):
+        num_vars, clauses = parse_dimacs("1 -2 0\n2 0\n")
+        assert num_vars == 2
+        assert clauses == [[1, -2], [2]]
+
+    def test_parse_rejects_bad_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p cnf three two\n1 0\n")
+
+    def test_parse_rejects_out_of_range_literal(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p cnf 2 1\n5 0\n")
+
+    def test_parse_ignores_satlib_trailer(self):
+        text = "p cnf 2 1\n1 2 0\n%\n0\n"
+        _, clauses = parse_dimacs(text)
+        assert clauses == [[1, 2]]
+
+
+class TestRoundTrip:
+    def test_serialize_and_reparse(self):
+        clauses = [[1, -2], [2, 3], [-3, -1]]
+        text = to_dimacs(3, clauses)
+        num_vars, parsed = parse_dimacs(text)
+        assert num_vars == 3
+        assert parsed == clauses
+
+    def test_serialized_instance_is_solvable(self):
+        clauses = [[1, 2], [-1, 2], [-2, 3]]
+        num_vars, parsed = parse_dimacs(to_dimacs(3, clauses))
+        solver = Solver()
+        for clause in parsed:
+            solver.add_clause(clause)
+        assert solver.solve()
+        assert solver.model_value(3)
+
+    def test_to_dimacs_grows_num_vars(self):
+        text = to_dimacs(1, [[5, -6]])
+        assert "p cnf 6 1" in text

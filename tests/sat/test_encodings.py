@@ -1,0 +1,194 @@
+"""Tests for cardinality and pseudo-Boolean CNF encodings."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Solver
+from repro.sat.encodings import (
+    CardinalityEncoder,
+    at_least_k,
+    at_most_k,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_k,
+    exactly_one,
+    pseudo_boolean_leq,
+)
+
+
+def count_models(num_vars, clauses, projection):
+    """Count models of ``clauses`` projected onto the first ``projection`` vars."""
+    seen = set()
+    solver_clauses = [list(clause) for clause in clauses]
+    for bits in itertools.product([False, True], repeat=projection):
+        assignment = {var + 1: bits[var] for var in range(projection)}
+        solver = Solver()
+        for clause in solver_clauses:
+            solver.add_clause(clause)
+        assumptions = [var if value else -var for var, value in assignment.items()]
+        if solver.solve_limited(assumptions).value == "sat":
+            seen.add(bits)
+    return seen
+
+
+class TestAtMostOne:
+    def test_pairwise_structure(self):
+        clauses = at_most_one_pairwise([1, 2, 3])
+        assert sorted(map(sorted, clauses)) == [[-3, -2], [-3, -1], [-2, -1]]
+
+    @pytest.mark.parametrize("encoder", ["pairwise", "sequential"])
+    def test_allows_zero_or_one(self, encoder):
+        literals = [1, 2, 3, 4, 5]
+        solver = Solver()
+        for lit in literals:
+            solver._ensure_var(lit)
+        if encoder == "pairwise":
+            clauses = at_most_one_pairwise(literals)
+        else:
+            clauses = at_most_one_sequential(literals, solver.new_var)
+        for clause in clauses:
+            solver.add_clause(clause)
+        # All false is allowed.
+        assert solver.solve([-lit for lit in literals])
+        # Any single literal is allowed.
+        for lit in literals:
+            assert solver.solve([lit] + [-other for other in literals if other != lit])
+        # Any two literals together are forbidden.
+        assert not solver.solve([1, 2])
+        assert not solver.solve([3, 5])
+
+    def test_sequential_trivial_sizes(self):
+        assert at_most_one_sequential([], lambda: 99) == []
+        assert at_most_one_sequential([7], lambda: 99) == []
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("bound", [0, 1, 2, 3, 4])
+    def test_at_most_k_counts(self, bound):
+        literals = [1, 2, 3, 4]
+        solver = Solver()
+        for lit in literals:
+            solver._ensure_var(lit)
+        for clause in at_most_k(literals, bound, solver.new_var):
+            solver.add_clause(clause)
+        for bits in itertools.product([False, True], repeat=4):
+            assumptions = [lit if bit else -lit for lit, bit in zip(literals, bits)]
+            expected = sum(bits) <= bound
+            assert solver.solve_limited(assumptions).value == (
+                "sat" if expected else "unsat"
+            )
+
+    @pytest.mark.parametrize("bound", [0, 1, 2, 3, 4])
+    def test_at_least_k_counts(self, bound):
+        literals = [1, 2, 3, 4]
+        solver = Solver()
+        for lit in literals:
+            solver._ensure_var(lit)
+        for clause in at_least_k(literals, bound, solver.new_var):
+            solver.add_clause(clause)
+        for bits in itertools.product([False, True], repeat=4):
+            assumptions = [lit if bit else -lit for lit, bit in zip(literals, bits)]
+            expected = sum(bits) >= bound
+            assert solver.solve_limited(assumptions).value == (
+                "sat" if expected else "unsat"
+            )
+
+    @pytest.mark.parametrize("bound", [0, 1, 2, 3])
+    def test_exactly_k_counts(self, bound):
+        literals = [1, 2, 3]
+        solver = Solver()
+        for lit in literals:
+            solver._ensure_var(lit)
+        for clause in exactly_k(literals, bound, solver.new_var):
+            solver.add_clause(clause)
+        for bits in itertools.product([False, True], repeat=3):
+            assumptions = [lit if bit else -lit for lit, bit in zip(literals, bits)]
+            expected = sum(bits) == bound
+            assert solver.solve_limited(assumptions).value == (
+                "sat" if expected else "unsat"
+            )
+
+    def test_exactly_one_requires_one(self):
+        literals = [1, 2, 3]
+        solver = Solver()
+        for clause in exactly_one(literals):
+            solver.add_clause(clause)
+        assert not solver.solve([-1, -2, -3])
+        assert solver.solve([2, -1, -3])
+        assert not solver.solve([1, 2])
+
+    def test_at_least_more_than_available_unsat(self):
+        solver = Solver()
+        for clause in at_least_k([1, 2], 3, solver.new_var):
+            solver.add_clause(clause)
+        assert not solver.solve()
+
+    def test_at_most_negative_bound_unsat(self):
+        solver = Solver()
+        solver._ensure_var(1)
+        solver._ensure_var(2)
+        for clause in at_most_k([1, 2], -1, solver.new_var):
+            solver.add_clause(clause)
+        assert not solver.solve()
+
+    def test_encoder_facade(self):
+        solver = Solver()
+        encoder = CardinalityEncoder(solver.new_var)
+        for lit in (1, 2, 3, 4, 5, 6):
+            solver._ensure_var(lit)
+        for clause in encoder.at_most_one([1, 2, 3, 4, 5, 6]):
+            solver.add_clause(clause)
+        assert solver.solve([3])
+        assert not solver.solve([3, 4])
+
+        other = Solver()
+        other_encoder = CardinalityEncoder(other.new_var)
+        for lit in (1, 2, 3):
+            other._ensure_var(lit)
+        for clause in other_encoder.exactly_k([1, 2, 3], 2):
+            other.add_clause(clause)
+        assert other.solve()
+        model = other.model()
+        assert sum(model[lit] for lit in (1, 2, 3)) == 2
+
+
+class TestPseudoBoolean:
+    def test_weighted_sum_bound(self):
+        # 3*x1 + 2*x2 + 1*x3 <= 3
+        solver = Solver()
+        for lit in (1, 2, 3):
+            solver._ensure_var(lit)
+        for clause in pseudo_boolean_leq([(3, 1), (2, 2), (1, 3)], 3, solver.new_var):
+            solver.add_clause(clause)
+        assert solver.solve([1, -2, -3])
+        assert solver.solve([-1, 2, 3])
+        assert not solver.solve([1, 2])
+        assert not solver.solve([1, 3])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            pseudo_boolean_leq([(-1, 1)], 0, lambda: 5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_literals=st.integers(min_value=1, max_value=6),
+    bound=st.integers(min_value=0, max_value=6),
+    data=st.data(),
+)
+def test_property_at_most_k_exact_semantics(num_literals, bound, data):
+    """at_most_k admits exactly the assignments with <= bound true literals."""
+    literals = list(range(1, num_literals + 1))
+    solver = Solver()
+    for lit in literals:
+        solver._ensure_var(lit)
+    for clause in at_most_k(literals, bound, solver.new_var):
+        solver.add_clause(clause)
+    bits = data.draw(
+        st.lists(st.booleans(), min_size=num_literals, max_size=num_literals)
+    )
+    assumptions = [lit if bit else -lit for lit, bit in zip(literals, bits)]
+    expected = sum(bits) <= bound
+    assert solver.solve_limited(assumptions).value == ("sat" if expected else "unsat")

@@ -1,0 +1,297 @@
+"""Unit and property-based tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Solver, SolverResult
+from repro.sat.solver import luby
+
+
+def brute_force_sat(num_vars, clauses):
+    """Reference satisfiability check by exhaustive enumeration."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {var + 1: bits[var] for var in range(num_vars)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True, assignment
+    return False, None
+
+
+def check_model(clauses, model):
+    """Assert that a model satisfies every clause."""
+    for clause in clauses:
+        assert any(model[abs(lit)] == (lit > 0) for lit in clause), clause
+
+
+class TestBasicSolving:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve()
+
+    def test_single_unit_clause(self):
+        solver = Solver()
+        solver.add_clause([3])
+        assert solver.solve()
+        assert solver.model_value(3) is True
+
+    def test_negative_unit_clause(self):
+        solver = Solver()
+        solver.add_clause([-2])
+        assert solver.solve()
+        assert solver.model_value(2) is False
+
+    def test_conflicting_units_unsat(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert not solver.add_clause([-1]) or not solver.solve()
+        assert solver.solve_limited() == SolverResult.UNSAT
+
+    def test_simple_implication_chain(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([-3, 4])
+        assert solver.solve()
+        for var in (1, 2, 3, 4):
+            assert solver.model_value(var) is True
+
+    def test_empty_clause_unsat(self):
+        solver = Solver()
+        assert not solver.add_clause([])
+        assert not solver.solve()
+
+    def test_tautological_clause_ignored(self):
+        solver = Solver()
+        solver.add_clause([1, -1])
+        solver.add_clause([2])
+        assert solver.solve()
+        assert solver.model_value(2)
+
+    def test_duplicate_literals_handled(self):
+        solver = Solver()
+        solver.add_clause([1, 1, 2, 2])
+        solver.add_clause([-1])
+        assert solver.solve()
+        assert solver.model_value(2)
+
+    def test_zero_literal_rejected(self):
+        solver = Solver()
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+    def test_small_unsat_pigeonhole(self):
+        # 3 pigeons in 2 holes: variables p_ij = 2*(i-1)+j.
+        solver = Solver()
+        for pigeon in range(3):
+            solver.add_clause([2 * pigeon + 1, 2 * pigeon + 2])
+        for hole in (1, 2):
+            for first in range(3):
+                for second in range(first + 1, 3):
+                    solver.add_clause([-(2 * first + hole), -(2 * second + hole)])
+        assert not solver.solve()
+
+    def test_pigeonhole_4_in_3_unsat(self):
+        solver = Solver()
+        def var(pigeon, hole):
+            return pigeon * 3 + hole + 1
+        for pigeon in range(4):
+            solver.add_clause([var(pigeon, hole) for hole in range(3)])
+        for hole in range(3):
+            for first in range(4):
+                for second in range(first + 1, 4):
+                    solver.add_clause([-var(first, hole), -var(second, hole)])
+        assert not solver.solve()
+
+    def test_satisfiable_graph_coloring(self):
+        # Color a 4-cycle with 2 colors: x_i true = color A.
+        solver = Solver()
+        edges = [(1, 2), (2, 3), (3, 4), (4, 1)]
+        for a, b in edges:
+            solver.add_clause([a, b])
+            solver.add_clause([-a, -b])
+        assert solver.solve()
+        model = solver.model()
+        for a, b in edges:
+            assert model[a] != model[b]
+
+    def test_triangle_two_coloring_unsat(self):
+        solver = Solver()
+        edges = [(1, 2), (2, 3), (3, 1)]
+        for a, b in edges:
+            solver.add_clause([a, b])
+            solver.add_clause([-a, -b])
+        assert not solver.solve()
+
+
+class TestIncrementalAndAssumptions:
+    def test_assumption_sat_and_unsat(self):
+        solver = Solver()
+        solver.add_clause([-1, 2])
+        assert solver.solve(assumptions=[1])
+        assert solver.model_value(2) is True
+        solver.add_clause([-2])
+        assert not solver.solve(assumptions=[1])
+        # Without the assumption the formula is still satisfiable.
+        assert solver.solve()
+
+    def test_failed_assumptions_core(self):
+        solver = Solver()
+        solver.add_clause([-1, -2])
+        assert not solver.solve(assumptions=[1, 2, 3])
+        core = solver.failed_assumptions()
+        assert set(core) <= {1, 2, 3}
+        assert set(core) & {1, 2}
+
+    def test_incremental_clause_addition(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve()
+        solver.add_clause([-1])
+        assert solver.solve()
+        assert solver.model_value(2)
+        solver.add_clause([-2])
+        assert not solver.solve()
+
+    def test_solve_twice_same_result(self):
+        solver = Solver()
+        solver.add_clause([1, 2, 3])
+        solver.add_clause([-1, -2])
+        assert solver.solve()
+        first = solver.model()
+        assert solver.solve()
+        check_model([[1, 2, 3], [-1, -2]], first)
+
+    def test_assumptions_do_not_persist(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1])
+        assert solver.model_value(2)
+        assert solver.solve(assumptions=[-2])
+        assert solver.model_value(1)
+
+
+class TestStatisticsAndUtilities:
+    def test_luby_sequence_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_luby_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+    def test_statistics_counters_move(self):
+        solver = Solver()
+        random_instance = random_3sat(num_vars=20, num_clauses=85, seed=7)
+        for clause in random_instance:
+            solver.add_clause(clause)
+        solver.solve_limited()
+        stats = solver.statistics.as_dict()
+        assert stats["propagations"] > 0
+        assert stats["decisions"] >= 0
+
+    def test_new_var_allocates_fresh(self):
+        solver = Solver()
+        solver.add_clause([5, 6])
+        fresh = solver.new_var()
+        assert fresh not in (5, 6)
+        solver.add_clause([-fresh])
+        assert solver.solve()
+
+
+def random_3sat(num_vars, num_clauses, seed):
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([var if rng.random() < 0.5 else -var for var in variables])
+    return clauses
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_3sat_agrees_with_brute_force(self, seed):
+        num_vars = 8
+        clauses = random_3sat(num_vars, 30, seed)
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        expected, _ = brute_force_sat(num_vars, clauses)
+        got = solver.solve_limited()
+        assert got != SolverResult.UNKNOWN
+        assert (got == SolverResult.SAT) == expected
+        if expected:
+            check_model(clauses, solver.model())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_larger_random_instances_model_valid(self, seed):
+        clauses = random_3sat(30, 100, seed + 100)
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        if solver.solve():
+            check_model(clauses, solver.model())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    clauses=st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=6).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_matches_brute_force(clauses):
+    """The CDCL solver agrees with brute force on arbitrary small formulas."""
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    expected, _ = brute_force_sat(6, clauses)
+    assert solver.solve_limited() == (
+        SolverResult.SAT if expected else SolverResult.UNSAT
+    )
+    if expected:
+        check_model(clauses, solver.model())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    clauses=st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=5).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=15,
+    ),
+    assumption=st.integers(min_value=1, max_value=5).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    ),
+)
+def test_property_assumptions_consistent(clauses, assumption):
+    """Solving under an assumption equals solving with that unit clause added."""
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    under_assumption = solver.solve_limited([assumption])
+
+    reference = Solver()
+    for clause in clauses:
+        reference.add_clause(clause)
+    reference.add_clause([assumption])
+    expected = reference.solve_limited()
+    assert under_assumption == expected

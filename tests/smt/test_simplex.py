@@ -1,0 +1,189 @@
+"""Tests for the simplex-based linear arithmetic theory solver."""
+
+from fractions import Fraction
+
+from repro.smt.rational import DeltaRational
+from repro.smt.simplex import Simplex
+
+
+def dr(value, coeff=0):
+    return DeltaRational.of(value, coeff)
+
+
+class TestBounds:
+    def test_single_variable_bounds_sat(self):
+        simplex = Simplex()
+        x = simplex.variable("x")
+        assert simplex.assert_lower(x, dr(1), "l") is None
+        assert simplex.assert_upper(x, dr(5), "u") is None
+        assert simplex.check() is None
+        model = simplex.model()
+        assert Fraction(1) <= model["x"] <= Fraction(5)
+
+    def test_direct_bound_conflict(self):
+        simplex = Simplex()
+        x = simplex.variable("x")
+        assert simplex.assert_lower(x, dr(3), "l") is None
+        conflict = simplex.assert_upper(x, dr(2), "u")
+        assert conflict is not None
+        assert set(conflict) == {"l", "u"}
+
+    def test_weaker_bounds_are_ignored(self):
+        simplex = Simplex()
+        x = simplex.variable("x")
+        simplex.assert_upper(x, dr(5), "u1")
+        simplex.assert_upper(x, dr(7), "u2")
+        simplex.assert_lower(x, dr(6), "l")
+        # The effective upper bound is 5, so a conflict must mention u1.
+        conflict = simplex.check() or simplex.assert_lower(x, dr(6), "l")
+        # x has no row, the conflict surfaced at assertion time instead.
+        assert conflict is None or "u1" in conflict
+
+    def test_strict_bounds_with_delta(self):
+        simplex = Simplex()
+        x = simplex.variable("x")
+        # 1 < x < 2
+        assert simplex.assert_lower(x, dr(1, 1), "l") is None
+        assert simplex.assert_upper(x, dr(2, -1), "u") is None
+        assert simplex.check() is None
+        value = simplex.model()["x"]
+        assert Fraction(1) < value < Fraction(2)
+
+    def test_strict_bound_conflict(self):
+        simplex = Simplex()
+        x = simplex.variable("x")
+        assert simplex.assert_lower(x, dr(1, 1), "l") is None   # x > 1
+        conflict = simplex.assert_upper(x, dr(1), "u")           # x <= 1
+        assert conflict is not None
+
+
+class TestLinearCombinations:
+    def test_sum_constraint_feasible(self):
+        simplex = Simplex()
+        x = simplex.variable("x")
+        y = simplex.variable("y")
+        s = simplex.slack_for({"x": 1, "y": 1})
+        simplex.assert_lower(x, dr(0), "lx")
+        simplex.assert_lower(y, dr(0), "ly")
+        simplex.assert_upper(s, dr(10), "s")
+        simplex.assert_lower(s, dr(4), "s2")
+        assert simplex.check() is None
+        model = simplex.model()
+        assert model["x"] >= 0 and model["y"] >= 0
+        assert Fraction(4) <= model["x"] + model["y"] <= Fraction(10)
+
+    def test_infeasible_system_gives_conflict(self):
+        # x + y <= 2, x >= 2, y >= 1 is infeasible.
+        simplex = Simplex()
+        x = simplex.variable("x")
+        y = simplex.variable("y")
+        s = simplex.slack_for({"x": 1, "y": 1})
+        simplex.assert_upper(s, dr(2), "sum")
+        simplex.assert_lower(x, dr(2), "x")
+        conflict = simplex.assert_lower(y, dr(1), "y") or simplex.check()
+        assert conflict is not None
+        assert set(conflict) <= {"sum", "x", "y"}
+        assert "sum" in conflict
+
+    def test_difference_constraints_chain(self):
+        # Precedence chain: b - a >= 3, c - b >= 4, a >= 0  =>  c >= 7.
+        simplex = Simplex()
+        a = simplex.variable("a")
+        c = simplex.variable("c")
+        ba = simplex.slack_for({"b": 1, "a": -1})
+        cb = simplex.slack_for({"c": 1, "b": -1})
+        simplex.assert_lower(ba, dr(3), "ba")
+        simplex.assert_lower(cb, dr(4), "cb")
+        simplex.assert_lower(a, dr(0), "a")
+        assert simplex.check() is None
+        # Now force c <= 6: must be infeasible.
+        conflict = simplex.assert_upper(c, dr(6), "c") or simplex.check()
+        assert conflict is not None
+
+    def test_equality_via_two_bounds(self):
+        simplex = Simplex()
+        s = simplex.slack_for({"x": 2, "y": -1})
+        simplex.assert_lower(s, dr(3), "eq_lo")
+        simplex.assert_upper(s, dr(3), "eq_hi")
+        simplex.assert_lower(simplex.variable("y"), dr(1), "y")
+        assert simplex.check() is None
+        model = simplex.model()
+        assert 2 * model["x"] - model["y"] == Fraction(3)
+
+    def test_shared_polynomial_reuses_slack(self):
+        simplex = Simplex()
+        first = simplex.slack_for({"x": 1, "y": 2})
+        second = simplex.slack_for({"y": 2, "x": 1})
+        assert first == second
+
+    def test_unit_polynomial_maps_to_variable(self):
+        simplex = Simplex()
+        x = simplex.variable("x")
+        assert simplex.slack_for({"x": 1}) == x
+
+
+class TestOptimization:
+    def test_maximize_simple(self):
+        # maximize x + y s.t. x <= 3, y <= 4, x, y >= 0
+        simplex = Simplex()
+        x = simplex.variable("x")
+        y = simplex.variable("y")
+        simplex.assert_lower(x, dr(0), "lx")
+        simplex.assert_lower(y, dr(0), "ly")
+        simplex.assert_upper(x, dr(3), "ux")
+        simplex.assert_upper(y, dr(4), "uy")
+        assert simplex.check() is None
+        optimum = simplex.maximize({"x": Fraction(1), "y": Fraction(1)})
+        assert optimum is not None
+        assert optimum.value == Fraction(7)
+
+    def test_maximize_with_coupling_constraint(self):
+        # maximize 3x + 2y s.t. x + y <= 4, x <= 3, y <= 3, x,y >= 0 -> 3*3 + 2*1 = 11
+        simplex = Simplex()
+        x = simplex.variable("x")
+        y = simplex.variable("y")
+        s = simplex.slack_for({"x": 1, "y": 1})
+        for var, reason in ((x, "lx"), (y, "ly")):
+            simplex.assert_lower(var, dr(0), reason)
+        simplex.assert_upper(x, dr(3), "ux")
+        simplex.assert_upper(y, dr(3), "uy")
+        simplex.assert_upper(s, dr(4), "us")
+        assert simplex.check() is None
+        optimum = simplex.maximize({"x": Fraction(3), "y": Fraction(2)})
+        assert optimum is not None
+        assert optimum.value == Fraction(11)
+        model = simplex.model()
+        assert 3 * model["x"] + 2 * model["y"] == Fraction(11)
+
+    def test_unbounded_objective(self):
+        simplex = Simplex()
+        x = simplex.variable("x")
+        simplex.assert_lower(x, dr(0), "lx")
+        assert simplex.check() is None
+        assert simplex.maximize({"x": Fraction(1)}) is None
+
+    def test_minimize_via_negation(self):
+        # minimize x s.t. x >= 2, x <= 9 -> maximize -x gives -2.
+        simplex = Simplex()
+        x = simplex.variable("x")
+        simplex.assert_lower(x, dr(2), "lx")
+        simplex.assert_upper(x, dr(9), "ux")
+        assert simplex.check() is None
+        optimum = simplex.maximize({"x": Fraction(-1)})
+        assert optimum is not None
+        assert optimum.value == Fraction(-2)
+
+    def test_maximize_objective_over_slack_combination(self):
+        # Scheduling-like: end = start + 5, start >= 0, end <= 20; maximize start.
+        simplex = Simplex()
+        start = simplex.variable("start")
+        end = simplex.variable("end")
+        diff = simplex.slack_for({"end": 1, "start": -1})
+        simplex.assert_lower(diff, dr(5), "d_lo")
+        simplex.assert_upper(diff, dr(5), "d_hi")
+        simplex.assert_lower(start, dr(0), "s")
+        simplex.assert_upper(end, dr(20), "e")
+        assert simplex.check() is None
+        optimum = simplex.maximize({"start": Fraction(1)})
+        assert optimum is not None
+        assert optimum.value == Fraction(15)

@@ -1,0 +1,142 @@
+"""Tests for the SMT term/expression layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import And, Bool, BoolVal, Iff, Implies, Ite, Not, Or, Real, RealVal, Sum
+from repro.smt.terms import Comparison, LinearExpr
+
+
+class TestLinearExpr:
+    def test_variable_and_constant(self):
+        x = Real("x")
+        assert x.coeffs == {"x": Fraction(1)}
+        assert RealVal(3).constant == Fraction(3)
+        assert RealVal(3).is_constant()
+
+    def test_addition_merges_coefficients(self):
+        x, y = Real("x"), Real("y")
+        expr = x + y + x
+        assert expr.coeffs == {"x": Fraction(2), "y": Fraction(1)}
+
+    def test_subtraction_cancels(self):
+        x = Real("x")
+        expr = (x + RealVal(5)) - x
+        assert expr.is_constant()
+        assert expr.constant == Fraction(5)
+
+    def test_scalar_multiplication(self):
+        x = Real("x")
+        expr = 3 * x + x * Fraction(1, 2)
+        assert expr.coeffs["x"] == Fraction(7, 2)
+
+    def test_division(self):
+        x = Real("x")
+        expr = (4 * x + RealVal(2)) / 2
+        assert expr.coeffs["x"] == Fraction(2)
+        assert expr.constant == Fraction(1)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Real("x") / 0
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(TypeError):
+            Real("x") * Real("y")
+
+    def test_product_with_constant_expr(self):
+        x = Real("x")
+        assert (x * RealVal(3)).coeffs["x"] == Fraction(3)
+        assert (RealVal(3) * x).coeffs["x"] == Fraction(3)
+
+    def test_sum_helper(self):
+        terms = [Real("a"), Real("b"), RealVal(2), 3]
+        total = Sum(terms)
+        assert total.constant == Fraction(5)
+        assert set(total.coeffs) == {"a", "b"}
+
+    def test_evaluate(self):
+        x, y = Real("x"), Real("y")
+        expr = 2 * x - y + RealVal(1)
+        assert expr.evaluate({"x": 3, "y": 4}) == Fraction(3)
+
+    def test_float_coefficients_become_fractions(self):
+        x = Real("x")
+        expr = 0.5 * x
+        assert expr.coeffs["x"] == Fraction(1, 2)
+
+    def test_structural_equality_and_hash(self):
+        assert Real("x") + 1 == 1 + Real("x")
+        assert hash(Real("x") + 1) == hash(1 + Real("x"))
+        assert Real("x") != Real("y")
+
+
+class TestComparisons:
+    def test_le_normalization(self):
+        x, y = Real("x"), Real("y")
+        atom = x + 2 <= y
+        assert isinstance(atom, Comparison)
+        assert atom.op == "<="
+        assert atom.poly.coeffs == {"x": Fraction(1), "y": Fraction(-1)}
+        assert atom.bound == Fraction(-2)
+
+    def test_ge_is_swapped_le(self):
+        x = Real("x")
+        atom = x >= RealVal(5)
+        assert atom.op == "<="
+        assert atom.poly.coeffs == {"x": Fraction(-1)}
+        assert atom.bound == Fraction(-5)
+
+    def test_strict_comparisons(self):
+        x = Real("x")
+        assert (x < RealVal(1)).op == "<"
+        assert (x > RealVal(1)).op == "<"
+
+    def test_equality_atom(self):
+        x = Real("x")
+        atom = x.eq(RealVal(2))
+        assert atom.op == "="
+        assert atom.bound == Fraction(2)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(LinearExpr({"x": Fraction(1)}), ">=", Fraction(0))
+
+
+class TestBooleanStructure:
+    def test_and_flattening(self):
+        a, b, c = Bool("a"), Bool("b"), Bool("c")
+        expr = And(And(a, b), c)
+        assert len(expr.operands) == 3
+
+    def test_or_flattening(self):
+        a, b, c = Bool("a"), Bool("b"), Bool("c")
+        expr = Or(a, Or(b, c))
+        assert len(expr.operands) == 3
+
+    def test_operator_sugar(self):
+        a, b = Bool("a"), Bool("b")
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+        assert isinstance(a.implies(b), Implies)
+        assert isinstance(a.iff(b), Iff)
+
+    def test_structural_equality(self):
+        assert Bool("p") == Bool("p")
+        assert Not(Bool("p")) == Not(Bool("p"))
+        assert And(Bool("p"), Bool("q")) == And(Bool("p"), Bool("q"))
+        assert And(Bool("p"), Bool("q")) != And(Bool("q"), Bool("p"))
+
+    def test_boolval_repr(self):
+        assert repr(BoolVal(True)) == "true"
+        assert repr(BoolVal(False)) == "false"
+
+    def test_ite_key_distinct(self):
+        a, b, c = Bool("a"), Bool("b"), Bool("c")
+        assert Ite(a, b, c) != Ite(a, c, b)
+
+    def test_expressions_usable_in_sets(self):
+        atoms = {Bool("a"), Bool("a"), Bool("b")}
+        assert len(atoms) == 2

@@ -1,0 +1,280 @@
+"""Tests for single-qubit ZYZ and two-qubit KAK synthesis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    QuantumCircuit,
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    cx,
+    cz,
+    h,
+    iswap,
+    rz,
+    swap,
+    u3,
+    x,
+)
+from repro.synthesis import (
+    canonical_gate_matrix,
+    decompose_two_qubit,
+    kak_decompose,
+    kron_factor,
+    makhlin_invariants,
+    merge_single_qubit_runs,
+    synthesize_canonical,
+    weyl_coordinates,
+    zyz_decompose,
+)
+from repro.synthesis.two_qubit import cz_count
+
+
+def random_unitary(dim, rng):
+    """Haar-ish random unitary via QR of a complex Gaussian matrix."""
+    matrix = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(matrix)
+    return q @ np.diag(np.diag(r) / np.abs(np.diag(r)))
+
+
+class TestZyz:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_single_qubit_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        target = random_unitary(2, rng)
+        theta, phi, lam, gamma = zyz_decompose(target)
+        rebuilt = (
+            np.exp(1j * gamma)
+            * rz(phi).to_matrix()
+            @ np.array(
+                [
+                    [math.cos(theta / 2), -math.sin(theta / 2)],
+                    [math.sin(theta / 2), math.cos(theta / 2)],
+                ]
+            )
+            @ rz(lam).to_matrix()
+        )
+        assert np.allclose(rebuilt, target, atol=1e-9)
+
+    def test_named_gates(self):
+        for gate in (x(), h(), rz(0.3), u3(0.1, 0.2, 0.3)):
+            theta, phi, lam, gamma = zyz_decompose(gate.to_matrix())
+            rebuilt = np.exp(1j * gamma) * (
+                rz(phi).to_matrix()
+                @ np.array(
+                    [
+                        [math.cos(theta / 2), -math.sin(theta / 2)],
+                        [math.sin(theta / 2), math.cos(theta / 2)],
+                    ]
+                )
+                @ rz(lam).to_matrix()
+            )
+            assert np.allclose(rebuilt, gate.to_matrix(), atol=1e-9)
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(ValueError):
+            zyz_decompose(np.array([[1, 0], [0, 2]], dtype=complex))
+
+
+class TestKronFactor:
+    def test_factor_product(self):
+        rng = np.random.default_rng(5)
+        a = random_unitary(2, rng)
+        b = random_unitary(2, rng)
+        product = np.kron(b, a)
+        fa, fb, phase = kron_factor(product)
+        assert np.allclose(phase * np.kron(fb, fa), product, atol=1e-9)
+
+    def test_rejects_entangling_gate(self):
+        with pytest.raises(ValueError):
+            kron_factor(cx().to_matrix())
+
+
+class TestMakhlinAndWeyl:
+    def test_known_invariants(self):
+        assert np.allclose(makhlin_invariants(np.eye(4)), (1.0, 0.0, 3.0), atol=1e-9)
+        assert np.allclose(makhlin_invariants(cx().to_matrix()), (0.0, 0.0, 1.0), atol=1e-9)
+        assert np.allclose(makhlin_invariants(cz().to_matrix()), (0.0, 0.0, 1.0), atol=1e-9)
+        assert np.allclose(
+            makhlin_invariants(swap().to_matrix()), (-1.0, 0.0, -3.0), atol=1e-9
+        )
+
+    def test_invariants_are_local_invariant(self):
+        rng = np.random.default_rng(2)
+        target = random_unitary(4, rng)
+        locals_ = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        assert np.allclose(
+            makhlin_invariants(target),
+            makhlin_invariants(locals_ @ target),
+            atol=1e-8,
+        )
+
+    def test_weyl_coordinates_of_known_gates(self):
+        assert np.allclose(weyl_coordinates(np.eye(4)), (0, 0, 0), atol=1e-7)
+        assert np.allclose(
+            weyl_coordinates(cx().to_matrix()), (math.pi / 4, 0, 0), atol=1e-7
+        )
+        assert np.allclose(
+            weyl_coordinates(iswap().to_matrix()),
+            (math.pi / 4, math.pi / 4, 0),
+            atol=1e-7,
+        )
+        assert np.allclose(
+            weyl_coordinates(swap().to_matrix()),
+            (math.pi / 4, math.pi / 4, math.pi / 4),
+            atol=1e-7,
+        )
+
+
+class TestKak:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_unitary_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        target = random_unitary(4, rng)
+        decomposition = kak_decompose(target)
+        assert np.allclose(decomposition.reconstruct(), target, atol=1e-7)
+
+    @pytest.mark.parametrize(
+        "gate", [cx(), cz(), swap(), iswap()], ids=lambda g: g.name
+    )
+    def test_named_gates_roundtrip(self, gate):
+        decomposition = kak_decompose(gate.to_matrix())
+        assert np.allclose(decomposition.reconstruct(), gate.to_matrix(), atol=1e-7)
+
+    def test_local_gate_has_zero_interaction(self):
+        rng = np.random.default_rng(9)
+        local = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        decomposition = kak_decompose(local)
+        assert decomposition.interaction_strength() == pytest.approx(0.0, abs=1e-6)
+
+    def test_canonical_gate_matrix_is_unitary(self):
+        matrix = canonical_gate_matrix(0.3, 0.2, 0.1)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(4), atol=1e-12)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            kak_decompose(np.ones((4, 4)))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            kak_decompose(np.eye(2))
+
+
+class TestCanonicalSynthesis:
+    @pytest.mark.parametrize(
+        "coords",
+        [
+            (0.0, 0.0, 0.0),
+            (math.pi / 4, 0.0, 0.0),
+            (math.pi / 4, math.pi / 4, 0.0),
+            (math.pi / 4, math.pi / 4, math.pi / 4),
+            (0.3, 0.0, 0.0),
+            (0.3, 0.2, 0.0),
+            (0.3, 0.2, 0.1),
+            (0.3, 0.2, math.pi / 4),
+            (-0.3, 0.5, -0.1),
+            (1.9, -2.3, 0.7),
+        ],
+    )
+    def test_matches_canonical_matrix(self, coords):
+        circuit = synthesize_canonical(*coords)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(circuit), canonical_gate_matrix(*coords), atol=1e-7
+        )
+
+    def test_cz_counts_by_class(self):
+        assert cz_count(synthesize_canonical(0, 0, 0)) == 0
+        assert cz_count(synthesize_canonical(math.pi / 4, 0, 0)) == 1
+        assert cz_count(synthesize_canonical(math.pi / 4, math.pi / 4, 0)) == 2
+        assert cz_count(synthesize_canonical(0.31, 0.17, 0)) == 2
+        assert cz_count(synthesize_canonical(math.pi / 4, math.pi / 4, math.pi / 4)) == 3
+        assert cz_count(synthesize_canonical(0.31, 0.17, 0.05)) <= 4
+
+
+class TestTwoQubitDecomposition:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_unitaries(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        target = random_unitary(4, rng)
+        circuit = decompose_two_qubit(target)
+        assert allclose_up_to_global_phase(circuit_unitary(circuit), target, atol=1e-6)
+        assert cz_count(circuit) <= 4
+        for inst in circuit.instructions:
+            assert inst.name in ("cz", "h", "s", "sdg", "rx", "rz", "u3", "x", "y", "z",
+                                 "id", "t", "tdg")
+
+    def test_cnot_block_costs_one_cz(self):
+        circuit = decompose_two_qubit(cx().to_matrix())
+        assert cz_count(circuit) == 1
+
+    def test_swap_costs_three_cz(self):
+        circuit = decompose_two_qubit(swap().to_matrix())
+        assert cz_count(circuit) == 3
+
+    def test_two_cnot_block_costs_two_cz(self):
+        # CX . (Rx on control, Rz on target) . CX generates XX and ZZ content
+        # (a two-axis class), which the resynthesis covers with two CZ gates.
+        block = QuantumCircuit(2)
+        block.cx(0, 1).rx(0.4, 0).rz(0.7, 1).cx(0, 1)
+        circuit = decompose_two_qubit(circuit_unitary(block))
+        assert cz_count(circuit) == 2
+
+    def test_local_block_costs_zero_cz(self):
+        block = QuantumCircuit(2)
+        block.h(0).rz(0.3, 1)
+        circuit = decompose_two_qubit(circuit_unitary(block))
+        assert cz_count(circuit) == 0
+
+
+class TestMergeSingleQubitRuns:
+    def test_merges_adjacent_rotations(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.2, 0).rz(0.3, 0).cx(0, 1).h(1).h(1)
+        merged = merge_single_qubit_runs(circuit)
+        assert merged.two_qubit_gate_count() == 1
+        assert allclose_up_to_global_phase(
+            circuit_unitary(merged), circuit_unitary(circuit), atol=1e-8
+        )
+        # The two Hadamards cancel entirely.
+        assert all(inst.qubits != (1,) or inst.name != "h" for inst in merged)
+
+    def test_identity_runs_dropped(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0).x(0)
+        merged = merge_single_qubit_runs(circuit)
+        assert len(merged) == 0
+
+    def test_preserves_unitary_on_mixed_circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).t(0).cx(0, 1).s(1).sdg(1).h(0).cx(1, 0).rz(1.2, 0)
+        merged = merge_single_qubit_runs(circuit)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(merged), circuit_unitary(circuit), atol=1e-8
+        )
+        assert len(merged) <= len(circuit)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    a=st.floats(min_value=-1.5, max_value=1.5),
+    b=st.floats(min_value=-1.5, max_value=1.5),
+    c=st.floats(min_value=-1.5, max_value=1.5),
+)
+def test_property_canonical_synthesis_exact(a, b, c):
+    """synthesize_canonical reproduces exp(i(aXX+bYY+cZZ)) for arbitrary angles."""
+    circuit = synthesize_canonical(a, b, c)
+    assert allclose_up_to_global_phase(
+        circuit_unitary(circuit), canonical_gate_matrix(a, b, c), atol=1e-6
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_kak_roundtrip(seed):
+    """KAK decomposition reconstructs arbitrary random two-qubit unitaries."""
+    rng = np.random.default_rng(seed)
+    target = random_unitary(4, rng)
+    assert np.allclose(kak_decompose(target).reconstruct(), target, atol=1e-6)

@@ -1,0 +1,19 @@
+"""Smoke tests: the example scripts run end-to-end without errors."""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "spin_device_tour.py", "paper_example.py"],
+)
+def test_example_runs(script, capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 100

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: full pipeline on structured workloads."""
+
+import math
+
+import pytest
+
+from repro.circuits import allclose_up_to_global_phase, circuit_unitary
+from repro.core import (
+    DirectTranslationAdapter,
+    KakAdapter,
+    SatAdapter,
+    TemplateOptimizationAdapter,
+)
+from repro.hardware import spin_qubit_target
+from repro.simulator import DensityMatrixSimulator, hellinger_fidelity, measurement_probabilities
+from repro.workloads import (
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    qft_circuit,
+    quantum_volume_circuit,
+)
+
+
+class TestStructuredWorkloads:
+    @pytest.mark.parametrize("durations", ["D0", "D1"])
+    def test_ghz_adaptation_all_objectives(self, durations):
+        circuit = ghz_circuit(3)
+        target = spin_qubit_target(3, durations)
+        for objective in ("fidelity", "idle", "combined"):
+            result = SatAdapter(objective=objective, verify=True).adapt(circuit, target)
+            assert result.cost.gate_fidelity_product > 0.9
+            for instruction in result.adapted_circuit:
+                if len(instruction.qubits) == 2:
+                    assert target.supports(instruction.name)
+
+    def test_qft_adaptation_preserves_unitary(self):
+        # The QFT contains long-range gates; route it to the chain first so
+        # the comparison is against the routed (topology-compliant) circuit.
+        from repro.transpiler import route_circuit
+
+        target = spin_qubit_target(3)
+        routed = route_circuit(qft_circuit(3), target)
+        result = SatAdapter(objective="combined").adapt(routed, target)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(result.adapted_circuit), circuit_unitary(routed), atol=1e-6
+        )
+
+    def test_bernstein_vazirani_still_finds_secret_after_adaptation(self):
+        secret = "11"
+        circuit = bernstein_vazirani_circuit(secret)
+        target = spin_qubit_target(3)
+        result = SatAdapter(objective="fidelity").adapt(circuit, target)
+        probabilities = measurement_probabilities(result.adapted_circuit)
+        data_bits = {key[1:]: p for key, p in probabilities.items()}
+        mass_on_secret = sum(
+            p for key, p in probabilities.items() if key[1:] == secret[::-1] or key[1:] == secret
+        )
+        assert mass_on_secret == pytest.approx(1.0, abs=1e-6)
+
+    def test_quantum_volume_adaptation_runs_end_to_end(self):
+        circuit = quantum_volume_circuit(3, seed=2)
+        target = spin_qubit_target(3)
+        sat = SatAdapter(objective="combined").adapt(circuit, target)
+        direct = DirectTranslationAdapter().adapt(circuit, target)
+        assert sat.cost.gate_fidelity_product >= 0
+        assert allclose_up_to_global_phase(
+            circuit_unitary(sat.adapted_circuit), circuit_unitary(direct.adapted_circuit), atol=1e-5
+        )
+
+    def test_noisy_simulation_of_adapted_ghz(self):
+        circuit = ghz_circuit(3)
+        target = spin_qubit_target(3)
+        simulator = DensityMatrixSimulator(target)
+        direct = DirectTranslationAdapter().adapt(circuit, target)
+        sat = SatAdapter(objective="combined").adapt(circuit, target)
+        direct_result = simulator.run(direct.adapted_circuit, ideal_circuit=circuit)
+        sat_result = simulator.run(sat.adapted_circuit, ideal_circuit=circuit)
+        # Both adaptations stay close to the ideal GHZ distribution, and the
+        # SMT adaptation is not worse than the baseline.
+        assert direct_result.hellinger_fidelity > 0.8
+        assert sat_result.hellinger_fidelity >= direct_result.hellinger_fidelity - 0.02
+
+    def test_d1_timings_change_schedule_but_not_semantics(self):
+        circuit = ghz_circuit(4)
+        d0 = SatAdapter(objective="idle").adapt(circuit, spin_qubit_target(4, "D0"))
+        d1 = SatAdapter(objective="idle").adapt(circuit, spin_qubit_target(4, "D1"))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(d0.adapted_circuit), circuit_unitary(d1.adapted_circuit), atol=1e-5
+        ) or d0.adapted_circuit.count_ops() != d1.adapted_circuit.count_ops()
+        assert d1.cost.duration <= d0.cost.duration + 1e-6
+
+
+class TestTechniqueOrdering:
+    """The qualitative ordering of techniques reported by the evaluation."""
+
+    def test_kak_diabatic_worst_fidelity_on_cnot_chain(self):
+        circuit = ghz_circuit(4)
+        target = spin_qubit_target(4)
+        results = {
+            "direct": DirectTranslationAdapter().adapt(circuit, target),
+            "kak_czd": KakAdapter("cz_d").adapt(circuit, target),
+            "sat_f": SatAdapter(objective="fidelity").adapt(circuit, target),
+        }
+        fidelities = {name: r.cost.gate_fidelity_product for name, r in results.items()}
+        assert fidelities["sat_f"] >= fidelities["direct"] >= fidelities["kak_czd"]
+
+    def test_template_between_direct_and_sat_on_swap_heavy_circuit(self):
+        from repro.circuits import QuantumCircuit
+
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).swap(0, 1).swap(1, 2).cx(1, 2).swap(0, 1)
+        target = spin_qubit_target(3)
+        direct = DirectTranslationAdapter().adapt(circuit, target)
+        template = TemplateOptimizationAdapter("fidelity").adapt(circuit, target)
+        sat = SatAdapter(objective="fidelity").adapt(circuit, target)
+        assert (
+            sat.cost.gate_fidelity_product
+            >= template.cost.gate_fidelity_product
+            >= direct.cost.gate_fidelity_product
+        )

@@ -1,0 +1,253 @@
+"""Tests for routing, block collection, basis translation, scheduling, costs."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import QuantumCircuit, allclose_up_to_global_phase, circuit_unitary
+from repro.hardware import ibm_like_source_target, spin_qubit_target
+from repro.transpiler import (
+    analyze_cost,
+    asap_schedule,
+    block_dependency_graph,
+    collect_two_qubit_blocks,
+    route_circuit,
+    translate_to_basis,
+    trivial_layout,
+)
+from repro.transpiler.basis import translate_instruction_to_cz
+from repro.circuits.circuit import Instruction
+from repro.circuits import gates as glib
+from repro.workloads import random_template_circuit
+
+
+class TestRouting:
+    def test_already_routed_circuit_unchanged_content(self):
+        target = spin_qubit_target(3)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2)
+        routed = route_circuit(circuit, target)
+        assert routed.count_ops().get("swap", 0) == 0
+        assert routed.count_ops()["cx"] == 2
+
+    def test_swap_inserted_for_distant_pair(self):
+        target = spin_qubit_target(4)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        routed = route_circuit(circuit, target)
+        assert routed.count_ops().get("swap", 0) >= 1
+        for instruction in routed:
+            if len(instruction.qubits) == 2:
+                assert target.are_connected(*instruction.qubits)
+
+    def test_routing_preserves_semantics_up_to_permutation(self):
+        # On 3 qubits, verify the routed circuit equals the original followed
+        # by the permutation induced by the inserted swaps.
+        target = spin_qubit_target(3)
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 2).rz(0.3, 2)
+        routed = route_circuit(circuit, target)
+        # Undo the permutation by re-simulating: the sets of measurement
+        # probabilities (as multisets) must agree.
+        original = np.abs(circuit_unitary(circuit)[:, 0]) ** 2
+        routed_probs = np.abs(circuit_unitary(routed)[:, 0]) ** 2
+        assert sorted(np.round(original, 10)) == sorted(np.round(routed_probs, 10))
+
+    def test_layout_too_large_rejected(self):
+        target = spin_qubit_target(2)
+        circuit = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            trivial_layout(circuit, target)
+
+
+class TestBlockCollection:
+    def test_single_pair_circuit_is_one_block(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).rz(0.1, 1).cx(0, 1)
+        blocks = collect_two_qubit_blocks(circuit)
+        assert len(blocks) == 1
+        assert blocks[0].qubits == (0, 1)
+        assert len(blocks[0].instructions) == 4
+
+    def test_blocks_split_on_pair_change(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2).cx(0, 1)
+        blocks = collect_two_qubit_blocks(circuit)
+        assert [block.qubits for block in blocks] == [(0, 1), (1, 2), (0, 1)]
+
+    def test_single_qubit_gates_attach_to_open_block(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).h(1).h(2).cx(1, 2)
+        blocks = collect_two_qubit_blocks(circuit)
+        # h(1) joins the (0,1) block; h(2) is absorbed into the (1,2) block.
+        assert len(blocks) == 2
+        assert blocks[0].gate_names() == ["cx", "h"]
+        assert "h" in blocks[1].gate_names()
+
+    def test_lone_single_qubit_block(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(2).rz(0.3, 2).cx(0, 1)
+        blocks = collect_two_qubit_blocks(circuit)
+        kinds = {block.qubits for block in blocks}
+        assert (2,) in kinds
+        assert (0, 1) in kinds
+
+    def test_block_instructions_cover_circuit(self):
+        circuit = random_template_circuit(4, 40, seed=3)
+        blocks = collect_two_qubit_blocks(circuit)
+        total = sum(len(block.instructions) for block in blocks)
+        assert total == len(circuit)
+
+    def test_dependency_graph_is_acyclic_and_ordered(self):
+        import networkx as nx
+
+        circuit = random_template_circuit(4, 30, seed=5)
+        blocks = collect_two_qubit_blocks(circuit)
+        graph = block_dependency_graph(circuit, blocks)
+        assert nx.is_directed_acyclic_graph(graph)
+        assert set(graph.nodes) == {block.index for block in blocks}
+        for source, destination in graph.edges:
+            assert source < destination
+
+    def test_block_as_circuit_local_qubits(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(2, 3).rz(0.5, 3)
+        block = collect_two_qubit_blocks(circuit)[0]
+        local = block.as_circuit()
+        assert local.num_qubits == 2
+        assert local.instructions[0].qubits == (0, 1)
+
+
+class TestBasisTranslation:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda c: c.cx(0, 1),
+            lambda c: c.cy(0, 1),
+            lambda c: c.swap(0, 1),
+            lambda c: c.iswap(0, 1),
+            lambda c: c.cphase(0.7, 0, 1),
+            lambda c: c.crx(1.1, 0, 1),
+            lambda c: c.crot(math.pi, 0, 1),
+        ],
+    )
+    def test_translations_preserve_unitary(self, build):
+        circuit = QuantumCircuit(2)
+        build(circuit)
+        target = spin_qubit_target(2)
+        translated = translate_to_basis(circuit, target)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(translated), circuit_unitary(circuit), atol=1e-7
+        )
+        for instruction in translated:
+            if len(instruction.qubits) == 2:
+                # Foreign gates become CZ; already-native gates (e.g. CROT)
+                # are allowed to pass through unchanged.
+                assert target.supports(instruction.name)
+
+    def test_whole_circuit_translation(self):
+        circuit = random_template_circuit(3, 25, seed=1)
+        target = spin_qubit_target(3)
+        translated = translate_to_basis(circuit, target)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(translated), circuit_unitary(circuit), atol=1e-6
+        )
+
+    def test_unknown_gate_rejected(self):
+        instruction = Instruction(glib.iswap().with_name("mystery"), (0, 1))
+        with pytest.raises(KeyError):
+            translate_instruction_to_cz(instruction)
+
+
+class TestScheduling:
+    def test_serial_chain_duration(self):
+        target = spin_qubit_target(2)
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cz(0, 1).h(1)
+        schedule = asap_schedule(circuit, target)
+        assert schedule.total_duration == pytest.approx(30 + 152 + 30)
+
+    def test_parallel_gates_overlap(self):
+        target = spin_qubit_target(4)
+        circuit = QuantumCircuit(4)
+        circuit.cz(0, 1).cz(2, 3)
+        schedule = asap_schedule(circuit, target)
+        assert schedule.total_duration == pytest.approx(152)
+        assert schedule.total_idle_time == pytest.approx(0.0)
+
+    def test_idle_time_accounting(self):
+        target = spin_qubit_target(2)
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(0).cz(0, 1)
+        schedule = asap_schedule(circuit, target)
+        # Qubit 1 waits for the two Hadamards on qubit 0.
+        assert schedule.idle_time_per_qubit()[1] == pytest.approx(60.0)
+        assert schedule.total_idle_time == pytest.approx(60.0)
+
+    def test_idle_windows_match_total(self):
+        target = spin_qubit_target(3)
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cz(0, 1).h(2).cz(1, 2).cz(0, 1)
+        schedule = asap_schedule(circuit, target)
+        windows_total = sum(duration for _, __, duration in schedule.idle_windows())
+        assert windows_total == pytest.approx(schedule.total_idle_time)
+
+    def test_unused_qubits_not_counted_idle(self):
+        target = spin_qubit_target(4)
+        circuit = QuantumCircuit(4)
+        circuit.cz(0, 1)
+        schedule = asap_schedule(circuit, target)
+        assert 3 not in schedule.idle_time_per_qubit()
+        assert 2 not in schedule.idle_time_per_qubit()
+
+
+class TestCostAnalysis:
+    def test_fidelity_product(self):
+        target = spin_qubit_target(2)
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1).cz(0, 1)
+        cost = analyze_cost(circuit, target)
+        assert cost.gate_fidelity_product == pytest.approx(0.999**2)
+        assert cost.two_qubit_gate_count == 2
+
+    def test_idle_survival_matches_eq7(self):
+        target = spin_qubit_target(2)
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(0).cz(0, 1)
+        cost = analyze_cost(circuit, target)
+        assert cost.idle_survival_probability == pytest.approx(math.exp(-60.0 / 2900.0))
+
+    def test_combined_score(self):
+        target = spin_qubit_target(2)
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        cost = analyze_cost(circuit, target)
+        assert cost.combined_score == pytest.approx(
+            cost.gate_fidelity_product * cost.idle_survival_probability
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_blocks_partition_random_circuits(seed):
+    """Block collection partitions every instruction exactly once."""
+    circuit = random_template_circuit(4, 30, seed=seed)
+    blocks = collect_two_qubit_blocks(circuit)
+    assert sum(len(block.instructions) for block in blocks) == len(circuit)
+    for block in blocks:
+        for instruction in block.instructions:
+            assert set(instruction.qubits) <= set(block.qubits)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_property_basis_translation_preserves_unitary(seed):
+    """Direct basis translation never changes the computed unitary."""
+    circuit = random_template_circuit(3, 15, seed=seed)
+    target = spin_qubit_target(3)
+    translated = translate_to_basis(circuit, target)
+    assert allclose_up_to_global_phase(
+        circuit_unitary(translated), circuit_unitary(circuit), atol=1e-6
+    )

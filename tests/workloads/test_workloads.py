@@ -1,0 +1,112 @@
+"""Tests for workload generators (quantum volume, random templates, named)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import circuit_unitary
+from repro.simulator import measurement_probabilities
+from repro.workloads import (
+    WorkloadSpec,
+    bernstein_vazirani_circuit,
+    evaluation_suite,
+    ghz_circuit,
+    qft_circuit,
+    quantum_volume_circuit,
+    random_template_circuit,
+)
+
+
+class TestQuantumVolume:
+    def test_deterministic_given_seed(self):
+        first = quantum_volume_circuit(3, seed=7)
+        second = quantum_volume_circuit(3, seed=7)
+        assert first.to_text() == second.to_text()
+        third = quantum_volume_circuit(3, seed=8)
+        assert first.to_text() != third.to_text()
+
+    def test_depth_defaults_to_width(self):
+        circuit = quantum_volume_circuit(4)
+        # 4 layers x 2 pairs x 3 CX per SU(4).
+        assert circuit.count_ops()["cx"] == 4 * 2 * 3
+
+    def test_is_unitary_circuit(self):
+        circuit = quantum_volume_circuit(2, seed=3)
+        matrix = circuit_unitary(circuit)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(4), atol=1e-9)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            quantum_volume_circuit(1)
+
+
+class TestRandomTemplateCircuits:
+    def test_gate_vocabulary(self):
+        circuit = random_template_circuit(4, 120, seed=2)
+        allowed = {"cx", "cz", "swap", "h", "rx", "ry", "rz", "t", "x"}
+        assert set(circuit.count_ops()) <= allowed
+
+    def test_respects_chain_coupling(self):
+        circuit = random_template_circuit(4, 100, seed=4)
+        for instruction in circuit:
+            if len(instruction.qubits) == 2:
+                assert abs(instruction.qubits[0] - instruction.qubits[1]) == 1
+
+    def test_deterministic_given_seed(self):
+        assert (
+            random_template_circuit(3, 30, seed=9).to_text()
+            == random_template_circuit(3, 30, seed=9).to_text()
+        )
+
+    def test_depth_parameter_controls_size(self):
+        short = random_template_circuit(3, 10, seed=1)
+        long = random_template_circuit(3, 100, seed=1)
+        assert len(long) > len(short)
+
+
+class TestEvaluationSuite:
+    def test_contains_both_kinds(self):
+        suite = evaluation_suite(max_qubits=4, seeds=(0,))
+        kinds = {spec.kind for spec in suite}
+        assert kinds == {"qv", "random"}
+        assert all(spec.num_qubits <= 4 for spec in suite)
+        assert max(spec.depth for spec in suite) == 160
+
+    def test_spec_names_unique(self):
+        suite = evaluation_suite(max_qubits=4, seeds=(0, 1))
+        names = [spec.name for spec in suite]
+        assert len(names) == len(set(names))
+
+    def test_spec_dataclass(self):
+        spec = WorkloadSpec("qv", 3, 3, 0)
+        assert spec.name == "qv-q3-d3-s0"
+
+
+class TestNamedCircuits:
+    def test_ghz_distribution(self):
+        probabilities = measurement_probabilities(ghz_circuit(4))
+        assert probabilities == pytest.approx({"0000": 0.5, "1111": 0.5})
+
+    def test_qft_unitary_size(self):
+        circuit = qft_circuit(3)
+        matrix = circuit_unitary(circuit)
+        # QFT maps |0> to the uniform superposition.
+        assert np.allclose(np.abs(matrix[:, 0]) ** 2, np.full(8, 1 / 8), atol=1e-9)
+
+    def test_bernstein_vazirani_recovers_secret(self):
+        secret = "101"
+        circuit = bernstein_vazirani_circuit(secret)
+        probabilities = measurement_probabilities(circuit)
+        # The data qubits (0..2) hold the secret; qubit 3 is the ancilla in |->.
+        top = max(probabilities, key=probabilities.get)
+        assert top[-3:] == secret[::-1] or top[-3:] == secret
+        # Probability concentrated on the secret regardless of ancilla value.
+        mass = sum(p for key, p in probabilities.items() if key[1:] == secret[::-1] or key[1:] == secret)
+        assert mass == pytest.approx(1.0, abs=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(1)
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("")
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("102")
