@@ -1,11 +1,11 @@
 """Shared helpers for the per-figure benchmark harnesses.
 
 The evaluation sweep (all adaptation techniques over the workload suite) is
-computed once per pytest session and cached, so the Figure 5, 6 and 7
-benchmarks report different views of the same experiment without repeating
-the adaptation work.  Every harness writes its table to
-``benchmarks/results/`` and prints it, so the regenerated rows/series can be
-compared against the paper directly.
+computed once per pytest session through :func:`repro.compile_many` and
+cached, so the Figure 5, 6 and 7 benchmarks report different views of the
+same experiment without repeating the adaptation work.  Every harness
+writes its table to ``benchmarks/results/`` and prints it, so the
+regenerated rows/series can be compared against the paper directly.
 """
 
 from __future__ import annotations
@@ -14,17 +14,14 @@ import os
 from functools import lru_cache
 from typing import Dict, List
 
-from repro.core import (
-    DirectTranslationAdapter,
-    KakAdapter,
-    SatAdapter,
-    TemplateOptimizationAdapter,
-)
+import repro
+from repro.api import PAPER_TECHNIQUES
 from repro.hardware import spin_qubit_target
 from repro.simulator import DensityMatrixSimulator
 from repro.workloads import quantum_volume_circuit, random_template_circuit
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
 
 #: Workloads used by the Figure 5-7 harnesses.  The paper sweeps up to
 #: 4 qubits and depth 160; the default harness uses a scaled-down grid so the
@@ -47,33 +44,26 @@ def workload_grid():
     return grid
 
 
-def techniques():
-    """The adaptation techniques compared in Section V."""
-    return [
-        ("direct", DirectTranslationAdapter()),
-        ("kak", KakAdapter("cz")),
-        ("kak_czd", KakAdapter("cz_d")),
-        ("template_f", TemplateOptimizationAdapter("fidelity")),
-        ("template_r", TemplateOptimizationAdapter("idle")),
-        ("sat_f", SatAdapter(objective="fidelity")),
-        ("sat_r", SatAdapter(objective="idle")),
-        ("sat_p", SatAdapter(objective="combined")),
-    ]
+def techniques() -> List[str]:
+    """The adaptation technique registry keys compared in Section V."""
+    return list(PAPER_TECHNIQUES)
 
 
 @lru_cache(maxsize=None)
 def evaluation_sweep(durations: str = "D0") -> Dict[str, Dict[str, object]]:
     """Adapt every workload with every technique; cache per duration set.
 
-    Returns ``{workload: {technique: AdaptationResult}}``.
+    Returns ``{workload: {technique: AdaptationResult}}``.  Every result
+    carries its per-stage :class:`repro.pipeline.CompilationReport`.
     """
     results: Dict[str, Dict[str, object]] = {}
-    for name, circuit in workload_grid():
-        target = spin_qubit_target(max(2, circuit.num_qubits), durations)
-        per_technique: Dict[str, object] = {}
-        for technique_name, adapter in techniques():
-            per_technique[technique_name] = adapter.adapt(circuit, target)
-        results[name] = per_technique
+    grid = workload_grid()
+    for technique in techniques():
+        per_workload = repro.compile_many(
+            grid, technique=technique, durations=durations
+        )
+        for workload, result in per_workload.items():
+            results.setdefault(workload, {})[technique] = result
     return results
 
 

@@ -1,9 +1,14 @@
 """Ablations called out in DESIGN.md: objective choice and rule-set content."""
 
+import pytest
+
+import repro
 from benchmarks._common import write_table
-from repro.core import SatAdapter, standard_rules
+from repro.core import standard_rules
 from repro.hardware import spin_qubit_target
 from repro.workloads import random_template_circuit
+
+pytestmark = pytest.mark.slow
 
 
 def test_ablation_objectives(benchmark):
@@ -12,7 +17,8 @@ def test_ablation_objectives(benchmark):
     target = spin_qubit_target(4, "D0")
 
     def run(objective):
-        return SatAdapter(objective=objective).adapt(circuit, target)
+        return repro.compile(circuit, target, f"sat_{objective}",
+                             use_cache=False)
 
     fidelity_result = benchmark(run, "fidelity")
     idle_result = run("idle")
@@ -47,7 +53,7 @@ def test_ablation_rule_set(benchmark):
 
     def run(include_kak):
         rules = standard_rules(include_kak=include_kak)
-        return SatAdapter(objective="idle", rules=rules).adapt(circuit, target)
+        return repro.compile(circuit, target, "sat_r", rules=rules)
 
     with_kak = benchmark(run, True)
     without_kak = run(False)

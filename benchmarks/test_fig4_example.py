@@ -2,10 +2,10 @@
 
 from benchmarks._common import write_table
 from repro.circuits import QuantumCircuit
+import repro
 from repro.core import (
     AdaptationModel,
     OBJECTIVE_IDLE,
-    SatAdapter,
     evaluate_rules,
     preprocess,
     standard_rules,
@@ -68,5 +68,5 @@ def test_fig4_worked_example(benchmark):
     assert any(s.duration_delta < 0 for s in solution.chosen_substitutions)
 
     # End-to-end adaptation of the example with all three objectives.
-    result = SatAdapter(objective=OBJECTIVE_IDLE, verify=True).adapt(circuit, target)
+    result = repro.compile(circuit, target, technique="sat_r", verify=True)
     assert result.cost.duration <= result.baseline_cost.duration + 1e-6

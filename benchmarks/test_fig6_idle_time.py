@@ -2,10 +2,12 @@
 
 import pytest
 
+import repro
 from benchmarks._common import evaluation_sweep, techniques, write_table
-from repro.core import SatAdapter
 from repro.hardware import spin_qubit_target
 from repro.workloads import random_template_circuit
+
+pytestmark = pytest.mark.slow
 
 
 @pytest.mark.parametrize("durations", ["D0", "D1"])
@@ -13,10 +15,10 @@ def test_fig6_idle_time_decrease(benchmark, durations):
     """Regenerate the Fig. 6 series: relative idle-time decrease per technique."""
     circuit = random_template_circuit(3, 20, seed=0)
     target = spin_qubit_target(3, durations)
-    benchmark(SatAdapter(objective="idle").adapt, circuit, target)
+    benchmark(repro.compile, circuit, target, "sat_r", use_cache=False)
 
     sweep = evaluation_sweep(durations)
-    technique_names = [name for name, _ in techniques()]
+    technique_names = techniques()
     rows = []
     for workload, per_technique in sweep.items():
         baseline = per_technique["direct"].cost.total_idle_time

@@ -1,22 +1,26 @@
 """Figure 7: Hellinger fidelity change vs idle-time decrease (noisy simulation)."""
 
+import pytest
+
+import repro
 from benchmarks._common import evaluation_sweep, hellinger_sweep, techniques, write_table
-from repro.core import SatAdapter
 from repro.hardware import spin_qubit_target
 from repro.simulator import DensityMatrixSimulator
 from repro.workloads import random_template_circuit
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig7_hellinger_vs_idle(benchmark):
     """Regenerate the Fig. 7 scatter: (idle-time decrease, Hellinger change)."""
     circuit = random_template_circuit(3, 20, seed=0)
     target = spin_qubit_target(3, "D0")
-    adapted = SatAdapter(objective="combined").adapt(circuit, target).adapted_circuit
+    adapted = repro.compile(circuit, target, "sat_p").adapted_circuit
     benchmark(DensityMatrixSimulator(target).run, adapted)
 
     adaptation = evaluation_sweep("D0")
     hellinger = hellinger_sweep("D0")
-    technique_names = [name for name, _ in techniques()]
+    technique_names = techniques()
     rows = []
     for workload in adaptation:
         baseline_idle = adaptation[workload]["direct"].cost.total_idle_time

@@ -1,19 +1,16 @@
 """Noisy evaluation of adaptation techniques (a miniature Figure 5-7 run).
 
 Adapts a quantum-volume circuit and a random template circuit with every
-technique, then simulates each adapted circuit with the depolarizing +
-thermal-relaxation noise model and reports fidelity, idle time and Hellinger
-fidelity relative to direct basis translation.
+registered technique through :func:`repro.compile`, then simulates each
+adapted circuit with the depolarizing + thermal-relaxation noise model and
+reports fidelity, idle time and Hellinger fidelity relative to direct
+basis translation.
 
 Run with ``python examples/noisy_evaluation.py``.
 """
 
-from repro.core import (
-    DirectTranslationAdapter,
-    KakAdapter,
-    SatAdapter,
-    TemplateOptimizationAdapter,
-)
+import repro
+from repro.api import PAPER_TECHNIQUES
 from repro.hardware import spin_qubit_target
 from repro.simulator import DensityMatrixSimulator
 from repro.workloads import quantum_volume_circuit, random_template_circuit
@@ -22,35 +19,25 @@ from repro.workloads import quantum_volume_circuit, random_template_circuit
 def evaluate(circuit, durations="D0"):
     target = spin_qubit_target(max(2, circuit.num_qubits), durations)
     simulator = DensityMatrixSimulator(target)
-    techniques = [
-        ("direct", DirectTranslationAdapter()),
-        ("kak", KakAdapter("cz")),
-        ("kak_czd", KakAdapter("cz_d")),
-        ("template_f", TemplateOptimizationAdapter("fidelity")),
-        ("template_r", TemplateOptimizationAdapter("idle")),
-        ("sat_f", SatAdapter(objective="fidelity")),
-        ("sat_r", SatAdapter(objective="idle")),
-        ("sat_p", SatAdapter(objective="combined")),
-    ]
     results = {}
     reference = None
-    for name, adapter in techniques:
-        adaptation = adapter.adapt(circuit, target)
-        if name == "direct":
+    for technique in PAPER_TECHNIQUES:
+        adaptation = repro.compile(circuit, target, technique=technique)
+        if technique == "direct":
             reference = adaptation.adapted_circuit
         simulation = simulator.run(adaptation.adapted_circuit, ideal_circuit=reference)
-        results[name] = (adaptation, simulation)
+        results[technique] = (adaptation, simulation)
     return results
 
 
 def report(title, results):
     print(f"\n=== {title} ===")
-    print(f"{'technique':<12} {'fid. product':>12} {'idle [ns]':>10} {'Hellinger':>10}")
-    baseline_idle = results["direct"][0].cost.total_idle_time
+    print(f"{'technique':<12} {'fid. product':>12} {'idle [ns]':>10} {'Hellinger':>10} {'time [ms]':>10}")
     for name, (adaptation, simulation) in results.items():
         print(
             f"{name:<12} {adaptation.cost.gate_fidelity_product:>12.5f} "
-            f"{adaptation.cost.total_idle_time:>10.0f} {simulation.hellinger_fidelity:>10.4f}"
+            f"{adaptation.cost.total_idle_time:>10.0f} {simulation.hellinger_fidelity:>10.4f} "
+            f"{1e3 * adaptation.report.total_seconds:>10.1f}"
         )
     best = max(results, key=lambda name: results[name][1].hellinger_fidelity)
     print(f"best Hellinger fidelity: {best}")

@@ -8,16 +8,9 @@ produced by the three SMT objectives against the baselines.
 Run with ``python examples/paper_example.py``.
 """
 
+import repro
 from repro.circuits import QuantumCircuit
-from repro.core import (
-    DirectTranslationAdapter,
-    KakAdapter,
-    SatAdapter,
-    TemplateOptimizationAdapter,
-    evaluate_rules,
-    preprocess,
-    standard_rules,
-)
+from repro.core import evaluate_rules, preprocess, standard_rules
 from repro.hardware import spin_qubit_target
 
 
@@ -59,18 +52,18 @@ def main() -> None:
             f"log-fidelity delta {substitution.log_fidelity_delta:+.5f}"
         )
 
-    adapters = [
-        DirectTranslationAdapter(),
-        KakAdapter("cz"),
-        TemplateOptimizationAdapter("fidelity"),
-        TemplateOptimizationAdapter("idle"),
-        SatAdapter(objective="fidelity"),
-        SatAdapter(objective="idle"),
-        SatAdapter(objective="combined"),
+    techniques = [
+        "direct",
+        "kak_cz",
+        "template_f",
+        "template_r",
+        "sat_f",
+        "sat_r",
+        "sat_p",
     ]
     print("\n{:<18} {:>10} {:>12} {:>12}".format("technique", "fidelity", "duration", "idle time"))
-    for adapter in adapters:
-        result = adapter.adapt(circuit, target)
+    for technique in techniques:
+        result = repro.compile(circuit, target, technique=technique)
         print(
             f"{result.technique:<18} {result.cost.gate_fidelity_product:>10.5f} "
             f"{result.cost.duration:>10.0f}ns {result.cost.total_idle_time:>10.0f}ns"

@@ -3,14 +3,12 @@
 Run with ``python examples/quickstart.py``.
 """
 
-from repro.circuits import QuantumCircuit
-from repro.core import DirectTranslationAdapter, SatAdapter
-from repro.hardware import spin_qubit_target
+import repro
 
 
 def main() -> None:
     # A 3-qubit circuit written in the IBM (CNOT/SWAP) basis.
-    circuit = QuantumCircuit(3, name="quickstart")
+    circuit = repro.QuantumCircuit(3, name="quickstart")
     circuit.h(0)
     circuit.cx(0, 1)
     circuit.swap(1, 2)
@@ -20,12 +18,12 @@ def main() -> None:
     print(circuit.to_text())
 
     # The target: the Table I spin-qubit device (D0 timings).
-    target = spin_qubit_target(num_qubits=3, durations="D0")
+    target = repro.spin_qubit_target(num_qubits=3, durations="D0")
 
     # Baseline: direct basis translation (every foreign gate becomes CZ + 1q).
-    direct = DirectTranslationAdapter().adapt(circuit, target)
+    direct = repro.compile(circuit, target, technique="direct")
     # The paper's method: SMT-optimized adaptation with the combined objective.
-    sat = SatAdapter(objective="combined", verify=True).adapt(circuit, target)
+    sat = repro.compile(circuit, target, technique="sat_p", verify=True)
 
     print("\nAdapted circuit (SMT, combined objective):")
     print(sat.adapted_circuit.to_text())
@@ -42,6 +40,9 @@ def main() -> None:
     ]
     for name, direct_value, sat_value in rows:
         print(f"{name:<28} {direct_value:>12.4f} {sat_value:>12.4f}")
+
+    print("\nPer-stage compilation report (sat_p):")
+    print(sat.report.summary())
 
 
 if __name__ == "__main__":

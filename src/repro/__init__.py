@@ -1,0 +1,93 @@
+"""SAT/SMT-based adaptation of quantum circuits to spin-qubit hardware.
+
+A reproduction of Brandhofer, Kruppa, Neumann and Becker (DATE 2023):
+quantum circuits written in a superconducting-style basis (CNOT / CZ /
+SWAP + SU(2)) are adapted to the native gate set of a semiconducting
+spin-qubit device by globally selecting substitution rules through an
+optimizing SMT solver, trading off circuit fidelity (Eq. 8), qubit idle
+time (Eq. 9) or both (Eq. 10).
+
+The single front door is :func:`repro.compile`::
+
+    import repro
+
+    circuit = repro.QuantumCircuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.swap(1, 2)
+
+    target = repro.spin_qubit_target(3, "D0")
+    result = repro.compile(circuit, target, technique="sat_p")
+    print(result.cost.gate_fidelity_product, result.report.summary())
+
+Batch workloads go through :func:`repro.compile_many`; new techniques
+plug in with :func:`repro.register_technique`.  The layers underneath:
+
+* :mod:`repro.api` — facade, technique registry, compilation cache;
+* :mod:`repro.pipeline` — the instrumented pass pipeline (Fig. 2);
+* :mod:`repro.core` — preprocessing, substitution rules, the SMT model;
+* :mod:`repro.smt` / :mod:`repro.sat` — the pure-Python OMT solver stack;
+* :mod:`repro.hardware`, :mod:`repro.circuits`, :mod:`repro.transpiler`,
+  :mod:`repro.synthesis`, :mod:`repro.simulator`, :mod:`repro.workloads`.
+
+Top-level names are imported lazily, so ``import repro`` stays cheap.
+"""
+
+from typing import TYPE_CHECKING
+
+__version__ = "0.2.0"
+
+#: Lazily resolved top-level exports: name -> (module, attribute).
+_LAZY_EXPORTS = {
+    "compile": ("repro.api", "compile"),
+    "compile_many": ("repro.api", "compile_many"),
+    "register_technique": ("repro.api", "register_technique"),
+    "available_techniques": ("repro.api", "available_techniques"),
+    "clear_compilation_cache": ("repro.api", "clear_compilation_cache"),
+    "compilation_cache_info": ("repro.api", "compilation_cache_info"),
+    "UnknownTechniqueError": ("repro.api", "UnknownTechniqueError"),
+    "PAPER_TECHNIQUES": ("repro.api", "PAPER_TECHNIQUES"),
+    "Pipeline": ("repro.pipeline", "Pipeline"),
+    "CompilationReport": ("repro.pipeline", "CompilationReport"),
+    "AdaptationResult": ("repro.core", "AdaptationResult"),
+    "QuantumCircuit": ("repro.circuits", "QuantumCircuit"),
+    "spin_qubit_target": ("repro.hardware", "spin_qubit_target"),
+    "evaluation_suite": ("repro.workloads", "evaluation_suite"),
+}
+
+__all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy attribute access for the top-level exports."""
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static typing aid only
+    from repro.api import (
+        PAPER_TECHNIQUES,
+        UnknownTechniqueError,
+        available_techniques,
+        clear_compilation_cache,
+        compilation_cache_info,
+        compile,
+        compile_many,
+        register_technique,
+    )
+    from repro.circuits import QuantumCircuit
+    from repro.core import AdaptationResult
+    from repro.hardware import spin_qubit_target
+    from repro.pipeline import CompilationReport, Pipeline
+    from repro.workloads import evaluation_suite

@@ -1,0 +1,60 @@
+"""Public compilation API: the facade, the technique registry, the cache.
+
+Most users only need::
+
+    import repro
+
+    result = repro.compile(circuit, target, technique="sat_p")
+    batch = repro.compile_many(repro.workloads.evaluation_suite())
+
+See :mod:`repro.api.registry` for the technique keys and the
+:func:`register_technique` plugin hook, and :mod:`repro.pipeline` for the
+pass infrastructure underneath.
+"""
+
+from repro.api.cache import (
+    CacheInfo,
+    CompilationCache,
+    clear_compilation_cache,
+    compilation_cache_info,
+)
+from repro.api.compile import compile, compile_many
+from repro.api.fingerprints import (
+    cache_key,
+    circuit_hash,
+    options_fingerprint,
+    target_fingerprint,
+)
+from repro.api.registry import (
+    BUILTIN_TECHNIQUES,
+    PAPER_TECHNIQUES,
+    TechniqueSpec,
+    UnknownTechniqueError,
+    available_techniques,
+    is_builtin_spec,
+    register_technique,
+    resolve_technique,
+    unregister_technique,
+)
+
+__all__ = [
+    "compile",
+    "compile_many",
+    "register_technique",
+    "unregister_technique",
+    "resolve_technique",
+    "available_techniques",
+    "TechniqueSpec",
+    "UnknownTechniqueError",
+    "PAPER_TECHNIQUES",
+    "BUILTIN_TECHNIQUES",
+    "is_builtin_spec",
+    "circuit_hash",
+    "target_fingerprint",
+    "options_fingerprint",
+    "cache_key",
+    "CompilationCache",
+    "CacheInfo",
+    "clear_compilation_cache",
+    "compilation_cache_info",
+]

@@ -1,0 +1,101 @@
+"""Deterministic in-process cache of compilation results.
+
+Results are keyed by ``(circuit hash, target fingerprint, technique,
+options fingerprint)`` — see :mod:`repro.api.fingerprints`.  A cache hit
+returns a deep copy of the stored :class:`repro.core.AdaptationResult`
+with the report flagged ``cache_hit=True``, so callers can freely mutate
+what they get back without corrupting the cache.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+CacheKey = Tuple[str, str, str, str]
+
+
+@dataclass
+class CacheInfo:
+    """Hit/miss counters and current size of the compilation cache."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+
+class CompilationCache:
+    """A thread-safe result store with hit/miss accounting."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._entries: Dict[CacheKey, object] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Optional[CacheKey]):
+        """Return a detached copy of the cached result, or ``None``."""
+        if key is None:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+        result = copy.deepcopy(entry)
+        if result.report is not None:
+            result.report = result.report.as_cache_hit()
+        return result
+
+    def put(self, key: Optional[CacheKey], result) -> None:
+        """Store a result (detached copy) unless the key is uncacheable."""
+        if key is None:
+            return
+        with self._lock:
+            if len(self._entries) >= self.max_entries and key not in self._entries:
+                # Drop the oldest entry (insertion order) to bound memory.
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = copy.deepcopy(result)
+
+    def clear(self) -> None:
+        """Empty the cache and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def invalidate_technique(self, technique: str) -> int:
+        """Drop every entry compiled by ``technique``; returns the count.
+
+        Called when a technique key is re-registered or removed, so stale
+        results from the replaced pipeline can never be served.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[2] == technique]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def info(self) -> CacheInfo:
+        """Current hit/miss counters and size."""
+        with self._lock:
+            return CacheInfo(hits=self._hits, misses=self._misses,
+                             size=len(self._entries))
+
+
+#: The process-wide cache used by :func:`repro.compile`.
+GLOBAL_CACHE = CompilationCache()
+
+
+def clear_compilation_cache() -> None:
+    """Empty the process-wide compilation cache."""
+    GLOBAL_CACHE.clear()
+
+
+def compilation_cache_info() -> CacheInfo:
+    """Hit/miss counters and size of the process-wide compilation cache."""
+    return GLOBAL_CACHE.info()

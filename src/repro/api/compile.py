@@ -1,0 +1,277 @@
+"""The unified compilation facade: :func:`compile` and :func:`compile_many`.
+
+``repro.compile(circuit, target, technique="sat_p", **options)`` is the
+single front door to every adaptation technique of the paper (and to any
+technique plugged in through :func:`repro.api.register_technique`).  It
+
+1. resolves the technique key in the registry,
+2. consults the deterministic result cache keyed by (circuit hash, target
+   fingerprint, technique, options),
+3. on a miss, runs the technique's pass pipeline with per-stage
+   instrumentation, and
+4. returns an :class:`repro.core.AdaptationResult` whose ``report`` field
+   carries the :class:`repro.pipeline.CompilationReport`.
+
+``compile_many`` maps the same flow over a batch — plain circuits,
+``(name, circuit)`` pairs or :class:`repro.workloads.WorkloadSpec`
+entries — optionally fanning out over a process pool.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
+
+from repro.api.cache import GLOBAL_CACHE
+from repro.api.fingerprints import (
+    cache_key,
+    circuit_hash,
+    options_fingerprint,
+    target_fingerprint,
+)
+from repro.api.registry import is_builtin_spec, resolve_technique
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware.target import Target
+from repro.pipeline.report import CompilationReport
+
+BatchItem = Union[QuantumCircuit, Tuple[str, QuantumCircuit], "WorkloadSpec"]
+TargetLike = Union[Target, Callable[[QuantumCircuit], Target], None]
+
+
+def _effective_options(spec, options: Dict[str, object]) -> Dict[str, object]:
+    """Pin defaults that influence results, so the cache key covers them.
+
+    The SMT techniques' improvement-round cap defaults to the *mutable*
+    :data:`repro.core.model.DEFAULT_MAX_IMPROVEMENT_ROUNDS` (test fixtures
+    and the ``REPRO_MAX_IMPROVEMENT_ROUNDS`` environment variable change
+    it).  Resolving it here keeps cached results from outliving a changed
+    default.
+    """
+    from repro.core.model import DEFAULT_MAX_IMPROVEMENT_ROUNDS
+
+    options = dict(options)
+    if (
+        "max_improvement_rounds" in spec.option_names
+        and options.get("max_improvement_rounds") is None
+    ):
+        options["max_improvement_rounds"] = DEFAULT_MAX_IMPROVEMENT_ROUNDS
+    return options
+
+
+def compile(
+    circuit: QuantumCircuit,
+    target: Target,
+    technique: str = "sat_p",
+    *,
+    use_cache: bool = True,
+    **options: object,
+):
+    """Adapt ``circuit`` to ``target`` with the named technique.
+
+    Parameters
+    ----------
+    circuit:
+        The input circuit (any basis; it is routed and translated as
+        needed).
+    target:
+        The hardware target, e.g. :func:`repro.hardware.spin_qubit_target`.
+    technique:
+        Registry key or alias — one of ``sat_f``, ``sat_r``, ``sat_p``,
+        ``direct``, ``kak_cz``, ``kak_dcz``, ``template_f``,
+        ``template_r``, or a key added via
+        :func:`repro.api.register_technique`.
+    use_cache:
+        Consult/populate the deterministic compilation cache.  Results
+        with non-primitive options (e.g. a custom ``rules`` list) always
+        bypass the cache.
+    **options:
+        Technique options: ``merge_single_qubit_gates`` and ``verify``
+        for every technique; ``rules`` and ``max_improvement_rounds``
+        for the SMT techniques; ``rules`` for the template techniques.
+
+    Returns
+    -------
+    repro.core.AdaptationResult
+        The adapted circuit with costs, provenance and a per-stage
+        :class:`repro.pipeline.CompilationReport` in ``result.report``.
+    """
+    spec = resolve_technique(technique)
+    spec.validate_options(dict(options))
+    options = _effective_options(spec, options)
+
+    digest = circuit_hash(circuit)
+    fingerprint = target_fingerprint(target)
+    options_part = options_fingerprint(options)
+    key = (
+        (digest, fingerprint, spec.key, options_part)
+        if use_cache and options_part is not None
+        else None
+    )
+    if use_cache:
+        cached = GLOBAL_CACHE.get(key)
+        if cached is not None:
+            return cached
+
+    report = CompilationReport(
+        technique=spec.key,
+        circuit_name=circuit.name,
+        circuit_hash=digest,
+        target_fingerprint=fingerprint,
+        options=dict(options),
+    )
+    pipeline = spec.build_pipeline()
+    result = pipeline.run(circuit, target, technique=spec.key,
+                          options=options, report=report)
+    if use_cache:
+        GLOBAL_CACHE.put(key, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Batch compilation
+# ---------------------------------------------------------------------------
+def _materialize(item: BatchItem) -> Tuple[str, QuantumCircuit]:
+    """Normalize a batch item to a (name, circuit) pair."""
+    from repro.workloads import WorkloadSpec
+
+    if isinstance(item, QuantumCircuit):
+        return item.name, item
+    if isinstance(item, WorkloadSpec):
+        return item.name, _circuit_from_spec(item)
+    if isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], QuantumCircuit):
+        return str(item[0]), item[1]
+    raise TypeError(
+        f"cannot compile batch item {item!r}; expected a QuantumCircuit, "
+        "a (name, QuantumCircuit) pair or a WorkloadSpec"
+    )
+
+
+def _circuit_from_spec(spec) -> QuantumCircuit:
+    """Build the concrete circuit of a :class:`WorkloadSpec`."""
+    from repro.workloads import quantum_volume_circuit, random_template_circuit
+
+    if spec.kind == "qv":
+        return quantum_volume_circuit(spec.num_qubits, spec.depth, seed=spec.seed)
+    if spec.kind == "random":
+        return random_template_circuit(spec.num_qubits, spec.depth, seed=spec.seed)
+    raise ValueError(f"unknown workload kind {spec.kind!r}")
+
+
+def _resolve_target(target: TargetLike, circuit: QuantumCircuit,
+                    durations: str) -> Target:
+    """Pick the target for one batch entry."""
+    from repro.hardware import spin_qubit_target
+
+    if target is None:
+        return spin_qubit_target(max(2, circuit.num_qubits), durations)
+    if isinstance(target, Target):
+        return target
+    return target(circuit)
+
+
+def _compile_one(payload):
+    """Process-pool worker: compile one (name, circuit, target) entry."""
+    name, circuit, target, technique, use_cache, options = payload
+    result = compile(circuit, target, technique, use_cache=use_cache, **options)
+    return name, result
+
+
+def compile_many(
+    items: Iterable[BatchItem],
+    target: TargetLike = None,
+    technique: str = "sat_p",
+    *,
+    durations: str = "D0",
+    processes: Optional[int] = None,
+    use_cache: bool = True,
+    **options: object,
+) -> Dict[str, object]:
+    """Compile a batch of circuits, returning ``{name: AdaptationResult}``.
+
+    Parameters
+    ----------
+    items:
+        Circuits, ``(name, circuit)`` pairs, or
+        :class:`repro.workloads.WorkloadSpec` entries (e.g. the output of
+        :func:`repro.workloads.evaluation_suite`), which are materialized
+        deterministically from their seeds.
+    target:
+        A :class:`Target` used for every entry, a callable
+        ``circuit -> Target``, or ``None`` to use the Table I spin-qubit
+        target sized to each circuit.
+    durations:
+        Duration calibration (``"D0"`` or ``"D1"``) for the default
+        spin-qubit target; ignored when ``target`` is given.
+    processes:
+        When > 1, fan the batch out over a process pool of this size.
+        Each worker compiles independently; results (with their reports)
+        are merged back into the caller's cache.  Techniques registered
+        at runtime via :func:`repro.api.register_technique` exist only
+        in this process — those batches run serially regardless, since a
+        spawned worker re-imports a registry holding only the built-ins.
+    use_cache, **options:
+        Forwarded to :func:`compile`.
+
+    Duplicate names are disambiguated with a numeric suffix so no result
+    is silently dropped.
+    """
+    spec = resolve_technique(technique)
+    # Resolve mutable defaults once, so parent-side cache keys, worker
+    # compilations and the merged-back entries all agree.
+    effective = _effective_options(spec, dict(options))
+    payloads = []
+    seen: Dict[str, int] = {}
+    for item in items:
+        name, circuit = _materialize(item)
+        if name in seen:
+            seen[name] += 1
+            name = f"{name}#{seen[name]}"
+        else:
+            seen[name] = 0
+        resolved = _resolve_target(target, circuit, durations)
+        payloads.append((name, circuit, resolved, spec.key, use_cache, effective))
+
+    results: Dict[str, object] = {}
+    fan_out = (
+        processes is not None
+        and processes > 1
+        and len(payloads) > 1
+        # Plugin or overwritten techniques only exist in this process: a
+        # worker would re-import the stock registry and silently compile
+        # with the wrong pipeline.  See the docstring.
+        and is_builtin_spec(spec)
+    )
+    if fan_out:
+        # Serve what the parent's cache already has; dispatch only misses.
+        pending = []
+        for payload in payloads:
+            name, circuit, resolved, _key, _uc, opts = payload
+            cached = (
+                GLOBAL_CACHE.get(cache_key(circuit, resolved, spec.key, opts))
+                if use_cache
+                else None
+            )
+            if cached is not None:
+                results[name] = cached
+            else:
+                pending.append(payload)
+        if pending:
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                fresh = list(pool.map(_compile_one, pending))
+            for (name, circuit, resolved, _key, _uc, opts), (_name, result) in zip(
+                pending, fresh
+            ):
+                results[name] = result
+                if use_cache:
+                    # Merge worker results into this process's cache so
+                    # later calls hit.
+                    GLOBAL_CACHE.put(
+                        cache_key(circuit, resolved, spec.key, opts), result
+                    )
+        # Restore the input order the cache-hit partition disturbed.
+        results = {payload[0]: results[payload[0]] for payload in payloads}
+    else:
+        for payload in payloads:
+            name, result = _compile_one(payload)
+            results[name] = result
+    return results

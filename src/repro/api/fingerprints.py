@@ -1,0 +1,98 @@
+"""Deterministic fingerprints of circuits, targets and option sets.
+
+These feed the compilation cache key ``(circuit hash, target fingerprint,
+technique, options fingerprint)``.  All fingerprints are content-based and
+stable across processes, so batch workers and sequential runs agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware.target import Target
+
+#: Option value types that fingerprint deterministically.
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def circuit_hash(circuit: QuantumCircuit) -> str:
+    """Content hash of a circuit: width plus every (gate, qubits) pair.
+
+    The circuit *name* is deliberately excluded, so renamed but otherwise
+    identical circuits share cache entries.  Gate parameters and the exact
+    unitary matrix are included, distinguishing same-named custom gates.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"q{circuit.num_qubits}".encode())
+    for instruction in circuit.instructions:
+        gate = instruction.gate
+        digest.update(
+            f"|{gate.name};{gate.params!r};{instruction.qubits!r}".encode()
+        )
+        # Exact bytes, not repr: repr of an ndarray-backed matrix depends
+        # on the process-global numpy print options and can collide.
+        matrix = np.asarray(gate.matrix, dtype=complex)
+        digest.update(str(matrix.shape).encode())
+        digest.update(matrix.tobytes())
+    return digest.hexdigest()
+
+
+def target_fingerprint(target: Target) -> str:
+    """Deterministic fingerprint of a target calibration and topology."""
+    single = target.single_qubit_gates
+    parts = [
+        target.name,
+        f"q{target.num_qubits}",
+        f"su2:{single.duration!r}:{single.fidelity!r}",
+    ]
+    for name in sorted(target.two_qubit_gates):
+        properties = target.two_qubit_gates[name]
+        parts.append(f"{name}:{properties.duration!r}:{properties.fidelity!r}")
+    if target.coupling_map is None:
+        parts.append("coupling:all")
+    else:
+        pairs = sorted(tuple(sorted(pair)) for pair in target.coupling_map)
+        parts.append(f"coupling:{pairs!r}")
+    parts.append(f"t1:{target.t1!r}|t2:{target.t2!r}")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def options_fingerprint(options: Mapping[str, object]) -> Optional[str]:
+    """Fingerprint of an option mapping, or ``None`` when not cacheable.
+
+    Only primitive option values (and flat tuples of primitives) are
+    deterministic across runs; anything else — e.g. a custom ``rules``
+    list — makes the compilation bypass the cache.
+    """
+    items = []
+    for key in sorted(options):
+        value = options[key]
+        if isinstance(value, tuple) and all(isinstance(v, _PRIMITIVES) for v in value):
+            items.append((key, value))
+        elif isinstance(value, _PRIMITIVES):
+            items.append((key, value))
+        else:
+            return None
+    return repr(items)
+
+
+def cache_key(
+    circuit: QuantumCircuit,
+    target: Target,
+    technique: str,
+    options: Mapping[str, object],
+) -> Optional[Tuple[str, str, str, str]]:
+    """The full cache key, or ``None`` when the options are not cacheable."""
+    options_part = options_fingerprint(options)
+    if options_part is None:
+        return None
+    return (
+        circuit_hash(circuit),
+        target_fingerprint(target),
+        technique,
+        options_part,
+    )

@@ -1,5 +1,14 @@
 """SAT/SMT-based quantum circuit adaptation (the paper's contribution).
 
+.. note::
+   The public entry point is the unified facade :func:`repro.compile`
+   (with :func:`repro.compile_many` for batches): techniques are
+   addressed by registry keys (``"sat_p"``, ``"direct"``, ``"kak_cz"``,
+   ...) and run as the instrumented pass pipeline of
+   :mod:`repro.pipeline`.  The adapter classes exported here
+   (:class:`SatAdapter` and the baselines) are deprecated shims kept for
+   backwards compatibility.
+
 The adaptation flow follows Fig. 2 of the paper:
 
 1. **Preprocessing** (:mod:`repro.core.preprocessing`): the routed input

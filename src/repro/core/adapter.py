@@ -1,20 +1,29 @@
-"""The SAT/SMT-based circuit adapter and the adaptation result container."""
+"""The adaptation result container, substitution application, legacy shim.
+
+The class-per-technique API (:class:`SatAdapter` and the baseline adapters
+in :mod:`repro.core.baselines`) is deprecated: the single front door is
+now :func:`repro.compile`, which resolves string technique keys through
+:mod:`repro.api.registry` and runs the instrumented pass pipeline of
+:mod:`repro.pipeline`.  The legacy classes remain as thin shims that emit
+a :class:`DeprecationWarning` and delegate to the facade, returning
+identical :class:`AdaptationResult` objects.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.circuits.circuit import Instruction, QuantumCircuit
-from repro.circuits.unitary import allclose_up_to_global_phase, circuit_unitary
-from repro.core.model import AdaptationModel, ModelSolution, OBJECTIVE_COMBINED
-from repro.core.preprocessing import PreprocessedCircuit, preprocess
-from repro.core.rules import Substitution, SubstitutionRule, evaluate_rules, standard_rules
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.preprocessing import PreprocessedCircuit
+from repro.core.rules import Substitution, SubstitutionRule
 from repro.hardware.target import Target
-from repro.synthesis.single_qubit import merge_single_qubit_runs
 from repro.transpiler.basis import translate_instruction_to_cz
-from repro.transpiler.cost import CircuitCost, analyze_cost
-from repro.transpiler.routing import route_circuit
+from repro.transpiler.cost import CircuitCost
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.report import CompilationReport
 
 
 @dataclass
@@ -28,6 +37,8 @@ class AdaptationResult:
     chosen_substitutions: List[Substitution] = field(default_factory=list)
     objective_value: Optional[float] = None
     statistics: Dict[str, int] = field(default_factory=dict)
+    #: Per-stage instrumentation attached by :func:`repro.compile`.
+    report: Optional["CompilationReport"] = None
 
     # Convenience metrics used throughout the evaluation section -----------
     @property
@@ -91,8 +102,17 @@ def apply_substitutions(
     return adapted
 
 
+def _warn_deprecated(old: str, replacement: str) -> None:
+    """Emit the standard legacy-API deprecation warning."""
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class SatAdapter:
-    """Quantum circuit adaptation driven by the SMT model (Section IV).
+    """Deprecated shim over ``repro.compile(..., technique='sat_*')``.
 
     Parameters
     ----------
@@ -110,65 +130,60 @@ class SatAdapter:
 
     technique_name = "sat"
 
+    _TECHNIQUE_BY_OBJECTIVE = {
+        "fidelity": "sat_f",
+        "idle": "sat_r",
+        "combined": "sat_p",
+    }
+
     def __init__(
         self,
-        objective: str = OBJECTIVE_COMBINED,
+        objective: str = "combined",
         rules: Optional[Sequence[SubstitutionRule]] = None,
         merge_single_qubit_gates: bool = False,
         verify: bool = False,
-        max_improvement_rounds: int = 400,
+        max_improvement_rounds: Optional[int] = None,
     ) -> None:
+        if objective not in self._TECHNIQUE_BY_OBJECTIVE:
+            raise ValueError(
+                f"objective must be one of {tuple(self._TECHNIQUE_BY_OBJECTIVE)}"
+            )
+        _warn_deprecated(
+            "SatAdapter",
+            f"repro.compile(circuit, target, technique="
+            f"{self._TECHNIQUE_BY_OBJECTIVE[objective]!r})",
+        )
         self.objective = objective
-        self.rules = list(rules) if rules is not None else standard_rules()
+        self.rules = list(rules) if rules is not None else None
         self.merge_single_qubit_gates = merge_single_qubit_gates
         self.verify = verify
         self.max_improvement_rounds = max_improvement_rounds
+        # Canonical registry key, matching what adapt() reports.
+        self.technique_name = self._TECHNIQUE_BY_OBJECTIVE[objective]
 
     # ------------------------------------------------------------------
     def adapt(self, circuit: QuantumCircuit, target: Target) -> AdaptationResult:
-        """Adapt ``circuit`` to ``target`` and return the result with costs."""
-        routed = self._route_if_needed(circuit, target)
-        preprocessed = preprocess(routed, target)
-        substitutions = evaluate_rules(preprocessed, self.rules)
-        model = AdaptationModel(
-            preprocessed,
-            substitutions,
-            objective=self.objective,
-            max_improvement_rounds=self.max_improvement_rounds,
-        )
-        solution = model.solve()
-        adapted = apply_substitutions(preprocessed, solution.chosen_substitutions)
-        if self.merge_single_qubit_gates:
-            adapted = merge_single_qubit_runs(adapted)
-        if self.verify:
-            self._verify(routed, adapted)
-        baseline = preprocessed.reference_circuit()
-        return AdaptationResult(
-            technique=f"{self.technique_name}_{self.objective}",
-            adapted_circuit=adapted,
-            cost=analyze_cost(adapted, target),
-            baseline_cost=analyze_cost(baseline, target),
-            chosen_substitutions=solution.chosen_substitutions,
-            objective_value=solution.objective_value,
-            statistics=solution.statistics,
+        """Adapt ``circuit`` to ``target`` through the unified facade."""
+        from repro.api import compile as _compile
+
+        options: Dict[str, object] = {
+            "merge_single_qubit_gates": self.merge_single_qubit_gates,
+            "verify": self.verify,
+        }
+        if self.rules is not None:
+            options["rules"] = self.rules
+        if self.max_improvement_rounds is not None:
+            options["max_improvement_rounds"] = self.max_improvement_rounds
+        return _compile(
+            circuit,
+            target,
+            technique=self._TECHNIQUE_BY_OBJECTIVE[self.objective],
+            **options,
         )
 
     # ------------------------------------------------------------------
     @staticmethod
     def _route_if_needed(circuit: QuantumCircuit, target: Target) -> QuantumCircuit:
-        needs_routing = any(
-            len(instruction.qubits) == 2 and not target.are_connected(*instruction.qubits)
-            for instruction in circuit.instructions
-        )
-        if not needs_routing and circuit.num_qubits <= target.num_qubits:
-            return circuit
-        return route_circuit(circuit, target)
+        from repro.pipeline.passes import route_if_needed
 
-    @staticmethod
-    def _verify(reference: QuantumCircuit, adapted: QuantumCircuit) -> None:
-        if reference.num_qubits > 6:
-            return
-        if not allclose_up_to_global_phase(
-            circuit_unitary(adapted), circuit_unitary(reference), atol=1e-6
-        ):
-            raise RuntimeError("adapted circuit is not equivalent to the input circuit")
+        return route_if_needed(circuit, target)

@@ -1,100 +1,95 @@
-"""Baseline adaptation techniques the SMT approach is compared against.
+"""Deprecated baseline adapter classes (use :func:`repro.compile`).
 
-Three baselines mirror Section V of the paper:
+The three baselines of Section V now live in the technique registry:
 
-* :class:`DirectTranslationAdapter` -- direct basis translation: every
-  non-native two-qubit gate becomes CZ plus single-qubit gates.  This is
-  also the reference every other technique is normalized against.
-* :class:`KakAdapter` -- every two-qubit block is replaced by its KAK
-  resynthesis using CZ (or diabatic CZ) and single-qubit gates.
-* :class:`TemplateOptimizationAdapter` -- template optimization: the Fig. 3
-  substitution rules are applied greedily, one block and one template at a
-  time, keeping a substitution whenever it improves the local objective
-  (circuit fidelity or qubit idle time).  This captures the "only a local
-  solution can be determined for one template at a time" behaviour the
-  paper contrasts with the global SMT optimization.
+* ``technique="direct"`` -- direct basis translation: every non-native
+  two-qubit gate becomes CZ plus single-qubit gates (also the reference
+  every other technique is normalized against).
+* ``technique="kak_cz"`` / ``"kak_dcz"`` -- every two-qubit block replaced
+  by its KAK resynthesis using the adiabatic / diabatic CZ.
+* ``technique="template_f"`` / ``"template_r"`` -- greedy template
+  optimization with the fidelity / idle-time objective ("only a local
+  solution can be determined for one template at a time").
+
+The classes below are thin deprecation shims delegating to the facade;
+they return :class:`repro.core.AdaptationResult` objects identical to the
+facade's.  Note that ``result.technique`` (and each shim's
+``technique_name``) now reports the canonical registry key — e.g.
+``"kak_dcz"`` where the pre-facade classes said ``"kak_czd"``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.adapter import AdaptationResult, SatAdapter, apply_substitutions
-from repro.core.preprocessing import preprocess
-from repro.core.rules import (
-    KakDecompositionRule,
-    Substitution,
-    SubstitutionRule,
-    evaluate_rules,
-    standard_rules,
-)
+from repro.core.adapter import AdaptationResult, SatAdapter, _warn_deprecated
+from repro.core.rules import SubstitutionRule
 from repro.hardware.target import Target
-from repro.synthesis.single_qubit import merge_single_qubit_runs
-from repro.transpiler.cost import analyze_cost
+
+
+def _compile_with(circuit: QuantumCircuit, target: Target, technique: str,
+                  options: Dict[str, object]) -> AdaptationResult:
+    from repro.api import compile as _compile
+
+    return _compile(circuit, target, technique=technique, **options)
 
 
 class DirectTranslationAdapter:
-    """Adaptation by direct basis translation (the paper's baseline)."""
+    """Deprecated shim over ``repro.compile(..., technique='direct')``."""
 
     technique_name = "direct"
 
     def __init__(self, merge_single_qubit_gates: bool = False) -> None:
+        _warn_deprecated(
+            "DirectTranslationAdapter",
+            "repro.compile(circuit, target, technique='direct')",
+        )
         self.merge_single_qubit_gates = merge_single_qubit_gates
 
     def adapt(self, circuit: QuantumCircuit, target: Target) -> AdaptationResult:
         """Translate every foreign gate through the CZ equivalence library."""
-        routed = SatAdapter._route_if_needed(circuit, target)
-        preprocessed = preprocess(routed, target)
-        adapted = preprocessed.reference_circuit()
-        if self.merge_single_qubit_gates:
-            adapted = merge_single_qubit_runs(adapted)
-        cost = analyze_cost(adapted, target)
-        return AdaptationResult(
-            technique=self.technique_name,
-            adapted_circuit=adapted,
-            cost=cost,
-            baseline_cost=cost,
+        return _compile_with(
+            circuit,
+            target,
+            "direct",
+            {"merge_single_qubit_gates": self.merge_single_qubit_gates},
         )
 
 
 class KakAdapter:
-    """Adaptation by per-block KAK decomposition with (diabatic) CZ gates."""
+    """Deprecated shim over ``repro.compile(..., technique='kak_cz'/'kak_dcz')``."""
+
+    _TECHNIQUE_BY_CZ = {"cz": "kak_cz", "cz_d": "kak_dcz"}
 
     def __init__(self, cz_gate: str = "cz", merge_single_qubit_gates: bool = False) -> None:
+        if cz_gate not in self._TECHNIQUE_BY_CZ:
+            raise ValueError(f"cz_gate must be one of {tuple(self._TECHNIQUE_BY_CZ)}")
+        _warn_deprecated(
+            "KakAdapter",
+            f"repro.compile(circuit, target, technique="
+            f"{self._TECHNIQUE_BY_CZ[cz_gate]!r})",
+        )
         self.cz_gate = cz_gate
         self.merge_single_qubit_gates = merge_single_qubit_gates
-        self.technique_name = "kak" if cz_gate == "cz" else "kak_czd"
+        # Canonical registry key, matching what adapt() reports.
+        self.technique_name = self._TECHNIQUE_BY_CZ[cz_gate]
 
     def adapt(self, circuit: QuantumCircuit, target: Target) -> AdaptationResult:
         """Replace every two-qubit block by its KAK resynthesis."""
-        routed = SatAdapter._route_if_needed(circuit, target)
-        preprocessed = preprocess(routed, target)
-        substitutions = evaluate_rules(preprocessed, [KakDecompositionRule(self.cz_gate)])
-        adapted = apply_substitutions(preprocessed, substitutions)
-        if self.merge_single_qubit_gates:
-            adapted = merge_single_qubit_runs(adapted)
-        return AdaptationResult(
-            technique=self.technique_name,
-            adapted_circuit=adapted,
-            cost=analyze_cost(adapted, target),
-            baseline_cost=analyze_cost(preprocessed.reference_circuit(), target),
-            chosen_substitutions=list(substitutions),
+        return _compile_with(
+            circuit,
+            target,
+            self._TECHNIQUE_BY_CZ[self.cz_gate],
+            {"merge_single_qubit_gates": self.merge_single_qubit_gates},
         )
 
 
 class TemplateOptimizationAdapter:
-    """Greedy, per-template local optimization (the template baseline).
+    """Deprecated shim over ``repro.compile(..., technique='template_*')``."""
 
-    Parameters
-    ----------
-    objective:
-        ``"fidelity"`` keeps a substitution when it improves the block's
-        log-fidelity; ``"idle"`` keeps it when it reduces the block duration.
-    rules:
-        Substitution rules to try; defaults to the Fig. 3 set without the
-        KAK rule (template optimization works on circuit identities).
-    """
+    _TECHNIQUE_BY_OBJECTIVE = {"fidelity": "template_f", "idle": "template_r"}
 
     def __init__(
         self,
@@ -104,69 +99,45 @@ class TemplateOptimizationAdapter:
     ) -> None:
         if objective not in ("fidelity", "idle"):
             raise ValueError("objective must be 'fidelity' or 'idle'")
+        _warn_deprecated(
+            "TemplateOptimizationAdapter",
+            f"repro.compile(circuit, target, technique="
+            f"{self._TECHNIQUE_BY_OBJECTIVE[objective]!r})",
+        )
         self.objective = objective
-        self.rules = list(rules) if rules is not None else standard_rules(include_kak=False)
+        self.rules = list(rules) if rules is not None else None
         self.merge_single_qubit_gates = merge_single_qubit_gates
-        self.technique_name = f"template_{objective}"
-
-    # ------------------------------------------------------------------
-    def _is_improvement(self, substitution: Substitution) -> bool:
-        if self.objective == "fidelity":
-            return substitution.log_fidelity_delta > 1e-12
-        return substitution.duration_delta < -1e-9
-
-    def _local_score(self, substitution: Substitution) -> float:
-        if self.objective == "fidelity":
-            return substitution.log_fidelity_delta
-        return -substitution.duration_delta
+        # Canonical registry key, matching what adapt() reports.
+        self.technique_name = self._TECHNIQUE_BY_OBJECTIVE[objective]
 
     def adapt(self, circuit: QuantumCircuit, target: Target) -> AdaptationResult:
         """Apply the best locally-improving substitution per matched template."""
-        routed = SatAdapter._route_if_needed(circuit, target)
-        preprocessed = preprocess(routed, target)
-        substitutions = evaluate_rules(preprocessed, self.rules)
-
-        # Greedy, local selection: walk the matches block by block in match
-        # order; accept a substitution when it improves the local objective
-        # and does not overlap an already accepted one.
-        accepted: List[Substitution] = []
-        by_block: Dict[int, List[Substitution]] = {}
-        for substitution in substitutions:
-            by_block.setdefault(substitution.block_index, []).append(substitution)
-        for block_index in sorted(by_block):
-            taken: List[Substitution] = []
-            candidates = sorted(
-                by_block[block_index], key=self._local_score, reverse=True
-            )
-            for candidate in candidates:
-                if not self._is_improvement(candidate):
-                    continue
-                if any(candidate.conflicts_with(existing) for existing in taken):
-                    continue
-                taken.append(candidate)
-            accepted.extend(taken)
-
-        adapted = apply_substitutions(preprocessed, accepted)
-        if self.merge_single_qubit_gates:
-            adapted = merge_single_qubit_runs(adapted)
-        return AdaptationResult(
-            technique=self.technique_name,
-            adapted_circuit=adapted,
-            cost=analyze_cost(adapted, target),
-            baseline_cost=analyze_cost(preprocessed.reference_circuit(), target),
-            chosen_substitutions=accepted,
+        options: Dict[str, object] = {
+            "merge_single_qubit_gates": self.merge_single_qubit_gates,
+        }
+        if self.rules is not None:
+            options["rules"] = self.rules
+        return _compile_with(
+            circuit, target, self._TECHNIQUE_BY_OBJECTIVE[self.objective], options
         )
 
 
 def all_techniques(objectives: Sequence[str] = ("fidelity", "idle", "combined")) -> List[object]:
-    """Return one instance of every technique evaluated in Section V."""
-    adapters: List[object] = [
-        DirectTranslationAdapter(),
-        KakAdapter("cz"),
-        KakAdapter("cz_d"),
-        TemplateOptimizationAdapter("fidelity"),
-        TemplateOptimizationAdapter("idle"),
-    ]
-    for objective in objectives:
-        adapters.append(SatAdapter(objective=objective))
+    """Deprecated: one legacy adapter per Section V technique.
+
+    Prefer iterating :data:`repro.api.PAPER_TECHNIQUES` with
+    :func:`repro.compile`.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        adapters: List[object] = [
+            DirectTranslationAdapter(),
+            KakAdapter("cz"),
+            KakAdapter("cz_d"),
+            TemplateOptimizationAdapter("fidelity"),
+            TemplateOptimizationAdapter("idle"),
+        ]
+        for objective in objectives:
+            adapters.append(SatAdapter(objective=objective))
+    _warn_deprecated("all_techniques", "repro.api.PAPER_TECHNIQUES with repro.compile")
     return adapters

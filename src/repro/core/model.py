@@ -19,8 +19,11 @@ solver standing in for Z3).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
 
 from repro.core.preprocessing import PreprocessedCircuit
 from repro.core.rules import Substitution
@@ -35,6 +38,15 @@ OBJECTIVE_COMBINED = "combined"
 
 _OBJECTIVES = (OBJECTIVE_FIDELITY, OBJECTIVE_IDLE, OBJECTIVE_COMBINED)
 
+#: Default cap on OMT objective-strengthening rounds.  Resolved at model
+#: *build* time, so test fixtures can lower it globally (see
+#: ``tests/conftest.py``) without touching call sites.  Overridable via
+#: the ``REPRO_MAX_IMPROVEMENT_ROUNDS`` environment variable for batch /
+#: CI runs that trade optimality for wall time.
+DEFAULT_MAX_IMPROVEMENT_ROUNDS = int(
+    os.environ.get("REPRO_MAX_IMPROVEMENT_ROUNDS", "400")
+)
+
 
 @dataclass
 class ModelSolution:
@@ -44,7 +56,11 @@ class ModelSolution:
     objective_value: Optional[float]
     block_durations: Dict[int, float]
     block_log_fidelities: Dict[int, float]
+    #: Block start times: solver-assigned when the objective schedules
+    #: blocks (idle/combined), otherwise the ASAP critical-path schedule.
     block_start_times: Dict[int, float]
+    #: Circuit makespan: the solved schedule's makespan when available,
+    #: otherwise the critical path of the block dependency graph.
     total_duration: float
     statistics: Dict[str, int] = field(default_factory=dict)
 
@@ -57,7 +73,7 @@ class AdaptationModel:
         preprocessed: PreprocessedCircuit,
         substitutions: Sequence[Substitution],
         objective: str = OBJECTIVE_COMBINED,
-        max_improvement_rounds: int = 400,
+        max_improvement_rounds: Optional[int] = None,
     ) -> None:
         if objective not in _OBJECTIVES:
             raise ValueError(f"objective must be one of {_OBJECTIVES}")
@@ -70,7 +86,12 @@ class AdaptationModel:
     # ------------------------------------------------------------------
     def build(self) -> Optimize:
         """Construct the SMT model and return the underlying optimizer."""
-        optimizer = Optimize(max_improvement_rounds=self.max_improvement_rounds)
+        rounds = (
+            self.max_improvement_rounds
+            if self.max_improvement_rounds is not None
+            else DEFAULT_MAX_IMPROVEMENT_ROUNDS
+        )
+        optimizer = Optimize(max_improvement_rounds=rounds)
         blocks = self.preprocessed.blocks
         coherence_time = self.preprocessed.target.t2
 
@@ -189,9 +210,16 @@ class AdaptationModel:
         fidelities = {
             index: float(model.eval_linear(var)) for index, var in self._fidelity_vars.items()
         }
-        starts = {
-            index: float(model.eval_linear(var)) for index, var in self._start_vars.items()
-        }
+        if self._start_vars:
+            starts = {
+                index: float(model.eval_linear(var))
+                for index, var in self._start_vars.items()
+            }
+            total_duration = float(model.eval_linear(self._makespan))
+        else:
+            # The fidelity objective builds no schedule variables; derive
+            # the makespan from the critical path of the dependency graph.
+            starts, total_duration = self._critical_path_schedule(durations)
         try:
             objective_value: Optional[float] = float(self._objective_handle.value())
         except RuntimeError:
@@ -202,6 +230,25 @@ class AdaptationModel:
             block_durations=durations,
             block_log_fidelities=fidelities,
             block_start_times=starts,
-            total_duration=float(model.eval_linear(self._makespan)) if self._start_vars else 0.0,
+            total_duration=total_duration,
             statistics=optimizer.statistics(),
         )
+
+    # ------------------------------------------------------------------
+    def _critical_path_schedule(
+        self, durations: Dict[int, float]
+    ) -> Tuple[Dict[int, float], float]:
+        """ASAP schedule of the block dependency DAG for solved durations."""
+        graph = self.preprocessed.dependency_graph
+        starts: Dict[int, float] = {}
+        finish: Dict[int, float] = {}
+        for node in nx.topological_sort(graph):
+            start = max((finish[p] for p in graph.predecessors(node)), default=0.0)
+            starts[node] = start
+            finish[node] = start + durations.get(node, 0.0)
+        # Blocks absent from the graph (none in practice) still count.
+        for index, duration in durations.items():
+            if index not in finish:
+                starts[index] = 0.0
+                finish[index] = duration
+        return starts, max(finish.values(), default=0.0)

@@ -1,0 +1,60 @@
+"""Pass-pipeline infrastructure behind :func:`repro.compile`.
+
+The adaptation flow of the paper (Fig. 2) runs as eight named, reorderable
+passes — ``route``, ``preprocess``, ``evaluate_rules``, ``solve``,
+``apply``, ``merge_1q``, ``verify``, ``analyze_cost`` — each instrumented
+with wall-time and size counters collected into a
+:class:`CompilationReport`.  Techniques are pipelines with different rule
+factories and selection strategies; see :mod:`repro.api.registry` for the
+string-keyed technique registry built on top.
+"""
+
+from repro.pipeline.manager import Pipeline
+from repro.pipeline.passes import (
+    AnalyzeCostPass,
+    ApplyPass,
+    EvaluateRulesPass,
+    GreedySelection,
+    KakRules,
+    MergeSingleQubitPass,
+    Pass,
+    PassContext,
+    PreprocessPass,
+    RoutePass,
+    SelectAll,
+    SelectNone,
+    SmtSelection,
+    SolvePass,
+    VerifyPass,
+    no_rules,
+    route_if_needed,
+    sat_rules,
+    template_rules,
+)
+from repro.pipeline.report import CompilationReport, PassStats, merge_stage_seconds
+
+__all__ = [
+    "Pipeline",
+    "Pass",
+    "PassContext",
+    "RoutePass",
+    "PreprocessPass",
+    "EvaluateRulesPass",
+    "SolvePass",
+    "ApplyPass",
+    "MergeSingleQubitPass",
+    "VerifyPass",
+    "AnalyzeCostPass",
+    "SmtSelection",
+    "GreedySelection",
+    "SelectAll",
+    "SelectNone",
+    "KakRules",
+    "sat_rules",
+    "template_rules",
+    "no_rules",
+    "route_if_needed",
+    "CompilationReport",
+    "PassStats",
+    "merge_stage_seconds",
+]

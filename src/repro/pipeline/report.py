@@ -1,0 +1,105 @@
+"""Per-compilation instrumentation: stage statistics and the report.
+
+Every :class:`repro.pipeline.Pipeline` run produces one
+:class:`CompilationReport` describing what happened stage by stage: wall
+time, input/output sizes and solver counters.  The report is attached to
+the :class:`repro.core.AdaptationResult` returned by
+:func:`repro.compile`, so batch drivers can aggregate timing without
+re-instrumenting the flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """Statistics of one pipeline stage.
+
+    ``seconds`` is the wall time of the stage; ``counters`` holds
+    stage-specific sizes (gate counts, candidate counts, solver rounds...).
+    """
+
+    name: str
+    seconds: float
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{k}={v:g}" for k, v in self.counters.items())
+        return f"PassStats({self.name}, {1e3 * self.seconds:.2f}ms{', ' + rendered if rendered else ''})"
+
+
+@dataclass
+class CompilationReport:
+    """Provenance and per-stage statistics of one compilation.
+
+    Attributes
+    ----------
+    technique:
+        Canonical registry key of the technique that ran.
+    circuit_name, circuit_hash:
+        Identity of the input circuit (the hash is the cache key component).
+    target_fingerprint:
+        Deterministic fingerprint of the target calibration.
+    options:
+        The options the pipeline ran with (primitive values only).
+    stages:
+        One :class:`PassStats` per executed pass, in execution order.
+    cache_hit:
+        True when the result was served from the compilation cache (the
+        stages then describe the original, cached run).
+    """
+
+    technique: str
+    circuit_name: str
+    circuit_hash: str
+    target_fingerprint: str
+    options: Dict[str, object] = field(default_factory=dict)
+    stages: List[PassStats] = field(default_factory=list)
+    cache_hit: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall time over all stages."""
+        return sum(stage.seconds for stage in self.stages)
+
+    @property
+    def stage_names(self) -> List[str]:
+        """Names of the executed stages in order."""
+        return [stage.name for stage in self.stages]
+
+    def stage(self, name: str) -> PassStats:
+        """Return the statistics of the named stage."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage {name!r} in report (stages: {self.stage_names})")
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Mapping of stage name to wall time in seconds."""
+        return {stage.name: stage.seconds for stage in self.stages}
+
+    def as_cache_hit(self) -> "CompilationReport":
+        """A copy of this report flagged as served from the cache."""
+        return replace(self, cache_hit=True, stages=list(self.stages))
+
+    def summary(self) -> str:
+        """A small aligned text table of the per-stage timings."""
+        lines = [f"{'stage':<16} {'time [ms]':>10}  counters"]
+        for stage in self.stages:
+            rendered = ", ".join(f"{k}={v:g}" for k, v in stage.counters.items())
+            lines.append(f"{stage.name:<16} {1e3 * stage.seconds:>10.2f}  {rendered}")
+        lines.append(f"{'total':<16} {1e3 * self.total_seconds:>10.2f}  "
+                     f"technique={self.technique}, cache_hit={self.cache_hit}")
+        return "\n".join(lines)
+
+
+def merge_stage_seconds(reports: Mapping[str, "CompilationReport"]) -> Dict[str, float]:
+    """Aggregate stage timings over a batch of reports (for batch drivers)."""
+    totals: Dict[str, float] = {}
+    for report in reports.values():
+        for stage in report.stages:
+            totals[stage.name] = totals.get(stage.name, 0.0) + stage.seconds
+    return totals

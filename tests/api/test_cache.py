@@ -1,0 +1,142 @@
+"""Deterministic result caching: hits, isolation, invalidation by key."""
+
+import pytest
+
+import repro
+from repro.api import (
+    cache_key,
+    circuit_hash,
+    clear_compilation_cache,
+    compilation_cache_info,
+    options_fingerprint,
+    target_fingerprint,
+)
+from repro.core import standard_rules
+from repro.hardware import spin_qubit_target
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compilation_cache()
+    yield
+    clear_compilation_cache()
+
+
+def swap_circuit(name="cache_probe"):
+    circuit = repro.QuantumCircuit(2, name=name)
+    circuit.cx(0, 1)
+    circuit.swap(0, 1)
+    return circuit
+
+
+class TestCacheHits:
+    def test_second_compile_is_a_cache_hit_with_identical_result(self):
+        circuit = swap_circuit()
+        target = spin_qubit_target(2)
+        first = repro.compile(circuit, target, "sat_p")
+        second = repro.compile(circuit, target, "sat_p")
+        assert first.report.cache_hit is False
+        assert second.report.cache_hit is True
+        assert second.cost == first.cost
+        assert second.objective_value == first.objective_value
+        assert [s.identifier for s in second.chosen_substitutions] == [
+            s.identifier for s in first.chosen_substitutions
+        ]
+        info = compilation_cache_info()
+        assert info.hits == 1 and info.size == 1
+
+    def test_cached_result_is_detached_from_the_store(self):
+        circuit = swap_circuit()
+        target = spin_qubit_target(2)
+        repro.compile(circuit, target, "direct")
+        hit = repro.compile(circuit, target, "direct")
+        hit.adapted_circuit.h(0)  # caller-side mutation
+        clean = repro.compile(circuit, target, "direct")
+        assert len(clean.adapted_circuit) == len(hit.adapted_circuit) - 1
+
+    def test_renamed_circuit_shares_the_cache_entry(self):
+        target = spin_qubit_target(2)
+        repro.compile(swap_circuit("alpha"), target, "direct")
+        hit = repro.compile(swap_circuit("beta"), target, "direct")
+        assert hit.report.cache_hit is True
+
+
+class TestCacheKeying:
+    def test_different_technique_misses(self):
+        circuit = swap_circuit()
+        target = spin_qubit_target(2)
+        repro.compile(circuit, target, "sat_f")
+        other = repro.compile(circuit, target, "sat_r")
+        assert other.report.cache_hit is False
+
+    def test_different_target_calibration_misses(self):
+        circuit = swap_circuit()
+        repro.compile(circuit, spin_qubit_target(2, "D0"), "direct")
+        other = repro.compile(circuit, spin_qubit_target(2, "D1"), "direct")
+        assert other.report.cache_hit is False
+
+    def test_different_options_miss(self):
+        circuit = swap_circuit()
+        target = spin_qubit_target(2)
+        repro.compile(circuit, target, "direct")
+        merged = repro.compile(circuit, target, "direct",
+                               merge_single_qubit_gates=True)
+        assert merged.report.cache_hit is False
+
+    def test_gate_content_changes_the_hash(self):
+        first = swap_circuit()
+        second = swap_circuit()
+        second.rz(0.5, 0)
+        assert circuit_hash(first) != circuit_hash(second)
+        assert circuit_hash(first) == circuit_hash(swap_circuit())
+
+    def test_target_fingerprint_is_calibration_sensitive(self):
+        assert target_fingerprint(spin_qubit_target(2, "D0")) != target_fingerprint(
+            spin_qubit_target(2, "D1")
+        )
+        assert target_fingerprint(spin_qubit_target(2)) == target_fingerprint(
+            spin_qubit_target(2)
+        )
+
+    def test_non_primitive_options_bypass_the_cache(self):
+        assert options_fingerprint({"rules": standard_rules()}) is None
+        circuit = swap_circuit()
+        target = spin_qubit_target(2)
+        assert cache_key(circuit, target, "sat_p", {"rules": standard_rules()}) is None
+        first = repro.compile(circuit, target, "sat_p", rules=standard_rules())
+        second = repro.compile(circuit, target, "sat_p", rules=standard_rules())
+        assert first.report.cache_hit is False
+        assert second.report.cache_hit is False
+        assert second.cost == first.cost
+
+    def test_use_cache_false_bypasses(self):
+        circuit = swap_circuit()
+        target = spin_qubit_target(2)
+        repro.compile(circuit, target, "direct")
+        fresh = repro.compile(circuit, target, "direct", use_cache=False)
+        assert fresh.report.cache_hit is False
+
+    def test_alias_and_canonical_key_share_entries(self):
+        circuit = swap_circuit()
+        target = spin_qubit_target(2)
+        repro.compile(circuit, target, "kak")
+        hit = repro.compile(circuit, target, "kak_cz")
+        assert hit.report.cache_hit is True
+
+    def test_reregistration_invalidates_cached_results(self):
+        from repro.api import register_technique, resolve_technique
+        from repro.api import registry as registry_module
+
+        circuit = swap_circuit()
+        target = spin_qubit_target(2)
+        repro.compile(circuit, target, "direct")
+        spec = resolve_technique("direct")
+        try:
+            register_technique("direct", spec.pipeline_factory,
+                               description=spec.description, overwrite=True)
+            fresh = repro.compile(circuit, target, "direct")
+            assert fresh.report.cache_hit is False
+        finally:
+            # Restore the exact import-time spec object: builtin identity
+            # gates the process-pool fan-out tested elsewhere.
+            registry_module._REGISTRY["direct"] = spec

@@ -1,0 +1,172 @@
+"""Registry resolution: keys, aliases, errors, and the plugin hook."""
+
+import pytest
+
+import repro
+from repro.api import (
+    PAPER_TECHNIQUES,
+    UnknownTechniqueError,
+    available_techniques,
+    register_technique,
+    resolve_technique,
+    unregister_technique,
+)
+from repro.hardware import spin_qubit_target
+from repro.pipeline import Pipeline
+
+
+def small_circuit():
+    circuit = repro.QuantumCircuit(2, name="registry_probe")
+    circuit.cx(0, 1)
+    return circuit
+
+
+class TestResolution:
+    def test_all_paper_techniques_registered(self):
+        known = available_techniques()
+        assert set(PAPER_TECHNIQUES) <= set(known)
+        assert set(known) >= {
+            "sat_f", "sat_r", "sat_p", "direct",
+            "kak_cz", "kak_dcz", "template_f", "template_r",
+        }
+        for key, description in known.items():
+            assert description, f"technique {key} has no description"
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("kak", "kak_cz"),
+            ("kak_czd", "kak_dcz"),
+            ("sat", "sat_p"),
+            ("sat_combined", "sat_p"),
+            ("sat_fidelity", "sat_f"),
+            ("sat_idle", "sat_r"),
+            ("template_fidelity", "template_f"),
+            ("template_idle", "template_r"),
+        ],
+    )
+    def test_aliases_resolve_to_canonical_spec(self, alias, canonical):
+        assert resolve_technique(alias) is resolve_technique(canonical)
+
+    def test_unknown_key_raises_with_known_keys_listed(self):
+        with pytest.raises(UnknownTechniqueError) as excinfo:
+            resolve_technique("quantum_annealing")
+        message = str(excinfo.value)
+        assert "quantum_annealing" in message
+        assert "sat_p" in message
+
+    def test_unknown_technique_error_is_a_key_error(self):
+        assert issubclass(UnknownTechniqueError, KeyError)
+
+    def test_compile_surfaces_unknown_technique(self):
+        with pytest.raises(UnknownTechniqueError):
+            repro.compile(small_circuit(), spin_qubit_target(2), technique="nope")
+
+    def test_unknown_option_rejected_with_allowed_list(self):
+        with pytest.raises(TypeError, match="unexpected option"):
+            repro.compile(small_circuit(), spin_qubit_target(2), "direct",
+                          optimization_level=3)
+
+    def test_sat_only_options_rejected_for_direct(self):
+        with pytest.raises(TypeError):
+            repro.compile(small_circuit(), spin_qubit_target(2), "direct",
+                          max_improvement_rounds=5)
+
+
+class TestPluginHook:
+    def test_register_and_compile_custom_technique(self):
+        base = resolve_technique("direct")
+
+        def factory() -> Pipeline:
+            # Derive from the direct pipeline but drop the verify stage.
+            return base.build_pipeline().without("verify").renamed("direct_noverify")
+
+        register_technique(
+            "direct_noverify",
+            factory,
+            description="direct translation without the verify stage",
+            aliases=("dnv",),
+        )
+        try:
+            circuit = small_circuit()
+            target = spin_qubit_target(2)
+            result = repro.compile(circuit, target, "direct_noverify")
+            assert result.technique == "direct_noverify"
+            assert "verify" not in result.report.stage_names
+            reference = repro.compile(circuit, target, "direct")
+            assert result.cost == reference.cost
+            # The alias reaches the same registration.
+            assert resolve_technique("dnv").key == "direct_noverify"
+        finally:
+            unregister_technique("direct_noverify")
+        with pytest.raises(UnknownTechniqueError):
+            resolve_technique("direct_noverify")
+
+    def test_plugin_technique_batch_falls_back_to_serial(self):
+        """A runtime-registered technique only exists in this process, so a
+        processes>1 batch must still succeed (serial fallback)."""
+        base = resolve_technique("direct")
+        register_technique(
+            "direct_local", lambda: base.build_pipeline().renamed("direct_local"),
+            description="process-local plugin",
+        )
+        try:
+            results = repro.compile_many(
+                [small_circuit(), ("b", small_circuit())],
+                technique="direct_local",
+                processes=2,
+            )
+            assert len(results) == 2
+            assert all(r.technique == "direct_local" for r in results.values())
+        finally:
+            unregister_technique("direct_local")
+
+    def test_duplicate_registration_rejected_without_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_technique("direct", lambda: None)
+
+    def test_overwrite_allows_replacing(self):
+        from repro.api import registry as registry_module
+
+        spec = resolve_technique("direct")
+        try:
+            replacement = register_technique(
+                "direct", spec.pipeline_factory, description="replaced",
+                overwrite=True,
+            )
+            assert resolve_technique("direct") is replacement
+        finally:
+            # Restore the exact import-time spec object: builtin identity
+            # gates the process-pool fan-out tested elsewhere.
+            registry_module._REGISTRY["direct"] = spec
+
+    def test_overwriting_an_alias_key_detaches_it(self):
+        """Re-registering under an alias makes it a canonical key of its
+        own; the alias's old target keeps its registration."""
+        from repro.api import registry as registry_module
+
+        original = resolve_technique("kak_cz")
+        base = resolve_technique("direct")
+        try:
+            replacement = register_technique(
+                "kak", lambda: base.build_pipeline().renamed("kak"),
+                description="detached alias", overwrite=True,
+            )
+            assert resolve_technique("kak") is replacement
+            assert resolve_technique("kak_cz") is original
+        finally:
+            registry_module._REGISTRY.pop("kak", None)
+            registry_module._ALIASES["kak"] = "kak_cz"
+
+    def test_alias_cannot_hijack_existing_technique_even_with_overwrite(self):
+        with pytest.raises(ValueError, match="shadow"):
+            register_technique(
+                "my_direct", lambda: None, aliases=("direct",), overwrite=True,
+            )
+        with pytest.raises(ValueError, match="shadow"):
+            register_technique(
+                "my_direct", lambda: None, aliases=("kak",), overwrite=True,
+            )
+        # The failed registrations must not leave partial state behind.
+        with pytest.raises(UnknownTechniqueError):
+            resolve_technique("my_direct")

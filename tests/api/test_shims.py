@@ -1,0 +1,105 @@
+"""The legacy adapter classes: deprecation warnings + identical results."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core import (
+    DirectTranslationAdapter,
+    KakAdapter,
+    SatAdapter,
+    TemplateOptimizationAdapter,
+)
+from repro.core.baselines import all_techniques
+from repro.hardware import spin_qubit_target
+
+
+def probe_circuit():
+    circuit = repro.QuantumCircuit(3, name="shim_probe")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.swap(1, 2)
+    circuit.cx(0, 1)
+    circuit.rz(0.25, 2)
+    return circuit
+
+
+#: (constructor, kwargs, equivalent registry key)
+SHIM_CASES = [
+    (DirectTranslationAdapter, {}, "direct"),
+    (KakAdapter, {"cz_gate": "cz"}, "kak_cz"),
+    (KakAdapter, {"cz_gate": "cz_d"}, "kak_dcz"),
+    (TemplateOptimizationAdapter, {"objective": "fidelity"}, "template_f"),
+    (TemplateOptimizationAdapter, {"objective": "idle"}, "template_r"),
+    (SatAdapter, {"objective": "fidelity"}, "sat_f"),
+    (SatAdapter, {"objective": "idle"}, "sat_r"),
+    (SatAdapter, {"objective": "combined"}, "sat_p"),
+]
+
+
+class TestDeprecationWarnings:
+    @pytest.mark.parametrize("constructor, kwargs, key", SHIM_CASES)
+    def test_construction_warns_and_names_the_replacement(self, constructor, kwargs, key):
+        with pytest.warns(DeprecationWarning, match=key):
+            constructor(**kwargs)
+
+    def test_all_techniques_warns(self):
+        with pytest.warns(DeprecationWarning, match="PAPER_TECHNIQUES"):
+            adapters = all_techniques()
+        assert len(adapters) == 8
+
+    def test_invalid_template_objective_still_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateOptimizationAdapter("speed")
+
+    def test_invalid_sat_objective_rejected(self):
+        with pytest.raises(ValueError):
+            SatAdapter(objective="speed")
+
+    def test_invalid_kak_gate_rejected(self):
+        with pytest.raises(ValueError):
+            KakAdapter("cx")
+
+
+class TestShimResultParity:
+    @pytest.mark.parametrize("constructor, kwargs, key", SHIM_CASES)
+    def test_shim_matches_facade_result(self, constructor, kwargs, key):
+        circuit = probe_circuit()
+        target = spin_qubit_target(3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = constructor(**kwargs).adapt(circuit, target)
+        facade = repro.compile(circuit, target, technique=key, use_cache=False)
+        assert legacy.technique == facade.technique == key
+        assert legacy.cost == facade.cost
+        assert legacy.baseline_cost == facade.baseline_cost
+        assert legacy.objective_value == facade.objective_value
+        assert [s.identifier for s in legacy.chosen_substitutions] == [
+            s.identifier for s in facade.chosen_substitutions
+        ]
+        assert legacy.adapted_circuit.count_ops() == facade.adapted_circuit.count_ops()
+
+    def test_shim_result_carries_a_report(self):
+        circuit = probe_circuit()
+        target = spin_qubit_target(3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = DirectTranslationAdapter().adapt(circuit, target)
+        assert result.report is not None
+        assert result.report.stage_names[0] == "route"
+
+    def test_shim_forwards_options(self):
+        circuit = probe_circuit()
+        target = spin_qubit_target(3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            merged = SatAdapter(
+                objective="combined", merge_single_qubit_gates=True, verify=True
+            ).adapt(circuit, target)
+        facade = repro.compile(
+            circuit, target, "sat_p",
+            merge_single_qubit_gates=True, verify=True, use_cache=False,
+        )
+        assert merged.cost == facade.cost
+        assert merged.report.options["merge_single_qubit_gates"] is True

@@ -1,0 +1,21 @@
+"""Shared test fixtures: keep the default (fast) tier fast.
+
+The OMT objective-strengthening loop is capped during tests: the circuits
+exercised here are small enough that the optimum is found in well under
+this many rounds, and a runaway model fails fast instead of hanging the
+suite.  Benchmarks (``benchmarks/``) run with the production default.
+"""
+
+import pytest
+
+from repro.core import model as model_module
+
+#: Round cap applied to every test compilation (production default: 400).
+TEST_MAX_IMPROVEMENT_ROUNDS = 150
+
+
+@pytest.fixture(autouse=True)
+def _capped_improvement_rounds(monkeypatch):
+    monkeypatch.setattr(
+        model_module, "DEFAULT_MAX_IMPROVEMENT_ROUNDS", TEST_MAX_IMPROVEMENT_ROUNDS
+    )

@@ -1,26 +1,26 @@
-"""End-to-end tests of the SMT adaptation, the baselines and the paper example."""
+"""End-to-end tests of the SMT adaptation, the baselines and the paper example.
+
+All compilations go through the unified :func:`repro.compile` facade; the
+legacy adapter-class shims are exercised in ``tests/api/test_shims.py``.
+"""
 
 import math
 
 import pytest
 
+import repro
 from repro.circuits import QuantumCircuit, allclose_up_to_global_phase, circuit_unitary
 from repro.core import (
     AdaptationModel,
-    DirectTranslationAdapter,
-    KakAdapter,
     OBJECTIVE_COMBINED,
     OBJECTIVE_FIDELITY,
     OBJECTIVE_IDLE,
-    SatAdapter,
-    TemplateOptimizationAdapter,
     evaluate_rules,
     preprocess,
     standard_rules,
 )
 from repro.hardware import spin_qubit_target
 from repro.workloads import ghz_circuit, random_template_circuit
-
 
 def paper_like_example_circuit():
     """A 3-qubit circuit in the IBM basis with CNOT and SWAP structure
@@ -37,12 +37,12 @@ def paper_like_example_circuit():
     return circuit
 
 
-class TestSatAdapter:
+class TestSatTechniques:
     @pytest.mark.parametrize("objective", [OBJECTIVE_FIDELITY, OBJECTIVE_IDLE, OBJECTIVE_COMBINED])
     def test_adaptation_preserves_unitary(self, objective):
         circuit = paper_like_example_circuit()
         target = spin_qubit_target(3)
-        result = SatAdapter(objective=objective, verify=True).adapt(circuit, target)
+        result = repro.compile(circuit, target, f"sat_{objective}", verify=True)
         assert allclose_up_to_global_phase(
             circuit_unitary(result.adapted_circuit), circuit_unitary(circuit), atol=1e-6
         )
@@ -50,7 +50,7 @@ class TestSatAdapter:
     def test_native_gates_only(self):
         circuit = paper_like_example_circuit()
         target = spin_qubit_target(3)
-        result = SatAdapter(objective=OBJECTIVE_COMBINED).adapt(circuit, target)
+        result = repro.compile(circuit, target, "sat_p")
         for instruction in result.adapted_circuit:
             if len(instruction.qubits) == 2:
                 assert target.supports(instruction.name), instruction
@@ -58,15 +58,15 @@ class TestSatAdapter:
     def test_fidelity_objective_never_worse_than_baseline(self):
         circuit = paper_like_example_circuit()
         target = spin_qubit_target(3)
-        result = SatAdapter(objective=OBJECTIVE_FIDELITY).adapt(circuit, target)
+        result = repro.compile(circuit, target, "sat_f")
         assert result.cost.gate_fidelity_product >= result.baseline_cost.gate_fidelity_product - 1e-12
         assert result.fidelity_change >= -1e-12
 
     def test_idle_objective_reduces_idle_time(self):
         circuit = paper_like_example_circuit()
         target = spin_qubit_target(3)
-        direct = DirectTranslationAdapter().adapt(circuit, target)
-        sat_idle = SatAdapter(objective=OBJECTIVE_IDLE).adapt(circuit, target)
+        direct = repro.compile(circuit, target, "direct")
+        sat_idle = repro.compile(circuit, target, "sat_r")
         assert sat_idle.cost.total_idle_time <= direct.cost.total_idle_time + 1e-9
         assert sat_idle.idle_time_decrease >= -1e-12
 
@@ -76,10 +76,10 @@ class TestSatAdapter:
         circuit = QuantumCircuit(2)
         circuit.swap(0, 1)
         target = spin_qubit_target(2)
-        result = SatAdapter(objective=OBJECTIVE_IDLE).adapt(circuit, target)
+        result = repro.compile(circuit, target, "sat_r")
         names = [s.rule_name for s in result.chosen_substitutions]
         assert any(name in ("swap_d", "swap_c", "kak") for name in names)
-        assert result.cost.duration < DirectTranslationAdapter().adapt(circuit, target).cost.duration
+        assert result.cost.duration < repro.compile(circuit, target, "direct").cost.duration
 
     def test_fidelity_objective_prefers_composite_swap(self):
         """swap_c has the same fidelity as CZ but far fewer gates, so the
@@ -87,14 +87,14 @@ class TestSatAdapter:
         circuit = QuantumCircuit(2)
         circuit.swap(0, 1)
         target = spin_qubit_target(2)
-        result = SatAdapter(objective=OBJECTIVE_FIDELITY).adapt(circuit, target)
+        result = repro.compile(circuit, target, "sat_f")
         assert any(s.rule_name == "swap_c" for s in result.chosen_substitutions)
 
     def test_adapter_routes_when_needed(self):
         circuit = QuantumCircuit(4)
         circuit.cx(0, 3)
         target = spin_qubit_target(4)
-        result = SatAdapter(objective=OBJECTIVE_FIDELITY).adapt(circuit, target)
+        result = repro.compile(circuit, target, "sat_f")
         for instruction in result.adapted_circuit:
             if len(instruction.qubits) == 2:
                 assert target.are_connected(*instruction.qubits)
@@ -102,7 +102,7 @@ class TestSatAdapter:
     def test_statistics_populated(self):
         circuit = ghz_circuit(3)
         target = spin_qubit_target(3)
-        result = SatAdapter(objective=OBJECTIVE_FIDELITY).adapt(circuit, target)
+        result = repro.compile(circuit, target, "sat_f")
         assert "theory_checks" in result.statistics
         assert result.objective_value is not None
 
@@ -161,7 +161,7 @@ class TestBaselines:
     def test_direct_translation_uses_only_cz(self):
         circuit = paper_like_example_circuit()
         target = spin_qubit_target(3)
-        result = DirectTranslationAdapter().adapt(circuit, target)
+        result = repro.compile(circuit, target, "direct")
         for instruction in result.adapted_circuit:
             if len(instruction.qubits) == 2:
                 assert instruction.name == "cz"
@@ -173,7 +173,7 @@ class TestBaselines:
     def test_kak_adapter_equivalence_and_basis(self, cz_gate):
         circuit = paper_like_example_circuit()
         target = spin_qubit_target(3)
-        result = KakAdapter(cz_gate).adapt(circuit, target)
+        result = repro.compile(circuit, target, {"cz": "kak_cz", "cz_d": "kak_dcz"}[cz_gate])
         assert allclose_up_to_global_phase(
             circuit_unitary(result.adapted_circuit), circuit_unitary(circuit), atol=1e-6
         )
@@ -187,14 +187,14 @@ class TestBaselines:
         gate-fidelity product (the paper's Fig. 5 observation)."""
         circuit = paper_like_example_circuit()
         target = spin_qubit_target(3)
-        kak_czd = KakAdapter("cz_d").adapt(circuit, target)
+        kak_czd = repro.compile(circuit, target, "kak_dcz")
         assert kak_czd.cost.gate_fidelity_product < kak_czd.baseline_cost.gate_fidelity_product
 
     @pytest.mark.parametrize("objective", ["fidelity", "idle"])
     def test_template_optimizer_equivalence(self, objective):
         circuit = paper_like_example_circuit()
         target = spin_qubit_target(3)
-        result = TemplateOptimizationAdapter(objective).adapt(circuit, target)
+        result = repro.compile(circuit, target, {"fidelity": "template_f", "idle": "template_r"}[objective])
         assert allclose_up_to_global_phase(
             circuit_unitary(result.adapted_circuit), circuit_unitary(circuit), atol=1e-6
         )
@@ -202,15 +202,52 @@ class TestBaselines:
     def test_template_optimizer_never_hurts_its_objective(self):
         circuit = paper_like_example_circuit()
         target = spin_qubit_target(3)
-        fidelity_result = TemplateOptimizationAdapter("fidelity").adapt(circuit, target)
+        fidelity_result = repro.compile(circuit, target, "template_f")
         assert (
             fidelity_result.cost.gate_fidelity_product
             >= fidelity_result.baseline_cost.gate_fidelity_product - 1e-12
         )
 
-    def test_invalid_template_objective_rejected(self):
-        with pytest.raises(ValueError):
-            TemplateOptimizationAdapter("speed")
+    def test_invalid_technique_key_rejected(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        with pytest.raises(repro.UnknownTechniqueError):
+            repro.compile(circuit, spin_qubit_target(2), technique="speed")
+
+    def test_fidelity_objective_reports_critical_path_duration(self):
+        """Without schedule variables (Eq. 8), the makespan is the critical
+        path of the block dependency graph, not 0.0."""
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2).cx(0, 1)
+        target = spin_qubit_target(3)
+        preprocessed = preprocess(circuit, target)
+        substitutions = evaluate_rules(preprocessed, standard_rules())
+        solution = AdaptationModel(preprocessed, substitutions, OBJECTIVE_FIDELITY).solve()
+        assert solution.total_duration > 0.0
+        # The three blocks form a chain, so the critical path is the sum of
+        # the solved block durations.
+        assert solution.total_duration == pytest.approx(
+            sum(solution.block_durations.values())
+        )
+        # The derived ASAP starts respect the dependency graph.
+        for source, destination in preprocessed.dependency_graph.edges:
+            assert (
+                solution.block_start_times[destination]
+                >= solution.block_start_times[source]
+                + solution.block_durations[source]
+                - 1e-9
+            )
+
+    def test_fidelity_and_idle_makespans_agree_without_substitutions(self):
+        """Critical-path makespan matches the scheduled makespan when both
+        models keep the reference translation (no candidate substitutions)."""
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 2)
+        target = spin_qubit_target(3)
+        preprocessed = preprocess(circuit, target)
+        fidelity = AdaptationModel(preprocessed, [], OBJECTIVE_FIDELITY).solve()
+        idle = AdaptationModel(preprocessed, [], OBJECTIVE_IDLE).solve()
+        assert fidelity.total_duration == pytest.approx(idle.total_duration)
 
 
 class TestSatBeatsOrMatchesBaselines:
@@ -221,9 +258,9 @@ class TestSatBeatsOrMatchesBaselines:
     def test_fidelity_dominance_on_random_circuits(self, seed):
         circuit = random_template_circuit(3, 25, seed=seed)
         target = spin_qubit_target(3)
-        sat = SatAdapter(objective=OBJECTIVE_FIDELITY).adapt(circuit, target)
-        template = TemplateOptimizationAdapter("fidelity").adapt(circuit, target)
-        direct = DirectTranslationAdapter().adapt(circuit, target)
+        sat = repro.compile(circuit, target, "sat_f")
+        template = repro.compile(circuit, target, "template_f")
+        direct = repro.compile(circuit, target, "direct")
         assert sat.cost.gate_fidelity_product >= direct.cost.gate_fidelity_product - 1e-9
         assert sat.cost.gate_fidelity_product >= template.cost.gate_fidelity_product - 1e-9
 
@@ -231,8 +268,8 @@ class TestSatBeatsOrMatchesBaselines:
     def test_idle_dominance_on_random_circuits(self, seed):
         circuit = random_template_circuit(3, 25, seed=seed)
         target = spin_qubit_target(3)
-        sat = SatAdapter(objective=OBJECTIVE_IDLE).adapt(circuit, target)
-        direct = DirectTranslationAdapter().adapt(circuit, target)
+        sat = repro.compile(circuit, target, "sat_r")
+        direct = repro.compile(circuit, target, "direct")
         assert sat.cost.total_idle_time <= direct.cost.total_idle_time + 1e-6
 
 

@@ -4,13 +4,8 @@ import math
 
 import pytest
 
+import repro
 from repro.circuits import allclose_up_to_global_phase, circuit_unitary
-from repro.core import (
-    DirectTranslationAdapter,
-    KakAdapter,
-    SatAdapter,
-    TemplateOptimizationAdapter,
-)
 from repro.hardware import spin_qubit_target
 from repro.simulator import DensityMatrixSimulator, hellinger_fidelity, measurement_probabilities
 from repro.workloads import (
@@ -26,8 +21,8 @@ class TestStructuredWorkloads:
     def test_ghz_adaptation_all_objectives(self, durations):
         circuit = ghz_circuit(3)
         target = spin_qubit_target(3, durations)
-        for objective in ("fidelity", "idle", "combined"):
-            result = SatAdapter(objective=objective, verify=True).adapt(circuit, target)
+        for technique in ("sat_f", "sat_r", "sat_p"):
+            result = repro.compile(circuit, target, technique, verify=True)
             assert result.cost.gate_fidelity_product > 0.9
             for instruction in result.adapted_circuit:
                 if len(instruction.qubits) == 2:
@@ -40,7 +35,7 @@ class TestStructuredWorkloads:
 
         target = spin_qubit_target(3)
         routed = route_circuit(qft_circuit(3), target)
-        result = SatAdapter(objective="combined").adapt(routed, target)
+        result = repro.compile(routed, target, "sat_p")
         assert allclose_up_to_global_phase(
             circuit_unitary(result.adapted_circuit), circuit_unitary(routed), atol=1e-6
         )
@@ -49,7 +44,7 @@ class TestStructuredWorkloads:
         secret = "11"
         circuit = bernstein_vazirani_circuit(secret)
         target = spin_qubit_target(3)
-        result = SatAdapter(objective="fidelity").adapt(circuit, target)
+        result = repro.compile(circuit, target, "sat_f")
         probabilities = measurement_probabilities(result.adapted_circuit)
         data_bits = {key[1:]: p for key, p in probabilities.items()}
         mass_on_secret = sum(
@@ -60,8 +55,8 @@ class TestStructuredWorkloads:
     def test_quantum_volume_adaptation_runs_end_to_end(self):
         circuit = quantum_volume_circuit(3, seed=2)
         target = spin_qubit_target(3)
-        sat = SatAdapter(objective="combined").adapt(circuit, target)
-        direct = DirectTranslationAdapter().adapt(circuit, target)
+        sat = repro.compile(circuit, target, "sat_p")
+        direct = repro.compile(circuit, target, "direct")
         assert sat.cost.gate_fidelity_product >= 0
         assert allclose_up_to_global_phase(
             circuit_unitary(sat.adapted_circuit), circuit_unitary(direct.adapted_circuit), atol=1e-5
@@ -71,8 +66,8 @@ class TestStructuredWorkloads:
         circuit = ghz_circuit(3)
         target = spin_qubit_target(3)
         simulator = DensityMatrixSimulator(target)
-        direct = DirectTranslationAdapter().adapt(circuit, target)
-        sat = SatAdapter(objective="combined").adapt(circuit, target)
+        direct = repro.compile(circuit, target, "direct")
+        sat = repro.compile(circuit, target, "sat_p")
         direct_result = simulator.run(direct.adapted_circuit, ideal_circuit=circuit)
         sat_result = simulator.run(sat.adapted_circuit, ideal_circuit=circuit)
         # Both adaptations stay close to the ideal GHZ distribution, and the
@@ -82,8 +77,8 @@ class TestStructuredWorkloads:
 
     def test_d1_timings_change_schedule_but_not_semantics(self):
         circuit = ghz_circuit(4)
-        d0 = SatAdapter(objective="idle").adapt(circuit, spin_qubit_target(4, "D0"))
-        d1 = SatAdapter(objective="idle").adapt(circuit, spin_qubit_target(4, "D1"))
+        d0 = repro.compile(circuit, spin_qubit_target(4, "D0"), "sat_r")
+        d1 = repro.compile(circuit, spin_qubit_target(4, "D1"), "sat_r")
         assert allclose_up_to_global_phase(
             circuit_unitary(d0.adapted_circuit), circuit_unitary(d1.adapted_circuit), atol=1e-5
         ) or d0.adapted_circuit.count_ops() != d1.adapted_circuit.count_ops()
@@ -97,12 +92,11 @@ class TestTechniqueOrdering:
         circuit = ghz_circuit(4)
         target = spin_qubit_target(4)
         results = {
-            "direct": DirectTranslationAdapter().adapt(circuit, target),
-            "kak_czd": KakAdapter("cz_d").adapt(circuit, target),
-            "sat_f": SatAdapter(objective="fidelity").adapt(circuit, target),
+            name: repro.compile(circuit, target, name)
+            for name in ("direct", "kak_dcz", "sat_f")
         }
         fidelities = {name: r.cost.gate_fidelity_product for name, r in results.items()}
-        assert fidelities["sat_f"] >= fidelities["direct"] >= fidelities["kak_czd"]
+        assert fidelities["sat_f"] >= fidelities["direct"] >= fidelities["kak_dcz"]
 
     def test_template_between_direct_and_sat_on_swap_heavy_circuit(self):
         from repro.circuits import QuantumCircuit
@@ -110,9 +104,9 @@ class TestTechniqueOrdering:
         circuit = QuantumCircuit(3)
         circuit.cx(0, 1).swap(0, 1).swap(1, 2).cx(1, 2).swap(0, 1)
         target = spin_qubit_target(3)
-        direct = DirectTranslationAdapter().adapt(circuit, target)
-        template = TemplateOptimizationAdapter("fidelity").adapt(circuit, target)
-        sat = SatAdapter(objective="fidelity").adapt(circuit, target)
+        direct = repro.compile(circuit, target, "direct")
+        template = repro.compile(circuit, target, "template_f")
+        sat = repro.compile(circuit, target, "sat_f")
         assert (
             sat.cost.gate_fidelity_product
             >= template.cost.gate_fidelity_product
