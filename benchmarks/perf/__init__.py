@@ -1,0 +1,9 @@
+"""Tracked performance-benchmark harness (emits ``BENCH_perf.json``).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --preset smoke
+
+See :mod:`benchmarks.perf.suite` for the individual kernels benchmarked
+and the JSON schema of the report.
+"""

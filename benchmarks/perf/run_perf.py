@@ -1,0 +1,77 @@
+"""CLI for the perf-benchmark harness; writes ``BENCH_perf.json``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --preset smoke
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --preset full -o BENCH_perf.json
+
+The script bootstraps ``sys.path`` itself, so a plain
+``python benchmarks/perf/run_perf.py`` also works without PYTHONPATH.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+for entry in (os.path.join(_REPO_ROOT, "src"), os.path.dirname(os.path.dirname(os.path.abspath(__file__)))):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from perf.suite import PRESETS, run_suite  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="full")
+    parser.add_argument(
+        "-o", "--output",
+        default=os.path.join(_REPO_ROOT, "BENCH_perf.json"),
+        help="path of the JSON report (default: BENCH_perf.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.preset)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    for row in report["statevector"]:
+        print(
+            f"statevector {row['num_qubits']:>2}q: {1e3 * row['kernel_seconds']:8.2f} ms "
+            f"(dense {1e3 * row['dense_seconds']:8.2f} ms, {row['speedup']:8.1f}x)"
+        )
+    for row in report["density"]:
+        print(
+            f"density     {row['num_qubits']:>2}q: {1e3 * row['kernel_seconds']:8.2f} ms "
+            f"(dense {1e3 * row['dense_seconds']:8.2f} ms, {row['speedup']:8.1f}x)"
+        )
+    smt = report["smt"]
+    print(
+        f"smt {smt['instance']}: incremental "
+        f"{1e3 * smt['modes']['incremental']['seconds']:.2f} ms vs legacy "
+        f"{1e3 * smt['modes']['legacy_rebuild']['seconds']:.2f} ms ({smt['speedup']:.2f}x)"
+    )
+    sat = report["sat"]
+    print(
+        f"sat {sat['instance']}: {1e3 * sat['seconds']:.2f} ms "
+        f"({sat['propagations_per_second']:.0f} props/s)"
+    )
+    for row in report["compile"]:
+        print(f"compile {row['workload']} [{row['technique']}]: {1e3 * row['seconds']:.2f} ms")
+    for row in report["theory_engine_ab"]:
+        inc = row["modes"]["incremental"]["solve_seconds"]
+        leg = row["modes"]["legacy_rebuild"]["solve_seconds"]
+        print(
+            f"solve-stage {row['workload']}: incremental {1e3 * inc:.2f} ms vs "
+            f"legacy {1e3 * leg:.2f} ms ({row['solve_speedup']:.2f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Fast perf-harness smoke test (runs in the default tier and in CI).
+
+Executes the ``smoke`` preset end to end and checks the report invariants
+that gate the perf trajectory: the JSON is serializable, the kernel paths
+beat (or match) the dense baselines where promised, and both theory
+engines agree on every optimum.
+"""
+
+import json
+
+from perf.suite import run_suite
+
+
+def test_perf_smoke_suite(tmp_path):
+    report = run_suite("smoke")
+
+    # The report must be valid machine-readable JSON.
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True))
+    assert json.loads(path.read_text())["preset"] == "smoke"
+
+    # Acceptance criterion: >= 10x on 10-qubit statevector simulation.
+    ten_qubit = [row for row in report["statevector"] if row["num_qubits"] == 10]
+    assert ten_qubit and ten_qubit[0]["speedup"] >= 10
+
+    # Both theory engines must agree on the OMT optimum, and the
+    # incremental engine must not do more theory work than the legacy one.
+    smt = report["smt"]
+    modes = smt["modes"]
+    assert modes["incremental"]["optimum"] == modes["legacy_rebuild"]["optimum"]
+    assert modes["incremental"]["theory_checks"] <= modes["legacy_rebuild"]["theory_checks"]
+
+    # The end-to-end A/B on the adaptation workload agreed on the optimum
+    # (asserted inside the bench) and recorded solve-stage times.
+    for row in report["theory_engine_ab"]:
+        assert row["modes"]["incremental"]["solve_seconds"] > 0
+        assert row["modes"]["legacy_rebuild"]["solve_seconds"] > 0
+
+    # Stage timings from the pipeline report are present for every compile.
+    for row in report["compile"]:
+        assert row["seconds"] > 0
+        assert "solve" in row["stage_seconds"] or row["technique"] in ("direct", "kak_cz", "kak_dcz")

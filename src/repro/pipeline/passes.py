@@ -106,6 +106,7 @@ class SmtSelection:
             context.substitutions,
             objective=self.objective,
             max_improvement_rounds=rounds,
+            incremental_theory=bool(context.option("incremental_theory", True)),
         )
         solution = model.solve()
         context.solution = solution

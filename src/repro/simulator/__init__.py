@@ -16,8 +16,20 @@ and thermal relaxation that corresponds to the qubit idle time".
 distributions.
 """
 
-from repro.simulator.statevector import simulate_statevector, measurement_probabilities
+from repro.simulator.statevector import (
+    circuit_probabilities,
+    measurement_probabilities,
+    simulate_statevector,
+    simulate_statevector_dense,
+    statevector_probabilities,
+)
 from repro.simulator.density import DensityMatrixSimulator, NoisySimulationResult
+from repro.simulator.kernels import (
+    apply_gate_statevector,
+    apply_kraus_density,
+    apply_unitary_density,
+    sample_counts,
+)
 from repro.simulator.noise import (
     amplitude_damping_kraus,
     depolarizing_kraus,
@@ -29,7 +41,14 @@ from repro.simulator.metrics import hellinger_distance, hellinger_fidelity, tota
 
 __all__ = [
     "simulate_statevector",
+    "simulate_statevector_dense",
     "measurement_probabilities",
+    "circuit_probabilities",
+    "statevector_probabilities",
+    "apply_gate_statevector",
+    "apply_unitary_density",
+    "apply_kraus_density",
+    "sample_counts",
     "DensityMatrixSimulator",
     "NoisySimulationResult",
     "depolarizing_kraus",

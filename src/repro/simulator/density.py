@@ -4,6 +4,11 @@ The noise model follows Section V.B of the paper: every gate is followed by
 a depolarizing channel whose strength corresponds to the gate's fidelity on
 the target, and thermal relaxation (T1/T2) acts on every qubit for the idle
 windows of the ASAP schedule.
+
+Gates and Kraus channels are applied locally (tensor contraction against
+the target axes only, see :mod:`repro.simulator.kernels`); the legacy
+full-matrix path is kept behind ``dense=True`` as the reference oracle for
+the equivalence tests and the perf-harness baseline.
 """
 
 from __future__ import annotations
@@ -16,9 +21,10 @@ import numpy as np
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.unitary import expand_gate_matrix
 from repro.hardware.target import Target
+from repro.simulator.kernels import apply_kraus_density, apply_unitary_density
 from repro.simulator.metrics import hellinger_fidelity
 from repro.simulator.noise import depolarizing_kraus, depolarizing_strength_for_fidelity, thermal_relaxation_kraus
-from repro.simulator.statevector import measurement_probabilities, simulate_statevector
+from repro.simulator.statevector import _distribution_from_vector, circuit_probabilities
 from repro.transpiler.scheduling import asap_schedule, gate_fidelity
 
 
@@ -34,24 +40,43 @@ class NoisySimulationResult:
 
 
 class DensityMatrixSimulator:
-    """Small exact density-matrix simulator with the paper's noise model."""
+    """Small exact density-matrix simulator with the paper's noise model.
 
-    def __init__(self, target: Target, include_idle_noise: bool = True) -> None:
+    ``dense=True`` switches every update to the legacy full-register matrix
+    path (``expand_gate_matrix`` plus dense matmuls); it produces identical
+    density matrices and exists so the local kernels can be checked and
+    benchmarked against it.
+    """
+
+    def __init__(
+        self,
+        target: Target,
+        include_idle_noise: bool = True,
+        dense: bool = False,
+    ) -> None:
         self.target = target
         self.include_idle_noise = include_idle_noise
+        self.dense = dense
 
     # ------------------------------------------------------------------
-    def _apply_unitary(self, rho: np.ndarray, matrix: np.ndarray) -> np.ndarray:
-        return matrix @ rho @ matrix.conj().T
+    def _apply_unitary(
+        self, rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+    ) -> np.ndarray:
+        if self.dense:
+            full = expand_gate_matrix(matrix, qubits, num_qubits)
+            return full @ rho @ full.conj().T
+        return apply_unitary_density(rho, matrix, qubits, num_qubits)
 
     def _apply_kraus(
         self, rho: np.ndarray, kraus: Sequence[np.ndarray], qubit: int, num_qubits: int
     ) -> np.ndarray:
-        result = np.zeros_like(rho)
-        for operator in kraus:
-            full = expand_gate_matrix(operator, (qubit,), num_qubits)
-            result = result + full @ rho @ full.conj().T
-        return result
+        if self.dense:
+            result = np.zeros_like(rho)
+            for operator in kraus:
+                full = expand_gate_matrix(operator, (qubit,), num_qubits)
+                result = result + full @ rho @ full.conj().T
+            return result
+        return apply_kraus_density(rho, kraus, (qubit,), num_qubits)
 
     # ------------------------------------------------------------------
     def evolve(self, circuit: QuantumCircuit) -> np.ndarray:
@@ -76,10 +101,9 @@ class DensityMatrixSimulator:
         for _, __, payload in events:
             if payload[0] == "gate":
                 instruction = circuit.instructions[payload[1]]
-                matrix = expand_gate_matrix(
-                    instruction.gate.to_matrix(), instruction.qubits, num_qubits
+                rho = self._apply_unitary(
+                    rho, instruction.gate.to_matrix(), instruction.qubits, num_qubits
                 )
-                rho = self._apply_unitary(rho, matrix)
                 fidelity = gate_fidelity(instruction, self.target)
                 strength = depolarizing_strength_for_fidelity(
                     fidelity, len(instruction.qubits)
@@ -100,11 +124,7 @@ class DensityMatrixSimulator:
         rho = self.evolve(circuit)
         diagonal = np.clip(np.real(np.diag(rho)), 0.0, None)
         diagonal = diagonal / diagonal.sum()
-        return {
-            format(index, f"0{circuit.num_qubits}b"): float(diagonal[index])
-            for index in range(len(diagonal))
-            if diagonal[index] > 1e-9
-        }
+        return _distribution_from_vector(diagonal, circuit.num_qubits, cutoff=1e-9)
 
     def run(
         self, circuit: QuantumCircuit, ideal_circuit: Optional[QuantumCircuit] = None
@@ -117,7 +137,7 @@ class DensityMatrixSimulator:
         computation.
         """
         reference = ideal_circuit if ideal_circuit is not None else circuit
-        ideal = measurement_probabilities(simulate_statevector(reference), reference.num_qubits)
+        ideal = circuit_probabilities(reference)
         noisy = self.probabilities(circuit)
         schedule = asap_schedule(circuit, self.target)
         return NoisySimulationResult(

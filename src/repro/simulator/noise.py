@@ -8,9 +8,17 @@ a strength matched to the gate fidelity.
 from __future__ import annotations
 
 import math
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 import numpy as np
+
+
+def _frozen(*operators: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """Mark cached Kraus operators read-only so sharing them is safe."""
+    for operator in operators:
+        operator.setflags(write=False)
+    return operators
 
 
 def depolarizing_strength_for_fidelity(fidelity: float, num_qubits: int) -> float:
@@ -29,20 +37,31 @@ def depolarizing_strength_for_fidelity(fidelity: float, num_qubits: int) -> floa
     return min(1.0, error / max(1, num_qubits))
 
 
-def depolarizing_kraus(probability: float) -> List[np.ndarray]:
-    """Single-qubit depolarizing channel with the given error probability."""
-    if not 0 <= probability <= 1:
-        raise ValueError("probability must lie in [0, 1]")
+@lru_cache(maxsize=4096)
+def _depolarizing_kraus_cached(probability: float) -> Tuple[np.ndarray, ...]:
     identity = np.eye(2, dtype=complex)
     pauli_x = np.array([[0, 1], [1, 0]], dtype=complex)
     pauli_y = np.array([[0, -1j], [1j, 0]], dtype=complex)
     pauli_z = np.diag([1, -1]).astype(complex)
-    return [
+    return _frozen(
         math.sqrt(1 - probability) * identity,
         math.sqrt(probability / 3) * pauli_x,
         math.sqrt(probability / 3) * pauli_y,
         math.sqrt(probability / 3) * pauli_z,
-    ]
+    )
+
+
+def depolarizing_kraus(probability: float) -> List[np.ndarray]:
+    """Single-qubit depolarizing channel with the given error probability.
+
+    Channel construction is memoized (a target has only a handful of
+    distinct gate fidelities, so the noisy simulator asks for the same
+    strengths over and over); callers get fresh writable copies so the
+    cached originals cannot be mutated.
+    """
+    if not 0 <= probability <= 1:
+        raise ValueError("probability must lie in [0, 1]")
+    return [operator.copy() for operator in _depolarizing_kraus_cached(float(probability))]
 
 
 def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
@@ -78,6 +97,16 @@ def thermal_relaxation_kraus(duration: float, t1: float, t2: float) -> List[np.n
         raise ValueError("thermal relaxation requires T2 <= 2*T1")
     if duration == 0:
         return [np.eye(2, dtype=complex)]
+    return [
+        operator.copy()
+        for operator in _thermal_relaxation_cached(float(duration), float(t1), float(t2))
+    ]
+
+
+@lru_cache(maxsize=4096)
+def _thermal_relaxation_cached(
+    duration: float, t1: float, t2: float
+) -> Tuple[np.ndarray, ...]:
     gamma = 1.0 - math.exp(-duration / t1)
     total_dephasing = math.exp(-duration / t2)
     # Off-diagonal decay from amplitude damping alone is sqrt(1 - gamma).
@@ -90,4 +119,4 @@ def thermal_relaxation_kraus(duration: float, t1: float, t2: float) -> List[np.n
             operator = dephasing @ damping
             if np.abs(operator).max() > 1e-12:
                 kraus.append(operator)
-    return kraus
+    return _frozen(*kraus)

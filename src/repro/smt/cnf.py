@@ -53,7 +53,7 @@ class CnfConverter:
     # ------------------------------------------------------------------
     def add_assertion(self, expression: Expr) -> None:
         """Assert ``expression`` (add clauses forcing it to be true)."""
-        literal = self._encode(expression)
+        literal = self.encode(expression)
         self.clauses.append([literal])
 
     def literal_for_bool(self, name: str) -> int:
@@ -89,8 +89,13 @@ class CnfConverter:
         make_clauses(var)
         return var
 
-    def _encode(self, expression: Expr) -> int:
-        """Return a literal equivalent to ``expression``."""
+    def encode(self, expression: Expr) -> int:
+        """Return a SAT literal equivalent to ``expression``.
+
+        Public entry point: the SMT solver uses it to translate assumption
+        expressions, and encodings are shared (hash-consed), so repeated
+        calls with the same expression return the same literal.
+        """
         if isinstance(expression, BoolVal):
             true_lit = self._true_literal()
             return true_lit if expression.value else -true_lit
@@ -98,10 +103,10 @@ class CnfConverter:
             return self.literal_for_bool(expression.name)
         if isinstance(expression, Comparison):
             if expression.op == "=":
-                return self._encode(self._split_equality(expression))
+                return self.encode(self._split_equality(expression))
             return self.literal_for_atom(expression)
         if isinstance(expression, Not):
-            return -self._encode(expression.operand)
+            return -self.encode(expression.operand)
         if isinstance(expression, And):
             return self._encode_and(expression)
         if isinstance(expression, Or):
@@ -133,7 +138,7 @@ class CnfConverter:
     def _encode_and(self, expression: And) -> int:
         if not expression.operands:
             return self._true_literal()
-        literals = [self._encode(operand) for operand in expression.operands]
+        literals = [self.encode(operand) for operand in expression.operands]
         if len(literals) == 1:
             return literals[0]
         key = ("and",) + tuple(sorted(literals))
@@ -148,7 +153,7 @@ class CnfConverter:
     def _encode_or(self, expression: Or) -> int:
         if not expression.operands:
             return -self._true_literal()
-        literals = [self._encode(operand) for operand in expression.operands]
+        literals = [self.encode(operand) for operand in expression.operands]
         if len(literals) == 1:
             return literals[0]
         key = ("or",) + tuple(sorted(literals))
@@ -161,8 +166,8 @@ class CnfConverter:
         return self._define(key, make)
 
     def _encode_iff(self, expression: Iff) -> int:
-        left = self._encode(expression.left)
-        right = self._encode(expression.right)
+        left = self.encode(expression.left)
+        right = self.encode(expression.right)
         key = ("iff", min(left, right), max(left, right))
 
         def make(var: int) -> None:

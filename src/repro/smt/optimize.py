@@ -46,8 +46,12 @@ class ObjectiveHandle:
 class Optimize:
     """Optimizing SMT solver facade (single linear objective)."""
 
-    def __init__(self, max_improvement_rounds: int = 10000) -> None:
-        self._solver = SmtSolver()
+    def __init__(
+        self,
+        max_improvement_rounds: int = 10000,
+        incremental_theory: bool = True,
+    ) -> None:
+        self._solver = SmtSolver(incremental_theory=incremental_theory)
         self._objective: Optional[ObjectiveHandle] = None
         self._max_rounds = max_improvement_rounds
         self._best_model: Optional[Model] = None
@@ -142,9 +146,7 @@ class Optimize:
         return self._best_model
 
     def statistics(self) -> dict:
-        """Return solver statistics (theory checks/conflicts, OMT rounds)."""
-        stats = dict(self._solver.statistics)
+        """Return solver statistics (theory checks/conflicts, SAT counters, OMT rounds)."""
+        stats = self._solver.statistics()
         stats["improvement_rounds"] = self.improvement_rounds
-        stats["sat_conflicts"] = self._solver._sat.statistics.conflicts
-        stats["sat_decisions"] = self._solver._sat.statistics.decisions
         return stats

@@ -11,6 +11,14 @@ Strict bounds are handled with delta-rationals (see
 solver supports maximizing a linear objective over the currently asserted
 bounds (primal simplex), which the OMT layer uses to obtain the best
 objective value for each Boolean skeleton.
+
+The solver is *backtrackable*: every bound change is recorded on a trail,
+and :meth:`Simplex.undo_to` retracts bounds back to an earlier
+:meth:`Simplex.mark` without touching the tableau or the assignment.
+Following Dutertre-de Moura, rows, slack variables and the current
+assignment ``beta`` survive backtracking — ``check`` restores feasibility
+from wherever ``beta`` happens to be, so the expensive structures are
+built once and warm-started across the DPLL(T) loop's theory checks.
 """
 
 from __future__ import annotations
@@ -36,6 +44,31 @@ class Simplex:
         self._upper: Dict[int, Tuple[DeltaRational, Reason]] = {}
         self._beta: Dict[int, DeltaRational] = {}
         self._slack_of_poly: Dict[tuple, int] = {}
+        # Undo trail: (which bound, variable, previous entry or None).
+        self._trail: List[Tuple[str, int, Optional[Tuple[DeltaRational, Reason]]]] = []
+        #: Number of pivot operations performed (perf counter).
+        self.pivots = 0
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        """Return a checkpoint for :meth:`undo_to` (the trail position)."""
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        """Retract all bound changes recorded after ``mark``.
+
+        Only the bounds are restored; the tableau, slack variables and the
+        assignment are kept, so the next :meth:`check` is warm-started.
+        """
+        while len(self._trail) > mark:
+            kind, var, previous = self._trail.pop()
+            bounds = self._lower if kind == "lower" else self._upper
+            if previous is None:
+                bounds.pop(var, None)
+            else:
+                bounds[var] = previous
 
     # ------------------------------------------------------------------
     # Variable and row management
@@ -112,6 +145,7 @@ class Simplex:
         lower = self._lower.get(var)
         if lower is not None and bound < lower[0]:
             return [lower[1], reason]
+        self._trail.append(("upper", var, current))
         self._upper[var] = (bound, reason)
         if var not in self._rows and self._beta[var] > bound:
             self._update_nonbasic(var, bound)
@@ -127,6 +161,7 @@ class Simplex:
         upper = self._upper.get(var)
         if upper is not None and bound > upper[0]:
             return [upper[1], reason]
+        self._trail.append(("lower", var, current))
         self._lower[var] = (bound, reason)
         if var not in self._rows and self._beta[var] < bound:
             self._update_nonbasic(var, bound)
@@ -236,6 +271,7 @@ class Simplex:
 
     def _pivot(self, basic: int, entering: int) -> None:
         """Swap roles: ``entering`` becomes basic, ``basic`` becomes non-basic."""
+        self.pivots += 1
         row = self._rows.pop(basic)
         pivot_coeff = row.pop(entering)
         # entering = (basic - sum(other terms)) / pivot_coeff

@@ -87,17 +87,42 @@ class Model:
 
 
 class SmtSolver:
-    """Lazy DPLL(T) solver for Boolean combinations of linear real atoms."""
+    """Lazy DPLL(T) solver for Boolean combinations of linear real atoms.
 
-    def __init__(self, max_theory_iterations: int = 100000) -> None:
+    By default the theory solver is *incremental*: one simplex instance
+    persists across all theory checks (and across the OMT layer's
+    objective-strengthening rounds).  Between checks only the asserted
+    bounds are retracted (:meth:`Simplex.undo_to`); the tableau rows, the
+    slack variables of the atoms' linear forms and the current assignment
+    are kept and warm-started, so repeated checks avoid rebuilding the
+    tableau from scratch.  The learned clauses of the Boolean skeleton are
+    likewise kept by the persistent CDCL core.  ``incremental_theory=False``
+    restores the legacy rebuild-per-check behaviour (kept as the perf
+    baseline and as a differential-testing oracle).
+    """
+
+    def __init__(
+        self,
+        max_theory_iterations: int = 100000,
+        incremental_theory: bool = True,
+    ) -> None:
         self._converter = CnfConverter()
         self._assertions: List[Expr] = []
         self._clauses_dispatched = 0
         self._sat = SatSolver()
         self._max_theory_iterations = max_theory_iterations
+        self._incremental_theory = incremental_theory
+        self._simplex: Optional[Simplex] = None
+        # Atom SAT-var -> slack-variable index in the persistent simplex;
+        # valid only in incremental mode (fresh instances renumber slacks).
+        self._atom_slack: Dict[int, int] = {}
         self._model: Optional[Model] = None
         self._last_simplex: Optional[Simplex] = None
-        self.statistics: Dict[str, int] = {"theory_checks": 0, "theory_conflicts": 0}
+        self._stats: Dict[str, int] = {
+            "theory_checks": 0,
+            "theory_conflicts": 0,
+            "theory_pivots": 0,
+        }
 
     # ------------------------------------------------------------------
     def add(self, *expressions: Expr) -> None:
@@ -119,10 +144,10 @@ class SmtSolver:
 
     def check(self, assumptions: Tuple[Expr, ...] = ()) -> CheckResult:
         """Check satisfiability of the asserted formulas."""
-        assumption_literals = [self._converter._encode(expr) for expr in assumptions]
+        assumption_literals = [self._converter.encode(expr) for expr in assumptions]
         self._sync_clauses()
         for _ in range(self._max_theory_iterations):
-            self.statistics["theory_checks"] += 1
+            self._stats["theory_checks"] += 1
             if not self._sat.solve(assumption_literals):
                 self._model = None
                 return CheckResult.UNSAT
@@ -132,13 +157,28 @@ class SmtSolver:
                 self._store_model(sat_model, simplex)
                 self._last_simplex = simplex
                 return CheckResult.SAT
-            self.statistics["theory_conflicts"] += 1
+            self._stats["theory_conflicts"] += 1
             blocking = [-literal for literal in conflict]
             self._converter.clauses.append(blocking)
             self._sync_clauses()
         return CheckResult.UNKNOWN
 
     # ------------------------------------------------------------------
+    def _working_simplex(self) -> Simplex:
+        """Return the theory solver for the next check.
+
+        Incremental mode reuses one instance, retracting every bound
+        asserted by the previous check while keeping tableau and
+        assignment; legacy mode builds a fresh instance every time.
+        """
+        if not self._incremental_theory:
+            return Simplex()
+        if self._simplex is None:
+            self._simplex = Simplex()
+        else:
+            self._simplex.undo_to(0)
+        return self._simplex
+
     def _theory_check(
         self, sat_model: Mapping[int, bool]
     ) -> Tuple[Simplex, Optional[List[int]]]:
@@ -147,25 +187,43 @@ class SmtSolver:
         Returns the simplex instance and either ``None`` (consistent) or the
         conflicting subset of SAT literals.
         """
-        simplex = Simplex()
-        for var, atom in self._converter.atom_by_var.items():
-            if var not in sat_model:
-                continue
-            literal = var if sat_model[var] else -var
-            conflict = self._assert_atom(simplex, atom, sat_model[var], literal)
+        simplex = self._working_simplex()
+        # Accumulate only the pivots of this check, so the counter means
+        # the same thing in incremental mode (shared instance, also
+        # pivoted by OMT maximize calls) and legacy mode (fresh instance
+        # per check).
+        pivots_before = simplex.pivots
+        try:
+            for var, atom in self._converter.atom_by_var.items():
+                if var not in sat_model:
+                    continue
+                literal = var if sat_model[var] else -var
+                slack = self._slack_for_atom(simplex, var, atom)
+                conflict = self._assert_atom(simplex, slack, atom, sat_model[var], literal)
+                if conflict is not None:
+                    return simplex, conflict
+            conflict = simplex.check()
             if conflict is not None:
-                return simplex, conflict
-        conflict = simplex.check()
-        if conflict is not None:
-            return simplex, list(conflict)
-        return simplex, None
+                return simplex, list(conflict)
+            return simplex, None
+        finally:
+            self._stats["theory_pivots"] += simplex.pivots - pivots_before
+
+    def _slack_for_atom(self, simplex: Simplex, var: int, atom: Comparison) -> int:
+        """Resolve (and in incremental mode memoize) the atom's slack variable."""
+        if not self._incremental_theory:
+            return simplex.slack_for(atom.poly.coeffs)
+        slack = self._atom_slack.get(var)
+        if slack is None:
+            slack = simplex.slack_for(atom.poly.coeffs)
+            self._atom_slack[var] = slack
+        return slack
 
     @staticmethod
     def _assert_atom(
-        simplex: Simplex, atom: Comparison, value: bool, literal: int
+        simplex: Simplex, slack: int, atom: Comparison, value: bool, literal: int
     ) -> Optional[List[int]]:
         """Assert a (possibly negated) atom into the simplex solver."""
-        slack = simplex.slack_for(atom.poly.coeffs)
         if value:
             if atom.op == "<=":
                 bound = DeltaRational.of(atom.bound)
@@ -201,5 +259,23 @@ class SmtSolver:
         return self._model
 
     def last_simplex(self) -> Optional[Simplex]:
-        """Return the theory solver state of the last SAT answer (for OMT)."""
+        """Return the theory solver state of the last SAT answer (for OMT).
+
+        In incremental mode the returned instance still holds the bounds of
+        the satisfying Boolean skeleton, so the OMT layer can maximize over
+        it directly; the bounds are retracted at the start of the next
+        :meth:`check` call.
+        """
         return self._last_simplex
+
+    def statistics(self) -> Dict[str, int]:
+        """Aggregate solver statistics: theory counters plus SAT counters.
+
+        SAT-core counters (conflicts, decisions, propagations, ...) are
+        included with a ``sat_`` prefix, so callers never need to reach
+        into the private SAT solver.
+        """
+        stats = dict(self._stats)
+        for key, value in self._sat.statistics.as_dict().items():
+            stats[f"sat_{key}"] = value
+        return stats

@@ -1,0 +1,200 @@
+"""Property-style equivalence tests: local kernels vs the dense oracle.
+
+The fast simulation paths (tensor-contraction gate application in
+``repro.simulator.kernels``) must agree with the legacy dense
+``expand_gate_matrix`` paths on random circuits — statevectors up to a
+global phase, density matrices and unitaries entrywise, noisy Kraus
+channels included.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits import gates as glib
+from repro.circuits.unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    circuit_unitary_dense,
+    expand_gate_matrix,
+)
+from repro.hardware.target import GateProperties, Target
+from repro.simulator import (
+    DensityMatrixSimulator,
+    sample_counts,
+    simulate_statevector,
+    simulate_statevector_dense,
+    statevector_probabilities,
+)
+from repro.simulator.kernels import (
+    apply_gate_statevector,
+    apply_kraus_density,
+    apply_unitary_density,
+)
+from repro.simulator.noise import depolarizing_kraus, thermal_relaxation_kraus
+
+
+def random_circuit(num_qubits: int, depth: int, rng: random.Random) -> QuantumCircuit:
+    """A random circuit mixing parametrized 1q gates and entangling 2q gates."""
+    one_qubit = [
+        lambda: glib.h(),
+        lambda: glib.x(),
+        lambda: glib.s(),
+        lambda: glib.t(),
+        lambda: glib.rx(rng.uniform(0, 2 * math.pi)),
+        lambda: glib.ry(rng.uniform(0, 2 * math.pi)),
+        lambda: glib.rz(rng.uniform(0, 2 * math.pi)),
+        lambda: glib.u3(*(rng.uniform(0, 2 * math.pi) for _ in range(3))),
+    ]
+    two_qubit = [
+        lambda: glib.cx(),
+        lambda: glib.cz(),
+        lambda: glib.swap(),
+        lambda: glib.iswap(),
+        lambda: glib.controlled_phase(rng.uniform(0, 2 * math.pi)),
+        lambda: glib.crot(rng.uniform(0, 2 * math.pi), rng.uniform(0, 2 * math.pi)),
+    ]
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}")
+    for _ in range(depth):
+        if num_qubits >= 2 and rng.random() < 0.45:
+            a, b = rng.sample(range(num_qubits), 2)
+            circuit.append(rng.choice(two_qubit)(), (a, b))
+        else:
+            circuit.append(rng.choice(one_qubit)(), (rng.randrange(num_qubits),))
+    return circuit
+
+
+def random_state(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    state = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return state / np.linalg.norm(state)
+
+
+class TestStatevectorKernel:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 4, 5, 6])
+    def test_random_circuits_match_dense(self, num_qubits):
+        rng = random.Random(100 + num_qubits)
+        for trial in range(4):
+            circuit = random_circuit(num_qubits, depth=4 * num_qubits, rng=rng)
+            fast = simulate_statevector(circuit)
+            dense = simulate_statevector_dense(circuit)
+            assert np.allclose(fast, dense, atol=1e-10)
+
+    @pytest.mark.parametrize("num_qubits", [2, 4, 6])
+    def test_random_initial_state(self, num_qubits):
+        rng = random.Random(7 + num_qubits)
+        nprng = np.random.default_rng(7 + num_qubits)
+        circuit = random_circuit(num_qubits, depth=3 * num_qubits, rng=rng)
+        initial = random_state(num_qubits, nprng)
+        fast = simulate_statevector(circuit, initial_state=initial)
+        dense = simulate_statevector_dense(circuit, initial_state=initial)
+        assert np.allclose(fast, dense, atol=1e-10)
+
+    def test_single_gate_matches_expand(self):
+        rng = random.Random(3)
+        for num_qubits in (2, 3, 5):
+            nprng = np.random.default_rng(num_qubits)
+            state = random_state(num_qubits, nprng)
+            for gate, qubits in [
+                (glib.cx(), (2 % num_qubits, 0)),
+                (glib.crot(1.234, 0.5), (0, num_qubits - 1)),
+                (glib.u3(0.3, 0.7, 1.9), (num_qubits - 1,)),
+            ]:
+                if len(set(qubits)) != len(qubits):
+                    continue
+                fast = apply_gate_statevector(state, gate.to_matrix(), qubits, num_qubits)
+                dense = expand_gate_matrix(gate.to_matrix(), qubits, num_qubits) @ state
+                assert np.allclose(fast, dense, atol=1e-12)
+
+
+class TestUnitaryKernel:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 4, 5])
+    def test_circuit_unitary_matches_dense(self, num_qubits):
+        rng = random.Random(40 + num_qubits)
+        circuit = random_circuit(num_qubits, depth=3 * num_qubits, rng=rng)
+        fast = circuit_unitary(circuit)
+        dense = circuit_unitary_dense(circuit)
+        assert np.allclose(fast, dense, atol=1e-10)
+        assert allclose_up_to_global_phase(fast, dense)
+
+
+class TestDensityKernel:
+    def noisy_target(self, num_qubits):
+        return Target(
+            name="noisy-test",
+            num_qubits=num_qubits,
+            single_qubit_gates=GateProperties(30.0, 0.995),
+            two_qubit_gates={name: GateProperties(100.0, 0.98) for name in
+                             ("cz", "cz_d", "cx", "swap", "swap_d", "swap_c", "crot")},
+            coupling_map=None,
+            t1=2.9e6,
+            t2=2900.0,
+        )
+
+    def test_unitary_update_matches_dense(self):
+        rng = random.Random(11)
+        nprng = np.random.default_rng(11)
+        num_qubits = 4
+        state = random_state(num_qubits, nprng)
+        rho = np.outer(state, state.conj())
+        for gate, qubits in [(glib.cx(), (3, 1)), (glib.h(), (2,)), (glib.iswap(), (0, 2))]:
+            full = expand_gate_matrix(gate.to_matrix(), qubits, num_qubits)
+            dense = full @ rho @ full.conj().T
+            fast = apply_unitary_density(rho, gate.to_matrix(), qubits, num_qubits)
+            assert np.allclose(fast, dense, atol=1e-12)
+
+    def test_kraus_update_matches_dense(self):
+        num_qubits = 3
+        nprng = np.random.default_rng(23)
+        state = random_state(num_qubits, nprng)
+        rho = np.outer(state, state.conj())
+        for kraus in (
+            depolarizing_kraus(0.03),
+            thermal_relaxation_kraus(500.0, 2.9e6, 2900.0),
+        ):
+            for qubit in range(num_qubits):
+                dense = np.zeros_like(rho)
+                for operator in kraus:
+                    full = expand_gate_matrix(operator, (qubit,), num_qubits)
+                    dense = dense + full @ rho @ full.conj().T
+                fast = apply_kraus_density(rho, kraus, (qubit,), num_qubits)
+                assert np.allclose(fast, dense, atol=1e-12)
+                assert np.trace(fast).real == pytest.approx(np.trace(rho).real, abs=1e-10)
+
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4])
+    def test_noisy_evolution_matches_dense_simulator(self, num_qubits):
+        rng = random.Random(60 + num_qubits)
+        target = self.noisy_target(num_qubits)
+        circuit = QuantumCircuit(num_qubits)
+        # Use target-native gates so scheduling/fidelity lookups succeed.
+        circuit.h(0)
+        for qubit in range(num_qubits - 1):
+            circuit.cz(qubit, qubit + 1)
+        for qubit in range(num_qubits):
+            circuit.append(glib.rz(rng.uniform(0, 2 * math.pi)), (qubit,))
+        circuit.cx(num_qubits - 1, 0)
+        fast_rho = DensityMatrixSimulator(target).evolve(circuit)
+        dense_rho = DensityMatrixSimulator(target, dense=True).evolve(circuit)
+        assert np.allclose(fast_rho, dense_rho, atol=1e-10)
+        assert np.trace(fast_rho).real == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSampling:
+    def test_sample_counts_total_and_support(self):
+        probabilities = {"00": 0.5, "11": 0.5}
+        counts = sample_counts(probabilities, shots=1000, seed=7)
+        assert sum(counts.values()) == 1000
+        assert set(counts) <= {"00", "11"}
+
+    def test_sample_counts_deterministic_with_seed(self):
+        probabilities = {"0": 0.25, "1": 0.75}
+        first = sample_counts(probabilities, shots=500, seed=42)
+        second = sample_counts(probabilities, shots=500, seed=42)
+        assert first == second
+
+    def test_probabilities_roundtrip(self):
+        state = np.array([1, 0, 0, 1j], dtype=complex) / math.sqrt(2)
+        probabilities = statevector_probabilities(state)
+        assert probabilities == pytest.approx({"00": 0.5, "11": 0.5})

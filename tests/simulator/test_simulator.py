@@ -15,7 +15,7 @@ from repro.simulator import (
     depolarizing_strength_for_fidelity,
     hellinger_distance,
     hellinger_fidelity,
-    measurement_probabilities,
+    circuit_probabilities,
     phase_damping_kraus,
     simulate_statevector,
     thermal_relaxation_kraus,
@@ -42,11 +42,11 @@ class TestStatevector:
     def test_bell_state(self):
         circuit = QuantumCircuit(2)
         circuit.h(0).cx(0, 1)
-        probabilities = measurement_probabilities(circuit)
+        probabilities = circuit_probabilities(circuit)
         assert probabilities == pytest.approx({"00": 0.5, "11": 0.5})
 
     def test_ghz_state(self):
-        probabilities = measurement_probabilities(ghz_circuit(3))
+        probabilities = circuit_probabilities(ghz_circuit(3))
         assert probabilities == pytest.approx({"000": 0.5, "111": 0.5})
 
     def test_custom_initial_state(self):

@@ -1,0 +1,164 @@
+"""Equivalence and unit tests for the incremental DPLL(T) theory engine.
+
+The incremental engine (persistent, warm-started simplex with bound
+retraction) must return exactly the same verdicts and OMT optima as the
+legacy rebuild-per-check engine; the random-problem tests below compare
+the two modes differentially.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import (
+    And,
+    Bool,
+    CheckResult,
+    Implies,
+    Not,
+    Optimize,
+    Or,
+    Real,
+    RealVal,
+    SmtSolver,
+)
+from repro.smt.rational import DeltaRational
+from repro.smt.simplex import Simplex
+
+
+def random_omt_problem(seed: int):
+    """A random guarded-scheduling OMT instance builder.
+
+    Returns a function that populates a fresh :class:`Optimize` so the same
+    instance can be solved in both theory-engine modes.
+    """
+    rng = random.Random(seed)
+    num_reals = rng.randint(2, 4)
+    num_bools = rng.randint(1, 3)
+    guards = [(rng.randrange(num_bools), rng.randrange(num_reals),
+               rng.randint(-8, 8)) for _ in range(rng.randint(2, 6))]
+    pairs = [(rng.randrange(num_reals), rng.randrange(num_reals),
+              rng.randint(-5, 5)) for _ in range(rng.randint(1, 4))]
+    force = rng.randrange(num_bools)
+
+    def build(opt: Optimize):
+        xs = [Real(f"x{i}") for i in range(num_reals)]
+        bs = [Bool(f"b{i}") for i in range(num_bools)]
+        for x in xs:
+            opt.add(x >= RealVal(0), x <= RealVal(10))
+        for bool_index, real_index, bound in guards:
+            opt.add(Implies(bs[bool_index], xs[real_index] <= RealVal(bound)))
+            opt.add(Or(bs[bool_index], xs[real_index] >= RealVal(max(0, -bound))))
+        for first, second, gap in pairs:
+            if first != second:
+                opt.add(xs[first] + RealVal(gap) <= xs[second] + RealVal(10))
+        opt.add(bs[force])
+        objective = xs[0]
+        for x in xs[1:]:
+            objective = objective + x
+        return opt.maximize(objective)
+
+    return build
+
+
+class TestIncrementalVsLegacy:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_omt_optima_identical(self, seed):
+        build = random_omt_problem(seed)
+        incremental = Optimize(incremental_theory=True)
+        legacy = Optimize(incremental_theory=False)
+        handle_inc = build(incremental)
+        handle_leg = build(legacy)
+        result_inc = incremental.check()
+        result_leg = legacy.check()
+        assert result_inc == result_leg
+        if result_inc == CheckResult.SAT and not handle_inc.unbounded:
+            assert handle_inc.value() == handle_leg.value()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_repeated_checks_stay_consistent(self, seed):
+        """Re-checking after adding constraints retracts stale bounds."""
+        rng = random.Random(1000 + seed)
+        x, y = Real("x"), Real("y")
+        solver = SmtSolver()
+        solver.add(x >= RealVal(0), y >= RealVal(0))
+        assert solver.check() == CheckResult.SAT
+        cap = rng.randint(3, 12)
+        solver.add(x + y <= RealVal(cap))
+        assert solver.check() == CheckResult.SAT
+        model = solver.model()
+        assert model[x] + model[y] <= cap
+        solver.add(x >= RealVal(cap + 1))
+        assert solver.check() == CheckResult.UNSAT
+
+    def test_boolean_skeleton_flip_retracts_bounds(self):
+        """Bounds of a refuted skeleton must not leak into the next check."""
+        choose = Bool("choose")
+        x = Real("x")
+        solver = SmtSolver()
+        solver.add(Implies(choose, x >= RealVal(5)))
+        solver.add(Implies(Not(choose), x <= RealVal(1)))
+        solver.add(x <= RealVal(3))  # forces "not choose"
+        assert solver.check() == CheckResult.SAT
+        model = solver.model()
+        assert model.eval_bool("choose") is False
+        assert model[x] <= 1
+
+
+class TestSimplexBacktracking:
+    def test_mark_undo_restores_bounds(self):
+        simplex = Simplex()
+        var = simplex.variable("x")
+        assert simplex.assert_lower(var, DeltaRational.of(0), "lo") is None
+        mark = simplex.mark()
+        assert simplex.assert_upper(var, DeltaRational.of(5), "hi") is None
+        assert simplex.assert_lower(var, DeltaRational.of(2), "lo2") is None
+        simplex.undo_to(mark)
+        # The upper bound is gone and the lower bound is back to 0.
+        assert simplex.assert_lower(var, DeltaRational.of(100), "huge") is None
+        assert simplex.check() is None
+
+    def test_undo_after_conflicting_interval(self):
+        simplex = Simplex()
+        slack = simplex.slack_for({"x": Fraction(1), "y": Fraction(1)})
+        mark = simplex.mark()
+        assert simplex.assert_upper(slack, DeltaRational.of(1), "up") is None
+        conflict = simplex.assert_lower(slack, DeltaRational.of(2), "low")
+        assert conflict == ["up", "low"]
+        simplex.undo_to(mark)
+        assert simplex.assert_lower(slack, DeltaRational.of(2), "low") is None
+        assert simplex.check() is None
+
+    def test_slack_rows_survive_backtracking(self):
+        simplex = Simplex()
+        poly = {"x": Fraction(2), "y": Fraction(-1)}
+        slack = simplex.slack_for(poly)
+        mark = simplex.mark()
+        simplex.assert_upper(slack, DeltaRational.of(4), "up")
+        simplex.undo_to(mark)
+        assert simplex.slack_for(poly) == slack
+
+
+class TestStatisticsApi:
+    def test_smt_solver_statistics_aggregates_sat_counters(self):
+        solver = SmtSolver()
+        a, b = Bool("a"), Bool("b")
+        solver.add(Or(a, b), Or(Not(a), b), Or(a, Not(b)))
+        assert solver.check() == CheckResult.SAT
+        stats = solver.statistics()
+        assert stats["theory_checks"] >= 1
+        for key in ("sat_decisions", "sat_conflicts", "sat_propagations",
+                    "theory_pivots", "theory_conflicts"):
+            assert key in stats
+
+    def test_optimize_statistics_without_private_reach(self):
+        x = Real("x")
+        opt = Optimize()
+        opt.add(x >= RealVal(0), x <= RealVal(7))
+        opt.maximize(x)
+        assert opt.check() == CheckResult.SAT
+        stats = opt.statistics()
+        assert stats["improvement_rounds"] >= 1
+        assert "sat_conflicts" in stats and "sat_decisions" in stats
+        assert "theory_checks" in stats

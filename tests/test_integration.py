@@ -7,7 +7,7 @@ import pytest
 import repro
 from repro.circuits import allclose_up_to_global_phase, circuit_unitary
 from repro.hardware import spin_qubit_target
-from repro.simulator import DensityMatrixSimulator, hellinger_fidelity, measurement_probabilities
+from repro.simulator import DensityMatrixSimulator, hellinger_fidelity, circuit_probabilities
 from repro.workloads import (
     bernstein_vazirani_circuit,
     ghz_circuit,
@@ -45,7 +45,7 @@ class TestStructuredWorkloads:
         circuit = bernstein_vazirani_circuit(secret)
         target = spin_qubit_target(3)
         result = repro.compile(circuit, target, "sat_f")
-        probabilities = measurement_probabilities(result.adapted_circuit)
+        probabilities = circuit_probabilities(result.adapted_circuit)
         data_bits = {key[1:]: p for key, p in probabilities.items()}
         mass_on_secret = sum(
             p for key, p in probabilities.items() if key[1:] == secret[::-1] or key[1:] == secret

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import circuit_unitary
-from repro.simulator import measurement_probabilities
+from repro.simulator import circuit_probabilities
 from repro.workloads import (
     WorkloadSpec,
     bernstein_vazirani_circuit,
@@ -83,7 +83,7 @@ class TestEvaluationSuite:
 
 class TestNamedCircuits:
     def test_ghz_distribution(self):
-        probabilities = measurement_probabilities(ghz_circuit(4))
+        probabilities = circuit_probabilities(ghz_circuit(4))
         assert probabilities == pytest.approx({"0000": 0.5, "1111": 0.5})
 
     def test_qft_unitary_size(self):
@@ -95,7 +95,7 @@ class TestNamedCircuits:
     def test_bernstein_vazirani_recovers_secret(self):
         secret = "101"
         circuit = bernstein_vazirani_circuit(secret)
-        probabilities = measurement_probabilities(circuit)
+        probabilities = circuit_probabilities(circuit)
         # The data qubits (0..2) hold the secret; qubit 3 is the ancilla in |->.
         top = max(probabilities, key=probabilities.get)
         assert top[-3:] == secret[::-1] or top[-3:] == secret
