@@ -70,6 +70,13 @@ def main(argv=None) -> int:
             f"solve-stage {row['workload']}: incremental {1e3 * inc:.2f} ms vs "
             f"legacy {1e3 * leg:.2f} ms ({row['solve_speedup']:.2f}x)"
         )
+    service = report["service"]
+    print(
+        f"service [{service['technique']}] {service['workloads']} workloads, "
+        f"{service['workers']} workers: cold {service['cold_circuits_per_second']:.2f} c/s, "
+        f"warm {service['warm_circuits_per_second']:.2f} c/s "
+        f"({service['warm_speedup']:.1f}x, {service['warm_store_hits']} store hits)"
+    )
     return 0
 
 

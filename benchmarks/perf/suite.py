@@ -40,6 +40,14 @@ PRESETS = {
         "compile_techniques": ["sat_p"],
         "repeats": 1,
         "dense_repeats": 1,
+        "service_manifest": [
+            {"kind": "ghz", "num_qubits": 3},
+            {"kind": "qv", "num_qubits": 2, "depth": 2, "seed": 0},
+            {"kind": "qaoa_ring", "num_qubits": 3, "layers": 1, "seed": 0},
+            {"kind": "vqe_hwe", "num_qubits": 3, "layers": 1, "seed": 0},
+        ],
+        "service_technique": "direct",
+        "service_workers": 2,
     },
     "full": {
         "statevector_qubits": [6, 8, 10, 12],
@@ -59,6 +67,17 @@ PRESETS = {
         # Dense baselines are asymptotically slow by design (8+ seconds per
         # 12-qubit statevector run); one measurement is plenty.
         "dense_repeats": 1,
+        "service_manifest": [
+            {"kind": "ghz", "num_qubits": 4},
+            {"kind": "qv", "num_qubits": 3, "depth": 3, "seed": 0},
+            {"kind": "random", "num_qubits": 3, "depth": 20, "seed": 0},
+            {"kind": "random", "num_qubits": 3, "depth": 20, "seed": 1},
+            {"kind": "qaoa_ring", "num_qubits": 4, "layers": 2, "seed": 0},
+            {"kind": "vqe_hwe", "num_qubits": 4, "layers": 2, "seed": 0},
+            {"kind": "qft", "num_qubits": 3},
+        ],
+        "service_technique": "sat_p",
+        "service_workers": 4,
     },
 }
 
@@ -313,6 +332,71 @@ def bench_theory_engine_ab(preset: Dict) -> List[Dict]:
 
 
 # ----------------------------------------------------------------------
+# Service layer
+# ----------------------------------------------------------------------
+def bench_service(preset: Dict) -> Dict:
+    """Service-throughput benchmark: cold vs warm persistent-store runs.
+
+    Builds the preset's workload manifest, compiles it twice through a
+    :class:`repro.service.CompilationService` backed by a fresh temporary
+    :class:`repro.service.PersistentResultStore` — the first run cold
+    (every result compiled and persisted), the second in a simulated
+    fresh process (L1 emptied) so every result is served from disk.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api import clear_compilation_cache
+    from repro.hardware import spin_qubit_target
+    from repro.service import CompilationService, PersistentResultStore
+    from repro.workloads.manifest import parse_manifest
+
+    workloads, _ = parse_manifest(preset["service_manifest"])
+    technique = preset["service_technique"]
+    workers = preset["service_workers"]
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    clear_compilation_cache()
+    try:
+        timings = {}
+        hits = {}
+        for phase in ("cold", "warm"):
+            store = PersistentResultStore(root)
+            clear_compilation_cache()  # Each phase starts with an empty L1.
+            started = time.perf_counter()
+            with CompilationService(workers=workers, store=store) as service:
+                handles = [
+                    service.submit(
+                        circuit,
+                        spin_qubit_target(max(2, circuit.num_qubits)),
+                        technique,
+                    )
+                    for _, circuit in workloads
+                ]
+                for handle in handles:
+                    handle.result()
+            timings[phase] = time.perf_counter() - started
+            hits[phase] = store.info().hits
+        assert hits["warm"] > 0, "warm run must be served from the store"
+        return {
+            "workloads": len(workloads),
+            "technique": technique,
+            "workers": workers,
+            "cold_seconds": timings["cold"],
+            "warm_seconds": timings["warm"],
+            "cold_circuits_per_second": len(workloads) / timings["cold"],
+            "warm_circuits_per_second": len(workloads) / timings["warm"],
+            "warm_store_hits": hits["warm"],
+            "warm_speedup": (
+                timings["cold"] / timings["warm"]
+                if timings["warm"] > 0 else float("inf")
+            ),
+        }
+    finally:
+        clear_compilation_cache()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
 def run_suite(preset_name: str) -> Dict:
     """Run every benchmark of the preset and return the report dict."""
     preset = PRESETS[preset_name]
@@ -328,4 +412,5 @@ def run_suite(preset_name: str) -> Dict:
         "smt": bench_smt(preset),
         "compile": bench_compile(preset),
         "theory_engine_ab": bench_theory_engine_ab(preset),
+        "service": bench_service(preset),
     }

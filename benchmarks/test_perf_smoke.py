@@ -40,3 +40,10 @@ def test_perf_smoke_suite(tmp_path):
     for row in report["compile"]:
         assert row["seconds"] > 0
         assert "solve" in row["stage_seconds"] or row["technique"] in ("direct", "kak_cz", "kak_dcz")
+
+    # Service-layer throughput landed, and the warm (persistent-store)
+    # pass really was served from disk.
+    service = report["service"]
+    assert service["cold_circuits_per_second"] > 0
+    assert service["warm_circuits_per_second"] > 0
+    assert service["warm_store_hits"] > 0

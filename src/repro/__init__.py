@@ -23,6 +23,8 @@ The single front door is :func:`repro.compile`::
 Batch workloads go through :func:`repro.compile_many`; new techniques
 plug in with :func:`repro.register_technique`.  The layers underneath:
 
+* :mod:`repro.service` — persistent result store, async job scheduler,
+  portfolio compilation and the ``python -m repro.service`` batch CLI;
 * :mod:`repro.api` — facade, technique registry, compilation cache;
 * :mod:`repro.pipeline` — the instrumented pass pipeline (Fig. 2);
 * :mod:`repro.core` — preprocessing, substitution rules, the SMT model;
@@ -53,6 +55,10 @@ _LAZY_EXPORTS = {
     "QuantumCircuit": ("repro.circuits", "QuantumCircuit"),
     "spin_qubit_target": ("repro.hardware", "spin_qubit_target"),
     "evaluation_suite": ("repro.workloads", "evaluation_suite"),
+    "CompilationService": ("repro.service", "CompilationService"),
+    "PersistentResultStore": ("repro.service", "PersistentResultStore"),
+    "use_persistent_store": ("repro.service", "use_persistent_store"),
+    "disable_persistent_store": ("repro.service", "disable_persistent_store"),
 }
 
 __all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
@@ -90,4 +96,10 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
     from repro.core import AdaptationResult
     from repro.hardware import spin_qubit_target
     from repro.pipeline import CompilationReport, Pipeline
+    from repro.service import (
+        CompilationService,
+        PersistentResultStore,
+        disable_persistent_store,
+        use_persistent_store,
+    )
     from repro.workloads import evaluation_suite

@@ -17,6 +17,9 @@ from repro.api.cache import (
     CompilationCache,
     clear_compilation_cache,
     compilation_cache_info,
+    install_persistent_store,
+    persistent_store,
+    uninstall_persistent_store,
 )
 from repro.api.compile import compile, compile_many
 from repro.api.fingerprints import (
@@ -57,4 +60,7 @@ __all__ = [
     "CacheInfo",
     "clear_compilation_cache",
     "compilation_cache_info",
+    "install_persistent_store",
+    "persistent_store",
+    "uninstall_persistent_store",
 ]

@@ -37,6 +37,18 @@ class Instruction:
         """The gate name."""
         return self.gate.name
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see :meth:`Gate.to_dict`)."""
+        return {"gate": self.gate.to_dict(), "qubits": list(self.qubits)}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Instruction":
+        """Inverse of :meth:`to_dict`."""
+        return Instruction(
+            Gate.from_dict(payload["gate"]),
+            tuple(int(q) for q in payload["qubits"]),
+        )
+
     def __repr__(self) -> str:
         qubits = ", ".join(str(q) for q in self.qubits)
         return f"{self.gate!r} q[{qubits}]"
@@ -261,6 +273,33 @@ class QuantumCircuit:
             else:
                 gate_name, params = head, []
             circuit.append(glib.build_gate(gate_name, *params), [int(q) for q in qubit_tokens])
+        return circuit
+
+    # ------------------------------------------------------------------
+    # Exact serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Exact JSON-serializable form, including custom-gate matrices.
+
+        Unlike :meth:`to_text` (which re-derives gates by name through the
+        builder table and rounds parameters for display), this form embeds
+        every gate's matrix and round-trips bit-identically through
+        :meth:`from_dict` — which is what the persistent result store of
+        :mod:`repro.service` requires.
+        """
+        return {
+            "num_qubits": self.num_qubits,
+            "name": self.name,
+            "instructions": [inst.to_dict() for inst in self.instructions],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "QuantumCircuit":
+        """Inverse of :meth:`to_dict`."""
+        circuit = QuantumCircuit(int(payload["num_qubits"]), payload.get("name", "circuit"))
+        for entry in payload["instructions"]:
+            instruction = Instruction.from_dict(entry)
+            circuit.append(instruction.gate, instruction.qubits)
         return circuit
 
     def __repr__(self) -> str:

@@ -59,6 +59,36 @@ class Gate:
         """Return a copy of this gate under a different name (same unitary)."""
         return Gate(name, self.num_qubits, self.params, self.matrix, self.label)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form; exact — floats round-trip bit-identically.
+
+        Complex matrix entries are stored as ``[real, imag]`` pairs, so the
+        payload survives ``json.dumps``/``loads`` without custom encoders.
+        """
+        return {
+            "name": self.name,
+            "num_qubits": self.num_qubits,
+            "params": list(self.params),
+            "matrix": [
+                [[entry.real, entry.imag] for entry in row] for row in self.matrix
+            ],
+            "label": self.label,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Gate":
+        """Inverse of :meth:`to_dict`."""
+        return Gate(
+            name=payload["name"],
+            num_qubits=int(payload["num_qubits"]),
+            params=tuple(float(p) for p in payload["params"]),
+            matrix=tuple(
+                tuple(complex(entry[0], entry[1]) for entry in row)
+                for row in payload["matrix"]
+            ),
+            label=payload.get("label"),
+        )
+
     def __repr__(self) -> str:
         if self.params:
             rendered = ", ".join(f"{p:.4g}" for p in self.params)

@@ -59,6 +59,52 @@ class AdaptationResult:
             return 0.0
         return (baseline - self.cost.total_idle_time) / baseline
 
+    # Exact serialization (persistent result store) -------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form that round-trips exactly.
+
+        Costs, durations, gate counts, substitutions and the per-stage
+        report all survive ``json.dumps``/``loads`` bit-identically, which
+        is what :class:`repro.service.PersistentResultStore` relies on.
+        Non-numeric solver statistics values degrade to strings.
+        """
+        return {
+            "technique": self.technique,
+            "adapted_circuit": self.adapted_circuit.to_dict(),
+            "cost": self.cost.to_dict(),
+            "baseline_cost": (
+                self.baseline_cost.to_dict() if self.baseline_cost is not None else None
+            ),
+            "chosen_substitutions": [s.to_dict() for s in self.chosen_substitutions],
+            "objective_value": self.objective_value,
+            "statistics": {
+                key: value if isinstance(value, (int, float, bool, str)) else str(value)
+                for key, value in self.statistics.items()
+            },
+            "report": self.report.to_dict() if self.report is not None else None,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "AdaptationResult":
+        """Inverse of :meth:`to_dict`."""
+        from repro.pipeline.report import CompilationReport
+
+        objective = payload.get("objective_value")
+        baseline = payload.get("baseline_cost")
+        report = payload.get("report")
+        return AdaptationResult(
+            technique=payload["technique"],
+            adapted_circuit=QuantumCircuit.from_dict(payload["adapted_circuit"]),
+            cost=CircuitCost.from_dict(payload["cost"]),
+            baseline_cost=CircuitCost.from_dict(baseline) if baseline is not None else None,
+            chosen_substitutions=[
+                Substitution.from_dict(s) for s in payload.get("chosen_substitutions", [])
+            ],
+            objective_value=float(objective) if objective is not None else None,
+            statistics=dict(payload.get("statistics", {})),
+            report=CompilationReport.from_dict(report) if report is not None else None,
+        )
+
 
 def apply_substitutions(
     preprocessed: PreprocessedCircuit, chosen: Sequence[Substitution]

@@ -64,6 +64,49 @@ class ModelSolution:
     total_duration: float
     statistics: Dict[str, int] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form that round-trips exactly.
+
+        Integer block indices become string keys under ``json.dumps``;
+        :meth:`from_dict` restores them, so
+        ``ModelSolution.from_dict(json.loads(json.dumps(sol.to_dict())))``
+        reproduces durations, fidelities and the schedule bit-identically.
+        """
+        return {
+            "chosen_substitutions": [s.to_dict() for s in self.chosen_substitutions],
+            "objective_value": self.objective_value,
+            "block_durations": {str(k): v for k, v in self.block_durations.items()},
+            "block_log_fidelities": {
+                str(k): v for k, v in self.block_log_fidelities.items()
+            },
+            "block_start_times": {str(k): v for k, v in self.block_start_times.items()},
+            "total_duration": self.total_duration,
+            "statistics": dict(self.statistics),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "ModelSolution":
+        """Inverse of :meth:`to_dict`."""
+        objective = payload.get("objective_value")
+        return ModelSolution(
+            chosen_substitutions=[
+                Substitution.from_dict(s)
+                for s in payload.get("chosen_substitutions", [])
+            ],
+            objective_value=float(objective) if objective is not None else None,
+            block_durations={
+                int(k): float(v) for k, v in payload["block_durations"].items()
+            },
+            block_log_fidelities={
+                int(k): float(v) for k, v in payload["block_log_fidelities"].items()
+            },
+            block_start_times={
+                int(k): float(v) for k, v in payload["block_start_times"].items()
+            },
+            total_duration=float(payload["total_duration"]),
+            statistics=dict(payload.get("statistics", {})),
+        )
+
 
 class AdaptationModel:
     """Builds and solves the SMT adaptation model for one circuit."""

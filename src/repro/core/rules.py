@@ -43,6 +43,31 @@ class Substitution:
             return False
         return bool(set(self.substituted_positions) & set(other.substituted_positions))
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form; cost deltas round-trip exactly."""
+        return {
+            "identifier": self.identifier,
+            "rule_name": self.rule_name,
+            "block_index": self.block_index,
+            "substituted_positions": list(self.substituted_positions),
+            "replacement": [inst.to_dict() for inst in self.replacement],
+            "duration_delta": self.duration_delta,
+            "log_fidelity_delta": self.log_fidelity_delta,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Substitution":
+        """Inverse of :meth:`to_dict`."""
+        return Substitution(
+            identifier=int(payload["identifier"]),
+            rule_name=payload["rule_name"],
+            block_index=int(payload["block_index"]),
+            substituted_positions=tuple(int(p) for p in payload["substituted_positions"]),
+            replacement=[Instruction.from_dict(e) for e in payload["replacement"]],
+            duration_delta=float(payload["duration_delta"]),
+            log_fidelity_delta=float(payload["log_fidelity_delta"]),
+        )
+
     def __repr__(self) -> str:
         return (
             f"Substitution(id={self.identifier}, rule={self.rule_name}, "

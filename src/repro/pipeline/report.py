@@ -13,6 +13,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional
 
+#: Option value types that serialize to JSON verbatim.
+_JSON_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def _jsonable_option(value: object) -> object:
+    """A JSON-safe stand-in for one report option value."""
+    if isinstance(value, _JSON_PRIMITIVES):
+        return value
+    if isinstance(value, (list, tuple)) and all(
+        isinstance(v, _JSON_PRIMITIVES) for v in value
+    ):
+        return list(value)
+    return repr(value)
+
 
 @dataclass(frozen=True)
 class PassStats:
@@ -25,6 +39,20 @@ class PassStats:
     name: str
     seconds: float
     counters: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; timings round-trip exactly."""
+        return {"name": self.name, "seconds": self.seconds,
+                "counters": dict(self.counters)}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PassStats":
+        """Inverse of :meth:`to_dict`."""
+        return PassStats(
+            name=payload["name"],
+            seconds=float(payload["seconds"]),
+            counters={k: float(v) for k, v in payload.get("counters", {}).items()},
+        )
 
     def __repr__(self) -> str:
         rendered = ", ".join(f"{k}={v:g}" for k, v in self.counters.items())
@@ -50,6 +78,10 @@ class CompilationReport:
     cache_hit:
         True when the result was served from the compilation cache (the
         stages then describe the original, cached run).
+    contenders:
+        Portfolio-compilation provenance: one summary dict per technique
+        raced by :meth:`repro.service.CompilationService.compile_portfolio`
+        (empty for ordinary single-technique compilations).
     """
 
     technique: str
@@ -59,6 +91,7 @@ class CompilationReport:
     options: Dict[str, object] = field(default_factory=dict)
     stages: List[PassStats] = field(default_factory=list)
     cache_hit: bool = False
+    contenders: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -83,7 +116,48 @@ class CompilationReport:
 
     def as_cache_hit(self) -> "CompilationReport":
         """A copy of this report flagged as served from the cache."""
-        return replace(self, cache_hit=True, stages=list(self.stages))
+        return replace(self, cache_hit=True, stages=list(self.stages),
+                       contenders=[dict(c) for c in self.contenders])
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for the persistent result store.
+
+        Option values are kept verbatim when they are JSON-safe primitives
+        (or flat tuples of primitives, stored as lists and restored as
+        tuples by :meth:`from_dict`); anything else — e.g. a custom
+        ``rules`` list — degrades to its ``repr``.  Uncacheable results
+        never reach the store, so the lossy branch only affects reports a
+        user serializes by hand.
+        """
+        return {
+            "technique": self.technique,
+            "circuit_name": self.circuit_name,
+            "circuit_hash": self.circuit_hash,
+            "target_fingerprint": self.target_fingerprint,
+            "options": {key: _jsonable_option(value)
+                        for key, value in self.options.items()},
+            "stages": [stage.to_dict() for stage in self.stages],
+            "cache_hit": self.cache_hit,
+            "contenders": [dict(c) for c in self.contenders],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "CompilationReport":
+        """Inverse of :meth:`to_dict`."""
+        options = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in payload.get("options", {}).items()
+        }
+        return CompilationReport(
+            technique=payload["technique"],
+            circuit_name=payload["circuit_name"],
+            circuit_hash=payload["circuit_hash"],
+            target_fingerprint=payload["target_fingerprint"],
+            options=options,
+            stages=[PassStats.from_dict(s) for s in payload.get("stages", [])],
+            cache_hit=bool(payload.get("cache_hit", False)),
+            contenders=[dict(c) for c in payload.get("contenders", [])],
+        )
 
     def summary(self) -> str:
         """A small aligned text table of the per-stage timings."""

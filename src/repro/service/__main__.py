@@ -1,0 +1,179 @@
+"""Batch front end: ``python -m repro.service MANIFEST [options]``.
+
+Compiles every workload of a JSON manifest (see
+:mod:`repro.workloads.manifest`) against the spin-qubit target through a
+:class:`repro.service.CompilationService`, prints a per-workload summary
+table plus the aggregated service statistics, and optionally persists
+results across runs::
+
+    python -m repro.service manifest.json --store .repro-store
+    python -m repro.service manifest.json --store .repro-store   # warm: L2 hits
+
+With ``--portfolio`` every workload races several techniques and the
+table shows the per-workload winner::
+
+    python -m repro.service manifest.json --portfolio direct,kak_cz,sat_p
+
+``--stats-json`` writes the final ``service.statistics()`` (including
+L1/L2 hit counters and per-technique portfolio wins) to a file — that is
+what CI's warm-start check asserts on.  ``--clear-store`` empties the
+persistent store before compiling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.hardware import spin_qubit_target
+from repro.service.scheduler import CompilationService
+from repro.service.store import PersistentResultStore
+from repro.workloads.manifest import load_manifest
+
+
+def _format_table(rows: List[List[str]], headers: List[str]) -> str:
+    """Plain monospace table with per-column alignment."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Compile a workload manifest through the compilation service.",
+    )
+    parser.add_argument("manifest", help="path of the JSON workload manifest")
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent result store directory (created if missing); "
+             "omit for a purely in-memory run",
+    )
+    parser.add_argument("--clear-store", action="store_true",
+                        help="empty the persistent store before compiling")
+    parser.add_argument("--max-store-mb", type=int, default=256,
+                        help="persistent store size budget in MiB (default 256)")
+    parser.add_argument("--technique", default=None,
+                        help="technique key for every workload (default sat_p, "
+                             "or the manifest's 'technique' entry)")
+    parser.add_argument("--portfolio", default=None, metavar="KEYS",
+                        help="comma-separated techniques to race per workload "
+                             "(overrides --technique)")
+    parser.add_argument("--policy", default=None,
+                        choices=["combined", "duration", "fidelity", "gates"],
+                        help="portfolio cost policy (default combined)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker pool size (default 4)")
+    parser.add_argument("--durations", default="D0", choices=["D0", "D1"],
+                        help="spin-qubit duration calibration (default D0)")
+    parser.add_argument("--stats-json", default=None, metavar="PATH",
+                        help="write service.statistics() to this file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-workload table")
+    args = parser.parse_args(argv)
+
+    try:
+        workloads, defaults = load_manifest(args.manifest)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: cannot load manifest {args.manifest!r}: {error}",
+              file=sys.stderr)
+        return 2
+    if not workloads:
+        print("error: the manifest contains no workloads", file=sys.stderr)
+        return 2
+
+    technique = args.technique or defaults.get("technique", "sat_p")
+    policy = args.policy or defaults.get("policy", "combined")
+    portfolio = args.portfolio or defaults.get("portfolio")
+    techniques = (
+        [key.strip() for key in portfolio.split(",") if key.strip()]
+        if isinstance(portfolio, str) else portfolio
+    )
+
+    store = None
+    if args.store:
+        store = PersistentResultStore(
+            args.store, max_bytes=args.max_store_mb * 1024 * 1024
+        )
+        if args.clear_store:
+            removed = store.clear()
+            print(f"cleared {removed} entries from {store.root}")
+
+    started = time.perf_counter()
+    rows: List[List[str]] = []
+    with CompilationService(workers=args.workers, store=store) as service:
+        handles = []
+        for name, circuit in workloads:
+            target = spin_qubit_target(max(2, circuit.num_qubits), args.durations)
+            if techniques:
+                # Portfolio racing is synchronous per workload (it already
+                # fans out one job per technique underneath).
+                result = service.compile_portfolio(
+                    circuit, target, techniques, policy=policy
+                )
+                handles.append((name, circuit, None, result))
+            else:
+                handles.append(
+                    (name, circuit, service.submit(circuit, target, technique), None)
+                )
+        for name, circuit, handle, result in handles:
+            if result is None:
+                result = handle.result()
+            report = result.report
+            rows.append([
+                name,
+                result.technique,
+                str(result.cost.gate_count),
+                str(result.cost.two_qubit_gate_count),
+                f"{result.cost.duration:.0f}",
+                f"{result.cost.gate_fidelity_product:.4f}",
+                f"{1e3 * (report.total_seconds if report else 0.0):.1f}",
+                ("hit" if report and report.cache_hit else "fresh"),
+            ])
+        elapsed = time.perf_counter() - started
+        stats = service.statistics()
+
+    if not args.quiet:
+        print(_format_table(rows, [
+            "workload", "technique", "gates", "2q", "duration[ns]",
+            "fidelity", "pipeline[ms]", "cache",
+        ]))
+    throughput = len(workloads) / elapsed if elapsed > 0 else float("inf")
+    print(f"\ncompiled {len(workloads)} workloads in {elapsed:.2f}s "
+          f"({throughput:.2f} circuits/s) with {args.workers} workers")
+    l1 = stats["l1"]
+    print(f"L1 cache: {l1['hits']} hits / {l1['misses']} misses "
+          f"({100 * stats['l1_hit_rate']:.0f}%)")
+    if "l2" in stats:
+        l2 = stats["l2"]
+        print(f"L2 store: {l2['hits']} hits / {l2['misses']} misses "
+              f"({100 * stats['l2_hit_rate']:.0f}%), {l2['entries']} entries, "
+              f"{l2['total_bytes'] / 1024:.0f} KiB at {store.root}")
+    if stats["portfolio_wins"]:
+        wins = ", ".join(f"{key}={count}" for key, count
+                         in sorted(stats["portfolio_wins"].items()))
+        print(f"portfolio wins: {wins}")
+
+    if args.stats_json:
+        payload = dict(stats)
+        payload["elapsed_seconds"] = elapsed
+        payload["circuits_per_second"] = throughput
+        payload["workloads"] = len(workloads)
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.stats_json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

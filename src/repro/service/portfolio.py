@@ -1,0 +1,134 @@
+"""Portfolio compilation: race techniques, keep the best result.
+
+``compile_portfolio`` submits one job per technique to a
+:class:`repro.service.CompilationService`, waits for all of them, scores
+every successful result under a **cost policy** and returns the argmin.
+All contenders — including failed ones — are recorded in the winner's
+``report.contenders``, so batch drivers can audit why a technique won.
+
+Cost policies (all argmin, lower is better):
+
+============ ==========================================================
+``duration``  circuit makespan (``cost.duration``)
+``fidelity``  negated gate-fidelity product (maximizes fidelity)
+``gates``     total gate count, two-qubit count as tie-break
+``combined``  negated fidelity x idle-survival score (paper's Eq. 10
+              evaluation metric; the default)
+============ ==========================================================
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware.target import Target
+
+#: The default portfolio: one representative per technique family, cheap
+#: enough to race on every request.
+DEFAULT_PORTFOLIO = ("direct", "kak_cz", "sat_p")
+
+#: Cost policies mapping a result to a scalar score (argmin wins).
+COST_POLICIES: Dict[str, Callable] = {
+    "duration": lambda result: result.cost.duration,
+    "fidelity": lambda result: -result.cost.gate_fidelity_product,
+    "gates": lambda result: (
+        result.cost.gate_count + 1e-6 * result.cost.two_qubit_gate_count
+    ),
+    "combined": lambda result: -result.cost.combined_score,
+}
+
+
+def portfolio_score(result, policy: str = "combined") -> float:
+    """Score one result under a named cost policy (lower is better)."""
+    try:
+        scorer = COST_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown cost policy {policy!r}; available: {sorted(COST_POLICIES)}"
+        ) from None
+    return float(scorer(result))
+
+
+def run_portfolio(
+    service,
+    circuit: QuantumCircuit,
+    target: Target,
+    techniques: Optional[Sequence[str]] = None,
+    *,
+    policy: str = "combined",
+    use_cache: bool = True,
+    timeout: Optional[float] = None,
+    **options: object,
+):
+    """Race ``techniques`` through ``service`` and return the policy argmin.
+
+    The returned :class:`repro.core.AdaptationResult` is a detached copy
+    of the winner whose ``report.contenders`` lists every raced technique
+    with its score, wall time and headline costs (or its error message).
+    Raises ``RuntimeError`` when every technique fails.
+    """
+    if techniques is None:
+        techniques = DEFAULT_PORTFOLIO
+    techniques = list(techniques)
+    if not techniques:
+        raise ValueError("portfolio compilation needs at least one technique")
+    if policy not in COST_POLICIES:
+        raise ValueError(
+            f"unknown cost policy {policy!r}; available: {sorted(COST_POLICIES)}"
+        )
+
+    handles = []
+    completions: Dict[int, float] = {}
+    started = time.perf_counter()
+    for index, technique in enumerate(techniques):
+        handle = service.submit(circuit, target, technique,
+                                use_cache=use_cache, **options)
+        # Stamp each contender's own completion, so a fast technique is
+        # not billed for the slower ones awaited before it.
+        handle.add_done_callback(
+            lambda _future, i=index: completions.setdefault(
+                i, time.perf_counter() - started
+            )
+        )
+        handles.append((technique, handle))
+
+    contenders = []
+    outcomes = []
+    for index, (technique, handle) in enumerate(handles):
+        try:
+            result = handle.result(timeout=timeout)
+        except Exception as error:  # noqa: BLE001 - recorded per contender
+            contenders.append({
+                "technique": technique,
+                "error": f"{type(error).__name__}: {error}",
+            })
+            continue
+        seconds = completions.get(index, time.perf_counter() - started)
+        score = portfolio_score(result, policy)
+        contenders.append({
+            "technique": result.technique,
+            "score": score,
+            "seconds": seconds,
+            "duration": result.cost.duration,
+            "gate_fidelity_product": result.cost.gate_fidelity_product,
+            "gate_count": result.cost.gate_count,
+            "two_qubit_gate_count": result.cost.two_qubit_gate_count,
+            "cache_hit": bool(result.report.cache_hit) if result.report else False,
+        })
+        outcomes.append((score, len(outcomes), result, contenders[-1]))
+
+    if not outcomes:
+        errors = "; ".join(str(c.get("error")) for c in contenders)
+        raise RuntimeError(f"every portfolio technique failed: {errors}")
+
+    outcomes.sort(key=lambda entry: (entry[0], entry[1]))
+    _, _, best, best_record = outcomes[0]
+    best_record["winner"] = True
+
+    winner = copy.deepcopy(best)
+    if winner.report is not None:
+        winner.report.contenders = [dict(c) for c in contenders]
+    return winner

@@ -1,0 +1,551 @@
+"""The async compilation service: bounded queue, worker pool, dedup, futures.
+
+:class:`CompilationService` turns the synchronous :func:`repro.compile`
+into a long-lived server-side component:
+
+* ``submit()`` enqueues a compilation and returns a :class:`JobHandle`
+  immediately; ``result()`` / ``status()`` / ``cancel()`` operate on it.
+* The job queue is **bounded** (``max_pending``): when it is full,
+  ``submit(block=False)`` raises :class:`ServiceSaturatedError` instead
+  of buffering unboundedly — the backpressure signal a front end needs.
+* Identical concurrent requests (same circuit/target/technique/options
+  fingerprint) **coalesce** onto one in-flight job: N callers, one
+  compile, N futures resolved from the same result.
+* Workers are threads by default (the compile pipeline is pure Python
+  but releases the GIL inside numpy kernels); ``mode="process"``
+  dispatches the actual compilation to a process pool instead, for
+  CPU-bound SMT-heavy workloads.
+* ``shutdown()`` is graceful: queued jobs finish (or are cancelled with
+  ``cancel_pending=True``) and workers exit cleanly.
+
+When constructed with a ``store`` (a
+:class:`repro.service.PersistentResultStore`, or a path), the service
+installs it behind :func:`repro.compile`, so every compilation — from
+this service or from plain ``repro.compile`` calls — reads and writes
+the shared L1 → L2 cache stack.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.api.cache import (
+    GLOBAL_CACHE,
+    install_persistent_store,
+    persistent_store,
+    store_result,
+    uninstall_persistent_store,
+)
+from repro.api.compile import compile as _facade_compile
+from repro.api.compile import _effective_options
+from repro.api.fingerprints import cache_key
+from repro.api.registry import resolve_technique
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware.target import Target
+from repro.service.store import PersistentResultStore
+
+
+class ServiceSaturatedError(RuntimeError):
+    """Raised by ``submit(block=False)`` when the job queue is full."""
+
+
+class JobStatus(str, Enum):
+    """Lifecycle states of a submitted compilation job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class _Job:
+    """One queued compilation with its execution future and dedup key."""
+
+    job_id: int
+    key: Optional[tuple]
+    circuit: QuantumCircuit
+    target: Target
+    technique: str
+    use_cache: bool
+    options: Dict[str, object]
+    #: The execution future the worker resolves; per-caller front futures
+    #: (one per coalesced submit) are fed from it on completion.
+    future: Future = field(default_factory=Future)
+    fronts: List[Future] = field(default_factory=list)
+    status: JobStatus = JobStatus.QUEUED
+
+    @property
+    def waiters(self) -> int:
+        """How many submit() calls share this job (1 = no dedup)."""
+        return len(self.fronts)
+
+
+class JobHandle:
+    """A caller-facing reference to one (possibly shared) compilation job.
+
+    Each handle owns its *own* front future: cancelling one caller's
+    handle never cancels the result out from under the other callers it
+    was coalesced with — the shared compilation itself is only cancelled
+    once every attached handle has been.
+    """
+
+    def __init__(self, service: "CompilationService", job: _Job,
+                 front: Future) -> None:
+        self._service = service
+        self._job = job
+        self._front = front
+
+    @property
+    def job_id(self) -> int:
+        """Service-unique identifier of the underlying (shared) job."""
+        return self._job.job_id
+
+    @property
+    def technique(self) -> str:
+        """Canonical technique key the job compiles with."""
+        return self._job.technique
+
+    def status(self) -> JobStatus:
+        """Current lifecycle state (of this handle, not its siblings)."""
+        if self._front.cancelled():
+            return JobStatus.CANCELLED
+        return self._job.status
+
+    def done(self) -> bool:
+        """True once this handle finished (done, failed or cancelled)."""
+        return self._front.done()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for the :class:`repro.core.AdaptationResult`."""
+        return self._front.result(timeout=timeout)
+
+    def cancel(self) -> bool:
+        """Cancel this handle; the shared job is cancelled only when no
+        other caller is still waiting on it.  Running jobs cannot be
+        cancelled."""
+        return self._service._cancel_front(self._job, self._front)
+
+    def add_done_callback(self, callback) -> None:
+        """Attach a callback to this handle's future (standard
+        :meth:`concurrent.futures.Future.add_done_callback` semantics)."""
+        self._front.add_done_callback(callback)
+
+    def __repr__(self) -> str:
+        return (f"JobHandle(id={self.job_id}, technique={self.technique!r}, "
+                f"status={self.status().value})")
+
+
+def _compile_in_subprocess(payload):
+    """Process-pool entry point: compile one job in a fresh interpreter."""
+    circuit, target, technique, use_cache, options = payload
+    return _facade_compile(circuit, target, technique,
+                           use_cache=use_cache, **options)
+
+
+class CompilationService:
+    """An asynchronous, deduplicating front end over :func:`repro.compile`.
+
+    Parameters
+    ----------
+    workers:
+        Worker pool size.
+    max_pending:
+        Bound on the number of queued (not yet running) jobs.
+    store:
+        Optional persistent L2 store — a
+        :class:`repro.service.PersistentResultStore` or a directory path.
+        Installed behind :func:`repro.compile` for the service's lifetime
+        (detached again on :meth:`shutdown` if this service installed it).
+    mode:
+        ``"thread"`` (default) runs compilations on the worker threads;
+        ``"process"`` dispatches them to a process pool of the same size
+        (results are merged back into this process's cache tiers).
+    compile_fn:
+        Injection point for tests: the callable that performs one
+        compilation, signature-compatible with :func:`repro.compile`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        max_pending: int = 256,
+        store: Union[PersistentResultStore, str, None] = None,
+        mode: str = "thread",
+        compile_fn: Optional[Callable] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("the service needs at least one worker")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+        self.workers = workers
+        self.mode = mode
+        self._compile_fn = compile_fn or _facade_compile
+        self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue(maxsize=max_pending)
+        self._lock = threading.Lock()
+        self._inflight: Dict[tuple, _Job] = {}
+        self._jobs: Dict[int, _Job] = {}
+        self._next_id = 0
+        self._shutdown = False
+        self._started_at = time.monotonic()
+        self._busy_workers = 0
+        self._busy_seconds = 0.0
+        self._counters = {
+            "submitted": 0,
+            "deduplicated": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
+        self._portfolio_wins: Dict[str, int] = {}
+
+        if isinstance(store, str):
+            store = PersistentResultStore(store)
+        self.store = store
+        self._installed_store = False
+        if store is not None and persistent_store() is not store:
+            install_persistent_store(store)
+            self._installed_store = True
+
+        self._pool: Optional[ProcessPoolExecutor] = (
+            ProcessPoolExecutor(max_workers=workers) if mode == "process" else None
+        )
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-service-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ------------------------------------------------------
+    def submit(
+        self,
+        circuit: QuantumCircuit,
+        target: Target,
+        technique: str = "sat_p",
+        *,
+        use_cache: bool = True,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        **options: object,
+    ) -> JobHandle:
+        """Enqueue one compilation and return its :class:`JobHandle`.
+
+        Identical concurrent requests (same cache key) coalesce onto one
+        in-flight job.  With ``block=False`` a full queue raises
+        :class:`ServiceSaturatedError` instead of waiting.
+        """
+        if self._shutdown:
+            raise RuntimeError("cannot submit to a shut-down CompilationService")
+        spec = resolve_technique(technique)
+        spec.validate_options(dict(options))
+        effective = _effective_options(spec, dict(options))
+        key = (
+            cache_key(circuit, target, spec.key, effective) if use_cache else None
+        )
+
+        front = Future()
+        with self._lock:
+            self._counters["submitted"] += 1
+            if key is not None:
+                running = self._inflight.get(key)
+                # The done() check and the append happen under the same
+                # lock as the completion snapshot in _run_job, so a front
+                # can never be attached to a job that already resolved.
+                if running is not None and not running.future.done():
+                    running.fronts.append(front)
+                    self._counters["deduplicated"] += 1
+                    return JobHandle(self, running, front)
+            self._next_id += 1
+            job = _Job(
+                job_id=self._next_id,
+                key=key,
+                circuit=circuit,
+                target=target,
+                technique=spec.key,
+                use_cache=use_cache,
+                options=effective,
+            )
+            job.fronts.append(front)
+            self._jobs[job.job_id] = job
+            if key is not None:
+                self._inflight[key] = job
+        try:
+            self._queue.put(job, block=block, timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                coalesced = job.waiters > 1
+                if not coalesced:
+                    job.status = JobStatus.CANCELLED
+                    self._counters["cancelled"] += 1
+                    self._counters["submitted"] -= 1
+                    self._inflight.pop(key, None)
+                    self._jobs.pop(job.job_id, None)
+            if coalesced:
+                # Rare race: another submit coalesced onto this job while
+                # our put was failing.  It must not be stranded, so the
+                # job is enqueued anyway (accepting one over-budget slot)
+                # rather than cancelled out from under the other caller.
+                self._queue.put(job)
+                return JobHandle(self, job, front)
+            job.future.cancel()
+            front.cancel()
+            raise ServiceSaturatedError(
+                f"job queue is full ({self._queue.maxsize} pending)"
+            ) from None
+        # Close the submit/shutdown race: if shutdown() ran while the put
+        # was in flight, this job may sit behind the worker sentinels and
+        # would never resolve.  If so (the cancel succeeds only when no
+        # worker picked it up), reject the submission explicitly.
+        if self._shutdown and job.future.cancel():
+            with self._lock:
+                job.status = JobStatus.CANCELLED
+                self._counters["cancelled"] += 1
+                self._counters["submitted"] -= 1
+                self._inflight.pop(key, None)
+                self._jobs.pop(job.job_id, None)
+            front.cancel()
+            raise RuntimeError(
+                "CompilationService was shut down while the job was being "
+                "submitted"
+            )
+        return JobHandle(self, job, front)
+
+    def compile(self, circuit: QuantumCircuit, target: Target,
+                technique: str = "sat_p", *, timeout: Optional[float] = None,
+                **options: object):
+        """Synchronous convenience: ``submit(...).result(timeout)``."""
+        return self.submit(circuit, target, technique, **options).result(timeout)
+
+    # -- job introspection ----------------------------------------------
+    def _resolve(self, handle_or_id: Union[JobHandle, int]) -> _Job:
+        if isinstance(handle_or_id, JobHandle):
+            return handle_or_id._job
+        with self._lock:
+            job = self._jobs.get(handle_or_id)
+        if job is None:
+            raise KeyError(f"unknown job id {handle_or_id!r}")
+        return job
+
+    def status(self, handle_or_id: Union[JobHandle, int]) -> JobStatus:
+        """Current :class:`JobStatus` of a handle or job."""
+        if isinstance(handle_or_id, JobHandle):
+            return handle_or_id.status()
+        return self._resolve(handle_or_id).status
+
+    def result(self, handle_or_id: Union[JobHandle, int],
+               timeout: Optional[float] = None):
+        """Block for a job's :class:`repro.core.AdaptationResult`."""
+        if isinstance(handle_or_id, JobHandle):
+            return handle_or_id.result(timeout=timeout)
+        return self._resolve(handle_or_id).future.result(timeout=timeout)
+
+    def cancel(self, handle_or_id: Union[JobHandle, int]) -> bool:
+        """Cancel a handle — or, by job id, every waiter of a queued job.
+
+        Running jobs are not interrupted; a coalesced job is only
+        cancelled once all of its waiters are.
+        """
+        if isinstance(handle_or_id, JobHandle):
+            return handle_or_id.cancel()
+        job = self._resolve(handle_or_id)
+        with self._lock:
+            fronts = list(job.fronts)
+        cancelled = False
+        for front in fronts:
+            cancelled = self._cancel_front(job, front) or cancelled
+        return cancelled
+
+    def _cancel_front(self, job: _Job, front: Future) -> bool:
+        """Cancel one waiter's front; reap the job when nobody is left."""
+        if not front.cancel():
+            return False
+        with self._lock:
+            abandoned = all(f.cancelled() for f in job.fronts)
+        if abandoned and job.future.cancel():
+            with self._lock:
+                job.status = JobStatus.CANCELLED
+                self._counters["cancelled"] += 1
+                if job.key is not None and self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+        return True
+
+    # -- worker loop -----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # Shutdown sentinel.
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: _Job) -> None:
+        if not job.future.set_running_or_notify_cancel():
+            return  # Cancelled while queued; counters already updated.
+        with self._lock:
+            job.status = JobStatus.RUNNING
+            self._busy_workers += 1
+        started = time.monotonic()
+        try:
+            if self._pool is not None:
+                payload = (job.circuit, job.target, job.technique,
+                           job.use_cache, job.options)
+                result = self._pool.submit(_compile_in_subprocess, payload).result()
+                if job.use_cache:
+                    # The subprocess populated its own caches; merge the
+                    # result into this process's L1/L2 tiers.
+                    store_result(job.key, result)
+            else:
+                result = self._compile_fn(
+                    job.circuit, job.target, job.technique,
+                    use_cache=job.use_cache, **job.options,
+                )
+        except BaseException as error:  # noqa: BLE001 - forwarded to the futures
+            with self._lock:
+                job.status = JobStatus.FAILED
+                self._counters["failed"] += 1
+                self._finish(job, started)
+                # Resolving the execution future under the lock makes the
+                # dedup done() check atomic with this completion: no front
+                # can be attached after the snapshot below.
+                job.future.set_exception(error)
+                fronts = list(job.fronts)
+            for front in fronts:
+                if front.set_running_or_notify_cancel():
+                    front.set_exception(error)
+        else:
+            with self._lock:
+                job.status = JobStatus.DONE
+                self._counters["completed"] += 1
+                self._finish(job, started)
+                job.future.set_result(result)
+                fronts = list(job.fronts)
+            for front in fronts:
+                if front.set_running_or_notify_cancel():
+                    front.set_result(result)
+
+    def _finish(self, job: _Job, started: float) -> None:
+        """Book-keeping common to success and failure (lock held)."""
+        self._busy_workers -= 1
+        self._busy_seconds += time.monotonic() - started
+        if job.key is not None and self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+
+    # -- portfolio -------------------------------------------------------
+    def compile_portfolio(
+        self,
+        circuit: QuantumCircuit,
+        target: Target,
+        techniques: Optional[Sequence[str]] = None,
+        *,
+        policy: str = "combined",
+        use_cache: bool = True,
+        timeout: Optional[float] = None,
+        **options: object,
+    ):
+        """Race several techniques and return the best result under ``policy``.
+
+        See :func:`repro.service.portfolio.run_portfolio` for the cost
+        policies and the contender records attached to the winner's
+        report.  Per-technique win counts feed :meth:`statistics`.
+        """
+        from repro.service.portfolio import run_portfolio
+
+        winner = run_portfolio(
+            self, circuit, target, techniques,
+            policy=policy, use_cache=use_cache, timeout=timeout, **options,
+        )
+        with self._lock:
+            wins = self._portfolio_wins
+            wins[winner.technique] = wins.get(winner.technique, 0) + 1
+        return winner
+
+    # -- statistics and lifecycle ---------------------------------------
+    def statistics(self) -> Dict[str, object]:
+        """Aggregate queue, worker, cache-tier and portfolio statistics."""
+        l1 = GLOBAL_CACHE.info()
+        store = self.store if self.store is not None else persistent_store()
+        uptime = max(time.monotonic() - self._started_at, 1e-9)
+        with self._lock:
+            counters = dict(self._counters)
+            busy = self._busy_workers
+            busy_seconds = self._busy_seconds
+            wins = dict(self._portfolio_wins)
+        l1_lookups = l1.hits + l1.misses
+        stats: Dict[str, object] = {
+            "queue_depth": self._queue.qsize(),
+            "max_pending": self._queue.maxsize,
+            "workers": self.workers,
+            "busy_workers": busy,
+            "worker_utilization": busy_seconds / (self.workers * uptime),
+            "uptime_seconds": uptime,
+            "mode": self.mode,
+            **counters,
+            "l1": {"hits": l1.hits, "misses": l1.misses, "size": l1.size},
+            "l1_hit_rate": l1.hits / l1_lookups if l1_lookups else 0.0,
+            "portfolio_wins": wins,
+        }
+        if store is not None:
+            info = store.info()
+            lookups = info.hits + info.misses
+            stats["l2"] = info.as_dict()
+            stats["l2_hit_rate"] = info.hits / lookups if lookups else 0.0
+        return stats
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting jobs and wind the worker pool down.
+
+        With ``cancel_pending=True`` still-queued jobs are cancelled;
+        otherwise they drain normally before the workers exit.
+        """
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        if cancel_pending:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is not None and job.future.cancel():
+                    with self._lock:
+                        job.status = JobStatus.CANCELLED
+                        self._counters["cancelled"] += 1
+                        if job.key is not None and self._inflight.get(job.key) is job:
+                            del self._inflight[job.key]
+                        fronts = list(job.fronts)
+                    for front in fronts:  # Unblock every waiter.
+                        front.cancel()
+                self._queue.task_done()
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+        if self._installed_store:
+            uninstall_persistent_store()
+            self._installed_store = False
+
+    def __enter__(self) -> "CompilationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return (f"CompilationService(workers={self.workers}, mode={self.mode!r}, "
+                f"queue={self._queue.qsize()}/{self._queue.maxsize})")

@@ -28,6 +28,31 @@ class CircuitCost:
         """Product of gate fidelity and idle-time survival probability."""
         return self.gate_fidelity_product * self.idle_survival_probability
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-serializable form; floats round-trip exactly."""
+        return {
+            "gate_fidelity_product": self.gate_fidelity_product,
+            "log_fidelity": self.log_fidelity,
+            "duration": self.duration,
+            "total_idle_time": self.total_idle_time,
+            "idle_survival_probability": self.idle_survival_probability,
+            "two_qubit_gate_count": self.two_qubit_gate_count,
+            "gate_count": self.gate_count,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, float]) -> "CircuitCost":
+        """Inverse of :meth:`to_dict`."""
+        return CircuitCost(
+            gate_fidelity_product=float(payload["gate_fidelity_product"]),
+            log_fidelity=float(payload["log_fidelity"]),
+            duration=float(payload["duration"]),
+            total_idle_time=float(payload["total_idle_time"]),
+            idle_survival_probability=float(payload["idle_survival_probability"]),
+            two_qubit_gate_count=int(payload["two_qubit_gate_count"]),
+            gate_count=int(payload["gate_count"]),
+        )
+
 
 def analyze_cost(circuit: QuantumCircuit, target: Target) -> CircuitCost:
     """Compute the fidelity / duration / idle-time costs of a circuit.

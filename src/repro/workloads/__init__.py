@@ -1,9 +1,13 @@
-"""Workload generators used by the evaluation (Section V).
+"""Workload generators used by the evaluation (Section V) and the service.
 
 The paper evaluates the adaptation techniques on quantum-volume circuits
 and on random circuits built from the gates appearing in the Fig. 3
 templates (CNOT, CZ, SWAP and single-qubit rotations), with up to 4 qubits
-and depth up to 160.  Both generators are deterministic given a seed.
+and depth up to 160.  Named circuits (GHZ, QFT, Bernstein-Vazirani, the
+QAOA ring and hardware-efficient VQE ansatz families) add structured
+scenarios, and :mod:`repro.workloads.manifest` turns declarative JSON
+manifests into batches for ``python -m repro.service``.  All generators
+are deterministic given a seed.
 """
 
 from repro.workloads.quantum_volume import quantum_volume_circuit
@@ -12,7 +16,19 @@ from repro.workloads.random_circuits import (
     evaluation_suite,
     WorkloadSpec,
 )
-from repro.workloads.named import ghz_circuit, qft_circuit, bernstein_vazirani_circuit
+from repro.workloads.named import (
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    hardware_efficient_ansatz,
+    qaoa_ring_circuit,
+    qft_circuit,
+)
+from repro.workloads.manifest import (
+    WORKLOAD_BUILDERS,
+    build_workload_entry,
+    load_manifest,
+    parse_manifest,
+)
 
 __all__ = [
     "quantum_volume_circuit",
@@ -22,4 +38,10 @@ __all__ = [
     "ghz_circuit",
     "qft_circuit",
     "bernstein_vazirani_circuit",
+    "qaoa_ring_circuit",
+    "hardware_efficient_ansatz",
+    "WORKLOAD_BUILDERS",
+    "build_workload_entry",
+    "load_manifest",
+    "parse_manifest",
 ]

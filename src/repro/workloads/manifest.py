@@ -1,0 +1,152 @@
+"""Workload manifests: declarative JSON batches for the service CLI.
+
+A manifest names a list of workload entries, each resolved to a concrete
+circuit by :data:`WORKLOAD_BUILDERS`.  Example::
+
+    {
+      "technique": "sat_p",
+      "workloads": [
+        {"kind": "ghz", "num_qubits": 3},
+        {"kind": "qv", "num_qubits": 3, "depth": 3, "seed": 0},
+        {"kind": "random", "num_qubits": 3, "depth": 20, "seed": 1},
+        {"kind": "qaoa_ring", "num_qubits": 4, "layers": 2, "seed": 0},
+        {"kind": "vqe_hwe", "num_qubits": 4, "layers": 2, "seed": 0},
+        {"kind": "qft", "num_qubits": 3},
+        {"kind": "bv", "secret": "101"}
+      ]
+    }
+
+A top-level plain list is also accepted (no defaults block).  Every
+builder is deterministic given its parameters, so two runs over the same
+manifest produce identical circuits — which is what makes warm persistent
+-store runs byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.workloads.named import (
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    hardware_efficient_ansatz,
+    qaoa_ring_circuit,
+    qft_circuit,
+)
+from repro.workloads.quantum_volume import quantum_volume_circuit
+from repro.workloads.random_circuits import random_template_circuit
+
+
+def _build_qv(entry: Mapping) -> QuantumCircuit:
+    num_qubits = int(entry["num_qubits"])
+    return quantum_volume_circuit(
+        num_qubits,
+        int(entry.get("depth", num_qubits)),
+        seed=int(entry.get("seed", 0)),
+    )
+
+
+def _build_random(entry: Mapping) -> QuantumCircuit:
+    return random_template_circuit(
+        int(entry["num_qubits"]),
+        int(entry.get("depth", 20)),
+        seed=int(entry.get("seed", 0)),
+    )
+
+
+def _build_ghz(entry: Mapping) -> QuantumCircuit:
+    return ghz_circuit(int(entry["num_qubits"]))
+
+
+def _build_qft(entry: Mapping) -> QuantumCircuit:
+    return qft_circuit(
+        int(entry["num_qubits"]), include_swaps=bool(entry.get("include_swaps", True))
+    )
+
+
+def _build_bv(entry: Mapping) -> QuantumCircuit:
+    return bernstein_vazirani_circuit(str(entry["secret"]))
+
+
+def _build_qaoa(entry: Mapping) -> QuantumCircuit:
+    return qaoa_ring_circuit(
+        int(entry["num_qubits"]),
+        layers=int(entry.get("layers", 1)),
+        seed=int(entry.get("seed", 0)),
+    )
+
+
+def _build_vqe(entry: Mapping) -> QuantumCircuit:
+    return hardware_efficient_ansatz(
+        int(entry["num_qubits"]),
+        layers=int(entry.get("layers", 1)),
+        seed=int(entry.get("seed", 0)),
+    )
+
+
+#: Manifest ``kind`` -> circuit builder.  New workload families register
+#: here (and, when they are seedable spec workloads, in
+#: ``repro.api.compile._circuit_from_spec``).
+WORKLOAD_BUILDERS: Dict[str, Callable[[Mapping], QuantumCircuit]] = {
+    "qv": _build_qv,
+    "random": _build_random,
+    "ghz": _build_ghz,
+    "qft": _build_qft,
+    "bv": _build_bv,
+    "qaoa_ring": _build_qaoa,
+    "qaoa": _build_qaoa,
+    "vqe_hwe": _build_vqe,
+    "vqe": _build_vqe,
+}
+
+
+def build_workload_entry(entry: Mapping) -> Tuple[str, QuantumCircuit]:
+    """Resolve one manifest entry to a ``(name, circuit)`` pair."""
+    try:
+        kind = entry["kind"]
+    except (KeyError, TypeError):
+        raise ValueError(f"manifest entry {entry!r} has no 'kind'") from None
+    try:
+        builder = WORKLOAD_BUILDERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; available: {sorted(set(WORKLOAD_BUILDERS))}"
+        ) from None
+    circuit = builder(entry)
+    return str(entry.get("name", circuit.name)), circuit
+
+
+def parse_manifest(payload) -> Tuple[List[Tuple[str, QuantumCircuit]], Dict]:
+    """Parse a decoded manifest into ``(name, circuit)`` pairs + defaults.
+
+    ``payload`` is either a list of entries or a mapping with a
+    ``workloads`` list; any other top-level keys (``technique``,
+    ``policy``, ...) come back verbatim in the defaults dict so the CLI
+    can honour per-manifest settings.
+    """
+    if isinstance(payload, Mapping):
+        entries = payload.get("workloads")
+        if entries is None:
+            raise ValueError("manifest object needs a 'workloads' list")
+        defaults = {k: v for k, v in payload.items() if k != "workloads"}
+    else:
+        entries, defaults = payload, {}
+    named: List[Tuple[str, QuantumCircuit]] = []
+    seen: Dict[str, int] = {}
+    for entry in entries:
+        name, circuit = build_workload_entry(entry)
+        if name in seen:  # Disambiguate like compile_many: nothing is dropped.
+            seen[name] += 1
+            name = f"{name}#{seen[name]}"
+        else:
+            seen[name] = 0
+        named.append((name, circuit))
+    return named, defaults
+
+
+def load_manifest(path: str) -> Tuple[List[Tuple[str, QuantumCircuit]], Dict]:
+    """Load a JSON manifest file; see :func:`parse_manifest`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_manifest(json.load(handle))

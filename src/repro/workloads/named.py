@@ -1,13 +1,14 @@
-"""Named benchmark circuits (GHZ, QFT, Bernstein-Vazirani).
+"""Named benchmark circuits (GHZ, QFT, Bernstein-Vazirani, ansatz families).
 
 These small structured circuits complement the random workloads in the
 examples and tests; they exercise characteristic patterns (entanglement
-chains, controlled-phase ladders, CNOT fans).
+chains, controlled-phase ladders, CNOT fans, variational ansatz layers).
 """
 
 from __future__ import annotations
 
 import math
+import random
 
 from repro.circuits.circuit import QuantumCircuit
 
@@ -57,4 +58,73 @@ def bernstein_vazirani_circuit(secret: str) -> QuantumCircuit:
             circuit.cx(index, ancilla)
     for qubit in range(num_qubits - 1):
         circuit.h(qubit)
+    return circuit
+
+
+def qaoa_ring_circuit(num_qubits: int, layers: int = 1, seed: int = 0) -> QuantumCircuit:
+    """QAOA ansatz for MaxCut on a ring of ``num_qubits`` vertices.
+
+    Each layer applies the ring's cost unitary — one ``ZZ(gamma)``
+    interaction per ring edge, realized as ``CX - RZ(2 gamma) - CX`` —
+    followed by the transverse-field mixer ``RX(2 beta)`` on every qubit.
+    The (gamma, beta) angles are drawn deterministically from ``seed``,
+    mimicking a mid-optimization parameter vector.
+
+    This is a swap-free but entanglement-heavy scenario: the wrap-around
+    ring edge is non-adjacent on the chain topology, so routing kicks in
+    for 3+ qubits — a characteristically different stress than the QV and
+    random-template workloads.
+    """
+    if num_qubits < 2:
+        raise ValueError("the QAOA ring needs at least 2 qubits")
+    if layers < 1:
+        raise ValueError("the QAOA ansatz needs at least 1 layer")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(
+        num_qubits, name=f"qaoa_ring_{num_qubits}q_p{layers}_s{seed}"
+    )
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    if num_qubits == 2:
+        edges = edges[:1]  # A 2-ring has one edge, not a doubled pair.
+    for _ in range(layers):
+        gamma = math.pi * rng.random()
+        beta = math.pi * rng.random()
+        for qubit_a, qubit_b in edges:
+            circuit.cx(qubit_a, qubit_b)
+            circuit.rz(2.0 * gamma, qubit_b)
+            circuit.cx(qubit_a, qubit_b)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * beta, qubit)
+    return circuit
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int, layers: int = 1, seed: int = 0
+) -> QuantumCircuit:
+    """A hardware-efficient VQE ansatz: RY/RZ rotation layers + CZ ladders.
+
+    Each layer applies independent ``RY``/``RZ`` rotations on every qubit
+    (angles drawn deterministically from ``seed``) and entangles along a
+    linear CZ ladder, which matches the spin-qubit chain connectivity —
+    the scenario where substitution-rule adaptation has to compete purely
+    on gate realizations, with no routing overhead in the way.
+    """
+    if num_qubits < 2:
+        raise ValueError("the hardware-efficient ansatz needs at least 2 qubits")
+    if layers < 1:
+        raise ValueError("the hardware-efficient ansatz needs at least 1 layer")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(
+        num_qubits, name=f"vqe_hwe_{num_qubits}q_l{layers}_s{seed}"
+    )
+    for _ in range(layers):
+        for qubit in range(num_qubits):
+            circuit.ry(2 * math.pi * rng.random(), qubit)
+            circuit.rz(2 * math.pi * rng.random(), qubit)
+        for qubit in range(num_qubits - 1):
+            circuit.cz(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.ry(2 * math.pi * rng.random(), qubit)
     return circuit

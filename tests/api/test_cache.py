@@ -123,6 +123,72 @@ class TestCacheKeying:
         hit = repro.compile(circuit, target, "kak_cz")
         assert hit.report.cache_hit is True
 
+    def test_lru_eviction_prefers_recently_used_entries(self):
+        """A hit refreshes recency: filling the cache evicts the least
+        recently *used* entry, not the oldest-inserted one."""
+        from dataclasses import dataclass
+
+        from repro.api import CompilationCache
+
+        @dataclass
+        class Stub:
+            value: int
+            report: object = None
+
+        cache = CompilationCache(max_entries=2)
+        key_a = ("a", "t", "x", "o")
+        key_b = ("b", "t", "x", "o")
+        key_c = ("c", "t", "x", "o")
+        cache.put(key_a, Stub(1))
+        cache.put(key_b, Stub(2))
+        # Touch A: B becomes the least recently used entry.
+        assert cache.get(key_a).value == 1
+        assert cache.keys() == [key_b, key_a]  # LRU -> MRU order.
+        cache.put(key_c, Stub(3))
+        assert cache.keys() == [key_a, key_c]
+        assert cache.get(key_b) is None  # Evicted.
+        assert cache.get(key_a).value == 1  # Survived thanks to the hit.
+        assert cache.get(key_c).value == 3
+        assert cache.info().size == 2
+
+    def test_lru_eviction_order_without_hits_is_insertion_order(self):
+        from dataclasses import dataclass
+
+        from repro.api import CompilationCache
+
+        @dataclass
+        class Stub:
+            value: int
+            report: object = None
+
+        cache = CompilationCache(max_entries=2)
+        keys = [(name, "t", "x", "o") for name in "abc"]
+        for index, key in enumerate(keys):
+            cache.put(key, Stub(index))
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]).value == 1
+        assert cache.get(keys[2]).value == 2
+
+    def test_put_refreshes_recency_of_overwritten_entries(self):
+        from dataclasses import dataclass
+
+        from repro.api import CompilationCache
+
+        @dataclass
+        class Stub:
+            value: int
+            report: object = None
+
+        cache = CompilationCache(max_entries=2)
+        key_a = ("a", "t", "x", "o")
+        key_b = ("b", "t", "x", "o")
+        cache.put(key_a, Stub(1))
+        cache.put(key_b, Stub(2))
+        cache.put(key_a, Stub(10))  # Overwrite refreshes A's recency.
+        cache.put(("c", "t", "x", "o"), Stub(3))
+        assert cache.get(key_b) is None  # B was the LRU entry.
+        assert cache.get(key_a).value == 10
+
     def test_reregistration_invalidates_cached_results(self):
         from repro.api import register_technique, resolve_technique
         from repro.api import registry as registry_module

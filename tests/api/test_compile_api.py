@@ -143,3 +143,52 @@ class TestCompileMany:
         # Worker results were merged into the local cache.
         warm = repro.compile_many(suite, technique="direct")
         assert all(r.report.cache_hit for r in warm.values())
+
+    def test_process_pool_fanout_returns_per_item_reports(self):
+        """Every fanned-out item carries its own full per-stage report."""
+        suite = [
+            WorkloadSpec("qv", 2, 2, 0),
+            WorkloadSpec("random", 2, 10, 0),
+            WorkloadSpec("random", 2, 12, 1),
+        ]
+        results = repro.compile_many(suite, technique="direct", processes=2)
+        assert len(results) == len(suite)
+        hashes = set()
+        for spec in suite:
+            report = results[spec.name].report
+            assert report is not None
+            assert report.cache_hit is False
+            assert report.technique == "direct"
+            assert set(report.stage_seconds()) == {
+                "route", "preprocess", "evaluate_rules", "solve",
+                "apply", "merge_1q", "verify", "analyze_cost",
+            }
+            assert report.total_seconds >= 0.0
+            assert report.circuit_hash
+            hashes.add(report.circuit_hash)
+        assert len(hashes) == len(suite)  # Reports were not cross-wired.
+
+    def test_process_pool_fanout_cache_hits_survive_the_round_trip(self):
+        """Pre-warmed entries are served from the parent cache (not
+        recompiled in workers), and worker results hit on the next batch."""
+        suite = [
+            WorkloadSpec("qv", 2, 2, 0),
+            WorkloadSpec("random", 2, 10, 0),
+            WorkloadSpec("random", 2, 10, 1),
+        ]
+        warm_spec = suite[0]
+        single = repro.compile_many([warm_spec], technique="direct")
+        assert single[warm_spec.name].report.cache_hit is False
+
+        mixed = repro.compile_many(suite, technique="direct", processes=2)
+        assert list(mixed) == [spec.name for spec in suite]  # Input order kept.
+        assert mixed[warm_spec.name].report.cache_hit is True
+        cold_names = [spec.name for spec in suite[1:]]
+        assert all(mixed[name].report.cache_hit is False for name in cold_names)
+
+        # Everything — pre-warmed and worker-compiled — now hits locally,
+        # with identical costs across the round trip.
+        warm = repro.compile_many(suite, technique="direct")
+        for spec in suite:
+            assert warm[spec.name].report.cache_hit is True
+            assert warm[spec.name].cost == mixed[spec.name].cost

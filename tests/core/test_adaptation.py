@@ -107,6 +107,36 @@ class TestSatTechniques:
         assert result.objective_value is not None
 
 
+class TestModelSolutionSerialization:
+    def test_solution_round_trips_exactly_through_json(self):
+        """Block schedules keep integer keys and exact floats through
+        to_dict -> json -> from_dict."""
+        import json
+
+        from repro.core.model import ModelSolution
+
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        circuit.cx(0, 1)
+        target = spin_qubit_target(2)
+        preprocessed = preprocess(circuit, target)
+        substitutions = evaluate_rules(preprocessed, standard_rules())
+        solution = AdaptationModel(
+            preprocessed, substitutions, OBJECTIVE_COMBINED
+        ).solve()
+        payload = json.loads(json.dumps(solution.to_dict()))
+        restored = ModelSolution.from_dict(payload)
+        assert restored.objective_value == solution.objective_value
+        assert restored.total_duration == solution.total_duration
+        assert restored.block_durations == solution.block_durations
+        assert restored.block_log_fidelities == solution.block_log_fidelities
+        assert restored.block_start_times == solution.block_start_times
+        assert all(isinstance(k, int) for k in restored.block_durations)
+        assert [s.to_dict() for s in restored.chosen_substitutions] == [
+            s.to_dict() for s in solution.chosen_substitutions
+        ]
+
+
 class TestModelSemantics:
     def test_incompatible_substitutions_never_chosen_together(self):
         circuit = QuantumCircuit(2)

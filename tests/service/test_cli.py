@@ -1,0 +1,169 @@
+"""``python -m repro.service``: batch CLI, warm-start persistence, manifests.
+
+The warm-start tests run the CLI in fresh subprocesses, so the second run
+proves results really came from the *disk* store (its L1 starts empty),
+exactly like a service restart in production.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+MANIFEST = {
+    "technique": "direct",
+    "workloads": [
+        {"kind": "ghz", "num_qubits": 3},
+        {"kind": "qv", "num_qubits": 2, "depth": 2, "seed": 0},
+        {"kind": "qaoa_ring", "num_qubits": 3, "layers": 1, "seed": 0},
+        {"kind": "vqe_hwe", "num_qubits": 3, "layers": 1, "seed": 0},
+    ],
+}
+
+
+def run_cli(*args, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.run(
+        [sys.executable, "-m", "repro.service", *args],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    if check and process.returncode != 0:
+        raise AssertionError(
+            f"CLI failed ({process.returncode}):\n{process.stdout}\n{process.stderr}"
+        )
+    return process
+
+
+def table_rows(stdout):
+    """The per-workload result rows (name..fidelity), cache column dropped."""
+    lines = stdout.splitlines()
+    rows = []
+    in_table = False
+    for line in lines:
+        if line.startswith("workload"):
+            in_table = True
+            continue
+        if in_table:
+            if not line.strip() or line.startswith("-"):
+                if rows:
+                    break
+                continue
+            cells = line.split()
+            rows.append(tuple(cells[:-2]))  # Drop pipeline[ms] and cache cells.
+    return rows
+
+
+@pytest.fixture()
+def manifest_path(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(MANIFEST))
+    return str(path)
+
+
+class TestWarmStart:
+    def test_second_run_hits_the_persistent_store_with_identical_results(
+        self, manifest_path, tmp_path
+    ):
+        """Acceptance: a second ``python -m repro.service`` run over the same
+        manifest gets >0 persistent-store hits and identical results, in a
+        fresh process."""
+        store = str(tmp_path / "store")
+        stats1 = str(tmp_path / "run1.json")
+        stats2 = str(tmp_path / "run2.json")
+        first = run_cli(manifest_path, "--store", store, "--stats-json", stats1)
+        second = run_cli(manifest_path, "--store", store, "--stats-json", stats2)
+
+        cold = json.load(open(stats1))
+        warm = json.load(open(stats2))
+        assert cold["l2"]["hits"] == 0
+        assert cold["l2"]["puts"] == len(MANIFEST["workloads"])
+        assert warm["l2"]["hits"] > 0
+        assert warm["l2"]["hits"] == len(MANIFEST["workloads"])
+        # Identical results: same gates / 2q / duration / fidelity per row.
+        assert table_rows(first.stdout) == table_rows(second.stdout)
+        # Warm runs are faster or equal in work done: everything was a hit.
+        assert "hit" in second.stdout
+
+    def test_clear_store_resets_the_warm_start(self, manifest_path, tmp_path):
+        store = str(tmp_path / "store")
+        stats = str(tmp_path / "run.json")
+        run_cli(manifest_path, "--store", store)
+        run_cli(manifest_path, "--store", store, "--clear-store",
+                "--stats-json", stats)
+        payload = json.load(open(stats))
+        assert payload["l2"]["hits"] == 0
+
+
+class TestCliSurface:
+    def test_portfolio_mode_prints_win_counts(self, manifest_path, tmp_path):
+        stats = str(tmp_path / "stats.json")
+        process = run_cli(manifest_path, "--portfolio", "direct,kak_cz,sat_p",
+                          "--policy", "duration", "--stats-json", stats)
+        assert "portfolio wins:" in process.stdout
+        payload = json.load(open(stats))
+        assert sum(payload["portfolio_wins"].values()) == len(MANIFEST["workloads"])
+
+    def test_stats_json_carries_throughput(self, manifest_path, tmp_path):
+        stats = str(tmp_path / "stats.json")
+        run_cli(manifest_path, "--stats-json", stats, "--quiet")
+        payload = json.load(open(stats))
+        assert payload["workloads"] == len(MANIFEST["workloads"])
+        assert payload["circuits_per_second"] > 0
+        assert payload["completed"] == len(MANIFEST["workloads"])
+
+    def test_missing_manifest_is_a_clean_error(self, tmp_path):
+        process = run_cli(str(tmp_path / "nope.json"), check=False)
+        assert process.returncode == 2
+        assert "cannot load manifest" in process.stderr
+
+    def test_bad_kind_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"kind": "warp_drive", "num_qubits": 2}]))
+        process = run_cli(str(path), check=False)
+        assert process.returncode == 2
+        assert "unknown workload kind" in process.stderr
+
+
+class TestManifestParsing:
+    def test_plain_list_manifest(self, tmp_path):
+        from repro.workloads import parse_manifest
+
+        named, defaults = parse_manifest([{"kind": "ghz", "num_qubits": 3}])
+        assert defaults == {}
+        assert named[0][0] == "ghz_3"
+        assert named[0][1].num_qubits == 3
+
+    def test_duplicate_names_are_disambiguated(self):
+        from repro.workloads import parse_manifest
+
+        named, _ = parse_manifest([
+            {"kind": "ghz", "num_qubits": 3},
+            {"kind": "ghz", "num_qubits": 3},
+        ])
+        assert [name for name, _ in named] == ["ghz_3", "ghz_3#1"]
+
+    def test_custom_entry_name_wins(self):
+        from repro.workloads import parse_manifest
+
+        named, _ = parse_manifest([
+            {"kind": "ghz", "num_qubits": 3, "name": "bell_chain"},
+        ])
+        assert named[0][0] == "bell_chain"
+
+    def test_object_manifest_requires_workloads(self):
+        from repro.workloads import parse_manifest
+
+        with pytest.raises(ValueError, match="workloads"):
+            parse_manifest({"technique": "sat_p"})
+
+    def test_entry_requires_kind(self):
+        from repro.workloads import build_workload_entry
+
+        with pytest.raises(ValueError, match="kind"):
+            build_workload_entry({"num_qubits": 2})

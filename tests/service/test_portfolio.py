@@ -1,0 +1,138 @@
+"""Portfolio compilation: cost policies, argmin selection, contender records."""
+
+import pytest
+
+import repro
+from repro.api import clear_compilation_cache
+from repro.hardware import spin_qubit_target
+from repro.service import COST_POLICIES, CompilationService, portfolio_score
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compilation_cache()
+    yield
+    clear_compilation_cache()
+
+
+TECHNIQUES = ["direct", "kak_cz", "sat_p"]
+
+
+def probe_circuit():
+    circuit = repro.QuantumCircuit(3, name="portfolio_probe")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.swap(1, 2)
+    circuit.cx(1, 2)
+    return circuit
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", sorted(COST_POLICIES))
+    def test_winner_is_the_policy_argmin(self, policy):
+        """Acceptance: >=3 techniques, winner is the argmin under the policy
+        and every contender is recorded in the winner's report."""
+        circuit = probe_circuit()
+        target = spin_qubit_target(3)
+        individual = {
+            technique: repro.compile(circuit, target, technique)
+            for technique in TECHNIQUES
+        }
+        expected_scores = {
+            technique: portfolio_score(result, policy)
+            for technique, result in individual.items()
+        }
+        best_score = min(expected_scores.values())
+        with CompilationService(workers=3) as service:
+            winner = service.compile_portfolio(
+                circuit, target, TECHNIQUES, policy=policy
+            )
+        assert portfolio_score(winner, policy) == best_score
+        contenders = winner.report.contenders
+        assert {c["technique"] for c in contenders} == set(TECHNIQUES)
+        flagged = [c for c in contenders if c.get("winner")]
+        assert len(flagged) == 1
+        assert flagged[0]["technique"] == winner.technique
+        assert flagged[0]["score"] == best_score
+        for contender in contenders:
+            assert contender["score"] == expected_scores[contender["technique"]]
+
+    def test_unknown_policy_rejected(self):
+        with CompilationService(workers=1) as service:
+            with pytest.raises(ValueError, match="cost policy"):
+                service.compile_portfolio(
+                    probe_circuit(), spin_qubit_target(3), TECHNIQUES,
+                    policy="karma",
+                )
+
+    def test_empty_portfolio_rejected(self):
+        with CompilationService(workers=1) as service:
+            with pytest.raises(ValueError, match="at least one"):
+                service.compile_portfolio(
+                    probe_circuit(), spin_qubit_target(3), techniques=[]
+                )
+
+
+class TestPortfolioBehavior:
+    def test_contenders_survive_serialization(self):
+        circuit = probe_circuit()
+        target = spin_qubit_target(3)
+        with CompilationService(workers=3) as service:
+            winner = service.compile_portfolio(circuit, target, TECHNIQUES)
+        from repro.core import AdaptationResult
+
+        restored = AdaptationResult.from_dict(winner.to_dict())
+        assert restored.report.contenders == winner.report.contenders
+
+    def test_win_counts_feed_statistics(self):
+        circuit = probe_circuit()
+        target = spin_qubit_target(3)
+        with CompilationService(workers=3) as service:
+            first = service.compile_portfolio(circuit, target, TECHNIQUES)
+            service.compile_portfolio(circuit, target, TECHNIQUES)
+            stats = service.statistics()
+        assert stats["portfolio_wins"] == {first.technique: 2}
+
+    def test_failing_technique_is_recorded_not_fatal(self):
+        from repro.api import register_technique, unregister_technique
+
+        def exploding_factory():
+            raise RuntimeError("pipeline construction failed")
+
+        register_technique("exploding", exploding_factory,
+                           description="always fails (test)")
+        try:
+            circuit = probe_circuit()
+            target = spin_qubit_target(3)
+            with CompilationService(workers=2) as service:
+                winner = service.compile_portfolio(
+                    circuit, target, ["direct", "exploding"]
+                )
+            assert winner.technique == "direct"
+            failed = [c for c in winner.report.contenders if "error" in c]
+            assert len(failed) == 1
+            assert failed[0]["technique"] == "exploding"
+            assert "RuntimeError" in failed[0]["error"]
+        finally:
+            unregister_technique("exploding")
+
+    def test_all_failing_raises(self):
+        def boom(circuit, target, technique, *, use_cache=True, **options):
+            raise RuntimeError("nope")
+
+        with CompilationService(workers=1, compile_fn=boom) as service:
+            with pytest.raises(RuntimeError, match="every portfolio technique"):
+                service.compile_portfolio(
+                    probe_circuit(), spin_qubit_target(3), ["direct", "kak_cz"]
+                )
+
+    def test_default_portfolio_is_used_when_unspecified(self):
+        from repro.service import DEFAULT_PORTFOLIO
+
+        circuit = probe_circuit()
+        target = spin_qubit_target(3)
+        with CompilationService(workers=3) as service:
+            winner = service.compile_portfolio(circuit, target)
+        assert {c["technique"] for c in winner.report.contenders} == set(
+            DEFAULT_PORTFOLIO
+        )

@@ -1,0 +1,317 @@
+"""CompilationService: dedup, backpressure, lifecycle, statistics."""
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.api import clear_compilation_cache
+from repro.hardware import spin_qubit_target
+from repro.service import (
+    CompilationService,
+    JobStatus,
+    ServiceSaturatedError,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compilation_cache()
+    yield
+    clear_compilation_cache()
+
+
+def probe_circuit(variant=0):
+    """Structurally distinct per variant: the cache key ignores names."""
+    circuit = repro.QuantumCircuit(2, name=f"sched_probe_{variant}")
+    circuit.cx(0, 1)
+    circuit.swap(0, 1)
+    for _ in range(variant):
+        circuit.rz(0.25, 0)
+    return circuit
+
+
+class CountingCompiler:
+    """A compile stand-in that counts calls and can block on an event."""
+
+    def __init__(self, gate: threading.Event = None):
+        self.calls = 0
+        self._lock = threading.Lock()
+        self.gate = gate
+
+    def __call__(self, circuit, target, technique, *, use_cache=True, **options):
+        with self._lock:
+            self.calls += 1
+        if self.gate is not None:
+            assert self.gate.wait(timeout=10.0)
+        return repro.compile(circuit, target, technique,
+                             use_cache=use_cache, **options)
+
+
+class TestSubmitAndResult:
+    def test_submit_returns_a_live_handle(self):
+        with CompilationService(workers=2) as service:
+            handle = service.submit(probe_circuit(), spin_qubit_target(2), "direct")
+            result = handle.result(timeout=30)
+            assert result.technique == "direct"
+            assert handle.done()
+            assert handle.status() is JobStatus.DONE
+            assert service.result(handle.job_id).cost == result.cost
+
+    def test_compile_is_submit_plus_result(self):
+        with CompilationService(workers=1) as service:
+            result = service.compile(probe_circuit(), spin_qubit_target(2), "direct")
+            assert result.cost.gate_fidelity_product > 0
+
+    def test_unknown_technique_fails_at_submit_time(self):
+        with CompilationService(workers=1) as service:
+            with pytest.raises(repro.UnknownTechniqueError):
+                service.submit(probe_circuit(), spin_qubit_target(2), "no_such")
+
+    def test_failure_propagates_through_the_future(self):
+        def boom(circuit, target, technique, *, use_cache=True, **options):
+            raise RuntimeError("synthetic failure")
+
+        with CompilationService(workers=1, compile_fn=boom) as service:
+            handle = service.submit(probe_circuit(), spin_qubit_target(2), "direct")
+            with pytest.raises(RuntimeError, match="synthetic failure"):
+                handle.result(timeout=30)
+            assert handle.status() is JobStatus.FAILED
+            assert service.statistics()["failed"] == 1
+
+    def test_unknown_job_id_raises(self):
+        with CompilationService(workers=1) as service:
+            with pytest.raises(KeyError):
+                service.status(999)
+
+
+class TestDeduplication:
+    def test_identical_concurrent_submits_compile_once(self):
+        """Acceptance: N identical concurrent submits, exactly one compile."""
+        gate = threading.Event()
+        compiler = CountingCompiler(gate)
+        circuit = probe_circuit()
+        target = spin_qubit_target(2)
+        with CompilationService(workers=1, compile_fn=compiler) as service:
+            handles = [
+                service.submit(circuit, target, "direct") for _ in range(8)
+            ]
+            gate.set()
+            results = [h.result(timeout=30) for h in handles]
+        assert compiler.calls == 1
+        assert len({h.job_id for h in handles}) == 1
+        assert all(r.cost == results[0].cost for r in results)
+        stats = service.statistics()
+        assert stats["deduplicated"] == 7
+        assert stats["submitted"] == 8
+        assert stats["completed"] == 1
+
+    def test_cancelling_one_coalesced_waiter_does_not_poison_the_others(self):
+        """Each coalesced submit owns its own future: one caller's cancel
+        must not cancel the shared result out from under the rest."""
+        from concurrent.futures import CancelledError
+
+        gate = threading.Event()
+        compiler = CountingCompiler(gate)
+        circuit = probe_circuit()
+        target = spin_qubit_target(2)
+        with CompilationService(workers=1, compile_fn=compiler) as service:
+            first = service.submit(circuit, target, "direct")
+            second = service.submit(circuit, target, "direct")
+            third = service.submit(circuit, target, "direct")
+            assert second.cancel() is True
+            assert second.status() is JobStatus.CANCELLED
+            gate.set()
+            result = first.result(timeout=30)
+            assert third.result(timeout=30).cost == result.cost
+            with pytest.raises(CancelledError):
+                second.result(timeout=30)
+        # The shared job itself was never cancelled: it ran once.
+        assert compiler.calls == 1
+        assert service.statistics()["completed"] == 1
+
+    def test_cancelling_every_coalesced_waiter_cancels_the_queued_job(self):
+        gate = threading.Event()
+        compiler = CountingCompiler(gate)
+        target = spin_qubit_target(2)
+        service = CompilationService(workers=1, compile_fn=compiler)
+        try:
+            blocker = service.submit(probe_circuit(1), target, "direct")
+            deadline = time.monotonic() + 10
+            while service.status(blocker) is JobStatus.QUEUED:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            waiters = [
+                service.submit(probe_circuit(2), target, "direct")
+                for _ in range(3)
+            ]
+            assert len({w.job_id for w in waiters}) == 1
+            for waiter in waiters:
+                assert waiter.cancel() is True
+        finally:
+            gate.set()
+            service.shutdown()
+        assert compiler.calls == 1  # Only the blocker ever compiled.
+        assert service.statistics()["cancelled"] == 1  # One job, not three.
+
+    def test_different_options_do_not_coalesce(self):
+        gate = threading.Event()
+        compiler = CountingCompiler(gate)
+        circuit = probe_circuit()
+        target = spin_qubit_target(2)
+        with CompilationService(workers=2, compile_fn=compiler) as service:
+            first = service.submit(circuit, target, "direct")
+            second = service.submit(circuit, target, "direct",
+                                    merge_single_qubit_gates=True)
+            gate.set()
+            first.result(timeout=30)
+            second.result(timeout=30)
+        assert compiler.calls == 2
+
+    def test_uncached_submits_do_not_coalesce(self):
+        gate = threading.Event()
+        compiler = CountingCompiler(gate)
+        circuit = probe_circuit()
+        target = spin_qubit_target(2)
+        with CompilationService(workers=2, compile_fn=compiler) as service:
+            handles = [
+                service.submit(circuit, target, "direct", use_cache=False)
+                for _ in range(2)
+            ]
+            gate.set()
+            for handle in handles:
+                handle.result(timeout=30)
+        assert compiler.calls == 2
+
+
+class TestBackpressureAndCancellation:
+    def test_full_queue_raises_when_not_blocking(self):
+        gate = threading.Event()
+        compiler = CountingCompiler(gate)
+        target = spin_qubit_target(2)
+        service = CompilationService(workers=1, max_pending=1, compile_fn=compiler)
+        try:
+            running = service.submit(probe_circuit(1), target, "direct")
+            # Wait until the single worker picked the first job up, so the
+            # queue slot is truly the only capacity left.
+            deadline = time.monotonic() + 10
+            while service.status(running) is JobStatus.QUEUED:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            service.submit(probe_circuit(2), target, "direct")  # fills the queue
+            with pytest.raises(ServiceSaturatedError):
+                service.submit(probe_circuit(3), target, "direct", block=False)
+        finally:
+            gate.set()
+            service.shutdown()
+        assert service.statistics()["cancelled"] == 1
+
+    def test_cancel_queued_job(self):
+        gate = threading.Event()
+        compiler = CountingCompiler(gate)
+        target = spin_qubit_target(2)
+        service = CompilationService(workers=1, compile_fn=compiler)
+        try:
+            running = service.submit(probe_circuit(1), target, "direct")
+            deadline = time.monotonic() + 10
+            while service.status(running) is JobStatus.QUEUED:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            queued = service.submit(probe_circuit(2), target, "direct")
+            assert queued.cancel() is True
+            assert queued.status() is JobStatus.CANCELLED
+        finally:
+            gate.set()
+            service.shutdown()
+        assert compiler.calls == 1  # The cancelled job never compiled.
+
+    def test_shutdown_drains_queued_jobs(self):
+        compiler = CountingCompiler()
+        target = spin_qubit_target(2)
+        service = CompilationService(workers=1, compile_fn=compiler)
+        handles = [
+            service.submit(probe_circuit(i + 1), target, "direct")
+            for i in range(3)
+        ]
+        service.shutdown(wait=True)
+        assert all(h.done() for h in handles)
+        assert service.statistics()["completed"] == 3
+
+    def test_submit_after_shutdown_raises(self):
+        service = CompilationService(workers=1)
+        service.shutdown()
+        with pytest.raises(RuntimeError):
+            service.submit(probe_circuit(), spin_qubit_target(2), "direct")
+
+    def test_shutdown_cancel_pending(self):
+        gate = threading.Event()
+        compiler = CountingCompiler(gate)
+        target = spin_qubit_target(2)
+        service = CompilationService(workers=1, compile_fn=compiler)
+        running = service.submit(probe_circuit(1), target, "direct")
+        deadline = time.monotonic() + 10
+        while service.status(running) is JobStatus.QUEUED:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        queued = service.submit(probe_circuit(2), target, "direct")
+        gate.set()
+        service.shutdown(wait=True, cancel_pending=True)
+        assert running.status() is JobStatus.DONE
+        assert queued.status() is JobStatus.CANCELLED
+
+
+class TestStatisticsAndTiers:
+    def test_statistics_shape(self):
+        with CompilationService(workers=2) as service:
+            service.compile(probe_circuit(), spin_qubit_target(2), "direct")
+            stats = service.statistics()
+        for key in ("queue_depth", "workers", "busy_workers", "worker_utilization",
+                    "submitted", "completed", "failed", "cancelled",
+                    "deduplicated", "l1", "l1_hit_rate", "portfolio_wins"):
+            assert key in stats
+        assert stats["workers"] == 2
+        assert stats["completed"] == 1
+
+    def test_service_populates_and_reads_the_persistent_store(self, tmp_path):
+        circuit = probe_circuit()
+        target = spin_qubit_target(2)
+        with CompilationService(workers=1, store=str(tmp_path)) as service:
+            cold = service.compile(circuit, target, "direct")
+            stats = service.statistics()
+            assert stats["l2"]["puts"] == 1
+        clear_compilation_cache()  # Simulate a fresh process's empty L1.
+        with CompilationService(workers=1, store=str(tmp_path)) as service:
+            warm = service.compile(circuit, target, "direct")
+            stats = service.statistics()
+            assert warm.report.cache_hit is True
+            assert warm.cost == cold.cost
+            assert stats["l2"]["hits"] == 1
+            assert stats["l2_hit_rate"] > 0
+
+    def test_store_uninstalled_on_shutdown(self, tmp_path):
+        from repro.api import persistent_store
+
+        service = CompilationService(workers=1, store=str(tmp_path))
+        assert persistent_store() is service.store
+        service.shutdown()
+        assert persistent_store() is None
+
+
+class TestProcessMode:
+    def test_process_pool_matches_serial(self):
+        circuit = probe_circuit()
+        target = spin_qubit_target(2)
+        serial = repro.compile(circuit, target, "direct", use_cache=False)
+        with CompilationService(workers=2, mode="process") as service:
+            result = service.compile(circuit, target, "direct", timeout=120)
+        assert result.cost == serial.cost
+        # The worker's result was merged back into the parent's L1.
+        hit = repro.compile(circuit, target, "direct")
+        assert hit.report.cache_hit is True
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CompilationService(mode="fiber")
+        with pytest.raises(ValueError):
+            CompilationService(workers=0)

@@ -1,0 +1,41 @@
+"""The ``measurement_probabilities`` shim: warns, delegates, stays external.
+
+The tier-1 run itself is kept warning-clean for this shim by the
+``filterwarnings`` error entry in ``pyproject.toml`` — no internal code
+path may call it.  These tests pin the deprecation surface for external
+callers.
+"""
+
+import pytest
+
+from repro.simulator import (
+    circuit_probabilities,
+    measurement_probabilities,
+    simulate_statevector,
+)
+from repro.simulator.statevector import statevector_probabilities
+from repro.workloads import ghz_circuit
+
+
+class TestMeasurementProbabilitiesShim:
+    def test_circuit_mode_warns_and_delegates(self):
+        circuit = ghz_circuit(3)
+        with pytest.warns(DeprecationWarning, match="circuit_probabilities"):
+            legacy = measurement_probabilities(circuit)
+        assert legacy == circuit_probabilities(circuit)
+
+    def test_statevector_mode_warns_and_delegates(self):
+        circuit = ghz_circuit(2)
+        state = simulate_statevector(circuit)
+        with pytest.warns(DeprecationWarning, match="statevector_probabilities"):
+            legacy = measurement_probabilities(state, 2)
+        assert legacy == statevector_probabilities(state, 2)
+
+    def test_replacements_do_not_warn(self):
+        import warnings
+
+        circuit = ghz_circuit(2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            circuit_probabilities(circuit)
+            statevector_probabilities(simulate_statevector(circuit), 2)

@@ -10,6 +10,8 @@ from repro.workloads import (
     bernstein_vazirani_circuit,
     evaluation_suite,
     ghz_circuit,
+    hardware_efficient_ansatz,
+    qaoa_ring_circuit,
     qft_circuit,
     quantum_volume_circuit,
     random_template_circuit,
@@ -110,3 +112,111 @@ class TestNamedCircuits:
             bernstein_vazirani_circuit("")
         with pytest.raises(ValueError):
             bernstein_vazirani_circuit("102")
+
+
+class TestQaoaRingAnsatz:
+    def test_deterministic_given_seed(self):
+        assert (
+            qaoa_ring_circuit(4, layers=2, seed=3).to_text()
+            == qaoa_ring_circuit(4, layers=2, seed=3).to_text()
+        )
+        assert (
+            qaoa_ring_circuit(4, layers=2, seed=3).to_text()
+            != qaoa_ring_circuit(4, layers=2, seed=4).to_text()
+        )
+
+    def test_structure(self):
+        circuit = qaoa_ring_circuit(4, layers=2, seed=0)
+        counts = circuit.count_ops()
+        # Per layer: 4 ring edges x 2 CX, plus 4 RX mixers and 4 RZ phases.
+        assert counts["h"] == 4
+        assert counts["cx"] == 2 * 4 * 2
+        assert counts["rx"] == 2 * 4
+        assert counts["rz"] == 2 * 4
+        assert circuit.name == "qaoa_ring_4q_p2_s0"
+
+    def test_two_qubit_ring_has_single_edge(self):
+        circuit = qaoa_ring_circuit(2, layers=1, seed=0)
+        assert circuit.count_ops()["cx"] == 2  # One ZZ edge -> two CX.
+
+    def test_is_unitary_circuit(self):
+        matrix = circuit_unitary(qaoa_ring_circuit(3, layers=1, seed=1))
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(8), atol=1e-9)
+
+    def test_compiles_through_the_facade(self):
+        import repro
+        from repro.hardware import spin_qubit_target
+
+        result = repro.compile(
+            qaoa_ring_circuit(3, layers=1, seed=0), spin_qubit_target(3),
+            "direct", use_cache=False,
+        )
+        assert result.cost.gate_fidelity_product > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            qaoa_ring_circuit(1)
+        with pytest.raises(ValueError):
+            qaoa_ring_circuit(3, layers=0)
+
+
+class TestHardwareEfficientAnsatz:
+    def test_deterministic_given_seed(self):
+        assert (
+            hardware_efficient_ansatz(4, layers=2, seed=5).to_text()
+            == hardware_efficient_ansatz(4, layers=2, seed=5).to_text()
+        )
+        assert (
+            hardware_efficient_ansatz(4, layers=2, seed=5).to_text()
+            != hardware_efficient_ansatz(4, layers=2, seed=6).to_text()
+        )
+
+    def test_structure(self):
+        circuit = hardware_efficient_ansatz(4, layers=3, seed=0)
+        counts = circuit.count_ops()
+        assert counts["ry"] == 3 * 4 + 4  # Per-layer rotations + final layer.
+        assert counts["rz"] == 3 * 4
+        assert counts["cz"] == 3 * 3  # Linear ladder per layer.
+        assert circuit.name == "vqe_hwe_4q_l3_s0"
+
+    def test_entanglers_match_chain_topology(self):
+        circuit = hardware_efficient_ansatz(5, layers=2, seed=1)
+        for instruction in circuit:
+            if len(instruction.qubits) == 2:
+                assert abs(instruction.qubits[0] - instruction.qubits[1]) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(1)
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(3, layers=0)
+
+
+class TestWorkloadSpecRegistration:
+    """The new ansatz kinds are enumerable wherever specs are materialized."""
+
+    def test_compile_many_accepts_ansatz_specs(self):
+        import repro
+        from repro.api import clear_compilation_cache
+
+        clear_compilation_cache()
+        try:
+            results = repro.compile_many(
+                [WorkloadSpec("qaoa", 3, 1, 0), WorkloadSpec("vqe", 3, 1, 0)],
+                technique="direct",
+            )
+            assert set(results) == {"qaoa-q3-d1-s0", "vqe-q3-d1-s0"}
+            for result in results.values():
+                assert result.cost.gate_fidelity_product > 0
+        finally:
+            clear_compilation_cache()
+
+    def test_manifest_builders_cover_ansatz_kinds(self):
+        from repro.workloads import WORKLOAD_BUILDERS, build_workload_entry
+
+        assert {"qaoa_ring", "vqe_hwe"} <= set(WORKLOAD_BUILDERS)
+        name, circuit = build_workload_entry(
+            {"kind": "qaoa_ring", "num_qubits": 3, "layers": 1, "seed": 0}
+        )
+        assert name == "qaoa_ring_3q_p1_s0"
+        assert circuit.num_qubits == 3
