@@ -70,6 +70,12 @@ def main(argv=None) -> int:
             f"solve-stage {row['workload']}: incremental {1e3 * inc:.2f} ms vs "
             f"legacy {1e3 * leg:.2f} ms ({row['solve_speedup']:.2f}x)"
         )
+    qasm_suite = report["suite"]
+    print(
+        f"suite [{qasm_suite['technique']}] {qasm_suite['benchmarks']} bundled "
+        f"benchmarks: {qasm_suite['circuits_per_second']:.2f} circuits/s "
+        f"({1e3 * qasm_suite['seconds']:.1f} ms total)"
+    )
     service = report["service"]
     print(
         f"service [{service['technique']}] {service['workloads']} workloads, "

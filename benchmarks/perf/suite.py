@@ -48,6 +48,8 @@ PRESETS = {
         ],
         "service_technique": "direct",
         "service_workers": 2,
+        "suite_benchmarks": ["toffoli_n3", "teleport_n3", "ghz_n5"],
+        "suite_technique": "direct",
     },
     "full": {
         "statevector_qubits": [6, 8, 10, 12],
@@ -78,6 +80,8 @@ PRESETS = {
         ],
         "service_technique": "sat_p",
         "service_workers": 4,
+        "suite_benchmarks": None,  # the whole bundled suite
+        "suite_technique": "direct",
     },
 }
 
@@ -396,6 +400,48 @@ def bench_service(preset: Dict) -> Dict:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def bench_qasm_suite(preset: Dict) -> Dict:
+    """Bundled-benchmark throughput: parse + compile circuits/second.
+
+    Runs the QASM frontend and ``repro.compile`` end to end over the
+    bundled interop suite (cache disabled, so every circuit pays the
+    full pipeline) — the number that tells us how fast real benchmark
+    files flow through the stack.
+    """
+    from repro.interop import load_suite, qasm_to_circuit
+
+    entries = load_suite(preset["suite_benchmarks"])
+    technique = preset["suite_technique"]
+    rows: List[Dict] = []
+    total = 0.0
+    for entry in entries:
+        target = spin_qubit_target(max(2, entry.metadata()["qubits"]))
+
+        def compile_entry(entry=entry, target=target):
+            # Parse from source each time, deliberately: the measured
+            # number is frontend + full pipeline (target built outside,
+            # like bench_compile).
+            circuit = qasm_to_circuit(entry.qasm, name=entry.name)
+            return repro.compile(circuit, target, technique, use_cache=False)
+
+        seconds = _best_of(compile_entry, preset["repeats"])
+        total += seconds
+        metadata = entry.metadata()
+        rows.append({
+            "benchmark": entry.name,
+            "qubits": metadata["qubits"],
+            "input_gates": metadata["gates"],
+            "seconds": seconds,
+        })
+    return {
+        "technique": technique,
+        "benchmarks": len(entries),
+        "seconds": total,
+        "circuits_per_second": len(entries) / total if total > 0 else float("inf"),
+        "per_benchmark": rows,
+    }
+
+
 # ----------------------------------------------------------------------
 def run_suite(preset_name: str) -> Dict:
     """Run every benchmark of the preset and return the report dict."""
@@ -413,4 +459,5 @@ def run_suite(preset_name: str) -> Dict:
         "compile": bench_compile(preset),
         "theory_engine_ab": bench_theory_engine_ab(preset),
         "service": bench_service(preset),
+        "suite": bench_qasm_suite(preset),
     }

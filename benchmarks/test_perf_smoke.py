@@ -47,3 +47,9 @@ def test_perf_smoke_suite(tmp_path):
     assert service["cold_circuits_per_second"] > 0
     assert service["warm_circuits_per_second"] > 0
     assert service["warm_store_hits"] > 0
+
+    # Bundled-benchmark (QASM interop) throughput landed, with one row
+    # per benchmark actually compiled.
+    suite = report["suite"]
+    assert suite["circuits_per_second"] > 0
+    assert suite["benchmarks"] == len(suite["per_benchmark"]) > 0

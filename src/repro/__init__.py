@@ -25,6 +25,9 @@ plug in with :func:`repro.register_technique`.  The layers underneath:
 
 * :mod:`repro.service` — persistent result store, async job scheduler,
   portfolio compilation and the ``python -m repro.service`` batch CLI;
+* :mod:`repro.interop` — OpenQASM 2.0 frontend/exporter and the bundled
+  benchmark suite (``repro.compile`` accepts QASM strings and ``.qasm``
+  paths directly);
 * :mod:`repro.api` — facade, technique registry, compilation cache;
 * :mod:`repro.pipeline` — the instrumented pass pipeline (Fig. 2);
 * :mod:`repro.core` — preprocessing, substitution rules, the SMT model;
@@ -55,6 +58,12 @@ _LAZY_EXPORTS = {
     "QuantumCircuit": ("repro.circuits", "QuantumCircuit"),
     "spin_qubit_target": ("repro.hardware", "spin_qubit_target"),
     "evaluation_suite": ("repro.workloads", "evaluation_suite"),
+    "circuit_from_qasm": ("repro.interop", "circuit_from_qasm"),
+    "circuit_to_qasm": ("repro.interop", "circuit_to_qasm"),
+    "load_qasm_file": ("repro.interop", "load_qasm_file"),
+    "load_suite": ("repro.interop", "load_suite"),
+    "suite_names": ("repro.interop", "suite_names"),
+    "QasmError": ("repro.interop", "QasmError"),
     "CompilationService": ("repro.service", "CompilationService"),
     "PersistentResultStore": ("repro.service", "PersistentResultStore"),
     "use_persistent_store": ("repro.service", "use_persistent_store"),
@@ -95,6 +104,14 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
     from repro.circuits import QuantumCircuit
     from repro.core import AdaptationResult
     from repro.hardware import spin_qubit_target
+    from repro.interop import (
+        QasmError,
+        circuit_from_qasm,
+        circuit_to_qasm,
+        load_qasm_file,
+        load_suite,
+        suite_names,
+    )
     from repro.pipeline import CompilationReport, Pipeline
     from repro.service import (
         CompilationService,

@@ -15,6 +15,10 @@ technique plugged in through :func:`repro.api.register_technique`).  It
 ``compile_many`` maps the same flow over a batch — plain circuits,
 ``(name, circuit)`` pairs or :class:`repro.workloads.WorkloadSpec`
 entries — optionally fanning out over a process pool.
+
+Both entry points also ingest OpenQASM 2.0 directly: a string that is a
+``.qasm`` path loads the file, any other string parses as QASM source
+(see :mod:`repro.interop`).
 """
 
 from __future__ import annotations
@@ -34,7 +38,9 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.hardware.target import Target
 from repro.pipeline.report import CompilationReport
 
-BatchItem = Union[QuantumCircuit, Tuple[str, QuantumCircuit], "WorkloadSpec"]
+BatchItem = Union[
+    QuantumCircuit, str, Tuple[str, QuantumCircuit], "WorkloadSpec"
+]
 TargetLike = Union[Target, Callable[[QuantumCircuit], Target], None]
 
 
@@ -72,7 +78,9 @@ def compile(
     ----------
     circuit:
         The input circuit (any basis; it is routed and translated as
-        needed).
+        needed).  A string is accepted too: a single-line ``.qasm``
+        path loads that file, anything else parses as OpenQASM 2.0
+        source.
     target:
         The hardware target, e.g. :func:`repro.hardware.spin_qubit_target`.
     technique:
@@ -95,6 +103,10 @@ def compile(
         The adapted circuit with costs, provenance and a per-stage
         :class:`repro.pipeline.CompilationReport` in ``result.report``.
     """
+    if isinstance(circuit, str):
+        from repro.interop import coerce_circuit_input
+
+        circuit = coerce_circuit_input(circuit)
     spec = resolve_technique(technique)
     spec.validate_options(dict(options))
     options = _effective_options(spec, options)
@@ -144,6 +156,10 @@ def _materialize(item: BatchItem) -> Tuple[str, QuantumCircuit]:
     """Normalize a batch item to a (name, circuit) pair."""
     from repro.workloads import WorkloadSpec
 
+    if isinstance(item, str):
+        from repro.interop import coerce_circuit_input
+
+        item = coerce_circuit_input(item)
     if isinstance(item, QuantumCircuit):
         return item.name, item
     if isinstance(item, WorkloadSpec):
@@ -216,10 +232,11 @@ def compile_many(
     Parameters
     ----------
     items:
-        Circuits, ``(name, circuit)`` pairs, or
+        Circuits, ``(name, circuit)`` pairs,
         :class:`repro.workloads.WorkloadSpec` entries (e.g. the output of
         :func:`repro.workloads.evaluation_suite`), which are materialized
-        deterministically from their seeds.
+        deterministically from their seeds, or OpenQASM 2.0 strings
+        (source text or single-line ``.qasm`` paths).
     target:
         A :class:`Target` used for every entry, a callable
         ``circuit -> Target``, or ``None`` to use the Table I spin-qubit

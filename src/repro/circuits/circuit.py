@@ -132,6 +132,14 @@ class QuantumCircuit:
         """Append a T-dagger gate."""
         return self.append(glib.tdg(), [qubit])
 
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        """Append a square-root-of-X gate."""
+        return self.append(glib.sx(), [qubit])
+
+    def sxdg(self, qubit: int) -> "QuantumCircuit":
+        """Append an adjoint square-root-of-X gate."""
+        return self.append(glib.sxdg(), [qubit])
+
     def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
         """Append an X rotation."""
         return self.append(glib.rx(theta), [qubit])
@@ -143,6 +151,14 @@ class QuantumCircuit:
     def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
         """Append a Z rotation."""
         return self.append(glib.rz(theta), [qubit])
+
+    def u1(self, lam: float, qubit: int) -> "QuantumCircuit":
+        """Append a diagonal phase rotation."""
+        return self.append(glib.u1(lam), [qubit])
+
+    def u2(self, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        """Append a qelib1 U2 gate."""
+        return self.append(glib.u2(phi, lam), [qubit])
 
     def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
         """Append a general single-qubit rotation."""

@@ -182,6 +182,37 @@ def rz(theta: float) -> Gate:
     return _gate("rz", np.array([[1 / phase, 0], [0, phase]]), [theta])
 
 
+def u1(lam: float) -> Gate:
+    """Diagonal phase rotation U1(lambda) = diag(1, exp(i lambda)).
+
+    Same unitary as :func:`rz` up to a global phase, but with the qelib1
+    phase convention (the |0> amplitude is untouched).
+    """
+    return _gate("u1", np.array([[1, 0], [0, cmath.exp(1j * lam)]]), [lam])
+
+
+def u2(phi: float, lam: float) -> Gate:
+    """The qelib1 U2 gate: u3(pi/2, phi, lambda)."""
+    factor = 1 / math.sqrt(2)
+    matrix = factor * np.array(
+        [
+            [1, -cmath.exp(1j * lam)],
+            [cmath.exp(1j * phi), cmath.exp(1j * (phi + lam))],
+        ]
+    )
+    return _gate("u2", matrix, [phi, lam])
+
+
+def sx() -> Gate:
+    """Square root of X, with SX^2 = X exactly (not just up to phase)."""
+    return _gate("sx", np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]) / 2)
+
+
+def sxdg() -> Gate:
+    """Adjoint square root of X."""
+    return _gate("sxdg", np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]]) / 2)
+
+
 def u3(theta: float, phi: float, lam: float) -> Gate:
     """General SU(2) rotation with Euler angles (theta, phi, lambda)."""
     cos, sin = math.cos(theta / 2), math.sin(theta / 2)
@@ -329,9 +360,13 @@ GATE_BUILDERS: Dict[str, Callable[..., Gate]] = {
     "sdg": sdg,
     "t": t,
     "tdg": tdg,
+    "sx": sx,
+    "sxdg": sxdg,
     "rx": rx,
     "ry": ry,
     "rz": rz,
+    "u1": u1,
+    "u2": u2,
     "u3": u3,
     "cx": cx,
     "cy": cy,

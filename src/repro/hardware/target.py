@@ -69,7 +69,10 @@ class Target:
 
     #: Names treated as the (arbitrary SU(2)) single-qubit gate of a target.
     SINGLE_QUBIT_GATE_NAMES = frozenset(
-        {"u3", "rz", "rx", "ry", "h", "x", "y", "z", "s", "sdg", "t", "tdg", "id", "su2"}
+        {
+            "u1", "u2", "u3", "rz", "rx", "ry", "h", "x", "y", "z",
+            "s", "sdg", "t", "tdg", "sx", "sxdg", "id", "su2",
+        }
     )
 
     # ------------------------------------------------------------------

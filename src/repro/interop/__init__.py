@@ -1,0 +1,54 @@
+"""OpenQASM 2.0 interchange: frontend, exporter, bundled benchmark suite.
+
+The interop layer turns any public QASM corpus into fuel for the
+compilation stack::
+
+    from repro.interop import load_qasm_file, circuit_to_qasm, load_suite
+
+    circuit = load_qasm_file("benchmark.qasm")          # frontend
+    result = repro.compile(circuit, target, "sat_p")
+    text = circuit_to_qasm(result.adapted_circuit)      # exporter
+
+    for entry in load_suite():                          # bundled suite
+        print(entry.name, entry.metadata())
+
+``repro.compile`` also accepts QASM source strings and ``.qasm`` paths
+directly, and JSON workload manifests gain ``qasm`` and ``suite`` kinds
+(:mod:`repro.workloads.manifest`).
+"""
+
+from repro.interop.errors import QasmError, QasmExportError
+from repro.interop.exporter import circuit_to_qasm, write_qasm_file
+from repro.interop.frontend import (
+    circuit_from_qasm,
+    coerce_circuit_input,
+    load_qasm_file,
+    looks_like_qasm_path,
+    qasm_to_circuit,
+)
+from repro.interop.parser import parse_qasm
+from repro.interop.suite import (
+    SuiteEntry,
+    load_suite,
+    suite_circuit,
+    suite_metadata,
+    suite_names,
+)
+
+__all__ = [
+    "QasmError",
+    "QasmExportError",
+    "parse_qasm",
+    "qasm_to_circuit",
+    "circuit_from_qasm",
+    "load_qasm_file",
+    "looks_like_qasm_path",
+    "coerce_circuit_input",
+    "circuit_to_qasm",
+    "write_qasm_file",
+    "SuiteEntry",
+    "load_suite",
+    "suite_names",
+    "suite_circuit",
+    "suite_metadata",
+]

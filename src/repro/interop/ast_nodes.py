@@ -1,0 +1,210 @@
+"""Typed AST of an OpenQASM 2.0 program.
+
+The parser produces these nodes verbatim from the source; lowering to a
+:class:`repro.circuits.QuantumCircuit` happens separately in
+:mod:`repro.interop.frontend`.  Expression nodes evaluate themselves to
+floats given a parameter environment (the constant-expression evaluator
+of the grammar's ``exp`` production).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.interop.errors import QasmError
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expr:
+    """Base class of parameter expressions."""
+
+    line: int
+    column: int
+
+    def evaluate(self, env: Dict[str, float]) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: float
+
+    def evaluate(self, env: Dict[str, float]) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Pi(Expr):
+    def evaluate(self, env: Dict[str, float]) -> float:
+        return math.pi
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    name: str
+
+    def evaluate(self, env: Dict[str, float]) -> float:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise QasmError(
+                f"unknown parameter {self.name!r} in expression",
+                self.line,
+                self.column,
+            ) from None
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    operator: str  # "-"
+    operand: Expr
+
+    def evaluate(self, env: Dict[str, float]) -> float:
+        value = self.operand.evaluate(env)
+        return -value if self.operator == "-" else value
+
+
+#: Unary function names the grammar allows in parameter expressions.
+FUNCTIONS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    function: str
+    argument: Expr
+
+    def evaluate(self, env: Dict[str, float]) -> float:
+        try:
+            return FUNCTIONS[self.function](self.argument.evaluate(env))
+        except ValueError as error:  # e.g. sqrt(-1), ln(0)
+            raise QasmError(
+                f"cannot evaluate {self.function}: {error}", self.line, self.column
+            ) from None
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    operator: str  # + - * / ^
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: Dict[str, float]) -> float:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if self.operator == "+":
+            return left + right
+        if self.operator == "-":
+            return left - right
+        if self.operator == "*":
+            return left * right
+        if self.operator == "/":
+            if right == 0:
+                raise QasmError("division by zero in expression", self.line, self.column)
+            return left / right
+        if self.operator == "^":
+            return left**right
+        raise QasmError(f"unknown operator {self.operator!r}", self.line, self.column)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Argument:
+    """A quantum or classical argument: a register name, optionally indexed."""
+
+    register: str
+    index: Optional[int]
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return self.register if self.index is None else f"{self.register}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Statement:
+    line: int
+    column: int
+
+
+@dataclass(frozen=True)
+class Include(Statement):
+    filename: str
+
+
+@dataclass(frozen=True)
+class QregDecl(Statement):
+    name: str
+    size: int
+
+
+@dataclass(frozen=True)
+class CregDecl(Statement):
+    name: str
+    size: int
+
+
+@dataclass(frozen=True)
+class GateCall(Statement):
+    """Application of a named gate (includes the builtin ``U`` and ``CX``)."""
+
+    name: str
+    params: Tuple[Expr, ...]
+    arguments: Tuple[Argument, ...]
+
+
+@dataclass(frozen=True)
+class Barrier(Statement):
+    arguments: Tuple[Argument, ...]
+
+
+@dataclass(frozen=True)
+class Measure(Statement):
+    source: Argument
+    destination: Argument
+
+
+@dataclass(frozen=True)
+class Reset(Statement):
+    argument: Argument
+
+
+@dataclass(frozen=True)
+class Conditional(Statement):
+    """``if (creg == value) <op>;`` — recorded, but not lowerable."""
+
+    register: str
+    value: int
+    body: Statement
+
+
+@dataclass(frozen=True)
+class GateDecl(Statement):
+    """A ``gate`` definition with its (unlowered) body."""
+
+    name: str
+    params: Tuple[str, ...]
+    qubits: Tuple[str, ...]
+    body: Tuple[Statement, ...] = field(default=())
+    opaque: bool = False
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed OpenQASM 2.0 program."""
+
+    statements: Tuple[Statement, ...]
+    version: str = "2.0"

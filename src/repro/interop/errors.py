@@ -1,0 +1,38 @@
+"""Error types of the OpenQASM interop layer.
+
+Every error raised while lexing, parsing or lowering a QASM program
+carries the 1-based source line and column it was detected at, so tools
+(and the parser tests) can point users at the offending token.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class QasmError(ValueError):
+    """A malformed or unsupported OpenQASM 2.0 input.
+
+    The ``line``/``column`` attributes are 1-based source coordinates;
+    they are ``None`` only for errors that have no single location (for
+    example an empty input).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ) -> None:
+        self.bare_message = message
+        self.line = line
+        self.column = column
+        if line is not None and column is not None:
+            message = f"line {line}, column {column}: {message}"
+        elif line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class QasmExportError(ValueError):
+    """A circuit contains a gate the QASM exporter cannot represent."""

@@ -1,0 +1,118 @@
+"""OpenQASM 2.0 exporter: :func:`circuit_to_qasm`.
+
+Every gate of :data:`repro.circuits.gates.GATE_BUILDERS` exports:
+
+* standard qelib1 names are written directly (``cphase`` under its
+  qelib1 spelling ``cu1``),
+* the spin-native and non-standard gates (``crot``, ``cz_d``,
+  ``swap_d``, ``swap_c``, ``iswap``, ``rzx``) are written with an
+  explicit ``gate`` definition in terms of qelib1 gates, so the output
+  loads in any OpenQASM 2.0 consumer — while this repository's own
+  frontend re-imports them natively (exact matrices, names preserved),
+* any other single-qubit gate falls back to its ZYZ decomposition and is
+  emitted as a ``u3`` (equal up to global phase).
+
+Unknown multi-qubit gates raise :class:`QasmExportError` — exporting is
+exact or it fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.interop.errors import QasmExportError
+
+#: Gate names written verbatim (value = the emitted QASM spelling).
+DIRECT_EXPORTS: Dict[str, str] = {
+    name: name
+    for name in (
+        "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+        "rx", "ry", "rz", "u1", "u2", "u3",
+        "cx", "cy", "cz", "swap", "crx", "cry", "crz",
+    )
+}
+DIRECT_EXPORTS["cphase"] = "cu1"
+
+#: Non-standard gates and the qelib1-only definition emitted for them.
+#: The CROT body realizes C-[Rz(phi) Rx(theta) Rz(-phi)] (the conditional
+#: rotation about an XY-plane axis at azimuth phi); RZX conjugates the
+#: exact CX-RZ-CX realization of exp(-i theta/2 Z(x)Z) into Z(x)X.
+CUSTOM_DEFINITIONS: Dict[str, str] = {
+    "cz_d": "gate cz_d a,b { cz a,b; }",
+    "swap_d": "gate swap_d a,b { swap a,b; }",
+    "swap_c": "gate swap_c a,b { swap a,b; }",
+    "iswap": "gate iswap a,b { s a; s b; h a; cx a,b; cx b,a; h b; }",
+    "crot": "gate crot(theta,phi) a,b { rz(-phi) b; crx(theta) a,b; rz(phi) b; }",
+    "rzx": "gate rzx(theta) a,b { h b; cx a,b; rz(theta) b; cx a,b; h b; }",
+}
+
+
+def _format_param(value: float) -> str:
+    """Render a parameter so it re-parses to the identical float."""
+    text = format(float(value), ".17g")
+    return text
+
+
+def _instruction_line(name: str, params: Sequence[float], qubits: Sequence[int],
+                      register: str) -> str:
+    rendered = ""
+    if params:
+        rendered = "(" + ",".join(_format_param(p) for p in params) + ")"
+    args = ",".join(f"{register}[{q}]" for q in qubits)
+    return f"{name}{rendered} {args};"
+
+
+def circuit_to_qasm(circuit: QuantumCircuit, *, register: str = "q") -> str:
+    """Serialize ``circuit`` as a self-contained OpenQASM 2.0 program."""
+    from repro.synthesis.single_qubit import u3_params
+
+    needed_definitions: List[str] = []
+    body: List[str] = []
+    for instruction in circuit.instructions:
+        name = instruction.gate.name
+        params = instruction.gate.params
+        if name in DIRECT_EXPORTS:
+            body.append(
+                _instruction_line(
+                    DIRECT_EXPORTS[name], params, instruction.qubits, register
+                )
+            )
+            continue
+        if name in CUSTOM_DEFINITIONS:
+            if name not in needed_definitions:
+                needed_definitions.append(name)
+            body.append(
+                _instruction_line(name, params, instruction.qubits, register)
+            )
+            continue
+        if instruction.gate.num_qubits == 1:
+            # Any leftover single-qubit unitary (merged runs, adjoint
+            # gates, plugin techniques) exports as its ZYZ angles.
+            theta, phi, lam, _gamma = u3_params(instruction.gate.to_matrix())
+            body.append(
+                _instruction_line(
+                    "u3", (theta, phi, lam), instruction.qubits, register
+                )
+            )
+            continue
+        raise QasmExportError(
+            f"cannot export {instruction.gate.num_qubits}-qubit gate "
+            f"{name!r}: no qelib1 realization is known"
+        )
+
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+    if circuit.name and circuit.name != "circuit":
+        lines.insert(0, f"// circuit: {circuit.name}")
+    for name in needed_definitions:
+        lines.append(CUSTOM_DEFINITIONS[name])
+    lines.append(f"qreg {register}[{circuit.num_qubits}];")
+    lines.extend(body)
+    return "\n".join(lines) + "\n"
+
+
+def write_qasm_file(circuit: QuantumCircuit, path: str, *,
+                    register: str = "q") -> None:
+    """Write :func:`circuit_to_qasm` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(circuit_to_qasm(circuit, register=register))

@@ -1,0 +1,462 @@
+"""Lowering of OpenQASM 2.0 ASTs to :class:`repro.circuits.QuantumCircuit`.
+
+The frontend walks a parsed :class:`repro.interop.ast_nodes.Program` and
+
+* flattens all ``qreg`` declarations into one contiguous qubit index
+  space (declaration order, register-internal order preserved),
+* intercepts gate names with a **native builder** in
+  :data:`repro.circuits.gates.GATE_BUILDERS` (plus the spellings ``U``,
+  ``CX``, ``cu1``/``cp`` and ``p``) and emits their exact library
+  matrices — the same policy mainstream importers use for qelib1 names,
+  and what keeps the spin-native gates (``crot``, ``cz_d``, ``iswap``,
+  ``rzx``, ...) intact across an export → import round trip.  A ``gate``
+  definition written in the program itself only yields to this
+  interception when its body is unitary-equivalent to the library gate
+  (the case for re-imported exports); a same-named definition with
+  *different* semantics is authoritative and expands instead,
+* expands any other ``gate`` definition recursively through the
+  constant-expression evaluator (``pi``, arithmetic, unary minus,
+  ``sin``/``cos``/...), and
+* broadcasts whole-register arguments the way the spec demands
+  (``cx q, r;`` maps pairwise over equally-sized registers).
+
+``barrier`` statements and ``measure`` operations are validated and then
+dropped: circuits in this repository are unitary-only containers, and
+both are no-ops for the unitary.  ``reset`` and classically-conditioned
+operations cannot be represented and raise :class:`QasmError`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.circuits import gates as glib
+from repro.circuits.circuit import QuantumCircuit
+from repro.interop.ast_nodes import (
+    Argument,
+    Barrier,
+    Conditional,
+    CregDecl,
+    GateCall,
+    GateDecl,
+    Include,
+    Measure,
+    Program,
+    QregDecl,
+    Reset,
+)
+from repro.interop.errors import QasmError
+from repro.interop.parser import parse_qasm
+from repro.interop.qelib1 import QELIB1_SOURCE, STDLIB_FILENAMES
+
+#: QASM gate name -> (GATE_BUILDERS key, allowed parameter counts, qubits).
+#: Names listed here always build the exact library matrix; a same-named
+#: ``gate`` definition in the program is treated as documentation.
+NATIVE_GATES: Dict[str, Tuple[str, Tuple[int, ...], int]] = {
+    "U": ("u3", (3,), 1),
+    "CX": ("cx", (0,), 2),
+    "id": ("id", (0,), 1),
+    "x": ("x", (0,), 1),
+    "y": ("y", (0,), 1),
+    "z": ("z", (0,), 1),
+    "h": ("h", (0,), 1),
+    "s": ("s", (0,), 1),
+    "sdg": ("sdg", (0,), 1),
+    "t": ("t", (0,), 1),
+    "tdg": ("tdg", (0,), 1),
+    "sx": ("sx", (0,), 1),
+    "sxdg": ("sxdg", (0,), 1),
+    "rx": ("rx", (1,), 1),
+    "ry": ("ry", (1,), 1),
+    "rz": ("rz", (1,), 1),
+    "p": ("u1", (1,), 1),
+    "u1": ("u1", (1,), 1),
+    "u2": ("u2", (2,), 1),
+    "u3": ("u3", (3,), 1),
+    "u": ("u3", (3,), 1),
+    "cx": ("cx", (0,), 2),
+    "cy": ("cy", (0,), 2),
+    "cz": ("cz", (0,), 2),
+    "cz_d": ("cz_d", (0,), 2),
+    "cp": ("cphase", (1,), 2),
+    "cu1": ("cphase", (1,), 2),
+    "cphase": ("cphase", (1,), 2),
+    "crx": ("crx", (1,), 2),
+    "cry": ("cry", (1,), 2),
+    "crz": ("crz", (1,), 2),
+    "crot": ("crot", (1, 2), 2),
+    "swap": ("swap", (0,), 2),
+    "swap_d": ("swap_d", (0,), 2),
+    "swap_c": ("swap_c", (0,), 2),
+    "iswap": ("iswap", (0,), 2),
+    "rzx": ("rzx", (1,), 2),
+}
+
+#: Maximum gate-definition expansion depth (QASM definitions cannot
+#: recurse, so anything deeper than this is a malformed input).
+MAX_EXPANSION_DEPTH = 128
+
+_STDLIB_CACHE: Optional[Tuple[GateDecl, ...]] = None
+
+
+def _stdlib_declarations() -> Tuple[GateDecl, ...]:
+    """Parse the embedded qelib1 once and cache its gate declarations."""
+    global _STDLIB_CACHE
+    if _STDLIB_CACHE is None:
+        program = parse_qasm(QELIB1_SOURCE)
+        _STDLIB_CACHE = tuple(
+            statement
+            for statement in program.statements
+            if isinstance(statement, GateDecl)
+        )
+    return _STDLIB_CACHE
+
+
+class _Lowering:
+    """One lowering run over a program (single use)."""
+
+    def __init__(self, program: Program, name: str) -> None:
+        self.program = program
+        self.name = name
+        self.qregs: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: Dict[str, int] = {}
+        self.definitions: Dict[str, GateDecl] = {}
+        self.user_defined: set = set()  # names declared by the program itself
+        #: (name, params) -> whether the user definition matches the
+        #: native library gate (so the exact matrix can be emitted).
+        self._native_match: Dict[Tuple[str, Tuple[float, ...]], bool] = {}
+        self.num_qubits = 0
+        self.measure_count = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> QuantumCircuit:
+        self._collect_registers()
+        if self.num_qubits == 0:
+            raise QasmError("the program declares no quantum registers")
+        circuit = QuantumCircuit(self.num_qubits, name=self.name)
+        for statement in self.program.statements:
+            self._lower_statement(circuit, statement)
+        return circuit
+
+    def _collect_registers(self) -> None:
+        for statement in self.program.statements:
+            if isinstance(statement, QregDecl):
+                self._declare(self.qregs, statement, (self.num_qubits, statement.size))
+                self.num_qubits += statement.size
+            elif isinstance(statement, CregDecl):
+                self._declare(self.cregs, statement, statement.size)
+
+    def _declare(self, table, statement, value) -> None:
+        name = statement.name
+        if name in self.qregs or name in self.cregs:
+            raise QasmError(
+                f"register {name!r} is already declared",
+                statement.line, statement.column,
+            )
+        table[name] = value
+
+    # ------------------------------------------------------------------
+    def _lower_statement(self, circuit: QuantumCircuit, statement) -> None:
+        if isinstance(statement, (QregDecl, CregDecl)):
+            return  # collected up front
+        if isinstance(statement, Include):
+            self._handle_include(statement)
+        elif isinstance(statement, GateDecl):
+            self._handle_gate_decl(statement)
+        elif isinstance(statement, GateCall):
+            self._apply_call(circuit, statement)
+        elif isinstance(statement, Barrier):
+            for argument in statement.arguments:
+                self._resolve_qubits(argument)  # validate only
+        elif isinstance(statement, Measure):
+            self._handle_measure(statement)
+        elif isinstance(statement, Reset):
+            raise QasmError(
+                "reset is not supported (circuits here are unitary-only)",
+                statement.line, statement.column,
+            )
+        elif isinstance(statement, Conditional):
+            raise QasmError(
+                "classically-conditioned operations (if) are not supported",
+                statement.line, statement.column,
+            )
+        else:  # pragma: no cover - the parser produces no other nodes
+            raise QasmError(
+                f"cannot lower statement {statement!r}",
+                statement.line, statement.column,
+            )
+
+    def _handle_include(self, statement: Include) -> None:
+        if statement.filename not in STDLIB_FILENAMES:
+            raise QasmError(
+                f"cannot include {statement.filename!r}: only the bundled "
+                "qelib1.inc is available",
+                statement.line, statement.column,
+            )
+        for declaration in _stdlib_declarations():
+            self.definitions.setdefault(declaration.name, declaration)
+
+    def _handle_gate_decl(self, statement: GateDecl) -> None:
+        if statement.name in self.user_defined:
+            raise QasmError(
+                f"gate {statement.name!r} is already defined",
+                statement.line, statement.column,
+            )
+        self.definitions[statement.name] = statement
+        self.user_defined.add(statement.name)
+
+    def _handle_measure(self, statement: Measure) -> None:
+        qubits = self._resolve_qubits(statement.source)
+        destination = statement.destination
+        if destination.register not in self.cregs:
+            raise QasmError(
+                f"unknown classical register {destination.register!r}",
+                destination.line, destination.column,
+            )
+        size = self.cregs[destination.register]
+        if destination.index is None:
+            if len(qubits) != size:
+                raise QasmError(
+                    f"measure maps {len(qubits)} qubit(s) onto classical "
+                    f"register {destination.register!r} of size {size}",
+                    statement.line, statement.column,
+                )
+        else:
+            if destination.index >= size:
+                raise QasmError(
+                    f"classical index {destination.register}[{destination.index}] "
+                    f"out of range (size {size})",
+                    destination.line, destination.column,
+                )
+            if len(qubits) != 1:
+                raise QasmError(
+                    "cannot measure a whole register into a single classical bit",
+                    statement.line, statement.column,
+                )
+        self.measure_count += len(qubits)
+
+    # ------------------------------------------------------------------
+    # Gate application
+    # ------------------------------------------------------------------
+    def _resolve_qubits(self, argument: Argument) -> List[int]:
+        """Map an argument to concrete flat qubit indices (1 or a register)."""
+        if argument.register not in self.qregs:
+            raise QasmError(
+                f"unknown quantum register {argument.register!r}",
+                argument.line, argument.column,
+            )
+        offset, size = self.qregs[argument.register]
+        if argument.index is None:
+            return list(range(offset, offset + size))
+        if argument.index >= size:
+            raise QasmError(
+                f"qubit index {argument.register}[{argument.index}] out of "
+                f"range (size {size})",
+                argument.line, argument.column,
+            )
+        return [offset + argument.index]
+
+    def _apply_call(self, circuit: QuantumCircuit, call: GateCall) -> None:
+        """Evaluate, broadcast and emit one top-level gate application."""
+        params = [expression.evaluate({}) for expression in call.params]
+        groups = [self._resolve_qubits(argument) for argument in call.arguments]
+        sizes = {len(group) for group in groups if len(group) > 1}
+        if len(sizes) > 1:
+            raise QasmError(
+                f"mismatched register sizes {sorted(sizes)} in broadcast "
+                f"application of {call.name!r}",
+                call.line, call.column,
+            )
+        repeat = sizes.pop() if sizes else 1
+        for shot in range(repeat):
+            qubits = [group[shot] if len(group) > 1 else group[0] for group in groups]
+            self._emit(circuit, call, call.name, params, qubits, depth=0)
+
+    def _emit(
+        self,
+        circuit: QuantumCircuit,
+        call: GateCall,
+        name: str,
+        params: List[float],
+        qubits: List[int],
+        depth: int,
+    ) -> None:
+        """Emit one concrete gate application (recursing through defs)."""
+        if depth > MAX_EXPANSION_DEPTH:
+            raise QasmError(
+                f"gate definitions nested deeper than {MAX_EXPANSION_DEPTH} "
+                f"while expanding {name!r}",
+                call.line, call.column,
+            )
+        native = NATIVE_GATES.get(name)
+        if (
+            native is not None
+            and name in self.user_defined
+            and not self._matches_native(name, params)
+        ):
+            # The program's own definition of a native-named gate means
+            # something different — it is authoritative, so expand it.
+            native = None
+        if native is not None:
+            builder_key, allowed_params, arity = native
+            if len(params) not in allowed_params:
+                expected = " or ".join(str(n) for n in allowed_params)
+                raise QasmError(
+                    f"gate {name!r} takes {expected} parameter(s), "
+                    f"got {len(params)}",
+                    call.line, call.column,
+                )
+            if len(qubits) != arity:
+                raise QasmError(
+                    f"gate {name!r} acts on {arity} qubit(s), got {len(qubits)}",
+                    call.line, call.column,
+                )
+            if len(set(qubits)) != len(qubits):
+                raise QasmError(
+                    f"duplicate qubit arguments in {name!r} application",
+                    call.line, call.column,
+                )
+            circuit.append(glib.build_gate(builder_key, *params), qubits)
+            return
+
+        declaration = self.definitions.get(name)
+        if declaration is None:
+            raise QasmError(f"unknown gate {name!r}", call.line, call.column)
+        if declaration.opaque:
+            raise QasmError(
+                f"opaque gate {name!r} has no known realization",
+                call.line, call.column,
+            )
+        if len(params) != len(declaration.params):
+            raise QasmError(
+                f"gate {name!r} takes {len(declaration.params)} parameter(s), "
+                f"got {len(params)}",
+                call.line, call.column,
+            )
+        if len(qubits) != len(declaration.qubits):
+            raise QasmError(
+                f"gate {name!r} acts on {len(declaration.qubits)} qubit(s), "
+                f"got {len(qubits)}",
+                call.line, call.column,
+            )
+        if len(set(qubits)) != len(qubits):
+            raise QasmError(
+                f"duplicate qubit arguments in {name!r} application",
+                call.line, call.column,
+            )
+        self._expand_declaration_into(circuit, declaration, params, qubits, depth + 1)
+
+    def _matches_native(self, name: str, params: List[float]) -> bool:
+        """True when the program's own definition of a native-named gate
+        is unitary-equivalent to the library gate for these parameters.
+
+        Re-imported exports define ``crot``/``cz_d``/... with equivalent
+        bodies, so they intercept natively (exact matrices, names kept);
+        a foreign file reusing such a name for different semantics keeps
+        its own meaning.
+        """
+        key = (name, tuple(params))
+        cached = self._native_match.get(key)
+        if cached is not None:
+            return cached
+        # Pre-seed so a (malformed) self-referential body re-entering this
+        # check settles on "expand" instead of recursing forever.
+        self._native_match[key] = False
+        declaration = self.definitions[name]
+        builder_key, allowed_params, arity = NATIVE_GATES[name]
+        match = False
+        if (
+            not declaration.opaque
+            and len(params) in allowed_params
+            and len(declaration.params) == len(params)
+            and len(declaration.qubits) == arity
+        ):
+            from repro.circuits.unitary import (
+                allclose_up_to_global_phase,
+                circuit_unitary,
+            )
+
+            try:
+                gate = glib.build_gate(builder_key, *params)
+                expanded = QuantumCircuit(arity)
+                self._expand_declaration_into(
+                    expanded, declaration, params, list(range(arity)), depth=1
+                )
+                reference = QuantumCircuit(arity).append(gate, range(arity))
+                match = allclose_up_to_global_phase(
+                    circuit_unitary(expanded), circuit_unitary(reference)
+                )
+            except (QasmError, ValueError, KeyError):
+                match = False  # a broken body fails later, on its own terms
+        self._native_match[key] = match
+        return match
+
+    def _expand_declaration_into(
+        self,
+        circuit: QuantumCircuit,
+        declaration: GateDecl,
+        params: List[float],
+        qubits: List[int],
+        depth: int,
+    ) -> None:
+        """Expand a definition body into a circuit — the single expansion
+        path, used both by real emission and by the native-match probe."""
+        environment = dict(zip(declaration.params, params))
+        qubit_map = dict(zip(declaration.qubits, qubits))
+        for statement in declaration.body:
+            if isinstance(statement, Barrier):
+                continue
+            self._emit(
+                circuit,
+                statement,
+                statement.name,
+                [e.evaluate(environment) for e in statement.params],
+                [qubit_map[a.register] for a in statement.arguments],
+                depth,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+def qasm_to_circuit(
+    source: Union[str, Program], *, name: Optional[str] = None
+) -> QuantumCircuit:
+    """Convert OpenQASM 2.0 source (or a parsed program) into a circuit."""
+    program = parse_qasm(source) if isinstance(source, str) else source
+    return _Lowering(program, name or "qasm_circuit").run()
+
+
+#: Alias under the name the top-level API exports.
+circuit_from_qasm = qasm_to_circuit
+
+
+def load_qasm_file(path: Union[str, os.PathLike]) -> QuantumCircuit:
+    """Parse a ``.qasm`` file; the circuit is named after the file stem."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    stem = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return qasm_to_circuit(source, name=stem or "qasm_circuit")
+
+
+def looks_like_qasm_path(text: str) -> bool:
+    """A single-line string ending in ``.qasm`` is treated as a file path."""
+    stripped = text.strip()
+    return "\n" not in stripped and stripped.lower().endswith(".qasm")
+
+
+def coerce_circuit_input(value: Union[str, QuantumCircuit]) -> QuantumCircuit:
+    """Accept a circuit, QASM source text, or a ``.qasm`` path.
+
+    This is what lets :func:`repro.compile` ingest real-world circuit
+    files directly; anything that is not a string passes through
+    untouched (the facade validates types downstream).
+    """
+    if not isinstance(value, str):
+        return value
+    if looks_like_qasm_path(value):
+        if not os.path.exists(value.strip()):
+            raise FileNotFoundError(f"QASM file not found: {value.strip()!r}")
+        return load_qasm_file(value.strip())
+    return qasm_to_circuit(value)

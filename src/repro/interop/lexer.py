@@ -1,0 +1,141 @@
+"""Hand-written lexer for OpenQASM 2.0.
+
+Produces a flat list of :class:`Token` objects with 1-based line/column
+coordinates.  ``//`` line comments are skipped; the only multi-character
+operators of the grammar are ``->`` and ``==``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.interop.errors import QasmError
+
+#: Words with their own token type (everything else lexes as ID).
+KEYWORDS = frozenset(
+    {
+        "OPENQASM",
+        "include",
+        "qreg",
+        "creg",
+        "gate",
+        "opaque",
+        "barrier",
+        "measure",
+        "reset",
+        "if",
+        "pi",
+        "U",
+        "CX",
+    }
+)
+
+#: Single-character punctuation/operator tokens.
+SYMBOLS = frozenset("()[]{};,+-*/^")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: type, verbatim text and source position."""
+
+    type: str  # keyword, "id", "int", "real", "string", or the symbol itself
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # compact form for parser error messages
+        return f"{self.text!r}@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into tokens, ending with a synthetic ``eof`` token."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    index, length = 0, len(source)
+
+    def error(message: str) -> QasmError:
+        return QasmError(message, line, column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "/" and index + 1 < length and source[index + 1] == "/":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        start_line, start_column = line, column
+        if char == '"':
+            end = source.find('"', index + 1)
+            if end == -1 or "\n" in source[index + 1 : end]:
+                raise error("unterminated string literal")
+            text = source[index + 1 : end]
+            tokens.append(Token("string", text, start_line, start_column))
+            column += end + 1 - index
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length and source[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            seen_exp = False
+            while end < length:
+                c = source[end]
+                if c.isdigit():
+                    end += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif c in "eE" and not seen_exp and end > index:
+                    if end + 1 < length and (
+                        source[end + 1].isdigit()
+                        or (source[end + 1] in "+-" and end + 2 < length and source[end + 2].isdigit())
+                    ):
+                        seen_exp = True
+                        end += 2 if source[end + 1] in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            text = source[index:end]
+            kind = "real" if (seen_dot or seen_exp) else "int"
+            tokens.append(Token(kind, text, start_line, start_column))
+            column += end - index
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[index:end]
+            kind = text if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, start_line, start_column))
+            column += end - index
+            index = end
+            continue
+        if char == "-" and index + 1 < length and source[index + 1] == ">":
+            tokens.append(Token("->", "->", start_line, start_column))
+            index += 2
+            column += 2
+            continue
+        if char == "=" and index + 1 < length and source[index + 1] == "=":
+            tokens.append(Token("==", "==", start_line, start_column))
+            index += 2
+            column += 2
+            continue
+        if char in SYMBOLS:
+            tokens.append(Token(char, char, start_line, start_column))
+            index += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,349 @@
+"""Recursive-descent parser for OpenQASM 2.0.
+
+Implements the grammar of the OpenQASM 2.0 specification over the token
+stream of :mod:`repro.interop.lexer`, producing the typed AST of
+:mod:`repro.interop.ast_nodes`.  Parameter expressions follow the usual
+precedence (``+ -`` < ``* /`` < unary minus < ``^``, right-associative
+exponentiation) and may call ``sin/cos/tan/exp/ln/sqrt``.
+
+The parser is purely syntactic: semantic checks (register sizes, gate
+arity, parameter environments) happen in :mod:`repro.interop.frontend`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.interop.ast_nodes import (
+    Argument,
+    Barrier,
+    BinOp,
+    Call,
+    Conditional,
+    CregDecl,
+    Expr,
+    FUNCTIONS,
+    GateCall,
+    GateDecl,
+    Identifier,
+    Include,
+    Measure,
+    Number,
+    Pi,
+    Program,
+    QregDecl,
+    Reset,
+    Statement,
+    Unary,
+)
+from repro.interop.errors import QasmError
+from repro.interop.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type != "eof":
+            self.position += 1
+        return token
+
+    def check(self, token_type: str) -> bool:
+        return self.current.type == token_type
+
+    def accept(self, token_type: str) -> Optional[Token]:
+        if self.check(token_type):
+            return self.advance()
+        return None
+
+    def expect(self, token_type: str, what: str = "") -> Token:
+        if not self.check(token_type):
+            wanted = what or f"{token_type!r}"
+            found = self.current.text or "end of input"
+            raise self.error(f"expected {wanted}, found {found!r}")
+        return self.advance()
+
+    def error(self, message: str) -> QasmError:
+        return QasmError(message, self.current.line, self.current.column)
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        version = "2.0"
+        if self.check("OPENQASM"):
+            self.advance()
+            token = self.expect("real", "a version number")
+            version = token.text
+            if version != "2.0":
+                raise QasmError(
+                    f"unsupported OpenQASM version {version!r} (only 2.0)",
+                    token.line,
+                    token.column,
+                )
+            self.expect(";")
+        statements: List[Statement] = []
+        while not self.check("eof"):
+            statements.append(self.parse_statement())
+        return Program(tuple(statements), version)
+
+    def parse_statement(self) -> Statement:
+        token = self.current
+        if token.type == "include":
+            self.advance()
+            name = self.expect("string", "a quoted filename")
+            self.expect(";")
+            return Include(token.line, token.column, name.text)
+        if token.type == "qreg":
+            return self._parse_reg_decl(QregDecl)
+        if token.type == "creg":
+            return self._parse_reg_decl(CregDecl)
+        if token.type == "gate":
+            return self._parse_gate_decl()
+        if token.type == "opaque":
+            return self._parse_opaque_decl()
+        if token.type == "if":
+            return self._parse_conditional()
+        return self.parse_qop()
+
+    def parse_qop(self) -> Statement:
+        token = self.current
+        if token.type == "measure":
+            self.advance()
+            source = self.parse_argument()
+            self.expect("->")
+            destination = self.parse_argument()
+            self.expect(";")
+            return Measure(token.line, token.column, source, destination)
+        if token.type == "reset":
+            self.advance()
+            argument = self.parse_argument()
+            self.expect(";")
+            return Reset(token.line, token.column, argument)
+        if token.type == "barrier":
+            self.advance()
+            arguments = self._parse_argument_list()
+            self.expect(";")
+            return Barrier(token.line, token.column, tuple(arguments))
+        return self.parse_gate_call()
+
+    def parse_gate_call(self) -> GateCall:
+        token = self.current
+        if token.type in ("U", "CX"):
+            self.advance()
+            name = token.text
+        else:
+            name = self.expect("id", "a gate name").text
+        params: Tuple[Expr, ...] = ()
+        if self.accept("("):
+            if not self.check(")"):
+                params = tuple(self._parse_expression_list())
+            self.expect(")")
+        if name == "U" and len(params) != 3:
+            raise QasmError(
+                f"U takes exactly 3 parameters, got {len(params)}",
+                token.line, token.column,
+            )
+        arguments = self._parse_argument_list()
+        self.expect(";")
+        return GateCall(token.line, token.column, name, params, tuple(arguments))
+
+    def _parse_conditional(self) -> Conditional:
+        token = self.advance()  # "if"
+        self.expect("(")
+        register = self.expect("id", "a classical register name").text
+        self.expect("==")
+        value = int(self.expect("int", "an integer").text)
+        self.expect(")")
+        body = self.parse_qop()
+        return Conditional(token.line, token.column, register, value, body)
+
+    def _parse_reg_decl(self, node_type):
+        token = self.advance()  # "qreg" / "creg"
+        name = self.expect("id", "a register name").text
+        self.expect("[")
+        size_token = self.expect("int", "a register size")
+        size = int(size_token.text)
+        if size <= 0:
+            raise QasmError(
+                f"register {name!r} must have positive size, got {size}",
+                size_token.line, size_token.column,
+            )
+        self.expect("]")
+        self.expect(";")
+        return node_type(token.line, token.column, name, size)
+
+    # ------------------------------------------------------------------
+    # Gate declarations
+    # ------------------------------------------------------------------
+    def _parse_gate_decl(self) -> GateDecl:
+        token = self.advance()  # "gate"
+        name = self.expect("id", "a gate name").text
+        params: Tuple[str, ...] = ()
+        if self.accept("("):
+            if not self.check(")"):
+                params = tuple(self._parse_id_list())
+            self.expect(")")
+        qubits = tuple(self._parse_id_list())
+        self.expect("{")
+        body: List[Statement] = []
+        while not self.check("}"):
+            if self.check("eof"):
+                raise self.error(f"unterminated body of gate {name!r}")
+            if self.check("barrier"):
+                barrier_token = self.advance()
+                arguments = self._parse_argument_list()
+                self.expect(";")
+                body.append(
+                    Barrier(barrier_token.line, barrier_token.column, tuple(arguments))
+                )
+            else:
+                body.append(self.parse_gate_call())
+        self.expect("}")
+        self._check_gate_body_arguments(name, qubits, body)
+        return GateDecl(token.line, token.column, name, params, qubits, tuple(body))
+
+    def _parse_opaque_decl(self) -> GateDecl:
+        token = self.advance()  # "opaque"
+        name = self.expect("id", "a gate name").text
+        params: Tuple[str, ...] = ()
+        if self.accept("("):
+            if not self.check(")"):
+                params = tuple(self._parse_id_list())
+            self.expect(")")
+        qubits = tuple(self._parse_id_list())
+        self.expect(";")
+        return GateDecl(token.line, token.column, name, params, qubits, (), opaque=True)
+
+    @staticmethod
+    def _check_gate_body_arguments(
+        name: str, qubits: Tuple[str, ...], body: List[Statement]
+    ) -> None:
+        """Gate bodies may only reference the declared qubit names, unindexed."""
+        declared = set(qubits)
+        for statement in body:
+            arguments = (
+                statement.arguments
+                if isinstance(statement, (GateCall, Barrier))
+                else ()
+            )
+            for argument in arguments:
+                if argument.index is not None:
+                    raise QasmError(
+                        f"gate {name!r} body cannot index registers",
+                        argument.line, argument.column,
+                    )
+                if argument.register not in declared:
+                    raise QasmError(
+                        f"gate {name!r} body references undeclared qubit "
+                        f"{argument.register!r}",
+                        argument.line, argument.column,
+                    )
+
+    # ------------------------------------------------------------------
+    # Arguments and lists
+    # ------------------------------------------------------------------
+    def parse_argument(self) -> Argument:
+        token = self.expect("id", "a register name")
+        index: Optional[int] = None
+        if self.accept("["):
+            index_token = self.expect("int", "a qubit index")
+            index = int(index_token.text)
+            self.expect("]")
+        return Argument(token.text, index, token.line, token.column)
+
+    def _parse_argument_list(self) -> List[Argument]:
+        arguments = [self.parse_argument()]
+        while self.accept(","):
+            arguments.append(self.parse_argument())
+        return arguments
+
+    def _parse_id_list(self) -> List[str]:
+        names = [self.expect("id", "an identifier").text]
+        while self.accept(","):
+            names.append(self.expect("id", "an identifier").text)
+        return names
+
+    def _parse_expression_list(self) -> List[Expr]:
+        expressions = [self.parse_expression()]
+        while self.accept(","):
+            expressions.append(self.parse_expression())
+        return expressions
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.current.type in ("+", "-"):
+            operator = self.advance()
+            right = self._parse_multiplicative()
+            left = BinOp(operator.line, operator.column, operator.type, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self.current.type in ("*", "/"):
+            operator = self.advance()
+            right = self._parse_unary()
+            left = BinOp(operator.line, operator.column, operator.type, left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.check("-"):
+            token = self.advance()
+            return Unary(token.line, token.column, "-", self._parse_unary())
+        return self._parse_power()
+
+    def _parse_power(self) -> Expr:
+        base = self._parse_atom()
+        if self.check("^"):
+            token = self.advance()
+            # Right-associative: recurse through unary so -x parses on the right.
+            exponent = self._parse_unary()
+            return BinOp(token.line, token.column, "^", base, exponent)
+        return base
+
+    def _parse_atom(self) -> Expr:
+        token = self.current
+        if token.type in ("int", "real"):
+            self.advance()
+            return Number(token.line, token.column, float(token.text))
+        if token.type == "pi":
+            self.advance()
+            return Pi(token.line, token.column)
+        if token.type == "id":
+            self.advance()
+            if token.text in FUNCTIONS and self.accept("("):
+                argument = self.parse_expression()
+                self.expect(")")
+                return Call(token.line, token.column, token.text, argument)
+            return Identifier(token.line, token.column, token.text)
+        if token.type == "(":
+            self.advance()
+            expression = self.parse_expression()
+            self.expect(")")
+            return expression
+        raise self.error(
+            f"expected an expression, found {token.text or 'end of input'!r}"
+        )
+
+
+def parse_qasm(source: str) -> Program:
+    """Parse OpenQASM 2.0 source text into a :class:`Program` AST."""
+    if not source.strip():
+        raise QasmError("empty OpenQASM input")
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,56 @@
+"""The bundled ``qelib1.inc`` standard gate library.
+
+``include "qelib1.inc";`` resolves to this embedded source — no file
+lookup happens, so parsing works on any machine and on in-memory QASM
+strings.  The definitions follow the OpenQASM 2.0 paper's qelib1 (plus
+the now-standard ``swap``/``cswap``/``crx``/``cry``/``sx``/``sxdg``/
+``rzz``/``rxx`` extensions and an ``iswap`` convenience gate, which the
+exporter relies on for round-tripping the spin-native gate set).
+
+Most of these names are intercepted by the frontend's native-gate table
+and built straight from :data:`repro.circuits.gates.GATE_BUILDERS` with
+their exact textbook matrices; the QASM bodies below are only expanded
+for the composite gates without a native builder (``ccx``, ``ch``,
+``cswap``, ``cu3``, ``rzz``, ``rxx``, ...).
+"""
+
+QELIB1_SOURCE = """
+// bundled qelib1.inc (OpenQASM 2.0 standard gate library)
+gate u3(theta,phi,lambda) q { U(theta,phi,lambda) q; }
+gate u2(phi,lambda) q { U(pi/2,phi,lambda) q; }
+gate u1(lambda) q { U(0,0,lambda) q; }
+gate cx c,t { CX c,t; }
+gate id a { U(0,0,0) a; }
+gate u0(gamma) q { U(0,0,0) q; }
+gate x a { u3(pi,0,pi) a; }
+gate y a { u3(pi,pi/2,pi/2) a; }
+gate z a { u1(pi) a; }
+gate h a { u2(0,pi) a; }
+gate s a { u1(pi/2) a; }
+gate sdg a { u1(-pi/2) a; }
+gate t a { u1(pi/4) a; }
+gate tdg a { u1(-pi/4) a; }
+gate sx a { sdg a; h a; sdg a; }
+gate sxdg a { s a; h a; s a; }
+gate rx(theta) a { u3(theta,-pi/2,pi/2) a; }
+gate ry(theta) a { u3(theta,0,0) a; }
+gate rz(phi) a { u1(phi) a; }
+gate cz a,b { h b; cx a,b; h b; }
+gate cy a,b { sdg b; cx a,b; s b; }
+gate swap a,b { cx a,b; cx b,a; cx a,b; }
+gate ch a,b { h b; sdg b; cx a,b; h b; t b; cx a,b; t b; h b; s b; x b; s a; }
+gate ccx a,b,c { h c; cx b,c; tdg c; cx a,c; t c; cx b,c; tdg c; cx a,c; t b; t c; h c; cx a,b; t a; tdg b; cx a,b; }
+gate cswap a,b,c { cx c,b; ccx a,b,c; cx c,b; }
+gate crx(lambda) a,b { u1(pi/2) b; cx a,b; u3(-lambda/2,0,0) b; cx a,b; u3(lambda/2,-pi/2,0) b; }
+gate cry(lambda) a,b { ry(lambda/2) b; cx a,b; ry(-lambda/2) b; cx a,b; }
+gate crz(lambda) a,b { rz(lambda/2) b; cx a,b; rz(-lambda/2) b; cx a,b; }
+gate cu1(lambda) a,b { u1(lambda/2) a; cx a,b; u1(-lambda/2) b; cx a,b; u1(lambda/2) b; }
+gate cp(lambda) a,b { cu1(lambda) a,b; }
+gate cu3(theta,phi,lambda) c,t { u1((lambda+phi)/2) c; u1((lambda-phi)/2) t; cx c,t; u3(-theta/2,0,-(phi+lambda)/2) t; cx c,t; u3(theta/2,phi,0) t; }
+gate rzz(theta) a,b { cx a,b; u1(theta) b; cx a,b; }
+gate rxx(theta) a,b { h a; h b; cx a,b; u1(theta) b; cx a,b; h a; h b; }
+gate iswap a,b { s a; s b; h a; cx a,b; cx b,a; h b; }
+"""
+
+#: Include filenames that resolve to the embedded library.
+STDLIB_FILENAMES = frozenset({"qelib1.inc"})

@@ -18,12 +18,19 @@ table shows the per-workload winner::
 L1/L2 hit counters and per-technique portfolio wins) to a file — that is
 what CI's warm-start check asserts on.  ``--clear-store`` empties the
 persistent store before compiling.
+
+``--export-qasm DIR`` dumps every adapted circuit as an OpenQASM 2.0
+file (``DIR/<workload>.qasm``) through :mod:`repro.interop`, so adapted
+results feed straight into external toolchains — and back into this CLI,
+since manifests accept ``{"kind": "qasm", "path": ...}`` entries.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
 import sys
 import time
 from typing import List, Optional
@@ -77,6 +84,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="spin-qubit duration calibration (default D0)")
     parser.add_argument("--stats-json", default=None, metavar="PATH",
                         help="write service.statistics() to this file")
+    parser.add_argument("--export-qasm", default=None, metavar="DIR",
+                        help="write every adapted circuit as OpenQASM 2.0 "
+                             "to DIR/<workload>.qasm (created if missing)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-workload table")
     args = parser.parse_args(argv)
@@ -125,9 +135,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 handles.append(
                     (name, circuit, service.submit(circuit, target, technique), None)
                 )
+        completed: List[tuple] = []
         for name, circuit, handle, result in handles:
             if result is None:
                 result = handle.result()
+            completed.append((name, result))
             report = result.report
             rows.append([
                 name,
@@ -162,6 +174,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         wins = ", ".join(f"{key}={count}" for key, count
                          in sorted(stats["portfolio_wins"].items()))
         print(f"portfolio wins: {wins}")
+
+    if args.export_qasm:
+        from repro.interop import write_qasm_file
+
+        os.makedirs(args.export_qasm, exist_ok=True)
+        used: set = set()
+        for name, result in completed:
+            # Distinct workload names can sanitize identically; suffix
+            # until unused instead of silently overwriting an export.
+            stem = candidate = re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
+            suffix = 0
+            while candidate in used:
+                suffix += 1
+                candidate = f"{stem}_{suffix}"
+            used.add(candidate)
+            write_qasm_file(
+                result.adapted_circuit,
+                os.path.join(args.export_qasm, candidate + ".qasm"),
+            )
+        print(f"exported {len(completed)} adapted circuits to {args.export_qasm}")
 
     if args.stats_json:
         payload = dict(stats)

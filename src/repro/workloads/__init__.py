@@ -25,6 +25,7 @@ from repro.workloads.named import (
 )
 from repro.workloads.manifest import (
     WORKLOAD_BUILDERS,
+    WORKLOAD_ENTRY_KEYS,
     build_workload_entry,
     load_manifest,
     parse_manifest,
@@ -41,6 +42,7 @@ __all__ = [
     "qaoa_ring_circuit",
     "hardware_efficient_ansatz",
     "WORKLOAD_BUILDERS",
+    "WORKLOAD_ENTRY_KEYS",
     "build_workload_entry",
     "load_manifest",
     "parse_manifest",

@@ -12,20 +12,28 @@ circuit by :data:`WORKLOAD_BUILDERS`.  Example::
         {"kind": "qaoa_ring", "num_qubits": 4, "layers": 2, "seed": 0},
         {"kind": "vqe_hwe", "num_qubits": 4, "layers": 2, "seed": 0},
         {"kind": "qft", "num_qubits": 3},
-        {"kind": "bv", "secret": "101"}
+        {"kind": "bv", "secret": "101"},
+        {"kind": "suite", "name": "grover_n3"},
+        {"kind": "qasm", "path": "circuits/benchmark.qasm"}
       ]
     }
 
 A top-level plain list is also accepted (no defaults block).  Every
 builder is deterministic given its parameters, so two runs over the same
 manifest produce identical circuits — which is what makes warm persistent
--store runs byte-for-byte reproducible.
+-store runs byte-for-byte reproducible.  (``qasm`` entries are as
+deterministic as the file they point at; inline ``source`` entries are
+fully self-contained.)
+
+Entries are validated strictly: a key no builder reads (say the typo
+``num_qubit``) is rejected instead of being silently ignored.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Callable, Dict, List, Mapping, Tuple
+import os
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.workloads.named import (
@@ -86,9 +94,28 @@ def _build_vqe(entry: Mapping) -> QuantumCircuit:
     )
 
 
+def _build_qasm(entry: Mapping) -> QuantumCircuit:
+    from repro.interop import load_qasm_file, qasm_to_circuit
+
+    has_path, has_source = "path" in entry, "source" in entry
+    if has_path == has_source:
+        raise ValueError(
+            "a 'qasm' manifest entry needs exactly one of 'path' or 'source'"
+        )
+    if has_path:
+        return load_qasm_file(str(entry["path"]))
+    return qasm_to_circuit(str(entry["source"]))
+
+
+def _build_suite(entry: Mapping) -> QuantumCircuit:
+    from repro.interop import suite_circuit
+
+    return suite_circuit(str(entry["name"]))
+
+
 #: Manifest ``kind`` -> circuit builder.  New workload families register
-#: here (and, when they are seedable spec workloads, in
-#: ``repro.api.compile._circuit_from_spec``).
+#: here and in :data:`WORKLOAD_ENTRY_KEYS` (and, when they are seedable
+#: spec workloads, in ``repro.api.compile._circuit_from_spec``).
 WORKLOAD_BUILDERS: Dict[str, Callable[[Mapping], QuantumCircuit]] = {
     "qv": _build_qv,
     "random": _build_random,
@@ -99,7 +126,57 @@ WORKLOAD_BUILDERS: Dict[str, Callable[[Mapping], QuantumCircuit]] = {
     "qaoa": _build_qaoa,
     "vqe_hwe": _build_vqe,
     "vqe": _build_vqe,
+    "qasm": _build_qasm,
+    "suite": _build_suite,
 }
+
+#: Manifest ``kind`` -> (required keys, optional keys).  ``kind`` and
+#: ``name`` are always accepted; anything else must appear here — typos
+#: like ``num_qubit`` fail loudly instead of passing as ignored kwargs.
+WORKLOAD_ENTRY_KEYS: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {
+    "qv": (frozenset({"num_qubits"}), frozenset({"depth", "seed"})),
+    "random": (frozenset({"num_qubits"}), frozenset({"depth", "seed"})),
+    "ghz": (frozenset({"num_qubits"}), frozenset()),
+    "qft": (frozenset({"num_qubits"}), frozenset({"include_swaps"})),
+    "bv": (frozenset({"secret"}), frozenset()),
+    "qaoa_ring": (frozenset({"num_qubits"}), frozenset({"layers", "seed"})),
+    "qaoa": (frozenset({"num_qubits"}), frozenset({"layers", "seed"})),
+    "vqe_hwe": (frozenset({"num_qubits"}), frozenset({"layers", "seed"})),
+    "vqe": (frozenset({"num_qubits"}), frozenset({"layers", "seed"})),
+    # 'qasm' needs exactly one of path/source; the builder enforces that.
+    "qasm": (frozenset(), frozenset({"path", "source"})),
+    # For 'suite', 'name' doubles as the benchmark selector.
+    "suite": (frozenset({"name"}), frozenset()),
+}
+
+#: Keys every entry may carry regardless of kind.
+_UNIVERSAL_KEYS = frozenset({"kind", "name"})
+
+
+def _validate_entry_keys(kind: str, entry: Mapping) -> None:
+    """Reject keys the builder for ``kind`` does not read.
+
+    Kinds registered at runtime straight into :data:`WORKLOAD_BUILDERS`
+    without a key spec stay permissive (no validation), preserving the
+    plain builder-dict extension point.
+    """
+    spec = WORKLOAD_ENTRY_KEYS.get(kind)
+    if spec is None:
+        return
+    required, optional = spec
+    allowed = required | optional | _UNIVERSAL_KEYS
+    unknown = set(entry) - allowed
+    if unknown:
+        raise ValueError(
+            f"manifest entry of kind {kind!r} has unknown key(s) "
+            f"{sorted(unknown)}; allowed keys: {sorted(allowed)}"
+        )
+    missing = required - set(entry)
+    if missing:
+        raise ValueError(
+            f"manifest entry of kind {kind!r} is missing required key(s) "
+            f"{sorted(missing)}"
+        )
 
 
 def build_workload_entry(entry: Mapping) -> Tuple[str, QuantumCircuit]:
@@ -114,17 +191,23 @@ def build_workload_entry(entry: Mapping) -> Tuple[str, QuantumCircuit]:
         raise ValueError(
             f"unknown workload kind {kind!r}; available: {sorted(set(WORKLOAD_BUILDERS))}"
         ) from None
+    _validate_entry_keys(kind, entry)
     circuit = builder(entry)
     return str(entry.get("name", circuit.name)), circuit
 
 
-def parse_manifest(payload) -> Tuple[List[Tuple[str, QuantumCircuit]], Dict]:
+def parse_manifest(
+    payload, base_dir: Optional[str] = None
+) -> Tuple[List[Tuple[str, QuantumCircuit]], Dict]:
     """Parse a decoded manifest into ``(name, circuit)`` pairs + defaults.
 
     ``payload`` is either a list of entries or a mapping with a
     ``workloads`` list; any other top-level keys (``technique``,
     ``policy``, ...) come back verbatim in the defaults dict so the CLI
-    can honour per-manifest settings.
+    can honour per-manifest settings.  When ``base_dir`` is given,
+    relative ``qasm`` paths resolve against it (:func:`load_manifest`
+    passes the manifest file's directory, so sibling ``.qasm`` files
+    work regardless of the process working directory).
     """
     if isinstance(payload, Mapping):
         entries = payload.get("workloads")
@@ -136,6 +219,14 @@ def parse_manifest(payload) -> Tuple[List[Tuple[str, QuantumCircuit]], Dict]:
     named: List[Tuple[str, QuantumCircuit]] = []
     seen: Dict[str, int] = {}
     for entry in entries:
+        if (
+            base_dir is not None
+            and isinstance(entry, Mapping)
+            and entry.get("kind") == "qasm"
+            and isinstance(entry.get("path"), str)
+            and not os.path.isabs(entry["path"])
+        ):
+            entry = {**entry, "path": os.path.join(base_dir, entry["path"])}
         name, circuit = build_workload_entry(entry)
         if name in seen:  # Disambiguate like compile_many: nothing is dropped.
             seen[name] += 1
@@ -149,4 +240,5 @@ def parse_manifest(payload) -> Tuple[List[Tuple[str, QuantumCircuit]], Dict]:
 def load_manifest(path: str) -> Tuple[List[Tuple[str, QuantumCircuit]], Dict]:
     """Load a JSON manifest file; see :func:`parse_manifest`."""
     with open(path, "r", encoding="utf-8") as handle:
-        return parse_manifest(json.load(handle))
+        payload = json.load(handle)
+    return parse_manifest(payload, base_dir=os.path.dirname(os.path.abspath(path)))

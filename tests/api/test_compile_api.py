@@ -192,3 +192,44 @@ class TestCompileMany:
         for spec in suite:
             assert warm[spec.name].report.cache_hit is True
             assert warm[spec.name].cost == mixed[spec.name].cost
+
+
+class TestQasmInput:
+    """repro.compile() ingests OpenQASM 2.0 strings and .qasm paths (PR 4)."""
+
+    SOURCE = (
+        'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+        "qreg q[3];\nh q[0];\ncx q[0],q[1];\nswap q[1],q[2];\n"
+    )
+
+    def test_compile_from_source_string(self):
+        target = spin_qubit_target(3)
+        # verify=True makes the VerifyPass raise on any non-equivalence.
+        result = repro.compile(
+            self.SOURCE, target, "direct", use_cache=False, verify=True
+        )
+        assert result.cost.gate_count > 0
+        assert result.report.circuit_name == "qasm_circuit"
+
+    def test_compile_from_path(self, tmp_path):
+        path = tmp_path / "bench.qasm"
+        path.write_text(self.SOURCE)
+        target = spin_qubit_target(3)
+        result = repro.compile(str(path), target, "direct", use_cache=False)
+        assert result.cost.gate_count > 0
+
+    def test_missing_path_is_a_clean_error(self):
+        with pytest.raises(FileNotFoundError):
+            repro.compile("/nonexistent/bench.qasm", spin_qubit_target(2))
+
+    def test_malformed_source_raises_qasm_error(self):
+        with pytest.raises(repro.QasmError):
+            repro.compile("OPENQASM 2.0;\nqreg q[2]\nh q[0];", spin_qubit_target(2))
+
+    def test_compile_many_accepts_qasm_strings(self):
+        results = repro.compile_many(
+            [("from_qasm", repro.circuit_from_qasm(self.SOURCE)), self.SOURCE],
+            technique="direct",
+        )
+        assert "from_qasm" in results
+        assert "qasm_circuit" in results

@@ -46,7 +46,7 @@ class TestGateUnitaries:
     def test_all_builders_produce_unitaries(self):
         for name, builder in GATE_BUILDERS.items():
             gate = None
-            for params in ((), (0.37,), (0.37, 0.11, -0.6)):
+            for params in ((), (0.37,), (0.37, 0.11), (0.37, 0.11, -0.6)):
                 try:
                     gate = builder(*params)
                     break
@@ -139,6 +139,66 @@ class TestGateUnitaries:
         assert build_gate("rz", 0.5).params == (0.5,)
         with pytest.raises(KeyError):
             build_gate("nonexistent")
+
+
+class TestQelib1Gates:
+    """Matrix unit tests for the qelib1 one-to-one gate set (PR 4)."""
+
+    def test_id_is_identity(self):
+        assert np.allclose(build_gate("id").to_matrix(), np.eye(2))
+
+    def test_u1_is_pure_phase(self):
+        lam = 0.73
+        assert np.allclose(
+            build_gate("u1", lam).to_matrix(), np.diag([1, np.exp(1j * lam)])
+        )
+
+    def test_u1_vs_rz_up_to_global_phase(self):
+        lam = 1.4
+        assert allclose_up_to_global_phase(
+            build_gate("u1", lam).to_matrix(), rz(lam).to_matrix()
+        )
+        # ... but not equal as matrices: u1 leaves |0> untouched.
+        assert not np.allclose(build_gate("u1", lam).to_matrix(), rz(lam).to_matrix())
+
+    def test_u2_is_u3_at_half_pi(self):
+        phi, lam = 0.3, -1.1
+        assert np.allclose(
+            build_gate("u2", phi, lam).to_matrix(),
+            u3(math.pi / 2, phi, lam).to_matrix(),
+        )
+
+    def test_u2_zero_pi_is_hadamard(self):
+        assert np.allclose(build_gate("u2", 0.0, math.pi).to_matrix(), h().to_matrix())
+
+    def test_sx_squares_to_x_exactly(self):
+        sx_matrix = build_gate("sx").to_matrix()
+        assert np.allclose(sx_matrix @ sx_matrix, x().to_matrix())
+
+    def test_sxdg_is_sx_adjoint(self):
+        assert np.allclose(
+            build_gate("sxdg").to_matrix(),
+            build_gate("sx").to_matrix().conj().T,
+        )
+
+    def test_sx_matches_rx_up_to_global_phase(self):
+        assert allclose_up_to_global_phase(
+            build_gate("sx").to_matrix(), rx(math.pi / 2).to_matrix()
+        )
+
+    def test_qelib1_names_in_builders(self):
+        assert {"id", "u1", "u2", "sx", "sxdg"} <= set(GATE_BUILDERS)
+
+    def test_circuit_helpers(self):
+        circuit = QuantumCircuit(1)
+        circuit.sx(0).sxdg(0).u1(0.2, 0).u2(0.1, 0.3, 0)
+        assert [inst.name for inst in circuit] == ["sx", "sxdg", "u1", "u2"]
+        assert allclose_up_to_global_phase(
+            circuit_unitary(circuit),
+            (build_gate("u2", 0.1, 0.3).to_matrix()
+             @ build_gate("u1", 0.2).to_matrix()
+             @ np.eye(2)),
+        )
 
 
 class TestQuantumCircuit:

@@ -1,0 +1,143 @@
+"""Exporter tests: direct emission, custom definitions, fallbacks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates as glib
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATE_BUILDERS, Gate, build_gate
+from repro.circuits.unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+)
+from repro.interop import QasmExportError, circuit_to_qasm, qasm_to_circuit
+from repro.interop.exporter import CUSTOM_DEFINITIONS, DIRECT_EXPORTS
+
+
+def _sample_gate(name):
+    """Build one parametrized instance of every registered gate."""
+    builder = GATE_BUILDERS[name]
+    for params in ((), (0.37,), (0.37, 0.11), (0.37, 0.11, -0.6)):
+        try:
+            return builder(*params)
+        except TypeError:
+            continue
+    raise AssertionError(f"no parameter arity found for {name}")
+
+
+class TestExporter:
+    def test_header_and_register(self):
+        circuit = QuantumCircuit(3, name="bench")
+        circuit.h(0).cx(0, 1)
+        text = circuit_to_qasm(circuit)
+        assert "OPENQASM 2.0;" in text
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+
+    def test_every_builder_gate_exports(self):
+        """The acceptance bar: all GATE_BUILDERS gates export and re-import."""
+        for name in GATE_BUILDERS:
+            gate = _sample_gate(name)
+            circuit = QuantumCircuit(max(2, gate.num_qubits))
+            circuit.append(gate, tuple(range(gate.num_qubits)))
+            text = circuit_to_qasm(circuit)
+            back = qasm_to_circuit(text)
+            assert allclose_up_to_global_phase(
+                circuit_unitary(circuit), circuit_unitary(back)
+            ), name
+
+    def test_spin_native_gates_get_definitions(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(glib.crot(0.7, 0.3), (0, 1))
+        circuit.append(glib.cz_diabatic(), (0, 1))
+        text = circuit_to_qasm(circuit)
+        assert "gate crot(theta,phi) a,b" in text
+        assert "gate cz_d a,b" in text
+        # The definition appears once even for repeated use.
+        assert text.count("gate crot") == 1
+
+    def test_native_names_survive_the_round_trip(self):
+        circuit = QuantumCircuit(2)
+        circuit.append(glib.crot(1.1), (1, 0))
+        circuit.append(glib.swap_composite(), (0, 1))
+        back = qasm_to_circuit(circuit_to_qasm(circuit))
+        assert [inst.name for inst in back] == ["crot", "swap_c"]
+        assert back.instructions[0].qubits == (1, 0)
+
+    @pytest.mark.parametrize("name", sorted(CUSTOM_DEFINITIONS))
+    def test_custom_definitions_expand_to_the_native_matrix(self, name):
+        """The emitted qelib1 bodies are what external tools execute —
+        renaming the definition forces this frontend down the same path."""
+        gate = _sample_gate(name)
+        definition = CUSTOM_DEFINITIONS[name].replace(
+            f"gate {name}", "gate check_gate"
+        )
+        params = ""
+        if gate.params:
+            params = "(" + ",".join(repr(p) for p in gate.params) + ")"
+        source = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            f"{definition}\nqreg q[2];\ncheck_gate{params} q[0],q[1];\n"
+        )
+        expanded = qasm_to_circuit(source)
+        reference = QuantumCircuit(2).append(gate, (0, 1))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(expanded), circuit_unitary(reference)
+        )
+
+    def test_cphase_exports_as_cu1(self):
+        circuit = QuantumCircuit(2).append(glib.controlled_phase(0.4), (0, 1))
+        text = circuit_to_qasm(circuit)
+        assert "cu1(" in text
+        back = qasm_to_circuit(text)
+        assert back.instructions[0].name == "cphase"
+
+    def test_params_round_trip_to_the_exact_float(self):
+        theta = math.pi / 7 + 1e-12
+        circuit = QuantumCircuit(1).append(glib.rz(theta), (0,))
+        back = qasm_to_circuit(circuit_to_qasm(circuit))
+        assert back.instructions[0].gate.params[0] == theta
+
+    def test_unknown_1q_gate_falls_back_to_u3(self):
+        matrix = glib.u3(0.3, 1.2, -0.4).to_matrix()
+        odd = Gate("mystery", 1, (), tuple(tuple(row) for row in matrix))
+        circuit = QuantumCircuit(1).append(odd, (0,))
+        text = circuit_to_qasm(circuit)
+        assert "u3(" in text
+        back = qasm_to_circuit(text)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(circuit), circuit_unitary(back)
+        )
+
+    def test_adjoint_1q_gates_export(self):
+        circuit = QuantumCircuit(1).append(glib.t().inverse(), (0,))  # "t_dg"
+        back = qasm_to_circuit(circuit_to_qasm(circuit))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(circuit), circuit_unitary(back)
+        )
+
+    def test_unknown_2q_gate_is_a_loud_error(self):
+        matrix = glib.iswap().to_matrix()
+        odd = Gate("mystery2", 2, (), tuple(tuple(row) for row in matrix))
+        circuit = QuantumCircuit(2).append(odd, (0, 1))
+        with pytest.raises(QasmExportError, match="mystery2"):
+            circuit_to_qasm(circuit)
+
+    def test_direct_exports_are_native_spellings(self):
+        # Every directly-exported name must be understood by the frontend.
+        from repro.interop.frontend import NATIVE_GATES
+
+        for spelling in DIRECT_EXPORTS.values():
+            assert spelling in NATIVE_GATES, spelling
+
+    def test_custom_register_name(self):
+        circuit = QuantumCircuit(2).append(build_gate("cx"), (0, 1))
+        text = circuit_to_qasm(circuit, register="data")
+        assert "qreg data[2];" in text
+        assert "cx data[0],data[1];" in text
+        back = qasm_to_circuit(text)
+        assert np.allclose(circuit_unitary(back), circuit_unitary(circuit))

@@ -1,0 +1,266 @@
+"""Frontend tests: lexing, parsing, lowering and error positions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+)
+from repro.circuits import gates as glib
+from repro.interop import QasmError, parse_qasm, qasm_to_circuit
+from repro.interop.ast_nodes import GateCall, Measure, QregDecl
+from repro.interop.lexer import tokenize
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def lower(body: str, header: str = HEADER):
+    return qasm_to_circuit(header + body)
+
+
+class TestLexer:
+    def test_token_positions_are_one_based(self):
+        tokens = tokenize("qreg q[3];\nh q[0];")
+        assert (tokens[0].type, tokens[0].line, tokens[0].column) == ("qreg", 1, 1)
+        h_token = next(t for t in tokens if t.text == "h")
+        assert (h_token.line, h_token.column) == (2, 1)
+
+    def test_numbers_and_exponents(self):
+        kinds = [t.type for t in tokenize("3 3.5 .5 1e-5 2E+3")][:-1]
+        assert kinds == ["int", "real", "real", "real", "real"]
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("// a comment\nh q;// trailing\n")
+        assert [t.text for t in tokens][:-1] == ["h", "q", ";"]
+
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(QasmError) as excinfo:
+            tokenize("qreg q[2];\n  @")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3
+        assert "line 2, column 3" in str(excinfo.value)
+
+    def test_unterminated_string(self):
+        with pytest.raises(QasmError, match="unterminated string"):
+            tokenize('include "qelib1.inc;')
+
+
+class TestParserStructure:
+    def test_program_ast_shape(self):
+        program = parse_qasm(HEADER + "qreg q[2];\ncx q[0],q[1];\nmeasure q[0] -> c[0];")
+        kinds = [type(s).__name__ for s in program.statements]
+        assert kinds == ["Include", "QregDecl", "GateCall", "Measure"]
+        qreg = program.statements[1]
+        assert isinstance(qreg, QregDecl) and qreg.size == 2
+
+    def test_version_must_be_2_0(self):
+        with pytest.raises(QasmError, match="only 2.0"):
+            parse_qasm("OPENQASM 3.0;\nqreg q[1];")
+
+    def test_expression_precedence(self):
+        program = parse_qasm("qreg q[1];\nrz(1+2*3^2) q[0];")
+        call = next(s for s in program.statements if isinstance(s, GateCall))
+        assert call.params[0].evaluate({}) == pytest.approx(19.0)
+
+    def test_expression_functions_and_pi(self):
+        program = parse_qasm("qreg q[1];\nrz(sin(pi/2) - cos(0)/2) q[0];")
+        call = next(s for s in program.statements if isinstance(s, GateCall))
+        assert call.params[0].evaluate({}) == pytest.approx(0.5)
+
+    def test_unary_minus_binds_tighter_than_product(self):
+        program = parse_qasm("qreg q[1];\nrz(-pi/2) q[0];")
+        call = next(s for s in program.statements if isinstance(s, GateCall))
+        assert call.params[0].evaluate({}) == pytest.approx(-math.pi / 2)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(QasmError, match="empty"):
+            parse_qasm("   \n  ")
+
+
+class TestParserErrors:
+    """The satellite requirement: errors carry line/column on bad input."""
+
+    @pytest.mark.parametrize(
+        "source, line, column, fragment",
+        [
+            ("qreg q[2]\nh q[0];", 2, 1, "expected ';'"),
+            ("qreg q[x];", 1, 8, "register size"),
+            ("qreg q[2];\ncx q[0] q[1];", 2, 9, "expected ';'"),
+            ("gate foo a { h b; }", 1, 16, "undeclared qubit"),
+            ("gate foo a { h a[0]; }", 1, 16, "cannot index"),
+            ("qreg q[2];\nrz(,) q[0];", 2, 4, "expression"),
+        ],
+    )
+    def test_positions(self, source, line, column, fragment):
+        with pytest.raises(QasmError) as excinfo:
+            parse_qasm(source)
+        assert excinfo.value.line == line
+        if column is not None:
+            assert excinfo.value.column == column
+        assert fragment in str(excinfo.value)
+
+    def test_unterminated_gate_body(self):
+        with pytest.raises(QasmError, match="unterminated body"):
+            parse_qasm("gate foo a { h a;")
+
+
+class TestLowering:
+    def test_builtin_u_and_cx(self):
+        circuit = qasm_to_circuit(
+            "OPENQASM 2.0;\nqreg q[2];\nU(pi/2,0,pi) q[0];\nCX q[0],q[1];"
+        )
+        assert [inst.name for inst in circuit] == ["u3", "cx"]
+        assert circuit.instructions[0].gate.params[0] == pytest.approx(math.pi / 2)
+
+    def test_multi_register_flattening(self):
+        circuit = lower("qreg a[2];\nqreg b[2];\ncx a[1],b[0];")
+        # a -> qubits 0..1, b -> qubits 2..3 (declaration order).
+        assert circuit.num_qubits == 4
+        assert circuit.instructions[0].qubits == (1, 2)
+
+    def test_register_broadcast(self):
+        circuit = lower("qreg q[3];\nh q;")
+        assert [inst.qubits for inst in circuit] == [(0,), (1,), (2,)]
+
+    def test_pairwise_broadcast(self):
+        circuit = lower("qreg a[2];\nqreg b[2];\ncx a,b;")
+        assert [inst.qubits for inst in circuit] == [(0, 2), (1, 3)]
+
+    def test_mixed_broadcast_single_and_register(self):
+        circuit = lower("qreg q[1];\nqreg r[3];\ncx q[0],r;")
+        assert [inst.qubits for inst in circuit] == [(0, 1), (0, 2), (0, 3)]
+
+    def test_mismatched_broadcast_rejected(self):
+        with pytest.raises(QasmError, match="mismatched register sizes"):
+            lower("qreg a[2];\nqreg b[3];\ncx a,b;")
+
+    def test_qelib1_native_gates_are_exact(self):
+        circuit = lower("qreg q[1];\nsx q[0];\nu2(0.1,0.2) q[0];")
+        assert np.allclose(
+            circuit.instructions[0].gate.to_matrix(), glib.sx().to_matrix()
+        )
+        assert circuit.instructions[1].gate.params == (0.1, 0.2)
+
+    def test_composite_qelib1_gates_expand(self):
+        circuit = lower("qreg q[3];\nccx q[0],q[1],q[2];")
+        names = {inst.name for inst in circuit}
+        assert names <= {"h", "t", "tdg", "cx"}
+        toffoli = np.eye(8)[:, [0, 1, 2, 7, 4, 5, 6, 3]]  # little-endian CCX
+        assert allclose_up_to_global_phase(circuit_unitary(circuit), toffoli)
+
+    def test_user_gate_definition_with_params(self):
+        circuit = lower(
+            "gate wiggle(a,b) p,q { rz(a/2) p; cx p,q; ry(-b) q; }\n"
+            "qreg q[2];\nwiggle(pi,0.5) q[0],q[1];"
+        )
+        assert [inst.name for inst in circuit] == ["rz", "cx", "ry"]
+        assert circuit.instructions[0].gate.params[0] == pytest.approx(math.pi / 2)
+        assert circuit.instructions[2].gate.params[0] == pytest.approx(-0.5)
+
+    def test_spin_native_names_resolve_natively(self):
+        circuit = lower(
+            "qreg q[2];\ncrot(0.7,0.2) q[0],q[1];\ncz_d q[0],q[1];\n"
+            "iswap q[0],q[1];\nrzx(0.4) q[0],q[1];"
+        )
+        assert [inst.name for inst in circuit] == ["crot", "cz_d", "iswap", "rzx"]
+        assert np.allclose(
+            circuit.instructions[0].gate.to_matrix(),
+            glib.crot(0.7, 0.2).to_matrix(),
+        )
+
+    def test_measure_and_barrier_are_dropped(self):
+        circuit = lower(
+            "qreg q[2];\ncreg c[2];\nh q[0];\nbarrier q;\nmeasure q -> c;"
+        )
+        assert [inst.name for inst in circuit] == ["h"]
+
+    def test_measure_size_mismatch(self):
+        with pytest.raises(QasmError, match="size"):
+            lower("qreg q[2];\ncreg c[3];\nmeasure q -> c;")
+
+    def test_reset_unsupported(self):
+        with pytest.raises(QasmError, match="reset is not supported"):
+            lower("qreg q[1];\nreset q[0];")
+
+    def test_conditional_unsupported(self):
+        with pytest.raises(QasmError, match="not supported"):
+            lower("qreg q[1];\ncreg c[1];\nif (c==1) x q[0];")
+
+    def test_unknown_include_rejected(self):
+        with pytest.raises(QasmError, match="only the bundled"):
+            qasm_to_circuit('OPENQASM 2.0;\ninclude "other.inc";\nqreg q[1];\nh q;')
+
+    def test_unknown_gate_without_include(self):
+        # Without qelib1, composite names are unknown; native ones still work.
+        with pytest.raises(QasmError, match="unknown gate 'ccx'"):
+            qasm_to_circuit("OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[2];")
+        circuit = qasm_to_circuit("OPENQASM 2.0;\nqreg q[1];\nh q[0];")
+        assert circuit.instructions[0].name == "h"
+
+    def test_qubit_index_out_of_range(self):
+        with pytest.raises(QasmError, match=r"q\[5\] out of range"):
+            lower("qreg q[2];\nh q[5];")
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(QasmError, match="already declared"):
+            lower("qreg q[2];\ncreg q[2];")
+
+    def test_duplicate_qubit_arguments_rejected(self):
+        with pytest.raises(QasmError, match="duplicate qubit"):
+            lower("qreg q[2];\ncx q[0],q[0];")
+
+    def test_no_qubits_rejected(self):
+        with pytest.raises(QasmError, match="no quantum registers"):
+            qasm_to_circuit("OPENQASM 2.0;\ncreg c[2];")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(QasmError, match="parameter"):
+            lower("qreg q[1];\nrz(1,2) q[0];")
+        with pytest.raises(QasmError, match="qubit"):
+            lower("qreg q[2];\nh q[0],q[1];")
+
+    def test_opaque_gate_application_rejected(self):
+        with pytest.raises(QasmError, match="opaque"):
+            lower("opaque magic a,b;\nqreg q[2];\nmagic q[0],q[1];")
+
+    def test_divergent_user_definition_of_native_name_wins(self):
+        # A foreign file may reuse a native name with different semantics
+        # (here: 'iswap' defined as a plain SWAP) — its definition is
+        # authoritative and must expand, not be intercepted.
+        circuit = lower(
+            "gate iswap a,b { cx a,b; cx b,a; cx a,b; }\n"
+            "qreg q[2];\niswap q[0],q[1];"
+        )
+        assert [inst.name for inst in circuit] == ["cx", "cx", "cx"]
+        assert allclose_up_to_global_phase(
+            circuit_unitary(circuit),
+            glib.swap().to_matrix(),
+        )
+
+    def test_equivalent_user_definition_intercepts_natively(self):
+        # Re-imported exports define crot with an equivalent body; the
+        # library gate (exact matrix, name preserved) is used instead.
+        circuit = lower(
+            "gate crot(theta,phi) a,b { rz(-phi) b; crx(theta) a,b; rz(phi) b; }\n"
+            "qreg q[2];\ncrot(0.7,0.3) q[0],q[1];"
+        )
+        assert [inst.name for inst in circuit] == ["crot"]
+        assert np.allclose(
+            circuit.instructions[0].gate.to_matrix(),
+            glib.crot(0.7, 0.3).to_matrix(),
+        )
+
+    def test_self_referential_definition_does_not_hang(self):
+        with pytest.raises(QasmError, match="nested deeper"):
+            lower(
+                "gate iswap a,b { iswap a,b; }\nqreg q[2];\niswap q[0],q[1];"
+            )
+
+    def test_circuit_name_override(self):
+        circuit = qasm_to_circuit(
+            "OPENQASM 2.0;\nqreg q[1];\nh q[0];", name="my_bench"
+        )
+        assert circuit.name == "my_bench"

@@ -1,0 +1,116 @@
+"""Property tests: QASM export -> import is unitary-equivalent.
+
+Covers random circuits over the full gate library (≤6 qubits), every
+named workload family, and every bundled suite benchmark — the PR 4
+acceptance bar.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATE_BUILDERS
+from repro.circuits.unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+)
+from repro.interop import circuit_to_qasm, load_suite, qasm_to_circuit
+from repro.workloads import (
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    hardware_efficient_ansatz,
+    qaoa_ring_circuit,
+    qft_circuit,
+    quantum_volume_circuit,
+    random_template_circuit,
+)
+
+#: Parameter arities of every builder (probed once at import).
+_ARITIES = {}
+for _name, _builder in GATE_BUILDERS.items():
+    for _params in ((), (0.5,), (0.5, 0.25), (0.5, 0.25, -0.5)):
+        try:
+            _builder(*_params)
+            _ARITIES[_name] = len(_params)
+            break
+        except TypeError:
+            continue
+
+
+def random_library_circuit(num_qubits: int, depth: int, seed: int) -> QuantumCircuit:
+    """A random circuit drawing uniformly from the whole gate library."""
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"soup_{num_qubits}_{seed}")
+    names = sorted(_ARITIES)
+    for _ in range(depth):
+        name = rng.choice(names)
+        builder = GATE_BUILDERS[name]
+        gate = builder(*(rng.uniform(-3.1, 3.1) for _ in range(_ARITIES[name])))
+        if gate.num_qubits > num_qubits:
+            continue
+        qubits = rng.sample(range(num_qubits), gate.num_qubits)
+        circuit.append(gate, qubits)
+    return circuit
+
+
+def assert_roundtrip(circuit: QuantumCircuit) -> None:
+    text = circuit_to_qasm(circuit)
+    back = qasm_to_circuit(text, name=circuit.name)
+    assert back.num_qubits == circuit.num_qubits
+    assert allclose_up_to_global_phase(
+        circuit_unitary(circuit), circuit_unitary(back)
+    ), circuit.name
+
+
+class TestRandomCircuitRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_qubits=st.integers(min_value=2, max_value=6),
+        depth=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_library_soup(self, num_qubits, depth, seed):
+        assert_roundtrip(random_library_circuit(num_qubits, depth, seed))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_qubits=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_template_circuits(self, num_qubits, seed):
+        assert_roundtrip(random_template_circuit(num_qubits, 20, seed=seed))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_qubits=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_quantum_volume(self, num_qubits, seed):
+        assert_roundtrip(quantum_volume_circuit(num_qubits, seed=seed))
+
+
+class TestNamedWorkloadRoundTrip:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: ghz_circuit(4),
+            lambda: qft_circuit(4),
+            lambda: qft_circuit(3, include_swaps=False),
+            lambda: bernstein_vazirani_circuit("1011"),
+            lambda: qaoa_ring_circuit(4, layers=2, seed=3),
+            lambda: hardware_efficient_ansatz(4, layers=2, seed=3),
+        ],
+        ids=["ghz", "qft", "qft_noswap", "bv", "qaoa", "vqe"],
+    )
+    def test_named_workloads(self, build):
+        assert_roundtrip(build())
+
+
+class TestSuiteRoundTrip:
+    @pytest.mark.parametrize(
+        "entry", load_suite(), ids=lambda entry: entry.name
+    )
+    def test_every_bundled_benchmark(self, entry):
+        assert_roundtrip(entry.circuit())

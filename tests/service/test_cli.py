@@ -167,3 +167,38 @@ class TestManifestParsing:
 
         with pytest.raises(ValueError, match="kind"):
             build_workload_entry({"num_qubits": 2})
+
+
+class TestExportQasm:
+    def test_export_writes_one_file_per_workload(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "technique": "direct",
+            "workloads": [
+                {"kind": "suite", "name": "toffoli_n3"},
+                {"kind": "ghz", "num_qubits": 3},
+            ],
+        }))
+        out_dir = tmp_path / "exported"
+        process = run_cli(str(manifest), "--export-qasm", str(out_dir))
+        assert "exported 2 adapted circuits" in process.stdout
+        files = sorted(p.name for p in out_dir.glob("*.qasm"))
+        assert files == ["ghz_3.qasm", "toffoli_n3.qasm"]
+        text = (out_dir / "toffoli_n3.qasm").read_text()
+        assert text.startswith("OPENQASM 2.0;") or text.startswith("// circuit:")
+
+    def test_colliding_sanitized_names_get_suffixes(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "technique": "direct",
+            "workloads": [
+                {"kind": "ghz", "num_qubits": 3, "name": "ghz 3"},
+                {"kind": "ghz", "num_qubits": 3, "name": "ghz_3"},
+                # Pathological: collides with the suffix generated above.
+                {"kind": "ghz", "num_qubits": 3, "name": "ghz_3_1"},
+            ],
+        }))
+        out_dir = tmp_path / "exported"
+        run_cli(str(manifest), "--export-qasm", str(out_dir))
+        files = sorted(p.name for p in out_dir.glob("*.qasm"))
+        assert files == ["ghz_3.qasm", "ghz_3_1.qasm", "ghz_3_1_1.qasm"]

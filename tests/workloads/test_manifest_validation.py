@@ -1,0 +1,133 @@
+"""Strict manifest-entry validation and the new qasm/suite kinds (PR 4)."""
+
+import pytest
+
+from repro.workloads.manifest import (
+    WORKLOAD_BUILDERS,
+    WORKLOAD_ENTRY_KEYS,
+    build_workload_entry,
+    parse_manifest,
+)
+
+
+class TestKeyValidation:
+    def test_typo_key_is_rejected(self):
+        with pytest.raises(ValueError, match="num_qubit"):
+            build_workload_entry({"kind": "ghz", "num_qubit": 3})
+
+    def test_error_lists_the_allowed_keys(self):
+        with pytest.raises(ValueError, match="allowed keys"):
+            build_workload_entry({"kind": "qv", "num_qubits": 3, "sede": 1})
+
+    def test_missing_required_key_is_a_clean_error(self):
+        with pytest.raises(ValueError, match="missing required"):
+            build_workload_entry({"kind": "bv"})
+
+    def test_name_is_always_allowed(self):
+        name, circuit = build_workload_entry(
+            {"kind": "ghz", "num_qubits": 3, "name": "mine"}
+        )
+        assert name == "mine"
+        assert circuit.num_qubits == 3
+
+    def test_every_kind_has_a_key_spec(self):
+        assert set(WORKLOAD_ENTRY_KEYS) == set(WORKLOAD_BUILDERS)
+
+    def test_unknown_kind_error_lists_the_new_kinds(self):
+        with pytest.raises(ValueError) as excinfo:
+            build_workload_entry({"kind": "bogus"})
+        message = str(excinfo.value)
+        assert "'qasm'" in message and "'suite'" in message
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            {"kind": "qv", "num_qubits": 3, "depth": 2, "seed": 1},
+            {"kind": "random", "num_qubits": 3, "depth": 5, "seed": 0},
+            {"kind": "qft", "num_qubits": 3, "include_swaps": False},
+            {"kind": "qaoa", "num_qubits": 3, "layers": 1, "seed": 0},
+            {"kind": "vqe", "num_qubits": 3, "layers": 1, "seed": 0},
+            {"kind": "suite", "name": "ghz_n5"},
+        ],
+    )
+    def test_valid_entries_still_build(self, entry):
+        name, circuit = build_workload_entry(entry)
+        assert circuit.num_qubits >= 2
+
+
+class TestQasmKind:
+    SOURCE = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[3];\nh q[0];\ncx q[0],q[1];\n'
+
+    def test_inline_source(self):
+        name, circuit = build_workload_entry(
+            {"kind": "qasm", "source": self.SOURCE, "name": "inline"}
+        )
+        assert name == "inline"
+        assert circuit.num_qubits == 3
+
+    def test_path_entry(self, tmp_path):
+        path = tmp_path / "bench.qasm"
+        path.write_text(self.SOURCE)
+        name, circuit = build_workload_entry({"kind": "qasm", "path": str(path)})
+        assert name == "bench"  # named after the file stem
+        assert [inst.name for inst in circuit] == ["h", "cx"]
+
+    def test_relative_path_resolves_against_the_manifest_directory(
+        self, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.workloads.manifest import load_manifest
+
+        (tmp_path / "bench.qasm").write_text(self.SOURCE)
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps([{"kind": "qasm", "path": "bench.qasm"}]))
+        monkeypatch.chdir(tmp_path.parent)  # any CWD but the manifest dir
+        named, _ = load_manifest(str(manifest))
+        assert named[0][0] == "bench"
+
+    def test_runtime_registered_kind_stays_permissive(self):
+        from repro.workloads.manifest import WORKLOAD_BUILDERS
+        from repro.workloads.named import ghz_circuit
+
+        WORKLOAD_BUILDERS["custom_kind"] = lambda entry: ghz_circuit(3)
+        try:
+            name, circuit = build_workload_entry(
+                {"kind": "custom_kind", "whatever": 1}
+            )
+            assert circuit.num_qubits == 3
+        finally:
+            del WORKLOAD_BUILDERS["custom_kind"]
+
+    def test_exactly_one_of_path_or_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            build_workload_entry({"kind": "qasm"})
+        with pytest.raises(ValueError, match="exactly one"):
+            build_workload_entry(
+                {"kind": "qasm", "source": self.SOURCE, "path": "x.qasm"}
+            )
+
+
+class TestSuiteKind:
+    def test_suite_entry_builds_the_bundled_benchmark(self):
+        name, circuit = build_workload_entry({"kind": "suite", "name": "toffoli_n3"})
+        assert name == "toffoli_n3"
+        assert circuit.num_qubits == 3
+
+    def test_suite_name_is_required(self):
+        with pytest.raises(ValueError, match="missing required"):
+            build_workload_entry({"kind": "suite"})
+
+    def test_manifest_mixing_all_kinds(self):
+        named, defaults = parse_manifest(
+            {
+                "technique": "direct",
+                "workloads": [
+                    {"kind": "ghz", "num_qubits": 3},
+                    {"kind": "suite", "name": "dj_n4"},
+                    {"kind": "qasm", "source": TestQasmKind.SOURCE, "name": "q"},
+                ],
+            }
+        )
+        assert [name for name, _ in named] == ["ghz_3", "dj_n4", "q"]
+        assert defaults == {"technique": "direct"}
