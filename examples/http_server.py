@@ -1,0 +1,66 @@
+"""Serving tour: boot the HTTP gateway, compile through the client.
+
+Run with ``python examples/http_server.py``.  Everything happens over a
+real loopback HTTP socket — the same wire a remote client would use; in
+production you would run ``python -m repro.server --port 8000`` instead
+and point :class:`repro.server.ReproClient` at it from another machine.
+"""
+
+from repro.server import ReproClient, build_server
+
+
+def main() -> None:
+    # Boot the gateway on a free port (background thread; `python -m
+    # repro.server` is the production entry point).
+    server = build_server(workers=2).start_background()
+    print(f"serving on {server.url}")
+
+    client = ReproClient(server.url)
+    print(f"health: {client.healthz()['status']}")
+
+    # The server bundles the interop benchmark suite; list a few.
+    benchmarks = client.suite()
+    print(f"\n{len(benchmarks)} bundled benchmarks, e.g.:")
+    for entry in benchmarks[:4]:
+        print(f"  {entry['name']:<14} {entry['qubits']}q  "
+              f"{entry['gates']} gates — {entry['description']}")
+
+    # Compile one of them server-side and read back the cost report.
+    # Technique options travel over the wire too (the round cap keeps the
+    # OMT solver snappy for a demo).
+    result = client.compile_suite("teleport_n3", technique="sat_p",
+                                  max_improvement_rounds=60)
+    print("\nAdapted teleport_n3 with sat_p over HTTP:")
+    print(f"  gates     {result.cost.gate_count}")
+    print(f"  2q gates  {result.cost.two_qubit_gate_count}")
+    print(f"  duration  {result.cost.duration:.0f} ns")
+    print(f"  fidelity  {result.cost.gate_fidelity_product:.4f}")
+    print(f"  pipeline  {1e3 * result.report.total_seconds:.1f} ms "
+          f"(cache_hit={result.report.cache_hit})")
+
+    # Race techniques server-side; the winner's report lists every
+    # contender with its score.
+    best = client.compile_portfolio(
+        'OPENQASM 2.0; include "qelib1.inc"; '
+        "qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];",
+        techniques=["direct", "kak_cz", "sat_p"],
+    )
+    print(f"\nportfolio winner: {best.technique}")
+    for contender in best.report.contenders:
+        marker = "*" if contender.get("winner") else " "
+        print(f" {marker} {contender['technique']:<10} "
+              f"score={contender.get('score', float('nan')):.4f}")
+
+    # Request telemetry accumulates in /metrics.
+    requests = client.metrics()["requests"]
+    print("\nrequest latencies so far:")
+    for route, stats in sorted(requests.items()):
+        print(f"  {route:<32} n={stats['count']:<3} "
+              f"p50={stats['p50_ms']:.1f}ms p95={stats['p95_ms']:.1f}ms")
+
+    server.stop(drain=True)
+    print("\nserver drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

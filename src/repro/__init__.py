@@ -23,6 +23,9 @@ The single front door is :func:`repro.compile`::
 Batch workloads go through :func:`repro.compile_many`; new techniques
 plug in with :func:`repro.register_technique`.  The layers underneath:
 
+* :mod:`repro.server` — the networked compilation gateway: HTTP JSON
+  API, :class:`ReproClient`, multi-process sharding and the
+  ``python -m repro.server`` serving CLI;
 * :mod:`repro.service` — persistent result store, async job scheduler,
   portfolio compilation and the ``python -m repro.service`` batch CLI;
 * :mod:`repro.interop` — OpenQASM 2.0 frontend/exporter and the bundled
@@ -68,6 +71,9 @@ _LAZY_EXPORTS = {
     "PersistentResultStore": ("repro.service", "PersistentResultStore"),
     "use_persistent_store": ("repro.service", "use_persistent_store"),
     "disable_persistent_store": ("repro.service", "disable_persistent_store"),
+    "ReproClient": ("repro.server", "ReproClient"),
+    "build_server": ("repro.server", "build_server"),
+    "ShardRouter": ("repro.server", "ShardRouter"),
 }
 
 __all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
@@ -113,6 +119,7 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
         suite_names,
     )
     from repro.pipeline import CompilationReport, Pipeline
+    from repro.server import ReproClient, ShardRouter, build_server
     from repro.service import (
         CompilationService,
         PersistentResultStore,

@@ -26,6 +26,7 @@ from repro.api.fingerprints import (
     cache_key,
     circuit_hash,
     options_fingerprint,
+    payload_fingerprint,
     target_fingerprint,
 )
 from repro.api.registry import (
@@ -55,6 +56,7 @@ __all__ = [
     "circuit_hash",
     "target_fingerprint",
     "options_fingerprint",
+    "payload_fingerprint",
     "cache_key",
     "CompilationCache",
     "CacheInfo",

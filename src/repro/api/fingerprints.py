@@ -8,6 +8,7 @@ stable across processes, so batch workers and sequential runs agree.
 from __future__ import annotations
 
 import hashlib
+import json
 from typing import Mapping, Optional, Tuple
 
 import numpy as np
@@ -78,6 +79,20 @@ def options_fingerprint(options: Mapping[str, object]) -> Optional[str]:
         else:
             return None
     return repr(items)
+
+
+def payload_fingerprint(payload: object) -> str:
+    """Stable digest of a JSON-like payload (canonical-form sha256).
+
+    Used by the HTTP sharding router to send byte-identical submissions
+    to the same worker process (so repeats hit that worker's in-process
+    L1 cache) without having to materialize the circuit first.  Key
+    order does not matter; non-JSON values degrade through ``str``.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def cache_key(

@@ -1,0 +1,860 @@
+"""The networked compilation gateway: a JSON REST API over the service.
+
+:func:`build_server` wires a :class:`repro.service.CompilationService`
+behind a ``ThreadingHTTPServer`` speaking plain JSON over HTTP — no
+dependencies beyond the standard library.  Resources:
+
+==========================================  ===============================
+``POST /v1/jobs``                           submit one compilation (circuit
+                                            as QASM source or ``to_dict()``
+                                            JSON; technique or portfolio)
+``GET /v1/jobs/{id}``                       job status + report
+``GET /v1/jobs/{id}/result``                adapted circuit (JSON + QASM),
+                                            cost, contenders; long-polls
+                                            with ``?timeout=SECONDS``
+``DELETE /v1/jobs/{id}``                    cancel
+``POST /v1/batch``                          submit a workload manifest
+``GET /v1/suite``                           bundled-benchmark index
+``POST /v1/suite/{name}/compile``           compile a bundled benchmark
+``POST /v1/circuits/validate``              parse + echo a circuit (wire-
+                                            format round-trip check)
+``GET /healthz``                            liveness + job counts
+``GET /metrics``                            request counters, latency
+                                            histograms, service statistics
+``POST /internal/drain``                    quiesce hook (sharding router)
+==========================================  ===============================
+
+Submissions carry the circuit either as OpenQASM 2.0 *source text*
+(never a server-side path — the gateway refuses path lookups from the
+wire) or as the exact ``QuantumCircuit.to_dict()`` JSON; results come
+back as the full ``AdaptationResult.to_dict()`` payload plus an OpenQASM
+export, so :class:`repro.server.ReproClient` reconstructs real
+:class:`repro.core.AdaptationResult` objects on the other side.
+
+The server shuts down *draining*: new submissions are rejected with 503
+while queued and running jobs finish (``CompilationService.drain``), then
+the worker pool winds down.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro import __version__
+from repro.api.registry import UnknownTechniqueError
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware import spin_qubit_target
+from repro.hardware.target import Target
+from repro.interop import QasmError, QasmExportError, circuit_to_qasm, qasm_to_circuit
+from repro.service.scheduler import (
+    CompilationService,
+    JobStatus,
+    ServiceSaturatedError,
+)
+from repro.service.store import PersistentResultStore
+from repro.workloads.manifest import parse_manifest
+
+#: Hard cap on how long one ``GET .../result?timeout=`` request blocks
+#: server-side; clients long-poll in a loop for longer waits.
+MAX_RESULT_WAIT_SECONDS = 60.0
+
+#: Request bodies above this size are rejected with 413.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Server-side bounds on one ``POST /internal/drain`` wait: the endpoint
+#: is reachable by anyone who can reach the port, so it must never pin a
+#: handler thread indefinitely.
+DEFAULT_DRAIN_WAIT_SECONDS = 60.0
+MAX_DRAIN_WAIT_SECONDS = 600.0
+
+#: Upper bucket bounds (milliseconds) of the request-latency histograms.
+LATENCY_BUCKETS_MS = (1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+
+class ApiError(Exception):
+    """An error with an HTTP status and a JSON body."""
+
+    def __init__(self, status: int, message: str, **extra: object) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload: Dict[str, object] = {"error": message, **extra}
+
+
+# ---------------------------------------------------------------------------
+# Request metrics
+# ---------------------------------------------------------------------------
+class _RouteStats:
+    """Counters and a latency reservoir for one route label."""
+
+    __slots__ = ("count", "server_errors", "client_errors", "total_seconds",
+                 "buckets", "recent")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.server_errors = 0
+        self.client_errors = 0
+        self.total_seconds = 0.0
+        self.buckets = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        #: Recent latencies (seconds) for the percentile estimates.
+        self.recent: "deque[float]" = deque(maxlen=2048)
+
+
+def _percentile(sorted_values: List[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(quantile * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class RequestMetrics:
+    """Thread-safe per-route request counters and latency histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._routes: Dict[str, _RouteStats] = {}
+
+    def observe(self, route: str, status: int, seconds: float) -> None:
+        with self._lock:
+            stats = self._routes.get(route)
+            if stats is None:
+                stats = self._routes[route] = _RouteStats()
+            stats.count += 1
+            if status >= 500:
+                stats.server_errors += 1
+            elif status >= 400:
+                stats.client_errors += 1
+            stats.total_seconds += seconds
+            stats.recent.append(seconds)
+            millis = 1e3 * seconds
+            for index, bound in enumerate(LATENCY_BUCKETS_MS):
+                if millis <= bound:
+                    stats.buckets[index] += 1
+                    break
+            else:
+                stats.buckets[-1] += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready per-route counters, histogram and p50/p95 latency."""
+        with self._lock:
+            routes = {label: (stats.count, stats.server_errors,
+                              stats.client_errors, stats.total_seconds,
+                              list(stats.buckets), sorted(stats.recent))
+                      for label, stats in self._routes.items()}
+        snapshot: Dict[str, Dict[str, object]] = {}
+        for label, (count, server_errors, client_errors, total,
+                    buckets, latencies) in routes.items():
+            histogram = {
+                f"le_{bound}ms": buckets[index]
+                for index, bound in enumerate(LATENCY_BUCKETS_MS)
+            }
+            histogram["le_inf"] = buckets[-1]
+            snapshot[label] = {
+                "count": count,
+                "server_errors": server_errors,
+                "client_errors": client_errors,
+                "mean_ms": 1e3 * total / count if count else 0.0,
+                "p50_ms": 1e3 * _percentile(latencies, 0.50),
+                "p95_ms": 1e3 * _percentile(latencies, 0.95),
+                "histogram_ms": histogram,
+            }
+        return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Gateway jobs
+# ---------------------------------------------------------------------------
+class _GatewayJob:
+    """One HTTP-visible job: a service handle or a portfolio future."""
+
+    def __init__(self, job_id: str, name: str, kind: str, label: str) -> None:
+        self.id = job_id
+        self.name = name
+        self.kind = kind  # "technique" | "portfolio"
+        self.label = label
+        self.handle = None  # JobHandle (technique jobs)
+        self.future = None  # Future (portfolio jobs)
+        self.submitted_at = time.time()
+
+    def status(self) -> str:
+        if self.handle is not None:
+            return self.handle.status().value
+        future = self.future
+        if future is None or not future.done():
+            if future is not None and future.running():
+                return JobStatus.RUNNING.value
+            return JobStatus.QUEUED.value
+        if future.cancelled():
+            return JobStatus.CANCELLED.value
+        return (JobStatus.FAILED.value if future.exception() is not None
+                else JobStatus.DONE.value)
+
+    def done(self) -> bool:
+        waiter = self.handle if self.handle is not None else self.future
+        return waiter is not None and waiter.done()
+
+    def wait(self, timeout: Optional[float]):
+        waiter = self.handle if self.handle is not None else self.future
+        return waiter.result(timeout=timeout)
+
+    def cancel(self) -> bool:
+        waiter = self.handle if self.handle is not None else self.future
+        return bool(waiter.cancel())
+
+
+# ---------------------------------------------------------------------------
+# The gateway
+# ---------------------------------------------------------------------------
+class CompilationGateway:
+    """HTTP-facing facade over one :class:`CompilationService`.
+
+    Owns the job table (string job ids -> service handles), circuit and
+    target decoding, the request metrics, and the draining shutdown.
+    ``job_prefix`` namespaces the ids; the sharding router gives every
+    worker process a distinct prefix (``s0-``, ``s1-``, ...) so a job id
+    alone routes status lookups back to the right shard.
+    """
+
+    def __init__(
+        self,
+        service: CompilationService,
+        durations: str = "D0",
+        job_prefix: str = "",
+        max_jobs: int = 10000,
+    ) -> None:
+        self.service = service
+        self.durations = durations
+        self.job_prefix = job_prefix
+        self.max_jobs = max_jobs
+        self.metrics = RequestMetrics()
+        self._jobs: "OrderedDict[str, _GatewayJob]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._started_at = time.time()
+        self._closed = False
+        # Portfolio racing blocks one thread per request on the service's
+        # futures; its own small pool keeps that off the HTTP threads.
+        self._portfolio_pool = ThreadPoolExecutor(
+            max_workers=max(4, service.workers),
+            thread_name_prefix="repro-gateway-portfolio",
+        )
+
+    # -- decoding --------------------------------------------------------
+    def parse_circuit(self, payload: Dict[str, object]) -> QuantumCircuit:
+        """Decode the submission's circuit: QASM source or ``to_dict`` JSON.
+
+        Server-side file paths are deliberately *not* accepted: a remote
+        client must not be able to make the gateway read local files.
+        """
+        spec = payload.get("circuit", payload.get("qasm"))
+        if spec is None:
+            raise ApiError(400, "the submission needs a 'circuit' "
+                                "(QASM source string or circuit JSON)")
+        if isinstance(spec, str):
+            try:
+                return qasm_to_circuit(spec)
+            except QasmError as error:
+                raise ApiError(400, f"invalid QASM circuit: {error}") from None
+        if isinstance(spec, dict):
+            try:
+                return QuantumCircuit.from_dict(spec)
+            except (KeyError, TypeError, ValueError) as error:
+                raise ApiError(
+                    400, f"invalid circuit JSON: {type(error).__name__}: {error}"
+                ) from None
+        raise ApiError(400, "'circuit' must be a QASM source string or a "
+                            "QuantumCircuit.to_dict() object")
+
+    def resolve_target(self, spec, circuit: QuantumCircuit) -> Target:
+        """Build the spin-qubit target a submission asks for.
+
+        ``None`` sizes the default target to the circuit; a string picks
+        the duration calibration (``"D0"``/``"D1"``); an object may set
+        ``num_qubits``, ``durations`` and ``include_diabatic_cz``.
+        """
+        width = max(2, circuit.num_qubits)
+        if spec is None:
+            return spin_qubit_target(width, self.durations)
+        if isinstance(spec, str):
+            if spec not in ("D0", "D1"):
+                raise ApiError(400, f"unknown target calibration {spec!r}; "
+                                    "expected 'D0' or 'D1'")
+            return spin_qubit_target(width, spec)
+        if isinstance(spec, dict):
+            unknown = set(spec) - {"num_qubits", "durations", "include_diabatic_cz"}
+            if unknown:
+                raise ApiError(400, f"unknown target key(s) {sorted(unknown)}")
+            try:
+                num_qubits = int(spec.get("num_qubits", width))
+                target = spin_qubit_target(
+                    num_qubits,
+                    str(spec.get("durations", self.durations)),
+                    include_diabatic_cz=bool(spec.get("include_diabatic_cz", True)),
+                )
+            except (TypeError, ValueError) as error:
+                raise ApiError(400, f"invalid target: {error}") from None
+            if target.num_qubits < circuit.num_qubits:
+                raise ApiError(
+                    400,
+                    f"target has {target.num_qubits} qubits but the circuit "
+                    f"needs {circuit.num_qubits}",
+                )
+            return target
+        raise ApiError(400, "'target' must be null, 'D0'/'D1' or an object")
+
+    # -- submission ------------------------------------------------------
+    def _new_job(self, name: str, kind: str, label: str) -> _GatewayJob:
+        with self._lock:
+            self._next_id += 1
+            job = _GatewayJob(f"{self.job_prefix}j{self._next_id}",
+                              name, kind, label)
+            self._jobs[job.id] = job
+            # Bound the table: oldest *finished* jobs fall off first.
+            if len(self._jobs) > self.max_jobs:
+                for job_id, old in list(self._jobs.items()):
+                    if len(self._jobs) <= self.max_jobs:
+                        break
+                    if old.done():
+                        del self._jobs[job_id]
+        return job
+
+    def submit_payload(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Handle ``POST /v1/jobs``: decode, enqueue, return the job stub."""
+        if not isinstance(payload, dict):
+            raise ApiError(400, "the request body must be a JSON object")
+        circuit = self.parse_circuit(payload)
+        name = str(payload.get("name") or circuit.name)
+        return self.submit_circuit(circuit, payload, name=name)
+
+    def submit_circuit(self, circuit: QuantumCircuit,
+                       payload: Dict[str, object], name: str) -> Dict[str, object]:
+        """Enqueue an already-decoded circuit under ``payload``'s settings."""
+        if self._closed:
+            raise ApiError(503, "the server is shutting down")
+        target = self.resolve_target(payload.get("target"), circuit)
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            raise ApiError(400, "'options' must be an object")
+        use_cache = bool(payload.get("use_cache", True))
+        portfolio = payload.get("portfolio")
+        technique = payload.get("technique")
+        if portfolio is not None and technique is not None:
+            raise ApiError(400, "give either 'technique' or 'portfolio', not both")
+
+        if portfolio is not None:
+            if isinstance(portfolio, str):
+                portfolio = [key.strip() for key in portfolio.split(",") if key.strip()]
+            if not isinstance(portfolio, list) or not portfolio:
+                raise ApiError(400, "'portfolio' must be a non-empty list of "
+                                    "technique keys")
+            policy = str(payload.get("policy", "combined"))
+            job = self._new_job(name, "portfolio",
+                                "+".join(str(key) for key in portfolio))
+            job.future = self._portfolio_pool.submit(
+                self.service.compile_portfolio, circuit, target,
+                [str(key) for key in portfolio],
+                policy=policy, use_cache=use_cache, **options,
+            )
+        else:
+            key = str(technique or "sat_p")
+            try:
+                handle = self.service.submit(
+                    circuit, target, key,
+                    use_cache=use_cache, block=False, **options,
+                )
+            except ServiceSaturatedError as error:
+                raise ApiError(503, str(error), retry=True) from None
+            except UnknownTechniqueError as error:
+                raise ApiError(
+                    400, f"unknown technique {key!r}",
+                    available=sorted(error.known),
+                ) from None
+            except (TypeError, ValueError) as error:
+                raise ApiError(400, f"invalid submission: {error}") from None
+            job = self._new_job(name, "technique", handle.technique)
+            job.handle = handle
+        return self.job_summary(job)
+
+    def submit_batch(self, payload) -> Dict[str, object]:
+        """Handle ``POST /v1/batch``: a workload manifest over the wire."""
+        if self._closed:
+            raise ApiError(503, "the server is shutting down")
+        try:
+            workloads, defaults = parse_manifest(payload, allow_qasm_paths=False)
+        except (TypeError, ValueError, KeyError) as error:
+            raise ApiError(400, f"invalid manifest: {error}") from None
+        if not workloads:
+            raise ApiError(400, "the manifest contains no workloads")
+        settings = {
+            "target": defaults.get("target"),
+            "technique": defaults.get("technique"),
+            "portfolio": defaults.get("portfolio"),
+            "policy": defaults.get("policy", "combined"),
+            "options": defaults.get("options") or {},
+            "use_cache": defaults.get("use_cache", True),
+        }
+        if settings["technique"] is None and settings["portfolio"] is None:
+            settings["technique"] = "sat_p"
+        # Per-workload submit errors (full queue, circuit wider than the
+        # manifest's target, ...) must not abort the batch mid-way: jobs
+        # already enqueued would be orphaned with their ids never
+        # returned.  Every accepted job id and every rejection comes back.
+        jobs: List[Dict[str, object]] = []
+        errors: List[Dict[str, object]] = []
+        for name, circuit in workloads:
+            try:
+                jobs.append(self.submit_circuit(circuit, settings, name=name))
+            except ApiError as error:
+                errors.append({"name": name, "status": error.status,
+                               **error.payload})
+        return {"jobs": jobs, "errors": errors, "count": len(jobs)}
+
+    def submit_suite(self, name: str, payload: Dict[str, object]) -> Dict[str, object]:
+        """Handle ``POST /v1/suite/{name}/compile``."""
+        from repro.interop import suite_circuit
+
+        try:
+            circuit = suite_circuit(name)
+        except KeyError as error:
+            raise ApiError(404, str(error.args[0]) if error.args else
+                           f"unknown suite benchmark {name!r}") from None
+        if not isinstance(payload, dict):
+            raise ApiError(400, "the request body must be a JSON object")
+        return self.submit_circuit(circuit, payload,
+                                   name=str(payload.get("name") or name))
+
+    # -- lookup ----------------------------------------------------------
+    def _job(self, job_id: str) -> _GatewayJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ApiError(404, f"unknown job {job_id!r}")
+        return job
+
+    def job_summary(self, job: _GatewayJob) -> Dict[str, object]:
+        return {
+            "job_id": job.id,
+            "name": job.name,
+            "kind": job.kind,
+            "technique": job.label,
+            "status": job.status(),
+            "submitted_at": job.submitted_at,
+        }
+
+    def job_status(self, job_id: str) -> Dict[str, object]:
+        """Handle ``GET /v1/jobs/{id}``: summary + report once finished."""
+        job = self._job(job_id)
+        summary = self.job_summary(job)
+        if job.done():
+            try:
+                result = job.wait(timeout=0)
+            except CancelledError:
+                pass
+            except Exception as error:  # noqa: BLE001 - surfaced to the client
+                summary["error"] = f"{type(error).__name__}: {error}"
+            else:
+                if result.report is not None:
+                    summary["report"] = result.report.to_dict()
+        return summary
+
+    def job_result(self, job_id: str,
+                   timeout: Optional[float]) -> Tuple[int, Dict[str, object]]:
+        """Handle ``GET /v1/jobs/{id}/result`` with long-poll semantics.
+
+        Returns ``(202, status stub)`` while the job is still pending
+        after ``timeout`` seconds (capped server-side); 410 for cancelled
+        jobs, 422 for failed compilations, 200 with the full payload on
+        success.
+        """
+        job = self._job(job_id)
+        wait = MAX_RESULT_WAIT_SECONDS if timeout is None else max(
+            0.0, min(float(timeout), MAX_RESULT_WAIT_SECONDS))
+        try:
+            result = job.wait(timeout=wait)
+        except (FutureTimeoutError, TimeoutError):
+            return 202, self.job_summary(job)
+        except CancelledError:
+            raise ApiError(410, f"job {job_id} was cancelled",
+                           job_id=job_id, job_status="cancelled") from None
+        except Exception as error:  # noqa: BLE001 - surfaced to the client
+            raise ApiError(
+                422, f"compilation failed: {type(error).__name__}: {error}",
+                job_id=job_id, job_status="failed",
+            ) from None
+        payload = self.job_summary(job)
+        payload["result"] = result.to_dict()
+        payload["cost"] = result.cost.to_dict()
+        if result.report is not None and result.report.contenders:
+            payload["contenders"] = result.report.contenders
+        try:
+            payload["qasm"] = circuit_to_qasm(result.adapted_circuit)
+        except QasmExportError:
+            payload["qasm"] = None
+        return 200, payload
+
+    def cancel_job(self, job_id: str) -> Dict[str, object]:
+        """Handle ``DELETE /v1/jobs/{id}``."""
+        job = self._job(job_id)
+        cancelled = job.cancel()
+        summary = self.job_summary(job)
+        summary["cancelled"] = cancelled
+        return summary
+
+    # -- suite index, validation, health, metrics ------------------------
+    def suite_index(self) -> Dict[str, object]:
+        from repro.interop import load_suite
+
+        benchmarks = []
+        for entry in load_suite():
+            metadata = dict(entry.metadata())
+            metadata["name"] = entry.name
+            metadata["description"] = entry.description
+            benchmarks.append(metadata)
+        return {"benchmarks": benchmarks, "count": len(benchmarks)}
+
+    def validate_circuit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Parse a submitted circuit and echo its canonical wire form.
+
+        The returned ``circuit`` is the exact ``to_dict()`` of what the
+        server decoded — the bit-exact round-trip contract the property
+        tests pin down — plus the QASM export and headline metadata.
+        """
+        if not isinstance(payload, dict):
+            raise ApiError(400, "the request body must be a JSON object")
+        circuit = self.parse_circuit(payload)
+        try:
+            qasm = circuit_to_qasm(circuit)
+        except QasmExportError:
+            qasm = None
+        return {
+            "circuit": circuit.to_dict(),
+            "qasm": qasm,
+            "name": circuit.name,
+            "num_qubits": circuit.num_qubits,
+            "gates": len(circuit.instructions),
+        }
+
+    def healthz(self) -> Dict[str, object]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        by_status: Dict[str, int] = {}
+        for job in jobs:
+            status = job.status()
+            by_status[status] = by_status.get(status, 0) + 1
+        return {
+            "status": "draining" if self._closed else "ok",
+            "version": __version__,
+            "uptime_seconds": time.time() - self._started_at,
+            "jobs": {"total": len(jobs), **by_status},
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` document: service stats + request telemetry."""
+        return {
+            "server": {
+                "version": __version__,
+                "uptime_seconds": time.time() - self._started_at,
+                "job_prefix": self.job_prefix,
+                "jobs_tracked": len(self._jobs),
+            },
+            # service.statistics() is JSON-safe by contract (regression-
+            # tested) and the local sections are plain numbers/strings,
+            # so nothing needs a coercion pass here.
+            "service": self.service.statistics(),
+            "requests": self.metrics.snapshot(),
+        }
+
+    def drain(self, timeout: Optional[float]) -> Dict[str, object]:
+        """Handle ``POST /internal/drain``: quiesce the whole gateway.
+
+        Outstanding *portfolio* jobs are awaited first — a pool-queued
+        portfolio race may not have reached ``service.submit`` yet, so
+        draining only the service queue could report idle while accepted
+        jobs still wait to start (and the sharding router would then
+        terminate the process under them).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        drained = True
+        with self._lock:
+            portfolios = [job.future for job in self._jobs.values()
+                          if job.kind == "portfolio" and job.future is not None]
+        for future in portfolios:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                future.result(timeout=remaining)
+            except (FutureTimeoutError, TimeoutError):
+                drained = False
+                break
+            except (CancelledError, Exception):  # noqa: BLE001 - terminal is terminal
+                pass
+        if drained:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            drained = self.service.drain(timeout=remaining)
+        return {"drained": drained, "service": self.service.statistics()}
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self, drain: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Reject new work, optionally drain in-flight jobs, stop the pool."""
+        self._closed = True
+        if drain:
+            self.service.drain(timeout=timeout)
+        self._portfolio_pool.shutdown(wait=drain)
+        self.service.shutdown(wait=drain, cancel_pending=not drain)
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing
+# ---------------------------------------------------------------------------
+#: (method, path regex, gateway dispatch name, metrics label).
+_ROUTES: List[Tuple[str, "re.Pattern[str]", str, str]] = [
+    ("GET", re.compile(r"^/healthz$"), "healthz", "GET /healthz"),
+    ("GET", re.compile(r"^/metrics$"), "metrics", "GET /metrics"),
+    ("POST", re.compile(r"^/v1/jobs$"), "submit", "POST /v1/jobs"),
+    ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[^/]+)$"), "status",
+     "GET /v1/jobs/{id}"),
+    ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[^/]+)/result$"), "result",
+     "GET /v1/jobs/{id}/result"),
+    ("DELETE", re.compile(r"^/v1/jobs/(?P<job_id>[^/]+)$"), "cancel",
+     "DELETE /v1/jobs/{id}"),
+    ("POST", re.compile(r"^/v1/batch$"), "batch", "POST /v1/batch"),
+    ("GET", re.compile(r"^/v1/suite$"), "suite", "GET /v1/suite"),
+    ("POST", re.compile(r"^/v1/suite/(?P<name>[^/]+)/compile$"),
+     "suite_compile", "POST /v1/suite/{name}/compile"),
+    ("POST", re.compile(r"^/v1/circuits/validate$"), "validate",
+     "POST /v1/circuits/validate"),
+    ("POST", re.compile(r"^/internal/drain$"), "drain", "POST /internal/drain"),
+]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the owning server's gateway."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-server/{__version__}"
+
+    #: The owning ReproServer sets this per server class copy.
+    gateway: CompilationGateway
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # Telemetry lives in /metrics, not on stderr.
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    # -- internals -------------------------------------------------------
+    def _read_json(self):
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ApiError(400, "invalid Content-Length header") from None
+        if length < 0:
+            # rfile.read(-1) would block until client EOF — a held-open
+            # connection would pin this handler thread forever.
+            raise ApiError(400, "invalid Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ApiError(400, f"request body is not valid JSON: {error}") from None
+
+    def _query_timeout(self, query: Dict[str, List[str]]) -> Optional[float]:
+        values = query.get("timeout")
+        if not values:
+            return None
+        try:
+            return float(values[0])
+        except ValueError:
+            raise ApiError(400, f"invalid timeout {values[0]!r}") from None
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        parsed = urlparse(self.path)
+        label = f"{method} <unmatched>"
+        status, payload = 500, {"error": "internal error"}
+        try:
+            matched = None
+            path_exists = False
+            for route_method, pattern, action, route_label in _ROUTES:
+                match = pattern.match(parsed.path)
+                if match is None:
+                    continue
+                path_exists = True
+                if route_method == method:
+                    matched = (action, route_label, match)
+                    break
+            if matched is None:
+                # All unmatched paths share the one "<unmatched>" metrics
+                # label — a scanner probing thousands of distinct URLs
+                # must not grow one _RouteStats per path.
+                raise ApiError(405 if path_exists else 404,
+                               f"no such resource: {method} {parsed.path}")
+            action, label, match = matched
+            query = parse_qs(parsed.query)
+            status, payload = self._handle(action, match, query)
+        except ApiError as error:
+            status, payload = error.status, error.payload
+        except BrokenPipeError:
+            return  # Client went away mid-request; nothing to answer.
+        except Exception as error:  # noqa: BLE001 - the server must answer
+            status = 500
+            payload = {"error": f"{type(error).__name__}: {error}"}
+        self._respond(status, payload)
+        self.gateway.metrics.observe(label, status,
+                                     time.perf_counter() - started)
+
+    def _handle(self, action: str, match, query) -> Tuple[int, Dict[str, object]]:
+        gateway = self.gateway
+        if action == "healthz":
+            return 200, gateway.healthz()
+        if action == "metrics":
+            return 200, gateway.metrics_snapshot()
+        if action == "submit":
+            return 202, gateway.submit_payload(self._read_json())
+        if action == "status":
+            return 200, gateway.job_status(match.group("job_id"))
+        if action == "result":
+            return gateway.job_result(match.group("job_id"),
+                                      self._query_timeout(query))
+        if action == "cancel":
+            return 200, gateway.cancel_job(match.group("job_id"))
+        if action == "batch":
+            return 202, gateway.submit_batch(self._read_json())
+        if action == "suite":
+            return 200, gateway.suite_index()
+        if action == "suite_compile":
+            return 202, gateway.submit_suite(match.group("name"),
+                                             self._read_json())
+        if action == "validate":
+            return 200, gateway.validate_circuit(self._read_json())
+        if action == "drain":
+            body = self._read_json()
+            timeout = body.get("timeout") if isinstance(body, dict) else None
+            try:
+                wait = (float(timeout) if timeout is not None
+                        else DEFAULT_DRAIN_WAIT_SECONDS)
+            except (TypeError, ValueError):
+                raise ApiError(400, f"invalid drain timeout {timeout!r}") from None
+            return 200, gateway.drain(
+                max(0.0, min(wait, MAX_DRAIN_WAIT_SECONDS)))
+        raise ApiError(500, f"unrouted action {action!r}")  # pragma: no cover
+
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        if status >= 400:
+            # Error paths may answer before the request body was read
+            # (404/405 routing, 413 oversize); leftover body bytes would
+            # be parsed as the next request line on a kept-alive
+            # connection, so errors always close it.
+            self.close_connection = True
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if self.close_connection:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # Client went away; the job (if any) keeps running.
+
+
+class ReproServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` bound to one :class:`CompilationGateway`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 gateway: CompilationGateway) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"gateway": gateway})
+        super().__init__(address, handler)
+        self.gateway = gateway
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start_background(self) -> "ReproServer":
+        """Run ``serve_forever`` on a daemon thread and return ``self``."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Draining shutdown: close the listener, finish in-flight jobs.
+
+        New connections stop being accepted first; queued and running
+        compilations then finish (unless ``drain=False``, which cancels
+        what it can) and the service's worker pool exits.
+        """
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self.gateway.close(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "ReproServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=True)
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 4,
+    store: Union[PersistentResultStore, str, None] = None,
+    durations: str = "D0",
+    max_pending: int = 256,
+    job_prefix: str = "",
+    service: Optional[CompilationService] = None,
+) -> ReproServer:
+    """Assemble service + gateway + HTTP server (not yet serving).
+
+    ``port=0`` binds an OS-assigned free port (see ``server.port``).
+    Pass an existing ``service`` to serve it directly; otherwise one is
+    created with ``workers``/``max_pending``/``store``.  Call
+    ``start_background()`` (tests, embedding) or ``serve_forever()``
+    (CLI) on the returned server, and ``stop()`` to shut down draining.
+    """
+    if service is None:
+        service = CompilationService(
+            workers=workers, max_pending=max_pending, store=store)
+    gateway = CompilationGateway(service, durations=durations,
+                                 job_prefix=job_prefix)
+    return ReproServer((host, port), gateway)

@@ -1,0 +1,364 @@
+"""Multi-process sharding: N gateway workers behind a hash router.
+
+:class:`ShardRouter` spawns ``shards`` worker *processes*, each running a
+full :class:`repro.server.ReproServer` (its own ``CompilationService``,
+worker threads and in-process L1 cache) on a loopback port, and fronts
+them with one routing HTTP server:
+
+* **Submissions** (``POST /v1/jobs``, ``/v1/batch``, suite compiles,
+  validation) are routed by the :func:`repro.api.payload_fingerprint`
+  of the request body — byte-identical submissions always land on the
+  same worker, so repeats hit that worker's L1 cache and concurrent
+  duplicates coalesce onto one in-flight compilation.
+* **Job lookups** route by the job id itself: every shard mints ids
+  under its own prefix (``s0-j1``, ``s1-j1``, ...), so ``GET
+  /v1/jobs/s1-j7`` needs no routing table.
+* **``/healthz`` and ``/metrics``** fan out to every shard and come back
+  aggregated (per-shard documents plus summed counters).
+
+All shards share one :class:`repro.service.PersistentResultStore`
+directory as their L2 tier.  The store's writes are atomic
+(``os.replace``) and its entries content-addressed, so cross-process
+sharing needs no extra coordination: the per-shard locks serialize
+writers within a process and concurrent processes at worst redundantly
+write the same bytes.
+
+Shutdown is **draining**: the router stops accepting, each shard is
+asked to quiesce over ``POST /internal/drain`` (queued and running jobs
+finish), and only then are the worker processes stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlparse
+
+from repro.api.fingerprints import payload_fingerprint
+
+#: How long the router waits for one forwarded request; must exceed the
+#: gateway's 60 s result long-poll cap.
+_FORWARD_TIMEOUT_SECONDS = 120.0
+
+#: Submission resources routed by body fingerprint (prefix match for the
+#: suite-compile resource).
+_BODY_ROUTED = ("/v1/jobs", "/v1/batch", "/v1/circuits/validate", "/v1/suite/")
+
+#: Service counters summed across shards in the aggregated /metrics.
+_SUMMED_COUNTERS = ("submitted", "deduplicated", "completed", "failed",
+                    "cancelled", "queue_depth", "busy_workers", "workers")
+
+
+def _shard_main(index: int, host: str, ready, config: Dict) -> None:
+    """Worker-process entry point: serve one gateway on a free port."""
+    from repro.server.app import build_server
+
+    server = build_server(
+        host=host,
+        port=0,
+        workers=config["workers"],
+        store=config["store"],
+        durations=config["durations"],
+        max_pending=config["max_pending"],
+        job_prefix=f"s{index}-",
+    )
+    ready.put((index, server.port))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+
+
+class ShardRouter:
+    """A fingerprint-hash HTTP router over N worker server processes."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        store: Optional[str] = None,
+        durations: str = "D0",
+        max_pending: int = 256,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("the router needs at least one shard")
+        if store is not None and not isinstance(store, str):
+            raise TypeError(
+                "the sharded store must be a directory path (each worker "
+                "process opens its own PersistentResultStore over it)"
+            )
+        self.shards = shards
+        self.host = host
+        self.store = store
+        self._config = {
+            "workers": workers,
+            "store": store,
+            "durations": durations,
+            "max_pending": max_pending,
+        }
+        self._requested_port = port
+        self._processes: List[multiprocessing.Process] = []
+        self._shard_ports: Dict[int, int] = {}
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self, boot_timeout: float = 60.0) -> "ShardRouter":
+        """Spawn the shard processes and start routing."""
+        if self._started:
+            raise RuntimeError("ShardRouter is already started")
+        context = multiprocessing.get_context()
+        ready = context.Queue()
+        for index in range(self.shards):
+            process = context.Process(
+                target=_shard_main,
+                args=(index, self.host, ready, self._config),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        deadline = time.monotonic() + boot_timeout
+        while len(self._shard_ports) < self.shards:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.shutdown(drain=False)
+                raise TimeoutError(
+                    f"only {len(self._shard_ports)} of {self.shards} shards "
+                    f"came up within {boot_timeout}s"
+                )
+            try:
+                index, port = ready.get(timeout=min(remaining, 1.0))
+            except Exception:  # queue.Empty (multiprocessing re-exports it)
+                continue
+            self._shard_ports[index] = port
+
+        router = self
+        handler = type("_BoundRouterHandler", (_RouterHandler,),
+                       {"router": router})
+        self._server = ThreadingHTTPServer((self.host, self._requested_port),
+                                           handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-shard-router", daemon=True)
+        self._thread.start()
+        self._started = True
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("ShardRouter is not started")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def shard_url(self, index: int) -> str:
+        return f"http://{self.host}:{self._shard_ports[index]}"
+
+    def shutdown(self, drain: bool = True, timeout: float = 120.0) -> None:
+        """Stop routing, drain every shard, then stop the processes."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        if drain:
+            for index in list(self._shard_ports):
+                try:
+                    self._forward_to_shard(
+                        index, "POST", "/internal/drain",
+                        json.dumps({"timeout": timeout}).encode(),
+                        timeout=timeout + 10,
+                    )
+                except OSError:
+                    pass  # Shard already gone; terminate below.
+        for process in self._processes:
+            process.terminate()
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=5)
+        self._processes = []
+        self._shard_ports = {}
+        self._started = False
+
+    def __enter__(self) -> "ShardRouter":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=True)
+
+    # -- routing ---------------------------------------------------------
+    def shard_for_body(self, body: bytes, path: str = "") -> int:
+        """Stable shard index for a submission (body fingerprint hash).
+
+        The resource path salts the digest so e.g. two suite-compile
+        requests with empty bodies but different benchmark names spread
+        over different shards.
+        """
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = body.hex()
+        digest = payload_fingerprint([path, payload])
+        return int(digest[:16], 16) % self.shards
+
+    def shard_for_job(self, job_id: str) -> Optional[int]:
+        """Shard index encoded in a job id (``s<k>-...``), or ``None``."""
+        if not job_id.startswith("s"):
+            return None
+        prefix, _, rest = job_id.partition("-")
+        if not rest:
+            return None
+        try:
+            index = int(prefix[1:])
+        except ValueError:
+            return None
+        return index if index in self._shard_ports else None
+
+    def _forward_to_shard(self, index: int, method: str, path: str,
+                          body: Optional[bytes] = None,
+                          timeout: float = _FORWARD_TIMEOUT_SECONDS,
+                          ) -> Tuple[int, bytes]:
+        url = self.shard_url(index) + path
+        request = urllib.request.Request(
+            url, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read()
+
+    def route(self, method: str, path: str, query: str,
+              body: bytes) -> Tuple[int, bytes]:
+        """Route one request; returns ``(status, JSON body bytes)``."""
+        target = path if not query else f"{path}?{query}"
+        if path in ("/healthz", "/metrics"):
+            return self._aggregate(path)
+        if path.startswith("/internal/"):
+            # The quiesce hook is the router's own business, never remote.
+            return 404, json.dumps({"error": "no such resource"}).encode()
+        if path.startswith("/v1/jobs/"):
+            job_id = path.split("/")[3]
+            index = self.shard_for_job(job_id)
+            if index is None:
+                return 404, json.dumps(
+                    {"error": f"unknown job {job_id!r}"}).encode()
+            return self._forward_to_shard(index, method, target, body or None)
+        if method == "POST" and any(path == p or (p.endswith("/") and
+                                                  path.startswith(p))
+                                    for p in _BODY_ROUTED):
+            index = self.shard_for_body(body, path)
+            return self._forward_to_shard(index, method, target, body or None)
+        # Shard-agnostic reads (e.g. GET /v1/suite): any shard can answer.
+        return self._forward_to_shard(0, method, target, body or None)
+
+    def _aggregate(self, path: str) -> Tuple[int, bytes]:
+        """Fan ``/healthz`` or ``/metrics`` out to every shard and merge."""
+        documents: Dict[str, object] = {}
+        status = 200
+        for index in sorted(self._shard_ports):
+            try:
+                shard_status, raw = self._forward_to_shard(index, "GET", path)
+                document = json.loads(raw.decode("utf-8"))
+            except (OSError, ValueError):
+                shard_status, document = 502, {"error": "shard unreachable"}
+            if shard_status != 200:
+                status = 502
+            documents[f"s{index}"] = document
+        if path == "/healthz":
+            merged: Dict[str, object] = {
+                "status": "ok" if status == 200 else "degraded",
+                "shards": self.shards,
+                "per_shard": documents,
+            }
+        else:
+            totals: Dict[str, float] = {}
+            for document in documents.values():
+                service = document.get("service") if isinstance(document, dict) else None
+                if not isinstance(service, dict):
+                    continue
+                for counter in _SUMMED_COUNTERS:
+                    value = service.get(counter)
+                    if isinstance(value, (int, float)):
+                        totals[counter] = totals.get(counter, 0) + value
+            merged = {
+                "shards": self.shards,
+                "aggregate": totals,
+                "per_shard": documents,
+            }
+        return status, json.dumps(merged).encode()
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Thin relay: read the request, ask the router, stream the answer."""
+
+    protocol_version = "HTTP/1.1"
+    router: ShardRouter
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._relay("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._relay("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._relay("DELETE")
+
+    def _relay(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0:  # Malformed/negative: never block on read(-1).
+            answer = json.dumps({"error": "invalid Content-Length header"}).encode()
+            self.close_connection = True
+            self.send_response(400)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(answer)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(answer)
+            return
+        body = self.rfile.read(length) if length else b""
+        try:
+            status, answer = self.router.route(method, parsed.path,
+                                               parsed.query, body)
+        except OSError as error:
+            status = 502
+            answer = json.dumps({"error": f"shard unreachable: {error}"}).encode()
+        except Exception as error:  # noqa: BLE001 - the router must answer
+            status = 500
+            answer = json.dumps(
+                {"error": f"{type(error).__name__}: {error}"}).encode()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(answer)))
+            self.end_headers()
+            self.wfile.write(answer)
+        except (BrokenPipeError, ConnectionResetError):
+            pass

@@ -120,25 +120,41 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     started = time.perf_counter()
     rows: List[List[str]] = []
+    failures: List[tuple] = []
     with CompilationService(workers=args.workers, store=store) as service:
         handles = []
         for name, circuit in workloads:
             target = spin_qubit_target(max(2, circuit.num_qubits), args.durations)
-            if techniques:
-                # Portfolio racing is synchronous per workload (it already
-                # fans out one job per technique underneath).
-                result = service.compile_portfolio(
-                    circuit, target, techniques, policy=policy
-                )
-                handles.append((name, circuit, None, result))
-            else:
-                handles.append(
-                    (name, circuit, service.submit(circuit, target, technique), None)
-                )
+            try:
+                if techniques:
+                    # Portfolio racing is synchronous per workload (it
+                    # already fans out one job per technique underneath).
+                    result = service.compile_portfolio(
+                        circuit, target, techniques, policy=policy
+                    )
+                    handles.append((name, circuit, None, result, None))
+                else:
+                    handles.append(
+                        (name, circuit,
+                         service.submit(circuit, target, technique), None, None)
+                    )
+            except Exception as error:  # noqa: BLE001 - reported per workload
+                handles.append((name, circuit, None, None,
+                                f"{type(error).__name__}: {error}"))
         completed: List[tuple] = []
-        for name, circuit, handle, result in handles:
-            if result is None:
-                result = handle.result()
+        for name, circuit, handle, result, error in handles:
+            if error is None and result is None:
+                try:
+                    result = handle.result()
+                except Exception as exc:  # noqa: BLE001 - reported per workload
+                    error = f"{type(exc).__name__}: {exc}"
+            if error is not None:
+                # A failed workload must fail the run (non-zero exit), not
+                # just flow by as a table row — but the remaining
+                # workloads still compile and report normally.
+                failures.append((name, error))
+                rows.append([name, "-", "-", "-", "-", "-", "-", "FAILED"])
+                continue
             completed.append((name, result))
             report = result.report
             rows.append([
@@ -159,9 +175,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             "workload", "technique", "gates", "2q", "duration[ns]",
             "fidelity", "pipeline[ms]", "cache",
         ]))
-    throughput = len(workloads) / elapsed if elapsed > 0 else float("inf")
-    print(f"\ncompiled {len(workloads)} workloads in {elapsed:.2f}s "
-          f"({throughput:.2f} circuits/s) with {args.workers} workers")
+    throughput = len(completed) / elapsed if elapsed > 0 else float("inf")
+    print(f"\ncompiled {len(completed)} of {len(workloads)} workloads in "
+          f"{elapsed:.2f}s ({throughput:.2f} circuits/s) "
+          f"with {args.workers} workers")
     l1 = stats["l1"]
     print(f"L1 cache: {l1['hits']} hits / {l1['misses']} misses "
           f"({100 * stats['l1_hit_rate']:.0f}%)")
@@ -200,10 +217,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         payload["elapsed_seconds"] = elapsed
         payload["circuits_per_second"] = throughput
         payload["workloads"] = len(workloads)
+        payload["failed_workloads"] = len(failures)
         with open(args.stats_json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.stats_json}")
+
+    if failures:
+        for name, message in failures:
+            print(f"FAILED {name}: {message}", file=sys.stderr)
+        print(f"error: {len(failures)} of {len(workloads)} workloads failed",
+              file=sys.stderr)
+        return 1
     return 0
 
 

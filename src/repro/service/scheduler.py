@@ -55,6 +55,37 @@ class ServiceSaturatedError(RuntimeError):
     """Raised by ``submit(block=False)`` when the job queue is full."""
 
 
+def _json_safe(value):
+    """Coerce a statistics value into plain JSON-serializable types.
+
+    Counters can arrive as numpy integers/floats (cost math is
+    numpy-backed) and future stats sources may hand back tuples, sets or
+    custom objects; ``/metrics`` serializes the statistics verbatim, so
+    everything is normalized here: mappings to ``dict`` (string keys),
+    sequences/sets to ``list``, numpy scalars through ``item()``, bools/
+    ints/floats/strings/None verbatim, anything else through ``str``.
+    """
+    if isinstance(value, dict):
+        return {str(key): _json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(entry) for entry in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        # Covers numpy scalar subclasses of Python numbers too, but
+        # float('inf')/nan are not JSON — degrade those to strings.
+        if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+            return str(value)
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
 class JobStatus(str, Enum):
     """Lifecycle states of a submitted compilation job."""
 
@@ -473,7 +504,13 @@ class CompilationService:
 
     # -- statistics and lifecycle ---------------------------------------
     def statistics(self) -> Dict[str, object]:
-        """Aggregate queue, worker, cache-tier and portfolio statistics."""
+        """Aggregate queue, worker, cache-tier and portfolio statistics.
+
+        The returned mapping is guaranteed ``json.dumps``-able: every
+        value is coerced to a plain ``dict``/``list``/``str``/``int``/
+        ``float``/``bool``/``None`` (the HTTP gateway's ``/metrics``
+        endpoint serializes it verbatim).
+        """
         l1 = GLOBAL_CACHE.info()
         store = self.store if self.store is not None else persistent_store()
         uptime = max(time.monotonic() - self._started_at, 1e-9)
@@ -501,7 +538,32 @@ class CompilationService:
             lookups = info.hits + info.misses
             stats["l2"] = info.as_dict()
             stats["l2_hit_rate"] = info.hits / lookups if lookups else 0.0
-        return stats
+        return _json_safe(stats)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued and running job has finished.
+
+        Unlike :meth:`shutdown` the service keeps accepting new work
+        afterwards — this is the quiesce hook the HTTP gateway's
+        graceful shutdown uses (stop accepting requests, ``drain()``,
+        then ``shutdown()``).  Returns ``True`` when the service went
+        idle, ``False`` on timeout.
+
+        A job is "finished" once its worker called ``task_done`` — i.e.
+        this is ``Queue.join()`` with a timeout, so the window between a
+        job leaving the queue and its worker booking it as busy cannot
+        produce a false idle.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._queue.all_tasks_done:
+            while self._queue.unfinished_tasks:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._queue.all_tasks_done.wait(remaining)
+            return True
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop accepting jobs and wind the worker pool down.

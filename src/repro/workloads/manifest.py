@@ -197,7 +197,9 @@ def build_workload_entry(entry: Mapping) -> Tuple[str, QuantumCircuit]:
 
 
 def parse_manifest(
-    payload, base_dir: Optional[str] = None
+    payload,
+    base_dir: Optional[str] = None,
+    allow_qasm_paths: bool = True,
 ) -> Tuple[List[Tuple[str, QuantumCircuit]], Dict]:
     """Parse a decoded manifest into ``(name, circuit)`` pairs + defaults.
 
@@ -208,6 +210,12 @@ def parse_manifest(
     relative ``qasm`` paths resolve against it (:func:`load_manifest`
     passes the manifest file's directory, so sibling ``.qasm`` files
     work regardless of the process working directory).
+
+    With ``allow_qasm_paths=False``, ``qasm`` entries referencing a
+    ``path`` are rejected.  The HTTP gateway passes manifests received
+    over the wire through this mode: a remote client must not be able to
+    make the server read arbitrary server-side files — inline ``source``
+    entries carry the same circuits self-contained.
     """
     if isinstance(payload, Mapping):
         entries = payload.get("workloads")
@@ -219,6 +227,17 @@ def parse_manifest(
     named: List[Tuple[str, QuantumCircuit]] = []
     seen: Dict[str, int] = {}
     for entry in entries:
+        if (
+            not allow_qasm_paths
+            and isinstance(entry, Mapping)
+            and entry.get("kind") == "qasm"
+            and "path" in entry
+        ):
+            raise ValueError(
+                "'qasm' manifest entries with a 'path' are not allowed "
+                "here (manifest received over the wire); inline the "
+                "circuit with 'source' instead"
+            )
         if (
             base_dir is not None
             and isinstance(entry, Mapping)

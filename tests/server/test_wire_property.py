@@ -1,0 +1,87 @@
+"""Property: the circuit JSON wire format round-trips bit-exactly over HTTP.
+
+``QuantumCircuit.to_dict()`` goes out as the POST body, the server
+decodes it into a real circuit and echoes its canonical wire form back;
+``from_dict`` of the response must reproduce the original **bit-exactly**
+(every gate name, parameter float and matrix entry) — JSON floats
+round-trip exactly in Python, so nothing may be lost in between.
+
+Circuits are random "library soup" over the full gate-builder library,
+up to 5 qubits (the satellite bar).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATE_BUILDERS
+from repro.server import ReproClient, build_server
+
+#: Parameter arities of every builder (probed once at import).
+_ARITIES = {}
+for _name, _builder in GATE_BUILDERS.items():
+    for _params in ((), (0.5,), (0.5, 0.25), (0.5, 0.25, -0.5)):
+        try:
+            _builder(*_params)
+            _ARITIES[_name] = len(_params)
+            break
+        except TypeError:
+            continue
+
+
+def random_library_circuit(num_qubits: int, depth: int, seed: int) -> QuantumCircuit:
+    """A random circuit drawing uniformly from the whole gate library."""
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"wire_soup_{num_qubits}_{seed}")
+    names = sorted(_ARITIES)
+    for _ in range(depth):
+        name = rng.choice(names)
+        builder = GATE_BUILDERS[name]
+        gate = builder(*(rng.uniform(-3.1, 3.1) for _ in range(_ARITIES[name])))
+        if gate.num_qubits > num_qubits:
+            continue
+        qubits = rng.sample(range(num_qubits), gate.num_qubits)
+        circuit.append(gate, qubits)
+    return circuit
+
+
+@pytest.fixture(scope="module")
+def client():
+    server = build_server(workers=1).start_background()
+    yield ReproClient(server.url, timeout=60.0)
+    server.stop(drain=False)
+
+
+def assert_bit_exact(original: QuantumCircuit, client: ReproClient) -> None:
+    echoed = client.validate_circuit(original)
+    # The canonical wire form the server decoded must equal what was sent
+    # (dict equality covers every float bit-exactly: JSON round-trips
+    # Python floats through repr).
+    assert echoed["circuit"] == original.to_dict()
+    back = QuantumCircuit.from_dict(echoed["circuit"])
+    assert back.num_qubits == original.num_qubits
+    assert len(back.instructions) == len(original.instructions)
+    for ours, theirs in zip(original.instructions, back.instructions):
+        assert ours.gate.name == theirs.gate.name
+        assert ours.qubits == theirs.qubits
+        assert list(ours.gate.params) == list(theirs.gate.params)
+        ours_matrix = np.asarray(ours.gate.matrix, dtype=complex)
+        theirs_matrix = np.asarray(theirs.gate.matrix, dtype=complex)
+        assert np.array_equal(ours_matrix, theirs_matrix)  # Exact, no tolerance.
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_soup_circuits_round_trip_bit_exactly(seed, client):
+    rng = random.Random(1000 + seed)
+    num_qubits = rng.randint(1, 5)
+    depth = rng.randint(1, 24)
+    assert_bit_exact(random_library_circuit(num_qubits, depth, seed), client)
+
+
+def test_empty_and_single_gate_edges(client):
+    assert_bit_exact(QuantumCircuit(1, name="empty"), client)
+    tiny = QuantumCircuit(2, name="tiny")
+    tiny.cx(1, 0)
+    assert_bit_exact(tiny, client)

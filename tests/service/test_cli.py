@@ -202,3 +202,78 @@ class TestExportQasm:
         run_cli(str(manifest), "--export-qasm", str(out_dir))
         files = sorted(p.name for p in out_dir.glob("*.qasm"))
         assert files == ["ghz_3.qasm", "ghz_3_1.qasm", "ghz_3_1_1.qasm"]
+
+
+class TestFailureExitCode:
+    """A workload failing to compile must fail the whole run (non-zero)."""
+
+    @pytest.fixture()
+    def flaky_compile(self, monkeypatch):
+        """Patch the service's compile so 4-qubit circuits always fail."""
+        from repro.service import scheduler
+
+        real = scheduler._facade_compile
+
+        def flaky(circuit, target, technique, **kwargs):
+            if circuit.num_qubits == 4:
+                raise RuntimeError("synthetic failure (4q)")
+            return real(circuit, target, technique, **kwargs)
+
+        monkeypatch.setattr(scheduler, "_facade_compile", flaky)
+
+    def _write_manifest(self, tmp_path, workloads):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"technique": "direct",
+                                    "workloads": workloads}))
+        return str(path)
+
+    def test_partial_failure_exits_nonzero_but_compiles_the_rest(
+        self, tmp_path, flaky_compile, capsys
+    ):
+        from repro.service.__main__ import main
+
+        manifest = self._write_manifest(tmp_path, [
+            {"kind": "ghz", "num_qubits": 3},
+            {"kind": "ghz", "num_qubits": 4, "name": "boom"},
+        ])
+        code = main([manifest])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED boom: RuntimeError: synthetic failure" in captured.err
+        assert "error: 1 of 2 workloads failed" in captured.err
+        # The healthy workload still compiled and reported normally.
+        rows = table_rows(captured.out)
+        assert any(row[0] == "ghz_3" and row[1] == "direct" for row in rows)
+        assert any(row[0] == "boom" and row[1] == "-" for row in rows)
+
+    def test_all_good_manifest_exits_zero_in_process(self, tmp_path, capsys):
+        from repro.service.__main__ import main
+
+        manifest = self._write_manifest(tmp_path, [
+            {"kind": "ghz", "num_qubits": 3},
+        ])
+        assert main([manifest]) == 0
+        assert "FAILED" not in capsys.readouterr().err
+
+    def test_failed_count_lands_in_stats_json(self, tmp_path, flaky_compile):
+        from repro.service.__main__ import main
+
+        manifest = self._write_manifest(tmp_path, [
+            {"kind": "ghz", "num_qubits": 3},
+            {"kind": "ghz", "num_qubits": 4},
+        ])
+        stats = tmp_path / "stats.json"
+        assert main([manifest, "--stats-json", str(stats), "--quiet"]) == 1
+        payload = json.loads(stats.read_text())
+        assert payload["failed_workloads"] == 1
+
+    def test_unknown_technique_fails_every_workload_cleanly(self, tmp_path):
+        """Through the real subprocess CLI: non-zero exit, no traceback."""
+        manifest = self._write_manifest(tmp_path, [
+            {"kind": "ghz", "num_qubits": 3},
+        ])
+        process = run_cli(manifest, "--technique", "not_a_technique",
+                          check=False)
+        assert process.returncode == 1
+        assert "FAILED" in process.stderr
+        assert "Traceback" not in process.stderr

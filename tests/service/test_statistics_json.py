@@ -1,0 +1,87 @@
+"""Regression: ``service.statistics()`` must be ``json.dumps``-able.
+
+The HTTP gateway's ``/metrics`` endpoint serializes the statistics
+verbatim, so any non-JSON value (numpy scalar, set, custom object,
+inf/nan float) leaking in is a production 500.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware import spin_qubit_target
+from repro.service.scheduler import CompilationService, _json_safe
+
+
+def _bell() -> QuantumCircuit:
+    circuit = QuantumCircuit(2, name="stats_bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+class TestStatisticsAreJson:
+    def test_statistics_dump_after_real_compiles_and_portfolio(self, tmp_path):
+        with CompilationService(workers=2, store=str(tmp_path / "store")) as service:
+            service.compile(_bell(), spin_qubit_target(2), "direct")
+            service.compile_portfolio(_bell(), spin_qubit_target(2),
+                                      ["direct", "kak_cz"])
+            stats = service.statistics()
+        encoded = json.dumps(stats)  # Must not raise.
+        decoded = json.loads(encoded)
+        assert decoded["completed"] >= 3
+        assert "l2" in decoded
+        assert isinstance(decoded["portfolio_wins"], dict)
+        assert 0.0 <= decoded["l1_hit_rate"] <= 1.0
+
+    def test_statistics_survive_numpy_contaminated_counters(self):
+        service = CompilationService(
+            workers=1, compile_fn=lambda *a, **k: "ok")
+        try:
+            # Simulate counters picked up from numpy-backed cost math.
+            service._portfolio_wins["sat_p"] = np.int64(3)
+            service._counters["completed"] = np.int32(7)
+            stats = service.statistics()
+            decoded = json.loads(json.dumps(stats))
+            assert decoded["portfolio_wins"]["sat_p"] == 3
+            assert decoded["completed"] == 7
+        finally:
+            service.shutdown(wait=True)
+
+
+class TestJsonSafe:
+    @pytest.mark.parametrize("value,expected", [
+        (np.float64(1.5), 1.5),
+        (np.int64(4), 4),
+        (np.bool_(True), True),
+        ({"a": (1, 2)}, {"a": [1, 2]}),
+        ({1: "x"}, {"1": "x"}),
+        ({"s": {3, 3}}, {"s": [3]}),
+        (None, None),
+        (True, True),
+        ("text", "text"),
+    ])
+    def test_coercions(self, value, expected):
+        assert _json_safe(value) == expected
+
+    def test_non_finite_floats_degrade_to_strings(self):
+        encoded = json.dumps(_json_safe(
+            {"inf": float("inf"), "ninf": float("-inf"), "nan": float("nan")}
+        ))
+        decoded = json.loads(encoded)
+        assert decoded == {"inf": "inf", "ninf": "-inf", "nan": "nan"}
+
+    def test_unknown_objects_degrade_to_strings(self):
+        class Weird:
+            def __str__(self):
+                return "weird!"
+
+        assert _json_safe({"w": Weird()}) == {"w": "weird!"}
+
+    def test_everything_nested_is_dumpable(self):
+        blob = _json_safe({
+            "deep": [{"x": np.float32(2.0), "y": [np.int16(1), {"z": (1,)}]}],
+        })
+        json.dumps(blob)

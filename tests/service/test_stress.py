@@ -1,0 +1,203 @@
+"""Concurrency stress: hammer submit/cancel/shutdown, assert no deadlock.
+
+The compile function is a tiny stub (the races under test live in the
+scheduler, not the pipeline), so hundreds of jobs run in well under a
+second.  Every ``JobHandle`` must end in a terminal state — resolved,
+failed or cancelled — no matter how submits, cancels and the shutdown
+interleave.
+"""
+
+import random
+import threading
+import time
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware import spin_qubit_target
+from repro.service.scheduler import (
+    CompilationService,
+    JobStatus,
+    ServiceSaturatedError,
+)
+
+TERMINAL = {JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED}
+
+
+def _stub_compile(circuit, target, technique, **kwargs):
+    time.sleep(0.0005)
+    if "fail" in circuit.name:
+        raise RuntimeError(f"synthetic failure for {circuit.name}")
+    return ("ok", circuit.name, technique)
+
+
+def _circuit(tag: int, fail: bool = False) -> QuantumCircuit:
+    name = f"{'fail' if fail else 'stress'}_{tag}"
+    circuit = QuantumCircuit(2, name=name)
+    circuit.rz(0.001 * (tag + 1), 0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+def _resolve(handle):
+    """Drive one handle to its terminal state; returns the status."""
+    try:
+        handle.result(timeout=30)
+    except (CancelledError, RuntimeError, Exception):
+        pass
+    return handle.status()
+
+
+class TestSubmitCancelRaces:
+    def test_hammered_submit_and_cancel_all_reach_terminal_states(self):
+        service = CompilationService(workers=4, max_pending=64,
+                                     compile_fn=_stub_compile)
+        handles = []
+        handles_lock = threading.Lock()
+        errors = []
+
+        def hammer(worker_id):
+            rng = random.Random(worker_id)
+            try:
+                for i in range(60):
+                    tag = worker_id * 1000 + i
+                    # A third of the submissions coalesce deliberately
+                    # (shared tag), a tenth fail, the rest are unique.
+                    if rng.random() < 0.3:
+                        tag = rng.randrange(8)
+                    circuit = _circuit(tag, fail=rng.random() < 0.1)
+                    try:
+                        handle = service.submit(
+                            circuit, spin_qubit_target(2), "direct",
+                            block=False)
+                    except ServiceSaturatedError:
+                        continue  # Backpressure is a valid outcome.
+                    with handles_lock:
+                        handles.append(handle)
+                    if rng.random() < 0.25:
+                        handle.cancel()
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "hammer thread deadlocked"
+        assert not errors, errors
+
+        for handle in handles:
+            assert _resolve(handle) in TERMINAL
+        service.shutdown(wait=True)
+        assert all(not t.is_alive() for t in service._threads)
+
+    def test_shutdown_races_with_submissions(self):
+        """Submitters keep firing while shutdown lands mid-burst."""
+        service = CompilationService(workers=2, max_pending=32,
+                                     compile_fn=_stub_compile)
+        handles = []
+        handles_lock = threading.Lock()
+        stop_submitting = threading.Event()
+
+        def submitter(worker_id):
+            i = 0
+            while not stop_submitting.is_set() and i < 500:
+                i += 1
+                try:
+                    handle = service.submit(
+                        _circuit(worker_id * 10000 + i),
+                        spin_qubit_target(2), "direct", block=False)
+                except (ServiceSaturatedError, RuntimeError):
+                    # Saturated, or the service shut down underneath us —
+                    # both are clean rejections, never a hang.
+                    continue
+                with handles_lock:
+                    handles.append(handle)
+
+        threads = [threading.Thread(target=submitter, args=(w,))
+                   for w in range(6)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        shutdown = threading.Thread(
+            target=service.shutdown,
+            kwargs={"wait": True, "cancel_pending": True})
+        shutdown.start()
+        shutdown.join(timeout=60)
+        assert not shutdown.is_alive(), "shutdown deadlocked"
+        stop_submitting.set()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "submitter deadlocked"
+
+        # Every accepted handle must resolve to a terminal state even
+        # though the pool died mid-flight.
+        for handle in handles:
+            assert _resolve(handle) in TERMINAL
+
+    def test_cancel_storm_on_one_coalesced_job(self):
+        """Many handles on one job; cancelling all of them reaps the job."""
+        gate = threading.Event()
+
+        def gated_compile(circuit, target, technique, **kwargs):
+            gate.wait(timeout=30)
+            return "ok"
+
+        service = CompilationService(workers=1, compile_fn=gated_compile)
+        try:
+            blocker = service.submit(_circuit(0), spin_qubit_target(2),
+                                     "direct")
+            shared = [service.submit(_circuit(1), spin_qubit_target(2),
+                                     "direct") for _ in range(16)]
+            assert len({handle.job_id for handle in shared}) == 1
+            cancellers = [threading.Thread(target=handle.cancel)
+                          for handle in shared]
+            for thread in cancellers:
+                thread.start()
+            for thread in cancellers:
+                thread.join(timeout=30)
+            gate.set()
+            blocker.result(timeout=30)
+            for handle in shared:
+                assert _resolve(handle) in TERMINAL
+            assert service.status(shared[0].job_id) == JobStatus.CANCELLED
+        finally:
+            gate.set()
+            service.shutdown(wait=True)
+
+
+class TestDrain:
+    def test_drain_waits_for_queued_and_running_jobs(self):
+        gate = threading.Event()
+
+        def gated_compile(circuit, target, technique, **kwargs):
+            gate.wait(timeout=30)
+            return "ok"
+
+        service = CompilationService(workers=1, compile_fn=gated_compile)
+        try:
+            handles = [service.submit(_circuit(i), spin_qubit_target(2),
+                                      "direct") for i in range(3)]
+            assert service.drain(timeout=0.1) is False  # Still busy.
+            gate.set()
+            assert service.drain(timeout=30) is True
+            for handle in handles:
+                assert handle.status() == JobStatus.DONE
+            # The service still accepts work after a drain.
+            assert service.submit(_circuit(99), spin_qubit_target(2),
+                                  "direct").result(timeout=30) == "ok"
+        finally:
+            gate.set()
+            service.shutdown(wait=True)
+
+    def test_drain_on_idle_service_returns_immediately(self):
+        service = CompilationService(workers=2, compile_fn=_stub_compile)
+        try:
+            started = time.monotonic()
+            assert service.drain(timeout=5) is True
+            assert time.monotonic() - started < 1.0
+        finally:
+            service.shutdown(wait=True)
