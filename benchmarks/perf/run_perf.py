@@ -63,6 +63,14 @@ def main(argv=None) -> int:
     )
     for row in report["compile"]:
         print(f"compile {row['workload']} [{row['technique']}]: {1e3 * row['seconds']:.2f} ms")
+    trace = report["trace"]
+    print(
+        f"trace {trace['workload']} [{trace['technique']}]: "
+        f"enabled {trace['enabled_overhead_percent']:+.1f}% "
+        f"({trace['events_per_compile']:.0f} events/compile), "
+        f"disabled ~{trace['disabled_overhead_percent']:.3f}% "
+        f"({trace['disabled_hook_ns']:.0f} ns/hook)"
+    )
     for row in report["theory_engine_ab"]:
         inc = row["modes"]["incremental"]["solve_seconds"]
         leg = row["modes"]["legacy_rebuild"]["solve_seconds"]

@@ -287,10 +287,12 @@ def bench_compile(preset: Dict) -> List[Dict]:
                 "technique": technique,
                 "seconds": seconds,
                 "stage_seconds": report.stage_seconds() if report else {},
+                # Numeric counters plus the selection/reason strings the
+                # heuristic techniques report (never an empty dict).
                 "solver_statistics": {
                     key: value
                     for key, value in (result.statistics or {}).items()
-                    if isinstance(value, (int, float))
+                    if isinstance(value, (int, float, str, bool))
                 },
             })
     return rows
@@ -333,6 +335,72 @@ def bench_theory_engine_ab(preset: Dict) -> List[Dict]:
             "solve_speedup": legacy / fast if fast > 0 else float("inf"),
         })
     return rows
+
+
+def bench_trace(preset: Dict) -> Dict:
+    """Tracing overhead: traced vs untraced compile of the same workload.
+
+    Two numbers back the subsystem's overhead claims over PRs:
+
+    * ``enabled_overhead_percent`` — wall-time cost of compiling with a
+      live JSONL tracer versus tracing off (best-of timing on both
+      sides);
+    * ``disabled_overhead_percent`` — estimated cost of the dormant
+      hooks when tracing is off: the measured per-call cost of the
+      disabled fast path times the number of events a traced compile
+      emits, relative to the untraced compile time.
+    """
+    import os
+    import tempfile
+
+    from repro.trace import load_events
+    from repro.trace.tracer import current_tracer
+
+    name, build = preset["compile_workloads"][0]
+    circuit = build()
+    target = spin_qubit_target(max(4, circuit.num_qubits))
+    technique = preset["compile_techniques"][0]
+    repeats = max(2, preset["repeats"])
+
+    untraced = _best_of(
+        lambda: repro.compile(circuit, target, technique, use_cache=False),
+        repeats,
+    )
+
+    # Per-call cost of the disabled fast path (one flag read + return).
+    probe_calls = 200000
+    start = time.perf_counter()
+    for _ in range(probe_calls):
+        current_tracer()
+    disabled_hook_ns = 1e9 * (time.perf_counter() - start) / probe_calls
+
+    handle, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro-bench-trace-")
+    os.close(handle)
+    try:
+        traced = _best_of(
+            lambda: repro.compile(circuit, target, technique,
+                                  use_cache=False, trace=path),
+            repeats,
+        )
+        events_total = len(load_events(path))
+    finally:
+        os.unlink(path)
+    events_per_compile = events_total / repeats
+    disabled_estimate = events_per_compile * disabled_hook_ns * 1e-9
+    return {
+        "workload": name,
+        "technique": technique,
+        "untraced_seconds": untraced,
+        "traced_seconds": traced,
+        "enabled_overhead_percent": (
+            100.0 * (traced - untraced) / untraced if untraced > 0 else 0.0
+        ),
+        "events_per_compile": events_per_compile,
+        "disabled_hook_ns": disabled_hook_ns,
+        "disabled_overhead_percent": (
+            100.0 * disabled_estimate / untraced if untraced > 0 else 0.0
+        ),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -457,6 +525,7 @@ def run_suite(preset_name: str) -> Dict:
         "sat": bench_sat(preset),
         "smt": bench_smt(preset),
         "compile": bench_compile(preset),
+        "trace": bench_trace(preset),
         "theory_engine_ab": bench_theory_engine_ab(preset),
         "service": bench_service(preset),
         "suite": bench_qasm_suite(preset),

@@ -1,0 +1,60 @@
+"""Observability tour: trace a compilation and read the trace back.
+
+Run with ``python examples/tracing.py``.  Tracing is opt-in: pass
+``trace="file.jsonl"`` to one :func:`repro.compile` call, hand a path to
+the service or server, or set ``REPRO_TRACE`` to cover a whole process.
+When nothing enables it, every hook is a single global-flag check.
+"""
+
+import os
+import tempfile
+
+import repro
+from repro.hardware import spin_qubit_target
+from repro.trace import load_events, pass_totals, summarize, validate_trace
+from repro.workloads import ghz_circuit
+
+
+def main() -> None:
+    path = os.path.join(tempfile.mkdtemp(prefix="repro_trace_"),
+                        "compile.jsonl")
+
+    # One traced compilation: spans from the facade, every pipeline pass,
+    # and sampled solver internals all land in one JSONL file.
+    circuit = ghz_circuit(3)
+    target = spin_qubit_target(3, "D0")
+    result = repro.compile(circuit, target, "sat_p", use_cache=False,
+                           trace=path)
+    print(f"compiled {circuit.name} with sat_p; trace at {path}")
+
+    events = load_events(path)
+    validate_trace(events)  # schema + nesting + monotonic timestamps
+    print(f"{len(events)} events, all valid")
+
+    # The same aggregation `python -m repro.trace <file>` prints.
+    summary = summarize(events)
+    print(f"layers: {', '.join(summary['layers'])}")
+
+    print("\nper-pass wall time (from the trace):")
+    report_seconds = result.report.stage_seconds()
+    for name, seconds in sorted(pass_totals(summary).items(),
+                                key=lambda item: -item[1]):
+        print(f"  {name:<16} {1e3 * seconds:8.3f} ms "
+              f"(report says {1e3 * report_seconds[name]:8.3f} ms)")
+
+    print("\nsampled solver events:")
+    for name, rollup in summary["solver"].items():
+        extras = ", ".join(f"{key}={value}" for key, value in rollup.items()
+                           if key != "count")
+        print(f"  {name:<16} x{rollup['count']}  ({extras})")
+
+    print("\nslowest spans:")
+    for entry in summary["slowest"][:5]:
+        print(f"  {entry['duration_ms']:8.3f} ms  "
+              f"{entry['layer']}:{entry['name']}")
+
+    print(f"\ninspect offline with: python -m repro.trace {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,9 @@ plug in with :func:`repro.register_technique`.  The layers underneath:
 * :mod:`repro.interop` — OpenQASM 2.0 frontend/exporter and the bundled
   benchmark suite (``repro.compile`` accepts QASM strings and ``.qasm``
   paths directly);
+* :mod:`repro.trace` — opt-in structured event tracing across all of the
+  above (``REPRO_TRACE`` / ``compile(trace=...)``; inspect with
+  ``python -m repro.trace``);
 * :mod:`repro.api` — facade, technique registry, compilation cache;
 * :mod:`repro.pipeline` — the instrumented pass pipeline (Fig. 2);
 * :mod:`repro.core` — preprocessing, substitution rules, the SMT model;
@@ -74,6 +77,9 @@ _LAZY_EXPORTS = {
     "ReproClient": ("repro.server", "ReproClient"),
     "build_server": ("repro.server", "build_server"),
     "ShardRouter": ("repro.server", "ShardRouter"),
+    "start_tracing": ("repro.trace", "start_tracing"),
+    "stop_tracing": ("repro.trace", "stop_tracing"),
+    "Tracer": ("repro.trace", "Tracer"),
 }
 
 __all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
@@ -126,4 +132,5 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
         disable_persistent_store,
         use_persistent_store,
     )
+    from repro.trace import Tracer, start_tracing, stop_tracing
     from repro.workloads import evaluation_suite

@@ -37,6 +37,7 @@ from repro.api.registry import is_builtin_spec, resolve_technique
 from repro.circuits.circuit import QuantumCircuit
 from repro.hardware.target import Target
 from repro.pipeline.report import CompilationReport
+from repro.trace.tracer import scoped_tracer
 
 BatchItem = Union[
     QuantumCircuit, str, Tuple[str, QuantumCircuit], "WorkloadSpec"
@@ -70,6 +71,7 @@ def compile(
     technique: str = "sat_p",
     *,
     use_cache: bool = True,
+    trace=None,
     **options: object,
 ):
     """Adapt ``circuit`` to ``target`` with the named technique.
@@ -92,6 +94,15 @@ def compile(
         Consult/populate the deterministic compilation cache.  Results
         with non-primitive options (e.g. a custom ``rules`` list) always
         bypass the cache.
+    trace:
+        Structured event tracing for this call (see :mod:`repro.trace`).
+        ``None`` (default) follows the ambient tracer — the global one
+        installed by :func:`repro.trace.start_tracing` / ``REPRO_TRACE``,
+        if any; ``False`` forces tracing off; ``True`` uses (and if
+        needed auto-starts from ``REPRO_TRACE``) the global tracer; a
+        path string traces just this call into that JSONL file; a
+        :class:`repro.trace.Tracer` traces into that instance.  Tracing
+        never affects the result or its cache key.
     **options:
         Technique options: ``merge_single_qubit_gates`` and ``verify``
         for every technique; ``rules`` and ``max_improvement_rounds``
@@ -119,34 +130,42 @@ def compile(
         if use_cache and options_part is not None
         else None
     )
-    if use_cache:
-        cached = GLOBAL_CACHE.get(key)
-        if cached is not None:
-            return cached
-        store = persistent_store()
-        if store is not None and key is not None:
-            persisted = store.get(key)
-            if persisted is not None:
-                # Promote to L1 so the next request stays in-process, then
-                # serve a detached copy flagged as a cache hit.
-                GLOBAL_CACHE.put(key, persisted)
-                if persisted.report is not None:
-                    persisted.report = persisted.report.as_cache_hit()
-                return persisted
+    with scoped_tracer(trace) as tracer:
+        token = tracer.begin("compile", "api", technique=spec.key,
+                             circuit=circuit.name)
+        try:
+            if use_cache:
+                cached = GLOBAL_CACHE.get(key)
+                if cached is not None:
+                    tracer.event("cache.hit", "api", level="memory")
+                    return cached
+                store = persistent_store()
+                if store is not None and key is not None:
+                    persisted = store.get(key)
+                    if persisted is not None:
+                        # Promote to L1 so the next request stays in-process,
+                        # then serve a detached copy flagged as a cache hit.
+                        GLOBAL_CACHE.put(key, persisted)
+                        if persisted.report is not None:
+                            persisted.report = persisted.report.as_cache_hit()
+                        tracer.event("cache.hit", "api", level="persistent")
+                        return persisted
 
-    report = CompilationReport(
-        technique=spec.key,
-        circuit_name=circuit.name,
-        circuit_hash=digest,
-        target_fingerprint=fingerprint,
-        options=dict(options),
-    )
-    pipeline = spec.build_pipeline()
-    result = pipeline.run(circuit, target, technique=spec.key,
-                          options=options, report=report)
-    if use_cache:
-        store_result(key, result)
-    return result
+            report = CompilationReport(
+                technique=spec.key,
+                circuit_name=circuit.name,
+                circuit_hash=digest,
+                target_fingerprint=fingerprint,
+                options=dict(options),
+            )
+            pipeline = spec.build_pipeline()
+            result = pipeline.run(circuit, target, technique=spec.key,
+                                  options=options, report=report)
+            if use_cache:
+                store_result(key, result)
+            return result
+        finally:
+            tracer.end(token)
 
 
 # ---------------------------------------------------------------------------

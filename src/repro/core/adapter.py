@@ -36,7 +36,10 @@ class AdaptationResult:
     baseline_cost: Optional[CircuitCost] = None
     chosen_substitutions: List[Substitution] = field(default_factory=list)
     objective_value: Optional[float] = None
-    statistics: Dict[str, int] = field(default_factory=dict)
+    #: Solver/selection counters; heuristic techniques report their
+    #: selection kind and candidate/accepted counts here (string values
+    #: name the strategy or the reason no solver ran).
+    statistics: Dict[str, object] = field(default_factory=dict)
     #: Per-stage instrumentation attached by :func:`repro.compile`.
     report: Optional["CompilationReport"] = None
 

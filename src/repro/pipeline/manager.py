@@ -18,6 +18,8 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.hardware.target import Target
 from repro.pipeline.passes import Pass, PassContext
 from repro.pipeline.report import CompilationReport, PassStats
+from repro.trace.metrics import observe_pass
+from repro.trace.tracer import current_tracer
 
 
 class Pipeline:
@@ -124,14 +126,34 @@ class Pipeline:
                 target_fingerprint="",
                 options=dict(options or {}),
             )
-        for pass_ in self._passes:
-            started = time.perf_counter()
-            pass_.run(context)
-            elapsed = time.perf_counter() - started
-            report.stages.append(
-                PassStats(pass_.name, elapsed, dict(pass_.counters(context)))
+        tracer = current_tracer()
+        pipeline_token = None
+        if tracer.enabled:
+            pipeline_token = tracer.begin(
+                "pipeline", "pipeline",
+                technique=technique, circuit=circuit.name,
+                gates_in=len(circuit.instructions),
             )
-        result = self._finalize(context, report)
+        try:
+            for pass_ in self._passes:
+                pass_token = (
+                    tracer.begin(f"pass:{pass_.name}", "pipeline")
+                    if tracer.enabled else None
+                )
+                started = time.perf_counter()
+                pass_.run(context)
+                elapsed = time.perf_counter() - started
+                counters = dict(pass_.counters(context))
+                report.stages.append(PassStats(pass_.name, elapsed, counters))
+                observe_pass(pass_.name, elapsed)
+                if pass_token is not None:
+                    tracer.end(pass_token, **counters)
+            result = self._finalize(context, report)
+        finally:
+            if pipeline_token is not None:
+                gates_out = (len(context.adapted.instructions)
+                             if context.adapted is not None else None)
+                tracer.end(pipeline_token, gates_out=gates_out)
         return result
 
     @staticmethod

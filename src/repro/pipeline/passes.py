@@ -66,7 +66,7 @@ class PassContext:
     chosen: List[Substitution] = field(default_factory=list)
     solution: Optional[ModelSolution] = None
     objective_value: Optional[float] = None
-    solver_statistics: Dict[str, int] = field(default_factory=dict)
+    solver_statistics: Dict[str, object] = field(default_factory=dict)
     adapted: Optional[QuantumCircuit] = None
     cost: Optional[CircuitCost] = None
     baseline_cost: Optional[CircuitCost] = None
@@ -149,6 +149,16 @@ class GreedySelection:
                 taken.append(candidate)
             accepted.extend(taken)
         context.chosen = accepted
+        # Non-SMT strategies report their own counters, so
+        # result.statistics (and BENCH_perf.json's solver_statistics) is
+        # never silently empty for heuristic techniques.
+        context.solver_statistics = {
+            "selection": "greedy",
+            "objective": self.objective,
+            "candidates": len(context.substitutions),
+            "accepted": len(accepted),
+            "blocks": len(by_block),
+        }
 
 
 class SelectAll:
@@ -156,6 +166,12 @@ class SelectAll:
 
     def __call__(self, context: PassContext) -> None:
         context.chosen = list(context.substitutions)
+        context.solver_statistics = {
+            "selection": "all",
+            "candidates": len(context.substitutions),
+            "accepted": len(context.chosen),
+            "reason": "every candidate is accepted; no solver runs",
+        }
 
 
 class SelectNone:
@@ -163,6 +179,12 @@ class SelectNone:
 
     def __call__(self, context: PassContext) -> None:
         context.chosen = []
+        context.solver_statistics = {
+            "selection": "none",
+            "candidates": len(context.substitutions),
+            "accepted": 0,
+            "reason": "direct translation selects no substitutions",
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -261,9 +283,11 @@ class SolvePass(Pass):
 
     def counters(self, context: PassContext) -> Dict[str, float]:
         counters = {"chosen": float(len(context.chosen))}
-        for key in ("improvement_rounds", "theory_checks", "sat_conflicts"):
-            if key in context.solver_statistics:
-                counters[key] = float(context.solver_statistics[key])
+        for key in ("improvement_rounds", "theory_checks", "sat_conflicts",
+                    "candidates", "accepted"):
+            value = context.solver_statistics.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                counters[key] = float(value)
         return counters
 
 

@@ -23,6 +23,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.trace.tracer import current_tracer
+
+#: Conflict-count granularity of the sampled ``sat.conflicts`` trace
+#: events: one milestone event per this many conflicts keeps traces
+#: bounded on conflict-heavy instances.
+TRACE_CONFLICT_MILESTONE = 512
+
 
 class SolverResult(Enum):
     """Tri-state result of a :meth:`Solver.solve` call."""
@@ -540,6 +547,10 @@ class Solver:
             self._ok = False
             return SolverResult.UNSAT
 
+        # One flag read when tracing is off; milestone-sampled events when on.
+        tracer = current_tracer()
+        traced = tracer.enabled
+
         internal_assumptions = [self._lit_to_internal(lit) for lit in assumptions]
         conflicts_since_restart = 0
         restart_index = 1
@@ -571,15 +582,39 @@ class Solver:
                 ):
                     self._backtrack(0)
                     return SolverResult.UNKNOWN
+                if traced and self.statistics.conflicts % TRACE_CONFLICT_MILESTONE == 0:
+                    tracer.event(
+                        "sat.conflicts", "solver",
+                        d_conflicts=TRACE_CONFLICT_MILESTONE,
+                        conflicts=self.statistics.conflicts,
+                        learned=len(self._learned),
+                        decisions=self.statistics.decisions,
+                    )
                 if conflicts_since_restart >= restart_limit:
                     self.statistics.restarts += 1
                     restart_index += 1
                     restart_limit = self._restart_base * luby(restart_index)
                     conflicts_since_restart = 0
                     self._backtrack(len(self._assumption_levels))
+                    if traced:
+                        tracer.event(
+                            "sat.restart", "solver",
+                            d_restarts=1,
+                            restarts=self.statistics.restarts,
+                            conflicts=self.statistics.conflicts,
+                            next_limit=restart_limit,
+                        )
                 if len(self._learned) > learned_limit:
+                    learned_before = len(self._learned)
                     self._reduce_learned()
                     learned_limit = int(learned_limit * 1.3) + 10
+                    if traced:
+                        tracer.event(
+                            "sat.reduce_db", "solver",
+                            d_deleted=learned_before - len(self._learned),
+                            learned=len(self._learned),
+                            next_limit=learned_limit,
+                        )
                 continue
 
             # No conflict: extend assumptions first, then decide.

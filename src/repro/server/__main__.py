@@ -52,6 +52,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--target", default="D0", choices=["D0", "D1"],
                         help="default spin-qubit duration calibration for "
                              "submissions that name no target (default D0)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write structured JSONL trace events to PATH "
+                             "(see python -m repro.trace); shards append to "
+                             "the same file")
     args = parser.parse_args(argv)
 
     if args.shards < 1:
@@ -67,6 +71,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         signal.signal(signal.SIGTERM, _raise_interrupt)
     except (OSError, ValueError):  # pragma: no cover - exotic platforms
         pass
+
+    if args.trace:
+        # Through the environment (not start_tracing directly) so shard
+        # subprocesses inherit it and append to the same trace file.
+        import os
+
+        from repro.trace import start_tracing
+
+        os.environ["REPRO_TRACE"] = args.trace
+        start_tracing(args.trace)
 
     if args.shards > 1:
         from repro.server.sharding import ShardRouter

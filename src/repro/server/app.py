@@ -61,6 +61,8 @@ from repro.service.scheduler import (
     ServiceSaturatedError,
 )
 from repro.service.store import PersistentResultStore
+from repro.trace.metrics import PASS_METRICS, enable_pass_metrics
+from repro.trace.tracer import current_tracer
 from repro.workloads.manifest import parse_manifest
 
 #: Hard cap on how long one ``GET .../result?timeout=`` request blocks
@@ -237,6 +239,10 @@ class CompilationGateway:
         self.job_prefix = job_prefix
         self.max_jobs = max_jobs
         self.metrics = RequestMetrics()
+        # /metrics serves per-pipeline-pass histograms alongside the
+        # per-route ones; the registry aggregates in-process regardless
+        # of whether JSONL tracing is on.
+        enable_pass_metrics()
         self._jobs: "OrderedDict[str, _GatewayJob]" = OrderedDict()
         self._lock = threading.Lock()
         self._next_id = 0
@@ -442,7 +448,7 @@ class CompilationGateway:
         return job
 
     def job_summary(self, job: _GatewayJob) -> Dict[str, object]:
-        return {
+        summary = {
             "job_id": job.id,
             "name": job.name,
             "kind": job.kind,
@@ -450,6 +456,11 @@ class CompilationGateway:
             "status": job.status(),
             "submitted_at": job.submitted_at,
         }
+        if job.handle is not None:
+            # Technique jobs expose the service's lifecycle stamps, so
+            # callers can split queue wait from compile time.
+            summary["timing"] = job.handle.timing()
+        return summary
 
     def job_status(self, job_id: str) -> Dict[str, object]:
         """Handle ``GET /v1/jobs/{id}``: summary + report once finished."""
@@ -572,6 +583,7 @@ class CompilationGateway:
             # so nothing needs a coercion pass here.
             "service": self.service.statistics(),
             "requests": self.metrics.snapshot(),
+            "passes": PASS_METRICS.snapshot(),
         }
 
     def drain(self, timeout: Optional[float]) -> Dict[str, object]:
@@ -696,6 +708,8 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         label = f"{method} <unmatched>"
         status, payload = 500, {"error": "internal error"}
+        tracer = current_tracer()
+        request_token = tracer.begin("http.request", "server", method=method)
         try:
             matched = None
             path_exists = False
@@ -719,10 +733,13 @@ class _Handler(BaseHTTPRequestHandler):
         except ApiError as error:
             status, payload = error.status, error.payload
         except BrokenPipeError:
-            return  # Client went away mid-request; nothing to answer.
+            # Client went away mid-request; nothing to answer.
+            tracer.end(request_token, route=label, status=0)
+            return
         except Exception as error:  # noqa: BLE001 - the server must answer
             status = 500
             payload = {"error": f"{type(error).__name__}: {error}"}
+        tracer.end(request_token, route=label, status=status)
         self._respond(status, payload)
         self.gateway.metrics.observe(label, status,
                                      time.perf_counter() - started)
@@ -843,18 +860,26 @@ def build_server(
     max_pending: int = 256,
     job_prefix: str = "",
     service: Optional[CompilationService] = None,
+    trace: Optional[str] = None,
 ) -> ReproServer:
     """Assemble service + gateway + HTTP server (not yet serving).
 
     ``port=0`` binds an OS-assigned free port (see ``server.port``).
     Pass an existing ``service`` to serve it directly; otherwise one is
-    created with ``workers``/``max_pending``/``store``.  Call
+    created with ``workers``/``max_pending``/``store``.  ``trace``
+    enables structured JSONL event tracing into the given path for the
+    server's lifetime (see :mod:`repro.trace`).  Call
     ``start_background()`` (tests, embedding) or ``serve_forever()``
     (CLI) on the returned server, and ``stop()`` to shut down draining.
     """
     if service is None:
         service = CompilationService(
-            workers=workers, max_pending=max_pending, store=store)
+            workers=workers, max_pending=max_pending, store=store,
+            trace=trace)
+    elif trace is not None:
+        from repro.trace.tracer import start_tracing
+
+        start_tracing(trace)
     gateway = CompilationGateway(service, durations=durations,
                                  job_prefix=job_prefix)
     return ReproServer((host, port), gateway)

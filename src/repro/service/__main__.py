@@ -87,6 +87,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--export-qasm", default=None, metavar="DIR",
                         help="write every adapted circuit as OpenQASM 2.0 "
                              "to DIR/<workload>.qasm (created if missing)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write structured JSONL trace events to PATH "
+                             "(inspect with python -m repro.trace)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-workload table")
     args = parser.parse_args(argv)
@@ -121,7 +124,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     started = time.perf_counter()
     rows: List[List[str]] = []
     failures: List[tuple] = []
-    with CompilationService(workers=args.workers, store=store) as service:
+    with CompilationService(workers=args.workers, store=store,
+                            trace=args.trace) as service:
         handles = []
         for name, circuit in workloads:
             target = spin_qubit_target(max(2, circuit.num_qubits), args.durations)
@@ -191,6 +195,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         wins = ", ".join(f"{key}={count}" for key, count
                          in sorted(stats["portfolio_wins"].items()))
         print(f"portfolio wins: {wins}")
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(inspect with: python -m repro.trace {args.trace})")
 
     if args.export_qasm:
         from repro.interop import write_qasm_file

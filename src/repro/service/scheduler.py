@@ -49,6 +49,15 @@ from repro.api.registry import resolve_technique
 from repro.circuits.circuit import QuantumCircuit
 from repro.hardware.target import Target
 from repro.service.store import PersistentResultStore
+from repro.trace.tracer import (
+    TraceContext,
+    Tracer,
+    capture_context,
+    current_tracer,
+    resume_context,
+    start_tracing,
+    stop_tracing,
+)
 
 
 class ServiceSaturatedError(RuntimeError):
@@ -112,11 +121,41 @@ class _Job:
     future: Future = field(default_factory=Future)
     fronts: List[Future] = field(default_factory=list)
     status: JobStatus = JobStatus.QUEUED
+    #: Wall-clock + monotonic lifecycle stamps (monotonic pairs give the
+    #: queue-wait and run durations; wall stamps go to status payloads).
+    submitted_wall: float = field(default_factory=time.time)
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_wall: Optional[float] = None
+    started_mono: Optional[float] = None
+    finished_wall: Optional[float] = None
+    finished_mono: Optional[float] = None
+    #: Submitter's trace context, resumed on the worker thread so the
+    #: job span parents under the submitting request's span.
+    trace_context: Optional[TraceContext] = None
 
     @property
     def waiters(self) -> int:
         """How many submit() calls share this job (1 = no dedup)."""
         return len(self.fronts)
+
+    def timing(self) -> Dict[str, float]:
+        """Lifecycle timestamps and derived waits (JSON-ready).
+
+        ``queue_wait_seconds`` and ``run_seconds`` come from the
+        monotonic clock, so they stay correct across wall-clock jumps.
+        """
+        timing: Dict[str, float] = {"submitted_at": self.submitted_wall}
+        if self.started_mono is not None:
+            timing["started_at"] = self.started_wall
+            timing["queue_wait_seconds"] = self.started_mono - self.submitted_mono
+        if self.finished_mono is not None:
+            timing["finished_at"] = self.finished_wall
+            timing["run_seconds"] = self.finished_mono - (
+                self.started_mono if self.started_mono is not None
+                else self.submitted_mono
+            )
+            timing["total_seconds"] = self.finished_mono - self.submitted_mono
+        return timing
 
 
 class JobHandle:
@@ -157,6 +196,12 @@ class JobHandle:
     def result(self, timeout: Optional[float] = None):
         """Block for the :class:`repro.core.AdaptationResult`."""
         return self._front.result(timeout=timeout)
+
+    def timing(self) -> Dict[str, float]:
+        """Lifecycle timestamps of the underlying job: ``submitted_at``,
+        and once known ``started_at``/``queue_wait_seconds`` and
+        ``finished_at``/``run_seconds``/``total_seconds``."""
+        return self._job.timing()
 
     def cancel(self) -> bool:
         """Cancel this handle; the shared job is cancelled only when no
@@ -202,6 +247,11 @@ class CompilationService:
     compile_fn:
         Injection point for tests: the callable that performs one
         compilation, signature-compatible with :func:`repro.compile`.
+    trace:
+        Optional structured tracing for the service's lifetime: a JSONL
+        path or a :class:`repro.trace.Tracer`, installed as the global
+        tracer (see :mod:`repro.trace`).  A tracer this service started
+        is stopped again on :meth:`shutdown`.
     """
 
     def __init__(
@@ -211,6 +261,7 @@ class CompilationService:
         store: Union[PersistentResultStore, str, None] = None,
         mode: str = "thread",
         compile_fn: Optional[Callable] = None,
+        trace: Union[str, Tracer, None] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("the service needs at least one worker")
@@ -236,6 +287,11 @@ class CompilationService:
             "cancelled": 0,
         }
         self._portfolio_wins: Dict[str, int] = {}
+
+        self._owns_tracer = False
+        if trace is not None:
+            start_tracing(trace)
+            self._owns_tracer = True
 
         if isinstance(store, str):
             store = PersistentResultStore(store)
@@ -283,6 +339,7 @@ class CompilationService:
             cache_key(circuit, target, spec.key, effective) if use_cache else None
         )
 
+        tracer = current_tracer()
         front = Future()
         with self._lock:
             self._counters["submitted"] += 1
@@ -294,6 +351,9 @@ class CompilationService:
                 if running is not None and not running.future.done():
                     running.fronts.append(front)
                     self._counters["deduplicated"] += 1
+                    tracer.event("job.dedup", "service",
+                                 job_id=running.job_id, technique=spec.key,
+                                 waiters=running.waiters)
                     return JobHandle(self, running, front)
             self._next_id += 1
             job = _Job(
@@ -304,11 +364,14 @@ class CompilationService:
                 technique=spec.key,
                 use_cache=use_cache,
                 options=effective,
+                trace_context=capture_context(),
             )
             job.fronts.append(front)
             self._jobs[job.job_id] = job
             if key is not None:
                 self._inflight[key] = job
+        tracer.event("job.submit", "service", job_id=job.job_id,
+                     technique=spec.key, circuit=circuit.name)
         try:
             self._queue.put(job, block=block, timeout=timeout)
         except queue.Full:
@@ -405,8 +468,12 @@ class CompilationService:
             with self._lock:
                 job.status = JobStatus.CANCELLED
                 self._counters["cancelled"] += 1
+                job.finished_wall = time.time()
+                job.finished_mono = time.monotonic()
                 if job.key is not None and self._inflight.get(job.key) is job:
                     del self._inflight[job.key]
+            current_tracer().event("job.cancel", "service", job_id=job.job_id,
+                                   technique=job.technique)
         return True
 
     # -- worker loop -----------------------------------------------------
@@ -428,20 +495,34 @@ class CompilationService:
             job.status = JobStatus.RUNNING
             self._busy_workers += 1
         started = time.monotonic()
+        job.started_wall = time.time()
+        job.started_mono = started
         try:
-            if self._pool is not None:
-                payload = (job.circuit, job.target, job.technique,
-                           job.use_cache, job.options)
-                result = self._pool.submit(_compile_in_subprocess, payload).result()
-                if job.use_cache:
-                    # The subprocess populated its own caches; merge the
-                    # result into this process's L1/L2 tiers.
-                    store_result(job.key, result)
-            else:
-                result = self._compile_fn(
-                    job.circuit, job.target, job.technique,
-                    use_cache=job.use_cache, **job.options,
-                )
+            # Resuming the submitter's captured context parents the job
+            # span under the submitting request's span even though this
+            # runs on a worker thread (no-op when tracing is off).
+            with resume_context(job.trace_context):
+                tracer = current_tracer()
+                with tracer.span("job", "service", job_id=job.job_id,
+                                 technique=job.technique,
+                                 circuit=job.circuit.name,
+                                 waiters=job.waiters,
+                                 queue_wait_seconds=started - job.submitted_mono,
+                                 mode=self.mode):
+                    if self._pool is not None:
+                        payload = (job.circuit, job.target, job.technique,
+                                   job.use_cache, job.options)
+                        result = self._pool.submit(
+                            _compile_in_subprocess, payload).result()
+                        if job.use_cache:
+                            # The subprocess populated its own caches; merge
+                            # the result into this process's L1/L2 tiers.
+                            store_result(job.key, result)
+                    else:
+                        result = self._compile_fn(
+                            job.circuit, job.target, job.technique,
+                            use_cache=job.use_cache, **job.options,
+                        )
         except BaseException as error:  # noqa: BLE001 - forwarded to the futures
             with self._lock:
                 job.status = JobStatus.FAILED
@@ -468,8 +549,10 @@ class CompilationService:
 
     def _finish(self, job: _Job, started: float) -> None:
         """Book-keeping common to success and failure (lock held)."""
+        job.finished_wall = time.time()
+        job.finished_mono = time.monotonic()
         self._busy_workers -= 1
-        self._busy_seconds += time.monotonic() - started
+        self._busy_seconds += job.finished_mono - started
         if job.key is not None and self._inflight.get(job.key) is job:
             del self._inflight[job.key]
 
@@ -601,6 +684,9 @@ class CompilationService:
         if self._installed_store:
             uninstall_persistent_store()
             self._installed_store = False
+        if self._owns_tracer:
+            stop_tracing()
+            self._owns_tracer = False
 
     def __enter__(self) -> "CompilationService":
         return self

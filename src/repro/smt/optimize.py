@@ -23,6 +23,12 @@ from typing import Optional
 from repro.smt.rational import DeltaRational
 from repro.smt.solver import CheckResult, Model, SmtSolver
 from repro.smt.terms import Comparison, Expr, LinearExpr
+from repro.trace.tracer import current_tracer
+
+#: Sampling schedule of the ``omt.round`` trace events (same shape as
+#: the SMT check sampling: full head, strided tail).
+TRACE_ROUND_HEAD = 32
+TRACE_ROUND_STRIDE = 8
 
 
 class ObjectiveHandle:
@@ -94,40 +100,56 @@ class Optimize:
         else:
             working_expr = objective_expr
 
-        best_value: Optional[Fraction] = None
-        result = self._solver.check()
-        if result != CheckResult.SAT:
-            return result
-
-        for round_index in range(self._max_rounds):
-            self.improvement_rounds = round_index + 1
-            simplex = self._solver.last_simplex()
-            assert simplex is not None
-            optimum = simplex.maximize(dict(working_expr.coeffs))
-            if optimum is None:
-                # Unbounded within this skeleton, hence unbounded globally.
-                self._objective.unbounded = True
-                self._best_model = self._solver.model()
-                return CheckResult.SAT
-            skeleton_best = optimum.value + working_expr.constant
-            bool_values = self._solver.model().bool_values()
-            self._best_model = Model(bool_values, simplex.model())
-            if best_value is None or skeleton_best > best_value:
-                best_value = skeleton_best
-            # Require a strictly better objective value and re-solve.
-            improvement = Comparison.build(
-                LinearExpr.constant_expr(best_value), working_expr, "<"
-            )
-            self._solver.add(improvement)
+        tracer = current_tracer()
+        traced = tracer.enabled
+        omt_token = tracer.begin("omt.optimize", "solver",
+                                 sense=self._objective.sense) if traced else None
+        try:
+            best_value: Optional[Fraction] = None
             result = self._solver.check()
-            if result == CheckResult.UNSAT:
-                self._finalize_objective(best_value)
-                return CheckResult.SAT
-            if result == CheckResult.UNKNOWN:
-                self._finalize_objective(best_value)
-                return CheckResult.SAT
-        self._finalize_objective(best_value)
-        return CheckResult.SAT
+            if result != CheckResult.SAT:
+                return result
+
+            for round_index in range(self._max_rounds):
+                self.improvement_rounds = round_index + 1
+                simplex = self._solver.last_simplex()
+                assert simplex is not None
+                optimum = simplex.maximize(dict(working_expr.coeffs))
+                if optimum is None:
+                    # Unbounded within this skeleton, hence unbounded globally.
+                    self._objective.unbounded = True
+                    self._best_model = self._solver.model()
+                    return CheckResult.SAT
+                skeleton_best = optimum.value + working_expr.constant
+                bool_values = self._solver.model().bool_values()
+                self._best_model = Model(bool_values, simplex.model())
+                if best_value is None or skeleton_best > best_value:
+                    best_value = skeleton_best
+                if traced and (self.improvement_rounds <= TRACE_ROUND_HEAD
+                               or self.improvement_rounds % TRACE_ROUND_STRIDE == 0):
+                    tracer.event(
+                        "omt.round", "solver",
+                        d_rounds=1,
+                        round=self.improvement_rounds,
+                        best=float(best_value),
+                    )
+                # Require a strictly better objective value and re-solve.
+                improvement = Comparison.build(
+                    LinearExpr.constant_expr(best_value), working_expr, "<"
+                )
+                self._solver.add(improvement)
+                result = self._solver.check()
+                if result == CheckResult.UNSAT:
+                    self._finalize_objective(best_value)
+                    return CheckResult.SAT
+                if result == CheckResult.UNKNOWN:
+                    self._finalize_objective(best_value)
+                    return CheckResult.SAT
+            self._finalize_objective(best_value)
+            return CheckResult.SAT
+        finally:
+            if omt_token is not None:
+                tracer.end(omt_token, rounds=self.improvement_rounds)
 
     def _finalize_objective(self, best_value: Optional[Fraction]) -> None:
         assert self._objective is not None

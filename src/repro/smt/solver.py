@@ -28,6 +28,13 @@ from repro.smt.cnf import CnfConverter
 from repro.smt.rational import DeltaRational
 from repro.smt.simplex import Simplex
 from repro.smt.terms import BoolVar, Comparison, Expr, LinearExpr
+from repro.trace.tracer import current_tracer
+
+#: Sampling schedule of the ``smt.check`` trace events: the first this
+#: many theory checks are all traced, later ones only every
+#: :data:`TRACE_CHECK_STRIDE`-th — bounded traces on check-heavy runs.
+TRACE_CHECK_HEAD = 32
+TRACE_CHECK_STRIDE = 8
 
 
 class CheckResult(Enum):
@@ -146,13 +153,26 @@ class SmtSolver:
         """Check satisfiability of the asserted formulas."""
         assumption_literals = [self._converter.encode(expr) for expr in assumptions]
         self._sync_clauses()
+        tracer = current_tracer()
+        traced = tracer.enabled
         for _ in range(self._max_theory_iterations):
             self._stats["theory_checks"] += 1
+            pivots_before = self._stats["theory_pivots"] if traced else 0
             if not self._sat.solve(assumption_literals):
                 self._model = None
                 return CheckResult.UNSAT
             sat_model = self._sat.model()
             simplex, conflict = self._theory_check(sat_model)
+            if traced:
+                index = self._stats["theory_checks"]
+                if index <= TRACE_CHECK_HEAD or index % TRACE_CHECK_STRIDE == 0:
+                    tracer.event(
+                        "smt.check", "solver",
+                        check=index,
+                        consistent=conflict is None,
+                        d_pivots=self._stats["theory_pivots"] - pivots_before,
+                        theory_conflicts=self._stats["theory_conflicts"],
+                    )
             if conflict is None:
                 self._store_model(sat_model, simplex)
                 self._last_simplex = simplex

@@ -1,0 +1,83 @@
+"""``repro.trace``: opt-in structured event tracing across the stack.
+
+Enable globally with :func:`start_tracing` (or the ``REPRO_TRACE``
+environment variable, honoured automatically on import — including in
+spawned worker processes, which inherit the environment), per call with
+``compile(..., trace="run.jsonl")``, or per component (service/server
+constructors take ``trace=``).  When off, every instrumentation hook
+costs one module-global flag read.
+
+Analyze traces with :mod:`repro.trace.reader` or the
+``python -m repro.trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.trace.metrics import (
+    PASS_METRICS,
+    PassMetricsRegistry,
+    enable_pass_metrics,
+    observe_pass,
+)
+from repro.trace.reader import (
+    build_spans,
+    diff_summaries,
+    load_events,
+    pass_totals,
+    summarize,
+)
+from repro.trace.schema import TraceValidationError, validate_event, validate_trace
+from repro.trace.tracer import (
+    NULL_TRACER,
+    TRACE_ENV_VAR,
+    NullTracer,
+    TraceContext,
+    Tracer,
+    capture_context,
+    current_tracer,
+    global_tracer,
+    resume_context,
+    scoped_tracer,
+    start_tracing,
+    stop_tracing,
+    tracing_active,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "PASS_METRICS",
+    "PassMetricsRegistry",
+    "TRACE_ENV_VAR",
+    "TraceContext",
+    "TraceValidationError",
+    "Tracer",
+    "build_spans",
+    "capture_context",
+    "current_tracer",
+    "diff_summaries",
+    "enable_pass_metrics",
+    "global_tracer",
+    "load_events",
+    "observe_pass",
+    "pass_totals",
+    "resume_context",
+    "scoped_tracer",
+    "start_tracing",
+    "stop_tracing",
+    "summarize",
+    "tracing_active",
+    "validate_event",
+    "validate_trace",
+]
+
+# REPRO_TRACE in the environment turns tracing on for this process the
+# moment the package is imported — the mechanism by which spawned/forked
+# service workers and sharded server processes join the parent's trace.
+if os.environ.get(TRACE_ENV_VAR):
+    try:
+        start_tracing()
+    except OSError:  # unwritable path: tracing silently stays off
+        pass

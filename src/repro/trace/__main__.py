@@ -1,0 +1,74 @@
+"""``python -m repro.trace``: aggregate and compare JSONL trace files."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.trace.reader import (
+    diff_summaries,
+    load_events,
+    render_diff,
+    render_summary,
+    summarize,
+)
+from repro.trace.schema import TraceValidationError, validate_trace
+
+
+def _print(text: str) -> None:
+    """Print, tolerating a closed pipe (``... | head`` is the normal use)."""
+    try:
+        print(text)
+    except BrokenPipeError:
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Aggregate repro trace files: per-stage/per-technique "
+                    "latency, solver event rollups, slowest spans.",
+    )
+    parser.add_argument("traces", nargs="*",
+                        help="trace file(s) to aggregate (merged)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many slowest spans to list (default 10)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of text")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate every event against the schema first")
+    parser.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                        help="compare two traces instead of summarizing")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        if args.traces:
+            parser.error("--diff takes exactly two files; drop the "
+                         "positional trace arguments")
+        summary_a = summarize(load_events(args.diff[0]), top=args.top)
+        summary_b = summarize(load_events(args.diff[1]), top=args.top)
+        diff = diff_summaries(summary_a, summary_b)
+        _print(json.dumps(diff, indent=2) if args.json else render_diff(diff))
+        return 0
+
+    if not args.traces:
+        parser.error("give at least one trace file (or --diff A B)")
+    events = load_events(args.traces)
+    if args.validate:
+        try:
+            validate_trace(events)
+        except TraceValidationError as error:
+            print(f"trace validation failed: {error}", file=sys.stderr)
+            return 1
+    summary = summarize(events, top=args.top)
+    _print(json.dumps(summary, indent=2) if args.json else render_summary(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""In-process per-pass latency metrics fed from the pipeline trace hooks.
+
+The ``/metrics`` endpoint historically exposed per-route latency only;
+this registry extends it with per-pipeline-pass histograms (same bucket
+bounds and p50/p95 estimation as the server's request metrics) fed from
+the exact hook points that emit trace events.  Unlike tracing, the
+registry is in-memory aggregation — no file, no events — and is enabled
+by the gateway on construction so ``/metrics`` always has pass data,
+even when JSONL tracing is off.
+
+The recording path is one flag check when disabled, one lock + histogram
+update when enabled; it never allocates event objects.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List
+
+#: Upper bucket bounds (milliseconds); matches the server's route buckets
+#: so the two ``/metrics`` sections read the same way.
+PASS_LATENCY_BUCKETS_MS = (1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+
+def _percentile(sorted_values: List[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(quantile * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class _PassStats:
+    """Counters and a latency reservoir for one pipeline pass."""
+
+    __slots__ = ("count", "total_seconds", "buckets", "recent")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_seconds = 0.0
+        self.buckets = [0] * (len(PASS_LATENCY_BUCKETS_MS) + 1)
+        self.recent: "deque[float]" = deque(maxlen=2048)
+
+
+class PassMetricsRegistry:
+    """Thread-safe per-pass latency histograms with p50/p95 snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._passes: Dict[str, _PassStats] = {}
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def reset(self) -> None:
+        with self._lock:
+            self._passes.clear()
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            stats = self._passes.get(name)
+            if stats is None:
+                stats = self._passes[name] = _PassStats()
+            stats.count += 1
+            stats.total_seconds += seconds
+            stats.recent.append(seconds)
+            millis = 1e3 * seconds
+            for index, bound in enumerate(PASS_LATENCY_BUCKETS_MS):
+                if millis <= bound:
+                    stats.buckets[index] += 1
+                    break
+            else:
+                stats.buckets[-1] += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready per-pass counters, histogram and p50/p95 latency."""
+        with self._lock:
+            passes = {name: (stats.count, stats.total_seconds,
+                             list(stats.buckets), sorted(stats.recent))
+                      for name, stats in self._passes.items()}
+        snapshot: Dict[str, Dict[str, object]] = {}
+        for name, (count, total, buckets, latencies) in passes.items():
+            histogram = {
+                f"le_{bound}ms": buckets[index]
+                for index, bound in enumerate(PASS_LATENCY_BUCKETS_MS)
+            }
+            histogram["le_inf"] = buckets[-1]
+            snapshot[name] = {
+                "count": count,
+                "total_seconds": total,
+                "mean_ms": 1e3 * total / count if count else 0.0,
+                "p50_ms": 1e3 * _percentile(latencies, 0.50),
+                "p95_ms": 1e3 * _percentile(latencies, 0.95),
+                "histogram_ms": histogram,
+            }
+        return snapshot
+
+
+#: Process-wide registry the pipeline hooks feed (when enabled).
+PASS_METRICS = PassMetricsRegistry()
+
+
+def enable_pass_metrics() -> PassMetricsRegistry:
+    """Turn on in-process pass-latency aggregation and return the registry."""
+    PASS_METRICS.enable()
+    return PASS_METRICS
+
+
+def observe_pass(name: str, seconds: float) -> None:
+    """Record one pass execution (no-op unless the registry is enabled)."""
+    if PASS_METRICS.enabled:
+        PASS_METRICS.observe(name, seconds)

@@ -1,0 +1,313 @@
+"""Trace-file loading and aggregation: "where did the milliseconds go".
+
+:func:`load_events` reads one or many JSONL trace files (tolerating a
+truncated final line from a killed process); :func:`summarize` turns the
+event stream into the analysis the ``python -m repro.trace`` CLI prints:
+
+- per-(layer, span-name) latency rollup (count/total/mean/p50/p95/max);
+- per-technique per-pass breakdown (pipeline spans carry the technique);
+- solver point-event rollups (restarts, conflicts, theory checks, OMT
+  rounds — numeric fields summed, last value kept for gauges);
+- slowest-span top-N across the whole trace.
+
+:func:`diff_summaries` compares two summaries pass-by-pass for A/B runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def load_events(paths: Union[PathLike, Sequence[PathLike]]) -> List[Dict[str, object]]:
+    """Load events from one or many trace files, in file order.
+
+    A truncated final line (process killed mid-flush) is skipped rather
+    than raising; any other malformed line raises ``ValueError`` with
+    the offending location.
+    """
+    if isinstance(paths, (str, os.PathLike)):
+        paths = [paths]
+    events: List[Dict[str, object]] = []
+    for path in paths:
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines) or (number == len(lines) - 1
+                                            and not lines[-1].strip()):
+                    continue  # torn final write from a killed producer
+                raise ValueError(
+                    f"{os.fspath(path)}:{number}: malformed trace line"
+                ) from None
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+class Span:
+    """One reconstructed span: its begin/end events joined by (pid, id)."""
+
+    __slots__ = ("span_id", "pid", "tid", "name", "layer", "parent",
+                 "start", "duration", "fields")
+
+    def __init__(self, begin: Mapping[str, object]) -> None:
+        self.span_id = begin["span"]
+        self.pid = begin["pid"]
+        self.tid = begin["tid"]
+        self.name = begin["name"]
+        self.layer = begin["layer"]
+        self.parent = begin.get("parent")
+        self.start = float(begin["ts"])  # type: ignore[arg-type]
+        self.duration: Optional[float] = None
+        self.fields: Dict[str, object] = dict(begin.get("fields") or {})  # type: ignore[arg-type]
+
+    def close(self, end: Mapping[str, object]) -> None:
+        self.duration = float(end["dur"])  # type: ignore[arg-type]
+        self.fields.update(end.get("fields") or {})  # type: ignore[arg-type]
+
+
+def build_spans(events: Iterable[Mapping[str, object]]) -> List[Span]:
+    """Join begin/end events into spans (unclosed spans keep duration None)."""
+    spans: Dict[Tuple[object, object], Span] = {}
+    ordered: List[Span] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "begin":
+            span = Span(event)
+            spans[(event["pid"], event["span"])] = span
+            ordered.append(span)
+        elif kind == "end":
+            span = spans.get((event["pid"], event["span"]))
+            if span is not None:
+                span.close(event)
+    return ordered
+
+
+def _stat_block(durations: List[float]) -> Dict[str, float]:
+    durations = sorted(durations)
+    count = len(durations)
+    total = sum(durations)
+    def pct(q: float) -> float:
+        rank = min(count - 1, max(0, int(round(q * (count - 1)))))
+        return durations[rank]
+    return {
+        "count": count,
+        "total_seconds": total,
+        "mean_ms": 1e3 * total / count if count else 0.0,
+        "p50_ms": 1e3 * pct(0.50),
+        "p95_ms": 1e3 * pct(0.95),
+        "max_ms": 1e3 * durations[-1] if durations else 0.0,
+    }
+
+
+def summarize(events: Sequence[Mapping[str, object]],
+              top: int = 10) -> Dict[str, object]:
+    """Aggregate an event stream into the CLI's analysis document."""
+    spans = build_spans(events)
+    closed = [span for span in spans if span.duration is not None]
+
+    # -- per-(layer, name) latency rollup --------------------------------
+    by_name: Dict[Tuple[str, str], List[float]] = {}
+    for span in closed:
+        by_name.setdefault((str(span.layer), str(span.name)), []).append(
+            span.duration)  # type: ignore[arg-type]
+    stages = {
+        f"{layer}:{name}": _stat_block(durations)
+        for (layer, name), durations in sorted(by_name.items())
+    }
+
+    # -- per-technique per-pass breakdown --------------------------------
+    # Pipeline pass spans carry the technique on their enclosing pipeline
+    # span; passes inherit it through the parent chain within a pid.
+    span_index = {(span.pid, span.span_id): span for span in spans}
+
+    def technique_of(span: Span) -> str:
+        seen = set()
+        node: Optional[Span] = span
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            technique = node.fields.get("technique")
+            if technique:
+                return str(technique)
+            node = span_index.get((node.pid, node.parent)) if node.parent else None
+        return "unknown"
+
+    techniques: Dict[str, Dict[str, List[float]]] = {}
+    for span in closed:
+        if span.layer != "pipeline" or not str(span.name).startswith("pass:"):
+            continue
+        pass_name = str(span.name)[len("pass:"):]
+        techniques.setdefault(technique_of(span), {}).setdefault(
+            pass_name, []).append(span.duration)  # type: ignore[arg-type]
+    technique_breakdown = {
+        technique: {
+            name: _stat_block(durations)
+            for name, durations in sorted(passes.items())
+        }
+        for technique, passes in sorted(techniques.items())
+    }
+
+    # -- solver point-event rollups --------------------------------------
+    solver_events: Dict[str, Dict[str, object]] = {}
+    for event in events:
+        if event.get("kind") != "point" or event.get("layer") != "solver":
+            continue
+        name = str(event["name"])
+        rollup = solver_events.setdefault(name, {"count": 0})
+        rollup["count"] = int(rollup["count"]) + 1  # type: ignore[arg-type]
+        for key, value in (event.get("fields") or {}).items():  # type: ignore[union-attr]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if key.startswith(("d_", "delta_")):
+                rollup[key] = rollup.get(key, 0) + value  # type: ignore[operator]
+            else:
+                rollup[f"last_{key}"] = value
+    solver_rollup = {name: solver_events[name] for name in sorted(solver_events)}
+
+    # -- slowest spans ----------------------------------------------------
+    slowest = sorted(closed, key=lambda span: span.duration or 0.0,
+                     reverse=True)[:max(0, top)]
+    slowest_entries = [
+        {
+            "name": span.name,
+            "layer": span.layer,
+            "pid": span.pid,
+            "span": span.span_id,
+            "duration_ms": 1e3 * (span.duration or 0.0),
+            "fields": {key: value for key, value in span.fields.items()
+                       if isinstance(value, (int, float, str, bool))},
+        }
+        for span in slowest
+    ]
+
+    layers = sorted({str(event.get("layer")) for event in events
+                     if event.get("layer") and event.get("layer") != "trace"})
+    return {
+        "events": len(events),
+        "spans": len(spans),
+        "unclosed_spans": len(spans) - len(closed),
+        "layers": layers,
+        "stages": stages,
+        "techniques": technique_breakdown,
+        "solver": solver_rollup,
+        "slowest": slowest_entries,
+    }
+
+
+def pass_totals(summary: Mapping[str, object]) -> Dict[str, float]:
+    """Total seconds per pipeline pass across all techniques in a summary."""
+    totals: Dict[str, float] = {}
+    for passes in summary.get("techniques", {}).values():  # type: ignore[union-attr]
+        for name, block in passes.items():
+            totals[name] = totals.get(name, 0.0) + float(block["total_seconds"])
+    return totals
+
+
+def diff_summaries(a: Mapping[str, object],
+                   b: Mapping[str, object]) -> Dict[str, object]:
+    """Compare two summaries: per-stage mean latency deltas (B vs A)."""
+    stages_a = a.get("stages", {})
+    stages_b = b.get("stages", {})
+    rows: List[Dict[str, object]] = []
+    for key in sorted(set(stages_a) | set(stages_b)):  # type: ignore[arg-type]
+        mean_a = float(stages_a[key]["mean_ms"]) if key in stages_a else None  # type: ignore[index]
+        mean_b = float(stages_b[key]["mean_ms"]) if key in stages_b else None  # type: ignore[index]
+        row: Dict[str, object] = {"stage": key, "a_mean_ms": mean_a,
+                                  "b_mean_ms": mean_b}
+        if mean_a and mean_b is not None:
+            row["delta_ms"] = mean_b - mean_a
+            row["delta_percent"] = 100.0 * (mean_b - mean_a) / mean_a
+        rows.append(row)
+    return {
+        "a_events": a.get("events"),
+        "b_events": b.get("events"),
+        "stages": rows,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Text rendering (the CLI's default output)
+# ---------------------------------------------------------------------------
+def render_summary(summary: Mapping[str, object]) -> str:
+    lines: List[str] = []
+    lines.append(
+        f"trace: {summary['events']} events, {summary['spans']} spans "
+        f"({summary['unclosed_spans']} unclosed), "
+        f"layers: {', '.join(summary['layers']) or '-'}"  # type: ignore[arg-type]
+    )
+    stages = summary.get("stages", {})
+    if stages:
+        lines.append("")
+        lines.append("per-stage latency (layer:name):")
+        lines.append(f"  {'stage':<34} {'count':>6} {'total_s':>9} "
+                     f"{'mean_ms':>9} {'p50_ms':>8} {'p95_ms':>8}")
+        for key, block in stages.items():  # type: ignore[union-attr]
+            lines.append(
+                f"  {key:<34} {block['count']:>6} "
+                f"{block['total_seconds']:>9.4f} {block['mean_ms']:>9.3f} "
+                f"{block['p50_ms']:>8.3f} {block['p95_ms']:>8.3f}"
+            )
+    techniques = summary.get("techniques", {})
+    if techniques:
+        lines.append("")
+        lines.append("per-technique pass breakdown:")
+        for technique, passes in techniques.items():  # type: ignore[union-attr]
+            total = sum(float(block["total_seconds"]) for block in passes.values())
+            lines.append(f"  {technique} (total {total:.4f}s):")
+            for name, block in passes.items():
+                share = (100.0 * float(block["total_seconds"]) / total
+                         if total else 0.0)
+                lines.append(
+                    f"    {name:<18} {block['total_seconds']:>9.4f}s "
+                    f"{share:>5.1f}%  mean {block['mean_ms']:.3f}ms  "
+                    f"x{block['count']}"
+                )
+    solver = summary.get("solver", {})
+    if solver:
+        lines.append("")
+        lines.append("solver events:")
+        for name, rollup in solver.items():  # type: ignore[union-attr]
+            extras = ", ".join(
+                f"{key}={value}" for key, value in rollup.items() if key != "count"
+            )
+            lines.append(f"  {name:<24} x{rollup['count']}"
+                         + (f"  ({extras})" if extras else ""))
+    slowest = summary.get("slowest", [])
+    if slowest:
+        lines.append("")
+        lines.append("slowest spans:")
+        for entry in slowest:  # type: ignore[union-attr]
+            lines.append(
+                f"  {entry['duration_ms']:>10.3f}ms  {entry['layer']}:"
+                f"{entry['name']} (pid {entry['pid']}, span {entry['span']})"
+            )
+    return "\n".join(lines)
+
+
+def render_diff(diff: Mapping[str, object]) -> str:
+    lines = [f"diff: A={diff['a_events']} events, B={diff['b_events']} events",
+             "",
+             f"  {'stage':<34} {'A mean_ms':>10} {'B mean_ms':>10} "
+             f"{'delta':>9} {'pct':>8}"]
+    for row in diff.get("stages", []):  # type: ignore[union-attr]
+        mean_a = row.get("a_mean_ms")
+        mean_b = row.get("b_mean_ms")
+        a_text = f"{mean_a:.3f}" if mean_a is not None else "-"
+        b_text = f"{mean_b:.3f}" if mean_b is not None else "-"
+        if "delta_ms" in row:
+            delta = f"{row['delta_ms']:+.3f}"
+            pct = f"{row['delta_percent']:+.1f}%"
+        else:
+            delta, pct = "-", "-"
+        lines.append(f"  {row['stage']:<34} {a_text:>10} {b_text:>10} "
+                     f"{delta:>9} {pct:>8}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""The checked-in trace event schema and structural validators.
+
+Every line of a trace file is one JSON object.  The schema is small and
+deliberately flat so traces stay greppable:
+
+========  ==================================================================
+``kind``  ``meta`` | ``begin`` | ``end`` | ``point``
+``ts``    ``time.perf_counter()`` seconds — monotonic within one process
+``name``  event name, e.g. ``http.request``, ``pass:solve``, ``sat.restart``
+``layer`` ``server`` | ``service`` | ``api`` | ``pipeline`` | ``solver``
+          (plus ``trace`` for the ``meta`` header)
+``pid``   producing process id
+``tid``   producing thread id
+``span``  span id: the opened span (``begin``/``end``), the enclosing span
+          or ``null`` (``point``), ``null`` (``meta``)
+``fields`` free-form JSON object with event-specific payload
+========  ==================================================================
+
+``begin`` events additionally carry ``parent`` (enclosing span id or
+``null``); ``end`` events carry ``dur`` (seconds).  ``meta`` events carry
+``wall`` (``time.time()``) so perf-counter timestamps can be anchored to
+wall-clock time.
+
+:func:`validate_trace` checks the *structural* invariants the tests rely
+on: well-formed span nesting per thread, parents that exist within the
+same process, and per-thread monotonic timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+#: Event kinds.
+KINDS = ("meta", "begin", "end", "point")
+
+#: Layers instrumented by the subsystem (``meta`` headers use ``trace``).
+LAYERS = ("trace", "server", "service", "api", "pipeline", "solver")
+
+#: Keys every event must carry, regardless of kind.
+REQUIRED_KEYS = ("kind", "ts", "name", "layer", "pid", "tid", "span", "fields")
+
+#: Additional per-kind required keys.
+KIND_KEYS: Dict[str, Tuple[str, ...]] = {
+    "meta": ("wall",),
+    "begin": ("parent",),
+    "end": ("dur",),
+    "point": (),
+}
+
+
+class TraceValidationError(ValueError):
+    """A trace event (or event stream) violates the schema."""
+
+
+def validate_event(event: Mapping[str, object], index: int = -1) -> None:
+    """Validate a single event against the schema; raise on violation."""
+    where = f"event {index}" if index >= 0 else "event"
+    for key in REQUIRED_KEYS:
+        if key not in event:
+            raise TraceValidationError(f"{where}: missing required key {key!r}")
+    kind = event["kind"]
+    if kind not in KINDS:
+        raise TraceValidationError(f"{where}: unknown kind {kind!r}")
+    for key in KIND_KEYS[kind]:  # type: ignore[index]
+        if key not in event:
+            raise TraceValidationError(f"{where}: {kind} event missing key {key!r}")
+    if event["layer"] not in LAYERS:
+        raise TraceValidationError(f"{where}: unknown layer {event['layer']!r}")
+    if not isinstance(event["ts"], (int, float)):
+        raise TraceValidationError(f"{where}: ts must be a number")
+    if not isinstance(event["name"], str) or not event["name"]:
+        raise TraceValidationError(f"{where}: name must be a non-empty string")
+    for key in ("pid", "tid"):
+        if not isinstance(event[key], int):
+            raise TraceValidationError(f"{where}: {key} must be an integer")
+    if not isinstance(event["fields"], dict):
+        raise TraceValidationError(f"{where}: fields must be an object")
+    if kind in ("begin", "end") and not isinstance(event["span"], int):
+        raise TraceValidationError(f"{where}: {kind} event needs an integer span id")
+    if kind == "end":
+        dur = event["dur"]
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise TraceValidationError(f"{where}: dur must be a non-negative number")
+
+
+def validate_trace(events: Iterable[Mapping[str, object]]) -> int:
+    """Validate a full event stream; returns the number of events checked.
+
+    Beyond per-event shape, enforces:
+
+    - **nesting**: per (pid, tid), ``begin``/``end`` pair up LIFO;
+    - **parenting**: a ``begin``'s ``parent`` names a span previously
+      begun in the same process (ended or not — cross-thread job spans
+      legitimately parent under a still-open submitter span);
+    - **monotonic time**: per (pid, tid), timestamps never decrease.
+    """
+    open_stacks: Dict[Tuple[int, int], List[int]] = {}
+    known_spans: Dict[int, set] = {}
+    last_ts: Dict[Tuple[int, int], float] = {}
+    count = 0
+    for index, event in enumerate(events):
+        validate_event(event, index)
+        count += 1
+        pid = event["pid"]  # type: ignore[assignment]
+        key = (pid, event["tid"])  # type: ignore[arg-type]
+        ts = float(event["ts"])  # type: ignore[arg-type]
+        previous = last_ts.get(key)
+        if previous is not None and ts < previous:
+            raise TraceValidationError(
+                f"event {index}: timestamp went backwards on thread {key} "
+                f"({ts} < {previous})"
+            )
+        last_ts[key] = ts
+        kind = event["kind"]
+        if kind == "begin":
+            parent = event["parent"]
+            if parent is not None and parent not in known_spans.setdefault(pid, set()):
+                raise TraceValidationError(
+                    f"event {index}: parent span {parent} never begun in pid {pid}"
+                )
+            known_spans.setdefault(pid, set()).add(event["span"])
+            open_stacks.setdefault(key, []).append(event["span"])  # type: ignore[arg-type]
+        elif kind == "end":
+            stack = open_stacks.get(key, [])
+            if not stack or stack[-1] != event["span"]:
+                raise TraceValidationError(
+                    f"event {index}: end of span {event['span']} does not match "
+                    f"innermost open span {stack[-1] if stack else None} on {key}"
+                )
+            stack.pop()
+    return count

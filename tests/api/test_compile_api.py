@@ -44,6 +44,20 @@ class TestCompile:
         result = repro.compile(quickstart_circuit(), spin_qubit_target(3))
         assert result.technique == "sat_p"
 
+    @pytest.mark.parametrize("technique", PAPER_TECHNIQUES)
+    def test_statistics_are_never_empty(self, technique):
+        """Heuristic techniques report selection counters (or an explicit
+        reason), not a silently empty statistics dict."""
+        result = repro.compile(quickstart_circuit(), spin_qubit_target(3),
+                               technique=technique)
+        statistics = result.statistics
+        assert statistics, f"{technique} reported no statistics"
+        if technique.startswith("sat_"):
+            assert statistics["improvement_rounds"] >= 1
+        else:
+            assert statistics["selection"] in ("greedy", "all", "none")
+            assert "candidates" in statistics and "accepted" in statistics
+
     def test_direct_is_its_own_baseline_even_when_merged(self):
         """Direct translation is the normalization reference, so its cost
         deltas stay exactly zero with single-qubit merging enabled."""

@@ -1,0 +1,178 @@
+"""Tracing through the async service and the HTTP gateway, plus job timing."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.server import ReproClient, build_server
+from repro.service.scheduler import CompilationService
+from repro.hardware import spin_qubit_target
+from repro.trace import (
+    current_tracer,
+    global_tracer,
+    load_events,
+    stop_tracing,
+    summarize,
+    validate_trace,
+)
+from repro.workloads import ghz_circuit
+
+QASM_BELL_CHAIN = (
+    'OPENQASM 2.0; include "qelib1.inc"; '
+    "qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];"
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    stop_tracing()
+    yield
+    stop_tracing()
+
+
+def _distinct_circuit(index):
+    circuit = ghz_circuit(3)
+    circuit.name = f"ghz3_v{index}"
+    # A trailing 1q gate on a different qubit keeps dedup keys distinct.
+    circuit.x(index % 3)
+    return circuit
+
+
+class TestServiceTracing:
+    def test_two_simultaneous_jobs_trace_cleanly_and_parent_correctly(
+        self, tmp_path
+    ):
+        """Acceptance: concurrent traced jobs yield non-interleaved,
+        correctly-parented spans."""
+        path = str(tmp_path / "service.jsonl")
+        service = CompilationService(workers=2, trace=path)
+        target = spin_qubit_target(3, "D0")
+        try:
+            tracer = current_tracer()
+            submit_spans = {}
+            handles = []
+            for index in range(2):
+                # sat_p keeps each job busy long enough that the pair
+                # genuinely overlaps on the two workers.
+                with tracer.span("submit", "api", index=index) as span_id:
+                    handle = service.submit(
+                        _distinct_circuit(index), target, "sat_p",
+                        use_cache=False)
+                submit_spans[handle.job_id] = span_id
+                handles.append(handle)
+            for handle in handles:
+                handle.result(timeout=300)
+        finally:
+            service.shutdown()
+
+        events = load_events(path)
+        validate_trace(events)  # per-thread LIFO nesting, monotonic ts
+        job_begins = [e for e in events
+                      if e["kind"] == "begin" and e["name"] == "job"]
+        assert len(job_begins) == 2
+        # Each worker-side job span parents under its own submitter span.
+        for begin in job_begins:
+            job_id = begin["fields"]["job_id"]
+            assert begin["parent"] == submit_spans[job_id]
+        # The two jobs ran on distinct worker threads with distinct spans.
+        assert len({b["span"] for b in job_begins}) == 2
+        assert len({b["tid"] for b in job_begins}) == 2
+
+    def test_dedup_emits_a_dedup_event_instead_of_a_second_job(self, tmp_path):
+        path = str(tmp_path / "dedup.jsonl")
+        service = CompilationService(workers=1, trace=path)
+        target = spin_qubit_target(3, "D0")
+        circuit = ghz_circuit(3)
+        try:
+            # The blocker occupies the only worker, so the identical pair
+            # below is still queued when the duplicate arrives.
+            blocker = service.submit(_distinct_circuit(0), target, "direct",
+                                     use_cache=False)
+            first = service.submit(circuit, target, "direct")
+            second = service.submit(circuit, target, "direct")
+            assert first.job_id == second.job_id
+            blocker.result(timeout=300)
+            first.result(timeout=300)
+            second.result(timeout=300)
+        finally:
+            service.shutdown()
+        events = load_events(path)
+        names = [e["name"] for e in events]
+        assert names.count("job.submit") == 2  # blocker + the shared pair
+        assert names.count("job.dedup") == 1
+        dedup = next(e for e in events if e["name"] == "job.dedup")
+        assert dedup["fields"]["job_id"] == first.job_id
+        assert dedup["fields"]["waiters"] == 2
+
+    def test_job_timing_lifecycle_fields(self):
+        service = CompilationService(workers=1)
+        target = spin_qubit_target(3, "D0")
+        try:
+            handle = service.submit(ghz_circuit(3), target, "direct",
+                                    use_cache=False)
+            partial = handle.timing()
+            assert "submitted_at" in partial
+            handle.result(timeout=300)
+        finally:
+            service.shutdown()
+        timing = handle.timing()
+        assert set(timing) == {
+            "submitted_at", "started_at", "queue_wait_seconds",
+            "finished_at", "run_seconds", "total_seconds",
+        }
+        assert timing["submitted_at"] <= timing["started_at"] <= timing["finished_at"]
+        assert timing["queue_wait_seconds"] >= 0.0
+        assert timing["run_seconds"] >= 0.0
+        assert timing["total_seconds"] >= timing["run_seconds"]
+
+
+class TestServerTracing:
+    @pytest.fixture()
+    def traced_server(self, tmp_path):
+        path = str(tmp_path / "server.jsonl")
+        server = build_server(workers=2, trace=path).start_background()
+        yield server, path
+        server.stop(drain=False)
+
+    def test_http_compile_traces_all_four_layers(self, traced_server):
+        """Acceptance: one HTTP compile spans server -> service -> pipeline
+        -> solver in a single trace file."""
+        server, path = traced_server
+        client = ReproClient(server.url, timeout=120.0)
+        result = client.compile_suite("toffoli_n3", technique="sat_p",
+                                      timeout=300)
+        assert result.cost.gate_count > 0
+        global_tracer().flush()
+
+        events = load_events(path)
+        validate_trace(events)
+        summary = summarize(events)
+        assert {"server", "service", "api", "pipeline", "solver"} <= set(
+            summary["layers"])
+        assert any(key.startswith("pipeline:pass:") for key in summary["stages"])
+        assert summary["solver"]  # OMT/SMT point events made it through
+
+    def test_job_status_payload_carries_timing(self, traced_server):
+        server, _ = traced_server
+        client = ReproClient(server.url, timeout=120.0)
+        job = client.submit(QASM_BELL_CHAIN, technique="direct")
+        job.result(timeout=300)
+        status = client.job_status(job.job_id)
+        timing = status["timing"]
+        assert timing["queue_wait_seconds"] >= 0.0
+        assert timing["run_seconds"] >= 0.0
+        assert timing["finished_at"] >= timing["submitted_at"]
+
+    def test_metrics_exposes_per_pass_latency_histograms(self, traced_server):
+        server, _ = traced_server
+        client = ReproClient(server.url, timeout=120.0)
+        circuit = QuantumCircuit(2, name="metrics2")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        client.compile(circuit, technique="direct", timeout=300)
+        passes = client.metrics()["passes"]
+        for stage in ("route", "solve", "analyze_cost"):
+            block = passes[stage]
+            assert block["count"] >= 1
+            assert block["p50_ms"] <= block["p95_ms"] or block["count"] == 1
+            # Non-cumulative buckets: every observation lands in exactly one.
+            assert sum(block["histogram_ms"].values()) == block["count"]

@@ -1,0 +1,240 @@
+"""The tracer core: lifecycle, scoping, no-op guarantees, compile(trace=)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+import repro
+from repro.hardware import spin_qubit_target
+from repro.trace import (
+    NULL_TRACER,
+    Tracer,
+    capture_context,
+    current_tracer,
+    load_events,
+    resume_context,
+    scoped_tracer,
+    start_tracing,
+    stop_tracing,
+    tracing_active,
+    validate_trace,
+)
+from repro.workloads import ghz_circuit
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    """Every test starts and ends without an installed global tracer."""
+    stop_tracing()
+    yield
+    stop_tracing()
+
+
+class TestDisabled:
+    def test_tracing_is_off_by_default(self):
+        assert not tracing_active()
+        assert current_tracer() is NULL_TRACER
+
+    def test_null_tracer_operations_are_noops(self):
+        tracer = current_tracer()
+        tracer.event("x", "api")
+        token = tracer.begin("x", "api")
+        tracer.end(token)
+        with tracer.span("x", "api"):
+            pass
+        tracer.flush()
+        tracer.close()
+        assert tracer.capture() is None
+        assert capture_context() is None
+
+    def test_resume_none_context_is_noop(self):
+        with resume_context(None):
+            assert current_tracer() is NULL_TRACER
+
+
+class TestLifecycle:
+    def test_start_stop_install_and_remove_the_global_tracer(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = start_tracing(path)
+        assert tracing_active()
+        assert current_tracer() is tracer
+        tracer.event("hello", "api", answer=42)
+        stop_tracing()
+        assert not tracing_active()
+        events = load_events(path)
+        assert events[0]["kind"] == "meta"
+        assert events[-1]["name"] == "hello"
+        assert events[-1]["fields"]["answer"] == 42
+
+    def test_start_twice_same_path_returns_same_tracer(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        first = start_tracing(path)
+        assert start_tracing(path) is first
+
+    def test_start_without_path_or_env_raises(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        with pytest.raises(ValueError):
+            start_tracing()
+
+    def test_env_variable_names_the_default_path(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv("REPRO_TRACE", path)
+        tracer = start_tracing()
+        assert tracer.path == path
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "t.jsonl"))
+        tracer.close()
+        tracer.close()
+        assert tracer.closed
+
+    def test_events_survive_unflushed_buffer_on_close(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(path, buffer_events=10000)
+        tracer.event("buffered", "api")
+        tracer.close()
+        assert any(e["name"] == "buffered" for e in load_events(path))
+
+
+class TestSpans:
+    def test_span_nesting_and_parents(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path) as tracer:
+            with tracer.activate():
+                with tracer.span("outer", "api") as outer_id:
+                    with tracer.span("inner", "pipeline"):
+                        tracer.event("point", "solver")
+        events = load_events(path)
+        validate_trace(events)
+        begins = {e["name"]: e for e in events if e["kind"] == "begin"}
+        assert begins["outer"]["parent"] is None
+        assert begins["inner"]["parent"] == outer_id
+        point = next(e for e in events if e["kind"] == "point")
+        assert point["span"] == begins["inner"]["span"]
+
+    def test_end_carries_duration_and_extra_fields(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path) as tracer:
+            with tracer.activate():
+                token = tracer.begin("work", "api")
+                tracer.end(token, items=3)
+        end = next(e for e in load_events(path) if e["kind"] == "end")
+        assert end["dur"] >= 0
+        assert end["fields"]["items"] == 3
+
+    def test_capture_resume_parents_across_threads(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path) as tracer:
+            with tracer.activate():
+                with tracer.span("request", "server") as request_id:
+                    context = capture_context()
+
+                    def worker():
+                        with resume_context(context):
+                            with current_tracer().span("job", "service"):
+                                pass
+
+                    thread = threading.Thread(target=worker)
+                    thread.start()
+                    thread.join()
+        events = load_events(path)
+        validate_trace(events)
+        job_begin = next(e for e in events
+                         if e["kind"] == "begin" and e["name"] == "job")
+        assert job_begin["parent"] == request_id
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path) as tracer:
+            with tracer.activate():
+                tracer.event("x", "api", weird=object())
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                json.loads(line)
+
+
+class TestScopedTracer:
+    def test_false_forces_tracing_off(self, tmp_path):
+        start_tracing(str(tmp_path / "t.jsonl"))
+        with scoped_tracer(False) as tracer:
+            assert tracer.enabled is False
+            assert current_tracer() is NULL_TRACER
+        assert current_tracer().enabled
+
+    def test_true_without_env_or_global_is_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        with scoped_tracer(True) as tracer:
+            assert tracer.enabled is False
+
+    def test_path_makes_a_per_call_tracer(self, tmp_path):
+        path = str(tmp_path / "call.jsonl")
+        with scoped_tracer(path) as tracer:
+            assert tracer.enabled
+            tracer.event("scoped", "api")
+        assert not tracing_active()
+        assert any(e["name"] == "scoped" for e in load_events(path))
+
+
+class TestCompileTraceArgument:
+    def _compile(self, **kwargs):
+        circuit = ghz_circuit(3)
+        target = spin_qubit_target(3, "D0")
+        return repro.compile(circuit, target, "direct", **kwargs)
+
+    def test_trace_path_writes_all_pipeline_passes(self, tmp_path):
+        path = str(tmp_path / "c.jsonl")
+        result = self._compile(use_cache=False, trace=path)
+        events = load_events(path)
+        validate_trace(events)
+        pass_names = {e["name"] for e in events
+                      if e["kind"] == "begin" and e["layer"] == "pipeline"}
+        for stage in result.report.stage_seconds():
+            assert f"pass:{stage}" in pass_names
+
+    def test_trace_never_affects_the_cache_key(self, tmp_path):
+        repro.clear_compilation_cache()
+        before = repro.compilation_cache_info().hits
+        self._compile(use_cache=True)
+        traced = self._compile(use_cache=True, trace=str(tmp_path / "c.jsonl"))
+        # The traced call hits the entry the untraced call populated:
+        # trace= is not part of the fingerprint.
+        assert repro.compilation_cache_info().hits == before + 1
+        assert traced.report.cache_hit
+
+    def test_trace_false_suppresses_ambient_tracing(self, tmp_path):
+        path = str(tmp_path / "ambient.jsonl")
+        start_tracing(path)
+        self._compile(use_cache=False, trace=False)
+        stop_tracing()
+        assert not any(e["layer"] == "pipeline" for e in load_events(path))
+
+    def test_tracer_instance_is_used_and_left_open(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "inst.jsonl"))
+        self._compile(use_cache=False, trace=tracer)
+        assert not tracer.closed
+        tracer.close()
+        assert any(e["name"] == "compile" for e in load_events(tracer.path))
+
+    def test_result_identical_with_and_without_tracing(self, tmp_path):
+        untraced = self._compile(use_cache=False)
+        traced = self._compile(use_cache=False, trace=str(tmp_path / "c.jsonl"))
+        assert traced.cost.to_dict() == untraced.cost.to_dict()
+        assert [str(i) for i in traced.adapted_circuit.instructions] == \
+               [str(i) for i in untraced.adapted_circuit.instructions]
+
+
+class TestMultiProcessSafety:
+    def test_two_tracers_appending_to_one_file_stay_line_atomic(self, tmp_path):
+        path = str(tmp_path / "shared.jsonl")
+        a, b = Tracer(path, buffer_events=1), Tracer(path, buffer_events=1)
+        for index in range(200):
+            a.event(f"a{index}", "api")
+            b.event(f"b{index}", "api")
+        a.close()
+        b.close()
+        events = load_events(path)
+        names = {e["name"] for e in events}
+        assert {f"a{i}" for i in range(200)} <= names
+        assert {f"b{i}" for i in range(200)} <= names
