@@ -71,6 +71,15 @@ def main(argv=None) -> int:
         f"disabled ~{trace['disabled_overhead_percent']:.3f}% "
         f"({trace['disabled_hook_ns']:.0f} ns/hook)"
     )
+    resilience = report["resilience"]
+    print(
+        f"resilience {resilience['workload']} [{resilience['technique']}]: "
+        f"disabled check {resilience['disabled_check_ns']:.0f} ns "
+        f"({resilience['disabled_vs_trace_hook']:.2f}x trace hook), "
+        f"armed {resilience['armed_check_ns']:.0f} ns, "
+        f"budgeted compile {resilience['budgeted_overhead_percent']:+.1f}%, "
+        f"degrade roundtrip {1e3 * resilience['degrade_roundtrip_seconds']:.0f} ms"
+    )
     for row in report["theory_engine_ab"]:
         inc = row["modes"]["incremental"]["solve_seconds"]
         leg = row["modes"]["legacy_rebuild"]["solve_seconds"]

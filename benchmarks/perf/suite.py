@@ -403,6 +403,82 @@ def bench_trace(preset: Dict) -> Dict:
     }
 
 
+def bench_resilience(preset: Dict) -> Dict:
+    """Deadline-checkpoint overhead: disabled hook cost + degrade timing.
+
+    The budget checkpoints (:func:`repro.resilience.check_budget`) sit
+    on the SAT conflict loop, the SMT theory-check loop, the OMT rounds
+    and every pipeline-pass boundary — i.e. the same hot paths as the
+    trace hooks.  The contract is that a *disabled* checkpoint (no
+    budget installed, the overwhelmingly common case) costs no more
+    than ~2x the disabled trace hook.
+    """
+    from repro.resilience.budget import Budget, budget_scope, check_budget
+    from repro.trace.tracer import current_tracer
+
+    name, build = preset["compile_workloads"][0]
+    circuit = build()
+    target = spin_qubit_target(max(4, circuit.num_qubits))
+    technique = preset["compile_techniques"][0]
+    repeats = max(2, preset["repeats"])
+
+    probe_calls = 200000
+    # Disabled fast path: one module-flag read + return.
+    start = time.perf_counter()
+    for _ in range(probe_calls):
+        check_budget("bench")
+    disabled_hook_ns = 1e9 * (time.perf_counter() - start) / probe_calls
+
+    # Armed path: contextvar read + charge/deadline comparison.
+    with budget_scope(Budget(timeout=3600.0)):
+        start = time.perf_counter()
+        for _ in range(probe_calls):
+            check_budget("bench")
+        armed_hook_ns = 1e9 * (time.perf_counter() - start) / probe_calls
+
+    # The reference cost this subsystem is allowed ~2x of.
+    start = time.perf_counter()
+    for _ in range(probe_calls):
+        current_tracer()
+    trace_hook_ns = 1e9 * (time.perf_counter() - start) / probe_calls
+
+    plain = _best_of(
+        lambda: repro.compile(circuit, target, technique, use_cache=False),
+        repeats,
+    )
+    budgeted = _best_of(
+        lambda: repro.compile(circuit, target, technique, use_cache=False,
+                              timeout=3600.0),
+        repeats,
+    )
+
+    # A deadline that always fires, resolved by the degradation ladder:
+    # the whole detect-degrade-recompile round trip.
+    start = time.perf_counter()
+    degraded = repro.compile(circuit, target, "sat_p", use_cache=False,
+                             timeout=0.0, on_deadline="degrade")
+    degrade_seconds = time.perf_counter() - start
+    assert degraded.report.degraded_from == "sat_p"
+
+    return {
+        "workload": name,
+        "technique": technique,
+        "disabled_check_ns": disabled_hook_ns,
+        "armed_check_ns": armed_hook_ns,
+        "trace_hook_ns": trace_hook_ns,
+        "disabled_vs_trace_hook": (
+            disabled_hook_ns / trace_hook_ns if trace_hook_ns > 0 else 0.0
+        ),
+        "plain_seconds": plain,
+        "budgeted_seconds": budgeted,
+        "budgeted_overhead_percent": (
+            100.0 * (budgeted - plain) / plain if plain > 0 else 0.0
+        ),
+        "degrade_roundtrip_seconds": degrade_seconds,
+        "degraded_to": degraded.technique,
+    }
+
+
 # ----------------------------------------------------------------------
 # Service layer
 # ----------------------------------------------------------------------
@@ -526,6 +602,7 @@ def run_suite(preset_name: str) -> Dict:
         "smt": bench_smt(preset),
         "compile": bench_compile(preset),
         "trace": bench_trace(preset),
+        "resilience": bench_resilience(preset),
         "theory_engine_ab": bench_theory_engine_ab(preset),
         "service": bench_service(preset),
         "suite": bench_qasm_suite(preset),

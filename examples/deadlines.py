@@ -1,0 +1,63 @@
+"""Resilience tour: deadlines, degradation ladders and cancellation.
+
+Run with ``python examples/deadlines.py``.  The SAT/SMT techniques are
+exact solvers — worst-case exponential — so production callers bound
+them: ``compile(timeout=...)`` raises a typed error at the next solver
+checkpoint, and ``on_deadline="degrade"`` walks a fallback ladder of
+cheaper techniques instead of failing.
+"""
+
+import repro
+from repro.resilience import DEFAULT_LADDERS, CompileDeadlineExceeded
+from repro.workloads import ghz_circuit
+
+
+def main() -> None:
+    circuit = ghz_circuit(4)
+    target = repro.spin_qubit_target(4, "D0")
+
+    # A generous deadline: the compile simply succeeds within budget.
+    result = repro.compile(circuit, target, "sat_p", timeout=300.0,
+                           use_cache=False)
+    print(f"sat_p within budget: fidelity "
+          f"{result.cost.gate_fidelity_product:.4f}, "
+          f"{1e3 * result.report.total_seconds:.1f} ms")
+
+    # An impossible deadline with the default policy raises a typed
+    # error naming the checkpoint that observed it.
+    try:
+        repro.compile(circuit, target, "sat_p", timeout=0.0, use_cache=False)
+    except CompileDeadlineExceeded as error:
+        print(f"\ntimeout=0 raised {type(error).__name__} "
+              f"at checkpoint {error.checkpoint!r} "
+              f"after {error.elapsed:.3f}s")
+
+    # on_deadline="degrade" walks the technique's fallback ladder
+    # instead: each rung gets a short grace budget, and the first one
+    # that finishes wins.  The report records the full story.
+    print(f"\ndefault ladder for sat_p: "
+          f"{' -> '.join(DEFAULT_LADDERS['sat_p'])}")
+    result = repro.compile(circuit, target, "sat_p", timeout=0.0,
+                           on_deadline="degrade", use_cache=False)
+    print(f"degraded compile came back as {result.technique!r} "
+          f"(requested {result.report.degraded_from!r})")
+    for event in result.report.deadline_events:
+        print(f"  deadline event: {event['reason']} at "
+              f"{event.get('checkpoint', '?')} after "
+              f"{event.get('elapsed_seconds', 0.0):.3f}s")
+
+    # The same budget flows through the async service: submit with a
+    # timeout, and cancel() interrupts even a *running* compile at the
+    # next solver checkpoint.
+    with repro.CompilationService(workers=2) as service:
+        handle = service.submit(circuit, target, "sat_p", use_cache=False,
+                                timeout=0.0, on_deadline="degrade",
+                                fallback="direct")
+        result = handle.result(timeout=60)
+        print(f"\nservice job degraded to {result.technique!r}; "
+              f"counters: degraded="
+              f"{service.statistics()['degraded']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,9 @@ plug in with :func:`repro.register_technique`.  The layers underneath:
 * :mod:`repro.trace` — opt-in structured event tracing across all of the
   above (``REPRO_TRACE`` / ``compile(trace=...)``; inspect with
   ``python -m repro.trace``);
+* :mod:`repro.resilience` — compile deadlines and cooperative
+  cancellation (``compile(timeout=...)``), degradation ladders and
+  deterministic fault injection (``REPRO_FAULTS``);
 * :mod:`repro.api` — facade, technique registry, compilation cache;
 * :mod:`repro.pipeline` — the instrumented pass pipeline (Fig. 2);
 * :mod:`repro.core` — preprocessing, substitution rules, the SMT model;
@@ -80,6 +83,10 @@ _LAZY_EXPORTS = {
     "start_tracing": ("repro.trace", "start_tracing"),
     "stop_tracing": ("repro.trace", "stop_tracing"),
     "Tracer": ("repro.trace", "Tracer"),
+    "Budget": ("repro.resilience", "Budget"),
+    "CompileInterrupted": ("repro.resilience", "CompileInterrupted"),
+    "CompileDeadlineExceeded": ("repro.resilience", "CompileDeadlineExceeded"),
+    "CompileCancelled": ("repro.resilience", "CompileCancelled"),
 }
 
 __all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
@@ -125,6 +132,12 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
         suite_names,
     )
     from repro.pipeline import CompilationReport, Pipeline
+    from repro.resilience import (
+        Budget,
+        CompileCancelled,
+        CompileDeadlineExceeded,
+        CompileInterrupted,
+    )
     from repro.server import ReproClient, ShardRouter, build_server
     from repro.service import (
         CompilationService,

@@ -37,6 +37,13 @@ from repro.api.registry import is_builtin_spec, resolve_technique
 from repro.circuits.circuit import QuantumCircuit
 from repro.hardware.target import Target
 from repro.pipeline.report import CompilationReport
+from repro.resilience.budget import (
+    Budget,
+    CompileCancelled,
+    CompileInterrupted,
+    budget_scope,
+    current_budget,
+)
 from repro.trace.tracer import scoped_tracer
 
 BatchItem = Union[
@@ -72,6 +79,9 @@ def compile(
     *,
     use_cache: bool = True,
     trace=None,
+    timeout: Optional[float] = None,
+    on_deadline: Optional[str] = None,
+    fallback=None,
     **options: object,
 ):
     """Adapt ``circuit`` to ``target`` with the named technique.
@@ -103,6 +113,26 @@ def compile(
         path string traces just this call into that JSONL file; a
         :class:`repro.trace.Tracer` traces into that instance.  Tracing
         never affects the result or its cache key.
+    timeout:
+        Wall-clock deadline in seconds for this compile.  The budget is
+        checked cooperatively at every SAT conflict, SMT theory check,
+        OMT improvement round and pipeline pass boundary; when it fires,
+        a :class:`repro.resilience.CompileDeadlineExceeded` is raised —
+        or, under ``on_deadline="degrade"``, a fallback technique is
+        tried instead.  Like ``trace``, the deadline parameters never
+        enter the cache key.  When a budget is already in scope (e.g.
+        installed by the service scheduler around this call), it keeps
+        governing the compile; passing ``timeout`` here layers a new
+        budget over it for this call only.
+    on_deadline:
+        ``"raise"`` (default) or ``"degrade"`` — on deadline, walk the
+        degradation ladder (see :mod:`repro.resilience.degrade`) and
+        return the first fallback result that lands, flagged via
+        ``report.degraded_from`` / ``report.deadline_events``.
+    fallback:
+        Degradation ladder override: a technique key or sequence of keys
+        tried in order, ``False`` to disable fallback, ``None`` for the
+        per-technique default ladder.
     **options:
         Technique options: ``merge_single_qubit_gates`` and ``verify``
         for every technique; ``rules`` and ``max_improvement_rounds``
@@ -121,6 +151,17 @@ def compile(
     spec = resolve_technique(technique)
     spec.validate_options(dict(options))
     options = _effective_options(spec, options)
+
+    # The ambient budget (e.g. installed by the service scheduler) keeps
+    # governing the compile via the solver checkpoints; explicit deadline
+    # parameters layer a per-call budget over it, linked so an outer
+    # cancellation still interrupts this call.
+    ambient = current_budget()
+    budget = None
+    if timeout is not None or on_deadline is not None or fallback is not None:
+        budget = Budget(timeout=timeout, on_deadline=on_deadline or "raise",
+                        fallback=fallback, parent=ambient)
+    policy = budget if budget is not None else ambient
 
     digest = circuit_hash(circuit)
     fingerprint = target_fingerprint(target)
@@ -159,13 +200,75 @@ def compile(
                 options=dict(options),
             )
             pipeline = spec.build_pipeline()
-            result = pipeline.run(circuit, target, technique=spec.key,
-                                  options=options, report=report)
+            try:
+                with budget_scope(budget):
+                    result = pipeline.run(circuit, target, technique=spec.key,
+                                          options=options, report=report)
+            except CompileInterrupted as error:
+                tracer.event("resilience.deadline", "api",
+                             technique=spec.key, reason=error.reason,
+                             checkpoint=error.checkpoint)
+                if (isinstance(error, CompileCancelled) or policy is None
+                        or policy.on_deadline != "degrade"):
+                    raise
+                return _degrade(circuit, target, spec, policy, error,
+                                use_cache=use_cache, tracer=tracer,
+                                options=options)
             if use_cache:
                 store_result(key, result)
             return result
         finally:
             tracer.end(token)
+
+
+def _degrade(circuit, target, spec, policy, error, *, use_cache, tracer,
+             options):
+    """Walk the degradation ladder after ``error`` interrupted ``spec``.
+
+    Each rung gets a short grace deadline (a fraction of the original
+    timeout, see :mod:`repro.resilience.degrade`) and runs under
+    ``on_deadline="raise"`` so a slow rung is skipped rather than
+    recursively degraded.  The first result that lands is returned with
+    ``degraded_from`` naming the original technique and the full
+    interruption history in ``deadline_events``; results are cached under
+    the fallback technique's own key — never under the interrupted one.
+    """
+    from repro.resilience.degrade import fallback_grace, resolve_ladder
+
+    events = [error.event()]
+    ladder = resolve_ladder(spec.key, policy.fallback)
+    grace = fallback_grace(policy.timeout)
+    last = error
+    for rung in ladder:
+        rung_spec = resolve_technique(rung)
+        rung_options = {name: value for name, value in options.items()
+                        if name in rung_spec.option_names}
+        tracer.event("resilience.degrade", "api",
+                     from_technique=spec.key, to_technique=rung_spec.key,
+                     grace_seconds=grace, reason=last.reason)
+        try:
+            # Re-enter the interrupted budget's scope so the rung's fresh
+            # grace budget links to it as a parent: the original deadline
+            # no longer applies, but an outer cancel still interrupts.
+            with budget_scope(policy):
+                result = compile(circuit, target, rung_spec.key,
+                                 use_cache=use_cache, timeout=grace,
+                                 on_deadline="raise", **rung_options)
+        except CompileInterrupted as rung_error:
+            events.append(rung_error.event())
+            last = rung_error
+            if isinstance(rung_error, CompileCancelled):
+                raise
+            continue
+        report = result.report
+        if report is not None:
+            # Safe to annotate: both cache tiers store detached copies,
+            # so the degradation provenance never leaks into the cached
+            # entry under the fallback technique's key.
+            report.degraded_from = spec.key
+            report.deadline_events = events + list(report.deadline_events)
+        return result
+    raise last
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.hardware.target import Target
 from repro.pipeline.passes import Pass, PassContext
 from repro.pipeline.report import CompilationReport, PassStats
+from repro.resilience.budget import check_budget
 from repro.trace.metrics import observe_pass
 from repro.trace.tracer import current_tracer
 
@@ -136,6 +137,10 @@ class Pipeline:
             )
         try:
             for pass_ in self._passes:
+                # Pass boundaries are deadline checkpoints too, so
+                # budgets fire for every technique — including those
+                # whose passes never enter a solver loop.
+                check_budget(f"pass:{pass_.name}")
                 pass_token = (
                     tracer.begin(f"pass:{pass_.name}", "pipeline")
                     if tracer.enabled else None

@@ -82,6 +82,14 @@ class CompilationReport:
         Portfolio-compilation provenance: one summary dict per technique
         raced by :meth:`repro.service.CompilationService.compile_portfolio`
         (empty for ordinary single-technique compilations).
+    degraded_from:
+        When a compile deadline fired and :func:`repro.compile` fell back
+        down the degradation ladder, the technique key originally
+        requested (``technique`` then names the fallback that produced
+        this result).  ``None`` for ordinary compilations.
+    deadline_events:
+        The interruption record of each abandoned attempt (see
+        :meth:`repro.resilience.CompileInterrupted.event`), in order.
     """
 
     technique: str
@@ -92,6 +100,8 @@ class CompilationReport:
     stages: List[PassStats] = field(default_factory=list)
     cache_hit: bool = False
     contenders: List[Dict[str, object]] = field(default_factory=list)
+    degraded_from: Optional[str] = None
+    deadline_events: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -117,7 +127,8 @@ class CompilationReport:
     def as_cache_hit(self) -> "CompilationReport":
         """A copy of this report flagged as served from the cache."""
         return replace(self, cache_hit=True, stages=list(self.stages),
-                       contenders=[dict(c) for c in self.contenders])
+                       contenders=[dict(c) for c in self.contenders],
+                       deadline_events=[dict(e) for e in self.deadline_events])
 
     def to_dict(self) -> dict:
         """JSON-serializable form for the persistent result store.
@@ -139,6 +150,8 @@ class CompilationReport:
             "stages": [stage.to_dict() for stage in self.stages],
             "cache_hit": self.cache_hit,
             "contenders": [dict(c) for c in self.contenders],
+            "degraded_from": self.degraded_from,
+            "deadline_events": [dict(e) for e in self.deadline_events],
         }
 
     @staticmethod
@@ -157,6 +170,8 @@ class CompilationReport:
             stages=[PassStats.from_dict(s) for s in payload.get("stages", [])],
             cache_hit=bool(payload.get("cache_hit", False)),
             contenders=[dict(c) for c in payload.get("contenders", [])],
+            degraded_from=payload.get("degraded_from"),
+            deadline_events=[dict(e) for e in payload.get("deadline_events", [])],
         )
 
     def summary(self) -> str:

@@ -1,0 +1,63 @@
+"""Resilience primitives: budgets, degradation ladders, fault injection.
+
+This package bounds and hardens the compilation stack:
+
+- :class:`Budget` / :func:`budget_scope` — cooperative wall-clock
+  deadlines, solver work limits and cross-thread cancellation, checked
+  at the solver hot-loop checkpoints (see :mod:`repro.resilience.budget`).
+- :mod:`repro.resilience.degrade` — the fallback ladders
+  ``repro.compile(on_deadline="degrade")`` walks when a deadline fires.
+- :mod:`repro.resilience.faults` — deterministic, env-activated fault
+  injection (worker kills, store corruption, HTTP aborts, solver
+  slowdown) so every recovery path is tested by inducing the failure.
+"""
+
+from repro.resilience.budget import (
+    Budget,
+    CompileCancelled,
+    CompileDeadlineExceeded,
+    CompileInterrupted,
+    budget_scope,
+    check_budget,
+    current_budget,
+)
+from repro.resilience.degrade import (
+    DEFAULT_LADDERS,
+    GRACE_FRACTION,
+    MIN_GRACE_SECONDS,
+    fallback_grace,
+    resolve_ladder,
+)
+from repro.resilience.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_hook,
+    install_fault_plan,
+    maybe_fault,
+)
+
+__all__ = [
+    "Budget",
+    "CompileCancelled",
+    "CompileDeadlineExceeded",
+    "CompileInterrupted",
+    "budget_scope",
+    "check_budget",
+    "current_budget",
+    "DEFAULT_LADDERS",
+    "GRACE_FRACTION",
+    "MIN_GRACE_SECONDS",
+    "fallback_grace",
+    "resolve_ladder",
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "FaultSpec",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "fault_hook",
+    "install_fault_plan",
+    "maybe_fault",
+]

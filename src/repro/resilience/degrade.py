@@ -1,0 +1,87 @@
+"""Degradation ladders: what to fall back to when a deadline fires.
+
+When a compile under ``on_deadline="degrade"`` runs out of budget,
+:func:`repro.compile` walks a *ladder* of cheaper techniques, giving
+each rung a short grace deadline, and returns the first result that
+lands — flagged ``degraded_from`` in its report, with the interruption
+history in ``deadline_events``.
+
+The default ladders step from the paper's expensive OMT formulations
+down through their greedy counterparts to the ``direct`` baseline,
+which compiles in milliseconds and therefore (nearly) always fits the
+grace window:
+
+========== =========================
+technique  default ladder
+========== =========================
+sat_p      sat_r -> direct
+sat_f      template_f -> direct
+sat_r      template_r -> direct
+kak_cz     direct
+kak_dcz    direct
+template_f direct
+template_r direct
+direct     (nothing cheaper exists)
+========== =========================
+
+Techniques registered at runtime fall back straight to ``direct``.
+Callers override the ladder per compile (``fallback=("sat_r",)``),
+or disable it (``fallback=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+#: Per-technique default fallback ladders, cheapest-last.
+DEFAULT_LADDERS: Dict[str, Tuple[str, ...]] = {
+    "sat_p": ("sat_r", "direct"),
+    "sat_f": ("template_f", "direct"),
+    "sat_r": ("template_r", "direct"),
+    "kak_cz": ("direct",),
+    "kak_dcz": ("direct",),
+    "template_f": ("direct",),
+    "template_r": ("direct",),
+    "direct": (),
+}
+
+#: Every fallback rung gets at least this many seconds, however small
+#: the original timeout was — `direct` needs a moment to run at all.
+MIN_GRACE_SECONDS = 0.5
+
+#: ...and otherwise this fraction of the original timeout, so the whole
+#: degraded compile stays within ~(1 + rungs * fraction) x timeout.
+GRACE_FRACTION = 0.15
+
+
+def resolve_ladder(
+    technique: str,
+    fallback: Union[None, bool, str, Sequence[str]] = None,
+) -> Tuple[str, ...]:
+    """The fallback techniques to try for ``technique``, in order.
+
+    ``fallback=None`` selects the default ladder (unknown techniques
+    degrade straight to ``direct``), ``False`` disables degradation,
+    a string or sequence of strings is used verbatim (minus the failing
+    technique itself, which would just time out again).
+    """
+    if fallback is False:
+        return ()
+    if fallback is None or fallback is True:
+        ladder = DEFAULT_LADDERS.get(technique, ("direct",))
+    elif isinstance(fallback, str):
+        ladder = (fallback,)
+    else:
+        ladder = tuple(str(key) for key in fallback)
+    return tuple(key for key in ladder if key != technique)
+
+
+def fallback_grace(timeout: Optional[float]) -> Optional[float]:
+    """The per-rung grace deadline for a compile that had ``timeout``.
+
+    ``None`` (no time bound — the budget fired on a work limit) keeps
+    the fallback unbounded too.
+    """
+    if timeout is None:
+        return None
+    return max(MIN_GRACE_SECONDS, GRACE_FRACTION * float(timeout))

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.resilience.budget import current_budget
+from repro.resilience.faults import active_fault_plan
 from repro.trace.tracer import current_tracer
 
 #: Conflict-count granularity of the sampled ``sat.conflicts`` trace
@@ -550,6 +552,11 @@ class Solver:
         # One flag read when tracing is off; milestone-sampled events when on.
         tracer = current_tracer()
         traced = tracer.enabled
+        # The ambient compile budget (deadline/cancellation) and fault
+        # plan are likewise fetched once per solve; the per-conflict cost
+        # in the common case is a single `is not None` test each.
+        budget = current_budget()
+        fault_plan = active_fault_plan()
 
         internal_assumptions = [self._lit_to_internal(lit) for lit in assumptions]
         conflicts_since_restart = 0
@@ -582,6 +589,10 @@ class Solver:
                 ):
                     self._backtrack(0)
                     return SolverResult.UNKNOWN
+                if budget is not None:
+                    budget.charge("sat.conflict", conflicts=1)
+                if fault_plan is not None:
+                    fault_plan.delay("sat.conflict")
                 if traced and self.statistics.conflicts % TRACE_CONFLICT_MILESTONE == 0:
                     tracer.event(
                         "sat.conflicts", "solver",

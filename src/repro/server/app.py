@@ -55,6 +55,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.hardware import spin_qubit_target
 from repro.hardware.target import Target
 from repro.interop import QasmError, QasmExportError, circuit_to_qasm, qasm_to_circuit
+from repro.resilience.faults import active_fault_plan
 from repro.service.scheduler import (
     CompilationService,
     JobStatus,
@@ -81,14 +82,31 @@ MAX_DRAIN_WAIT_SECONDS = 600.0
 #: Upper bucket bounds (milliseconds) of the request-latency histograms.
 LATENCY_BUCKETS_MS = (1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
 
+#: ``Retry-After`` hint on 503 responses (queue full / shutting down).
+RETRY_AFTER_SECONDS = 1.0
+
+#: Request header carrying the compile deadline in seconds (equivalent
+#: to the ``timeout`` field of the submission body, which wins if both
+#: are given).
+DEADLINE_HEADER = "X-Repro-Deadline"
+
 
 class ApiError(Exception):
-    """An error with an HTTP status and a JSON body."""
+    """An error with an HTTP status and a JSON body.
 
-    def __init__(self, status: int, message: str, **extra: object) -> None:
+    ``retry_after`` (seconds) makes the response carry a ``Retry-After``
+    header — the backpressure contract 503s use so clients pace their
+    retries instead of hammering a saturated or restarting server.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None, **extra: object) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
         self.payload: Dict[str, object] = {"error": message, **extra}
+        if retry_after is not None:
+            self.payload["retry_after"] = retry_after
 
 
 # ---------------------------------------------------------------------------
@@ -318,6 +336,29 @@ class CompilationGateway:
             return target
         raise ApiError(400, "'target' must be null, 'D0'/'D1' or an object")
 
+    @staticmethod
+    def _resilience_settings(payload: Dict[str, object]):
+        """Decode a submission's ``timeout``/``on_deadline``/``fallback``."""
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise ApiError(400, f"invalid timeout {timeout!r}") from None
+            if timeout < 0:
+                raise ApiError(400, "'timeout' must be >= 0 seconds")
+        on_deadline = payload.get("on_deadline")
+        if on_deadline is not None and on_deadline not in ("raise", "degrade"):
+            raise ApiError(400, f"invalid on_deadline {on_deadline!r}; "
+                                "expected 'raise' or 'degrade'")
+        fallback = payload.get("fallback")
+        if fallback is not None and not isinstance(fallback, (bool, str, list)):
+            raise ApiError(400, "'fallback' must be a bool, a technique key "
+                                "or a list of technique keys")
+        if isinstance(fallback, list):
+            fallback = [str(key) for key in fallback]
+        return timeout, on_deadline, fallback
+
     # -- submission ------------------------------------------------------
     def _new_job(self, name: str, kind: str, label: str) -> _GatewayJob:
         with self._lock:
@@ -346,18 +387,24 @@ class CompilationGateway:
                        payload: Dict[str, object], name: str) -> Dict[str, object]:
         """Enqueue an already-decoded circuit under ``payload``'s settings."""
         if self._closed:
-            raise ApiError(503, "the server is shutting down")
+            raise ApiError(503, "the server is shutting down",
+                           retry_after=RETRY_AFTER_SECONDS)
         target = self.resolve_target(payload.get("target"), circuit)
         options = payload.get("options") or {}
         if not isinstance(options, dict):
             raise ApiError(400, "'options' must be an object")
         use_cache = bool(payload.get("use_cache", True))
+        timeout, on_deadline, fallback = self._resilience_settings(payload)
         portfolio = payload.get("portfolio")
         technique = payload.get("technique")
         if portfolio is not None and technique is not None:
             raise ApiError(400, "give either 'technique' or 'portfolio', not both")
 
         if portfolio is not None:
+            if timeout is not None or on_deadline is not None or fallback is not None:
+                raise ApiError(400, "deadlines ('timeout'/'on_deadline'/"
+                                    "'fallback') apply to technique jobs, "
+                                    "not portfolios")
             if isinstance(portfolio, str):
                 portfolio = [key.strip() for key in portfolio.split(",") if key.strip()]
             if not isinstance(portfolio, list) or not portfolio:
@@ -376,10 +423,12 @@ class CompilationGateway:
             try:
                 handle = self.service.submit(
                     circuit, target, key,
-                    use_cache=use_cache, block=False, **options,
+                    use_cache=use_cache, block=False, timeout=timeout,
+                    on_deadline=on_deadline, fallback=fallback, **options,
                 )
             except ServiceSaturatedError as error:
-                raise ApiError(503, str(error), retry=True) from None
+                raise ApiError(503, str(error), retry=True,
+                               retry_after=RETRY_AFTER_SECONDS) from None
             except UnknownTechniqueError as error:
                 raise ApiError(
                     400, f"unknown technique {key!r}",
@@ -394,7 +443,8 @@ class CompilationGateway:
     def submit_batch(self, payload) -> Dict[str, object]:
         """Handle ``POST /v1/batch``: a workload manifest over the wire."""
         if self._closed:
-            raise ApiError(503, "the server is shutting down")
+            raise ApiError(503, "the server is shutting down",
+                           retry_after=RETRY_AFTER_SECONDS)
         try:
             workloads, defaults = parse_manifest(payload, allow_qasm_paths=False)
         except (TypeError, ValueError, KeyError) as error:
@@ -408,6 +458,9 @@ class CompilationGateway:
             "policy": defaults.get("policy", "combined"),
             "options": defaults.get("options") or {},
             "use_cache": defaults.get("use_cache", True),
+            "timeout": defaults.get("timeout"),
+            "on_deadline": defaults.get("on_deadline"),
+            "fallback": defaults.get("fallback"),
         }
         if settings["technique"] is None and settings["portfolio"] is None:
             settings["technique"] = "sat_p"
@@ -703,11 +756,28 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             raise ApiError(400, f"invalid timeout {values[0]!r}") from None
 
+    def _with_deadline_header(self, payload):
+        """Fold an ``X-Repro-Deadline`` header into a submission body.
+
+        The body's own ``timeout`` field wins when both are present.
+        """
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None or not isinstance(payload, dict):
+            return payload
+        try:
+            deadline = float(raw)
+        except ValueError:
+            raise ApiError(
+                400, f"invalid {DEADLINE_HEADER} header {raw!r}") from None
+        payload.setdefault("timeout", deadline)
+        return payload
+
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
         parsed = urlparse(self.path)
         label = f"{method} <unmatched>"
         status, payload = 500, {"error": "internal error"}
+        retry_after: Optional[float] = None
         tracer = current_tracer()
         request_token = tracer.begin("http.request", "server", method=method)
         try:
@@ -732,6 +802,7 @@ class _Handler(BaseHTTPRequestHandler):
             status, payload = self._handle(action, match, query)
         except ApiError as error:
             status, payload = error.status, error.payload
+            retry_after = error.retry_after
         except BrokenPipeError:
             # Client went away mid-request; nothing to answer.
             tracer.end(request_token, route=label, status=0)
@@ -739,8 +810,23 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 - the server must answer
             status = 500
             payload = {"error": f"{type(error).__name__}: {error}"}
+        plan = active_fault_plan()
+        if plan is not None:
+            # Fault injection: delay and/or drop this response.  The
+            # abort closes the socket without answering — the client sees
+            # a connection error mid-read, the retry territory its
+            # resilience tests exercise.
+            for spec in plan.delay("http.response"):
+                if spec.action == "abort":
+                    tracer.end(request_token, route=label, status=0)
+                    self.close_connection = True
+                    try:
+                        self.connection.close()
+                    except OSError:
+                        pass
+                    return
         tracer.end(request_token, route=label, status=status)
-        self._respond(status, payload)
+        self._respond(status, payload, retry_after=retry_after)
         self.gateway.metrics.observe(label, status,
                                      time.perf_counter() - started)
 
@@ -751,7 +837,8 @@ class _Handler(BaseHTTPRequestHandler):
         if action == "metrics":
             return 200, gateway.metrics_snapshot()
         if action == "submit":
-            return 202, gateway.submit_payload(self._read_json())
+            return 202, gateway.submit_payload(
+                self._with_deadline_header(self._read_json()))
         if action == "status":
             return 200, gateway.job_status(match.group("job_id"))
         if action == "result":
@@ -760,12 +847,14 @@ class _Handler(BaseHTTPRequestHandler):
         if action == "cancel":
             return 200, gateway.cancel_job(match.group("job_id"))
         if action == "batch":
-            return 202, gateway.submit_batch(self._read_json())
+            return 202, gateway.submit_batch(
+                self._with_deadline_header(self._read_json()))
         if action == "suite":
             return 200, gateway.suite_index()
         if action == "suite_compile":
-            return 202, gateway.submit_suite(match.group("name"),
-                                             self._read_json())
+            return 202, gateway.submit_suite(
+                match.group("name"),
+                self._with_deadline_header(self._read_json()))
         if action == "validate":
             return 200, gateway.validate_circuit(self._read_json())
         if action == "drain":
@@ -780,7 +869,8 @@ class _Handler(BaseHTTPRequestHandler):
                 max(0.0, min(wait, MAX_DRAIN_WAIT_SECONDS)))
         raise ApiError(500, f"unrouted action {action!r}")  # pragma: no cover
 
-    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+    def _respond(self, status: int, payload: Dict[str, object],
+                 retry_after: Optional[float] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         if status >= 400:
             # Error paths may answer before the request body was read
@@ -792,6 +882,11 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                # Integer seconds per RFC 9110 (rounded up, so a client
+                # honoring the header never retries early).
+                self.send_header("Retry-After",
+                                 str(max(1, int(-(-retry_after // 1)))))
             if self.close_connection:
                 self.send_header("Connection", "close")
             self.end_headers()

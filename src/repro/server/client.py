@@ -134,15 +134,23 @@ class ReproClient:
         How many times a *transient* failure (connection refused/reset,
         502/503/504) is retried before giving up.
     backoff:
-        Initial retry delay in seconds; doubles per attempt.
+        Initial retry delay in seconds; doubles per attempt.  A 503
+        carrying a ``Retry-After`` header overrides the backoff for that
+        attempt — the server knows its own recovery horizon better.
+    max_retry_seconds:
+        Hard cap on the total wall-clock one request may spend retrying
+        (sleeps included); the last transient error is raised once the
+        cap would be exceeded.
     """
 
     def __init__(self, base_url: str, timeout: float = 60.0,
-                 retries: int = 3, backoff: float = 0.2) -> None:
+                 retries: int = 3, backoff: float = 0.2,
+                 max_retry_seconds: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.max_retry_seconds = max_retry_seconds
 
     # -- transport -------------------------------------------------------
     def _request(self, method: str, path: str,
@@ -171,10 +179,12 @@ class ReproClient:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         delay = self.backoff
+        started = time.monotonic()
         last_error: Optional[ServerError] = None
         for attempt in range(self.retries + 1):
             request = urllib.request.Request(url, data=data, headers=headers,
                                              method=method)
+            retry_after: Optional[float] = None
             try:
                 with urllib.request.urlopen(
                     request, timeout=timeout or self.timeout
@@ -186,10 +196,12 @@ class ReproClient:
                 # when the server marked it transient (full queue) — a
                 # draining server will never come back for this request.
                 retryable = error.code in (502, 504) or (
-                    error.code == 503 and bool(body.get("retry"))
+                    error.code == 503 and bool(
+                        body.get("retry") or body.get("retry_after"))
                 )
                 if retryable:
                     last_error = _error_for(error.code, body)
+                    retry_after = self._retry_after(error, body)
                 else:
                     raise _error_for(error.code, body) from None
             except (urllib.error.URLError, ConnectionError,
@@ -198,9 +210,28 @@ class ReproClient:
                 last_error = ServerUnavailableError(
                     f"cannot reach {url}: {reason}")
             if attempt < self.retries:
-                time.sleep(delay)
+                pause = delay if retry_after is None else retry_after
+                # Bound the total retry wall-clock: when the next sleep
+                # would blow the cap, surface the last error instead.
+                elapsed = time.monotonic() - started
+                if elapsed + pause > self.max_retry_seconds:
+                    break
+                time.sleep(pause)
                 delay *= 2
         raise last_error  # type: ignore[misc]
+
+    @staticmethod
+    def _retry_after(error: urllib.error.HTTPError,
+                     body: Dict[str, object]) -> Optional[float]:
+        """The server's retry hint: ``Retry-After`` header or JSON field."""
+        raw = error.headers.get("Retry-After") if error.headers else None
+        if raw is None:
+            raw = body.get("retry_after")
+        try:
+            seconds = float(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return None
+        return max(0.0, seconds)
 
     @staticmethod
     def _decode(raw: bytes) -> Dict[str, object]:
@@ -258,9 +289,18 @@ class ReproClient:
         policy: Optional[str] = None,
         use_cache: bool = True,
         name: Optional[str] = None,
+        deadline: Optional[float] = None,
+        on_deadline: Optional[str] = None,
+        fallback: Union[None, bool, str, Sequence[str]] = None,
         **options: object,
     ) -> RemoteJob:
-        """Enqueue one compilation; returns a :class:`RemoteJob` handle."""
+        """Enqueue one compilation; returns a :class:`RemoteJob` handle.
+
+        ``deadline`` is the *server-side* compile budget in seconds
+        (``compile(timeout=...)`` semantics); ``on_deadline="degrade"``
+        with an optional ``fallback`` ladder makes the server fall back
+        to cheaper techniques instead of failing the job.
+        """
         payload: Dict[str, object] = {
             "circuit": self._circuit_payload(circuit),
             "target": self._target_payload(target),
@@ -276,6 +316,14 @@ class ReproClient:
             payload["options"] = dict(options)
         if name is not None:
             payload["name"] = name
+        if deadline is not None:
+            payload["timeout"] = float(deadline)
+        if on_deadline is not None:
+            payload["on_deadline"] = on_deadline
+        if fallback is not None:
+            payload["fallback"] = (list(fallback)
+                                   if isinstance(fallback, (list, tuple))
+                                   else fallback)
         return RemoteJob(self, self._request("POST", "/v1/jobs", payload))
 
     def job_status(self, job_id: str) -> Dict[str, object]:
@@ -327,12 +375,25 @@ class ReproClient:
         technique: str = "sat_p",
         *,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        on_deadline: Optional[str] = None,
+        fallback: Union[None, bool, str, Sequence[str]] = None,
         use_cache: bool = True,
         **options: object,
     ) -> AdaptationResult:
-        """Synchronous mirror of :func:`repro.compile` over HTTP."""
+        """Synchronous mirror of :func:`repro.compile` over HTTP.
+
+        ``timeout`` bounds the client-side wait for the result;
+        ``deadline`` is the server-side compile budget (and implies a
+        result wait of ``2 * deadline + 30`` seconds when ``timeout`` is
+        not given — room for the degradation ladder's grace rungs).
+        """
         job = self.submit(circuit, target, technique,
-                          use_cache=use_cache, **options)
+                          use_cache=use_cache, deadline=deadline,
+                          on_deadline=on_deadline, fallback=fallback,
+                          **options)
+        if timeout is None and deadline is not None:
+            timeout = 2.0 * deadline + 30.0
         return job.result(timeout=timeout)
 
     def compile_portfolio(
@@ -376,10 +437,27 @@ class ReproClient:
 
     def compile_suite(self, benchmark: str, technique: str = "sat_p",
                       *, target=None, timeout: Optional[float] = None,
+                      use_cache: bool = True,
+                      deadline: Optional[float] = None,
+                      on_deadline: Optional[str] = None,
+                      fallback: Union[None, bool, str, Sequence[str]] = None,
                       **options: object) -> AdaptationResult:
-        """Compile one bundled suite benchmark server-side."""
+        """Compile one bundled suite benchmark server-side.
+
+        ``deadline``/``on_deadline``/``fallback`` carry the same
+        server-side budget semantics as :meth:`submit`.
+        """
         payload: Dict[str, object] = {"technique": technique,
-                                      "target": self._target_payload(target)}
+                                      "target": self._target_payload(target),
+                                      "use_cache": use_cache}
+        if deadline is not None:
+            payload["timeout"] = float(deadline)
+        if on_deadline is not None:
+            payload["on_deadline"] = on_deadline
+        if fallback is not None:
+            payload["fallback"] = (list(fallback)
+                                   if isinstance(fallback, (list, tuple))
+                                   else fallback)
         if options:
             payload["options"] = dict(options)
         stub = self._request(

@@ -23,6 +23,14 @@ sharing needs no extra coordination: the per-shard locks serialize
 writers within a process and concurrent processes at worst redundantly
 write the same bytes.
 
+The router also **supervises** its shards: a health-monitor thread
+detects a dead worker process, respawns it under a fresh job-id
+generation (``s1g1-``, ``s1g2-``, ...), and in the meantime fails
+submissions over to the surviving shards.  Lookups of a dead shard's
+jobs answer 503 with a ``Retry-After`` hint while the replacement boots
+(the jobs themselves died with the process; after the respawn the shard
+answers 404 for them, which is the honest terminal state).
+
 Shutdown is **draining**: the router stops accepting, each shard is
 asked to quiesce over ``POST /internal/drain`` (queued and running jobs
 finish), and only then are the worker processes stopped.
@@ -32,6 +40,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import re
 import threading
 import time
 import urllib.error
@@ -52,10 +61,22 @@ _BODY_ROUTED = ("/v1/jobs", "/v1/batch", "/v1/circuits/validate", "/v1/suite/")
 
 #: Service counters summed across shards in the aggregated /metrics.
 _SUMMED_COUNTERS = ("submitted", "deduplicated", "completed", "failed",
-                    "cancelled", "queue_depth", "busy_workers", "workers")
+                    "cancelled", "queue_depth", "busy_workers", "workers",
+                    "worker_crashes", "degraded")
+
+#: Job ids are ``s<shard>[g<generation>]-...``; generation 0 keeps the
+#: plain ``s<shard>-`` form so pre-respawn ids stay valid.
+_JOB_ID_SHARD = re.compile(r"^s(\d+)(?:g\d+)?-.")
+
+#: How often the health monitor polls shard process liveness.
+_HEALTH_INTERVAL_SECONDS = 0.5
+
+#: ``Retry-After`` hint while a dead shard's replacement boots.
+_SHARD_RETRY_AFTER_SECONDS = 2.0
 
 
-def _shard_main(index: int, host: str, ready, config: Dict) -> None:
+def _shard_main(index: int, host: str, ready, config: Dict,
+                job_prefix: str) -> None:
     """Worker-process entry point: serve one gateway on a free port."""
     from repro.server.app import build_server
 
@@ -66,7 +87,7 @@ def _shard_main(index: int, host: str, ready, config: Dict) -> None:
         store=config["store"],
         durations=config["durations"],
         max_pending=config["max_pending"],
-        job_prefix=f"s{index}-",
+        job_prefix=job_prefix,
     )
     ready.put((index, server.port))
     try:
@@ -105,28 +126,41 @@ class ShardRouter:
             "max_pending": max_pending,
         }
         self._requested_port = port
-        self._processes: List[multiprocessing.Process] = []
+        self._processes: Dict[int, multiprocessing.Process] = {}
         self._shard_ports: Dict[int, int] = {}
+        self._generations: Dict[int, int] = {}
+        self._respawns: Dict[int, int] = {}
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._started = False
+        self._context = multiprocessing.get_context()
+        self._ready = None  # The shard-port announcement queue.
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._respawn_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------
+    def _spawn_shard(self, index: int) -> multiprocessing.Process:
+        """Start the worker process for one shard (current generation)."""
+        generation = self._generations.get(index, 0)
+        prefix = f"s{index}-" if generation == 0 else f"s{index}g{generation}-"
+        process = self._context.Process(
+            target=_shard_main,
+            args=(index, self.host, self._ready, self._config, prefix),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        self._processes[index] = process
+        return process
+
     def start(self, boot_timeout: float = 60.0) -> "ShardRouter":
         """Spawn the shard processes and start routing."""
         if self._started:
             raise RuntimeError("ShardRouter is already started")
-        context = multiprocessing.get_context()
-        ready = context.Queue()
+        self._ready = self._context.Queue()
         for index in range(self.shards):
-            process = context.Process(
-                target=_shard_main,
-                args=(index, self.host, ready, self._config),
-                name=f"repro-shard-{index}",
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
+            self._spawn_shard(index)
         deadline = time.monotonic() + boot_timeout
         while len(self._shard_ports) < self.shards:
             remaining = deadline - time.monotonic()
@@ -137,7 +171,7 @@ class ShardRouter:
                     f"came up within {boot_timeout}s"
                 )
             try:
-                index, port = ready.get(timeout=min(remaining, 1.0))
+                index, port = self._ready.get(timeout=min(remaining, 1.0))
             except Exception:  # queue.Empty (multiprocessing re-exports it)
                 continue
             self._shard_ports[index] = port
@@ -152,7 +186,58 @@ class ShardRouter:
                                         name="repro-shard-router", daemon=True)
         self._thread.start()
         self._started = True
+        self._monitor_stop.clear()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="repro-shard-monitor", daemon=True)
+        self._monitor_thread.start()
         return self
+
+    # -- supervision -----------------------------------------------------
+    def _monitor_loop(self) -> None:
+        """Watch shard liveness; respawn whatever died."""
+        while not self._monitor_stop.wait(_HEALTH_INTERVAL_SECONDS):
+            for index, process in list(self._processes.items()):
+                if not process.is_alive():
+                    self._respawn_shard(index)
+
+    def _respawn_shard(self, index: int, boot_timeout: float = 60.0) -> bool:
+        """Replace a dead shard process; ``True`` once the new one serves.
+
+        The replacement mints job ids under a bumped generation prefix
+        (``s<index>g<n>-``), so ids of the dead generation can never
+        collide with new ones.
+        """
+        with self._respawn_lock:
+            process = self._processes.get(index)
+            if (not self._started or process is None or process.is_alive()):
+                return False
+            process.join(timeout=1.0)
+            self._shard_ports.pop(index, None)
+            self._generations[index] = self._generations.get(index, 0) + 1
+            self._respawns[index] = self._respawns.get(index, 0) + 1
+            self._spawn_shard(index)
+            deadline = time.monotonic() + boot_timeout
+            while index not in self._shard_ports:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                try:
+                    announced, port = self._ready.get(
+                        timeout=min(remaining, 1.0))
+                except Exception:  # queue.Empty
+                    continue
+                self._shard_ports[announced] = port
+            return True
+
+    def respawns(self) -> Dict[int, int]:
+        """Per-shard respawn counts so far (a snapshot)."""
+        return dict(self._respawns)
+
+    def live_shards(self) -> List[int]:
+        """Indices of shards whose process is alive and port known."""
+        return [index for index in sorted(self._shard_ports)
+                if (process := self._processes.get(index)) is not None
+                and process.is_alive()]
 
     @property
     def port(self) -> int:
@@ -169,6 +254,13 @@ class ShardRouter:
 
     def shutdown(self, drain: bool = True, timeout: float = 120.0) -> None:
         """Stop routing, drain every shard, then stop the processes."""
+        # The monitor must stop first, or it would dutifully respawn the
+        # very shards this is terminating.
+        self._started = False
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=10)
+            self._monitor_thread = None
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
@@ -186,16 +278,15 @@ class ShardRouter:
                     )
                 except OSError:
                     pass  # Shard already gone; terminate below.
-        for process in self._processes:
+        for process in self._processes.values():
             process.terminate()
-        for process in self._processes:
+        for process in self._processes.values():
             process.join(timeout=10)
             if process.is_alive():  # pragma: no cover - last resort
                 process.kill()
                 process.join(timeout=5)
-        self._processes = []
+        self._processes = {}
         self._shard_ports = {}
-        self._started = False
 
     def __enter__(self) -> "ShardRouter":
         if not self._started:
@@ -221,17 +312,15 @@ class ShardRouter:
         return int(digest[:16], 16) % self.shards
 
     def shard_for_job(self, job_id: str) -> Optional[int]:
-        """Shard index encoded in a job id (``s<k>-...``), or ``None``."""
-        if not job_id.startswith("s"):
+        """Shard index encoded in a job id (``s<k>[g<gen>]-...``), or ``None``."""
+        match = _JOB_ID_SHARD.match(job_id)
+        if match is None:
             return None
-        prefix, _, rest = job_id.partition("-")
-        if not rest:
-            return None
-        try:
-            index = int(prefix[1:])
-        except ValueError:
-            return None
-        return index if index in self._shard_ports else None
+        index = int(match.group(1))
+        # A valid-but-currently-dead shard still resolves: the routing
+        # layer answers 503 + Retry-After for it while the replacement
+        # process boots, not 404.
+        return index if index < self.shards else None
 
     def _forward_to_shard(self, index: int, method: str, path: str,
                           body: Optional[bytes] = None,
@@ -248,6 +337,15 @@ class ShardRouter:
         except urllib.error.HTTPError as error:
             return error.code, error.read()
 
+    @staticmethod
+    def _shard_down_answer(detail: str) -> Tuple[int, bytes]:
+        """503 + retry hint while a shard's replacement process boots."""
+        return 503, json.dumps({
+            "error": detail,
+            "retry": True,
+            "retry_after": _SHARD_RETRY_AFTER_SECONDS,
+        }).encode()
+
     def route(self, method: str, path: str, query: str,
               body: bytes) -> Tuple[int, bytes]:
         """Route one request; returns ``(status, JSON body bytes)``."""
@@ -263,14 +361,46 @@ class ShardRouter:
             if index is None:
                 return 404, json.dumps(
                     {"error": f"unknown job {job_id!r}"}).encode()
-            return self._forward_to_shard(index, method, target, body or None)
+            # Job ids are shard-affine: a dead shard's jobs cannot fail
+            # over, so answer 503 until the replacement is up (which
+            # will then report them 404 — they died with the process).
+            if index not in self._shard_ports:
+                return self._shard_down_answer(
+                    f"shard {index} is restarting; job {job_id!r} state "
+                    "is unavailable")
+            try:
+                return self._forward_to_shard(index, method, target,
+                                              body or None)
+            except OSError:
+                return self._shard_down_answer(
+                    f"shard {index} is unreachable")
         if method == "POST" and any(path == p or (p.endswith("/") and
                                                   path.startswith(p))
                                     for p in _BODY_ROUTED):
-            index = self.shard_for_body(body, path)
-            return self._forward_to_shard(index, method, target, body or None)
+            preferred = self.shard_for_body(body, path)
+            return self._forward_failover(preferred, method, target, body)
         # Shard-agnostic reads (e.g. GET /v1/suite): any shard can answer.
-        return self._forward_to_shard(0, method, target, body or None)
+        return self._forward_failover(0, method, target, body)
+
+    def _forward_failover(self, preferred: int, method: str, target: str,
+                          body: bytes) -> Tuple[int, bytes]:
+        """Forward to ``preferred``, failing over to any live shard.
+
+        Cache affinity is best-effort: a submission whose home shard is
+        mid-respawn lands on a survivor rather than bouncing back to the
+        client (it only costs a possible duplicate compilation).
+        """
+        candidates = [preferred] + [index for index in self.live_shards()
+                                    if index != preferred]
+        for index in candidates:
+            if index not in self._shard_ports:
+                continue
+            try:
+                return self._forward_to_shard(index, method, target,
+                                              body or None)
+            except OSError:
+                continue
+        return self._shard_down_answer("no shard is currently available")
 
     def _aggregate(self, path: str) -> Tuple[int, bytes]:
         """Fan ``/healthz`` or ``/metrics`` out to every shard and merge."""
@@ -286,9 +416,14 @@ class ShardRouter:
                 status = 502
             documents[f"s{index}"] = document
         if path == "/healthz":
+            live = self.live_shards()
+            if len(live) < self.shards:
+                status = 502
             merged: Dict[str, object] = {
                 "status": "ok" if status == 200 else "degraded",
                 "shards": self.shards,
+                "live": len(live),
+                "respawns": {f"s{k}": n for k, n in sorted(self._respawns.items())},
                 "per_shard": documents,
             }
         else:
@@ -354,10 +489,19 @@ class _RouterHandler(BaseHTTPRequestHandler):
             status = 500
             answer = json.dumps(
                 {"error": f"{type(error).__name__}: {error}"}).encode()
+        retry_after: Optional[float] = None
+        if status == 503:
+            try:
+                retry_after = float(json.loads(answer).get("retry_after"))
+            except (TypeError, ValueError):
+                retry_after = None
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(answer)))
+            if retry_after is not None:
+                self.send_header("Retry-After",
+                                 str(max(1, int(-(-retry_after // 1)))))
             self.end_headers()
             self.wfile.write(answer)
         except (BrokenPipeError, ConnectionResetError):

@@ -36,6 +36,7 @@ from repro.service.scheduler import (
     JobHandle,
     JobStatus,
     ServiceSaturatedError,
+    WorkerCrashedError,
 )
 from repro.service.store import (
     DEFAULT_MAX_BYTES,
@@ -50,6 +51,7 @@ __all__ = [
     "JobHandle",
     "JobStatus",
     "ServiceSaturatedError",
+    "WorkerCrashedError",
     "PersistentResultStore",
     "StoreInfo",
     "DEFAULT_MAX_BYTES",

@@ -27,10 +27,13 @@ the shared L1 → L2 cache stack.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -48,6 +51,13 @@ from repro.api.fingerprints import cache_key
 from repro.api.registry import resolve_technique
 from repro.circuits.circuit import QuantumCircuit
 from repro.hardware.target import Target
+from repro.resilience.budget import (
+    Budget,
+    CompileCancelled,
+    CompileDeadlineExceeded,
+    budget_scope,
+)
+from repro.resilience.faults import maybe_fault
 from repro.service.store import PersistentResultStore
 from repro.trace.tracer import (
     TraceContext,
@@ -62,6 +72,14 @@ from repro.trace.tracer import (
 
 class ServiceSaturatedError(RuntimeError):
     """Raised by ``submit(block=False)`` when the job queue is full."""
+
+
+class WorkerCrashedError(RuntimeError):
+    """A process worker died repeatedly while compiling one job.
+
+    Raised to the job's waiters only after the scheduler has respawned
+    the pool and retried the job up to its bounded retry budget.
+    """
 
 
 def _json_safe(value):
@@ -132,6 +150,16 @@ class _Job:
     #: Submitter's trace context, resumed on the worker thread so the
     #: job span parents under the submitting request's span.
     trace_context: Optional[TraceContext] = None
+    #: Compile deadline parameters (carried on the budget below) and the
+    #: cooperative budget itself.  The budget exists from submit time so
+    #: `cancel()` can interrupt the job at any point of its lifecycle; its
+    #: deadline clock is armed only when the job starts running, so queue
+    #: wait never counts against the compile timeout.
+    timeout: Optional[float] = None
+    budget: Budget = field(default_factory=lambda: Budget(arm=False))
+    #: Process-pool crash recovery: how many times this job was retried
+    #: after a worker death.
+    attempts: int = 0
 
     @property
     def waiters(self) -> int:
@@ -205,8 +233,11 @@ class JobHandle:
 
     def cancel(self) -> bool:
         """Cancel this handle; the shared job is cancelled only when no
-        other caller is still waiting on it.  Running jobs cannot be
-        cancelled."""
+        other caller is still waiting on it.  A job that is already
+        *running* is interrupted cooperatively: its budget's cancel flag
+        is raised and the compile unwinds with
+        :class:`repro.resilience.CompileCancelled` at the next solver or
+        pipeline checkpoint."""
         return self._service._cancel_front(self._job, self._front)
 
     def add_done_callback(self, callback) -> None:
@@ -220,10 +251,26 @@ class JobHandle:
 
 
 def _compile_in_subprocess(payload):
-    """Process-pool entry point: compile one job in a fresh interpreter."""
-    circuit, target, technique, use_cache, options = payload
-    return _facade_compile(circuit, target, technique,
-                           use_cache=use_cache, **options)
+    """Process-pool entry point: compile one job in a fresh interpreter.
+
+    The deadline travels as payload data (a context-var budget cannot
+    cross the process boundary): the child enforces it — including the
+    degradation ladder — itself.  Cooperative *cancellation* cannot reach
+    a subprocess; the parent abandons the wait instead (see
+    ``CompilationService._await_pool_future``).
+    """
+    (circuit, target, technique, use_cache, options,
+     timeout, on_deadline, fallback, poison) = payload
+    if poison:
+        # Fault injection: the parent counted a ``worker.compile``/``die``
+        # fault at dispatch (parent-side counters survive worker death,
+        # so ``nth`` means "the nth dispatch overall" — a child-side
+        # counter would reset with every respawned worker and kill the
+        # pool forever).
+        os._exit(17)
+    return _facade_compile(circuit, target, technique, use_cache=use_cache,
+                           timeout=timeout, on_deadline=on_deadline,
+                           fallback=fallback, **options)
 
 
 class CompilationService:
@@ -247,6 +294,17 @@ class CompilationService:
     compile_fn:
         Injection point for tests: the callable that performs one
         compilation, signature-compatible with :func:`repro.compile`.
+        It runs inside the job's budget scope, so an injected function
+        that calls :func:`repro.resilience.check_budget` participates in
+        deadlines and cancellation like the real pipeline does.
+    worker_retries:
+        Process mode only: how many times a job is re-dispatched after a
+        pool-worker death before its waiters see
+        :class:`WorkerCrashedError` (the pool itself is respawned either
+        way).
+    retry_backoff:
+        Initial delay in seconds between crash retries (doubles per
+        attempt).
     trace:
         Optional structured tracing for the service's lifetime: a JSONL
         path or a :class:`repro.trace.Tracer`, installed as the global
@@ -262,6 +320,8 @@ class CompilationService:
         mode: str = "thread",
         compile_fn: Optional[Callable] = None,
         trace: Union[str, Tracer, None] = None,
+        worker_retries: int = 2,
+        retry_backoff: float = 0.1,
     ) -> None:
         if workers < 1:
             raise ValueError("the service needs at least one worker")
@@ -279,12 +339,16 @@ class CompilationService:
         self._started_at = time.monotonic()
         self._busy_workers = 0
         self._busy_seconds = 0.0
+        self._worker_retries = max(0, worker_retries)
+        self._retry_backoff = max(0.0, retry_backoff)
         self._counters = {
             "submitted": 0,
             "deduplicated": 0,
             "completed": 0,
             "failed": 0,
             "cancelled": 0,
+            "worker_crashes": 0,
+            "degraded": 0,
         }
         self._portfolio_wins: Dict[str, int] = {}
 
@@ -322,19 +386,35 @@ class CompilationService:
         use_cache: bool = True,
         block: bool = True,
         timeout: Optional[float] = None,
+        on_deadline: Optional[str] = None,
+        fallback=None,
+        queue_timeout: Optional[float] = None,
         **options: object,
     ) -> JobHandle:
         """Enqueue one compilation and return its :class:`JobHandle`.
 
         Identical concurrent requests (same cache key) coalesce onto one
         in-flight job.  With ``block=False`` a full queue raises
-        :class:`ServiceSaturatedError` instead of waiting.
+        :class:`ServiceSaturatedError` instead of waiting (and
+        ``queue_timeout`` bounds how long a blocking submit waits for a
+        queue slot).
+
+        ``timeout`` is the *compile deadline* in seconds, armed when the
+        job starts running (queue wait does not count); ``on_deadline``
+        and ``fallback`` select the degradation policy, exactly as on
+        :func:`repro.compile`.  Deadline parameters never enter the dedup
+        key, so later identical submissions coalesce onto the first job
+        and inherit its budget.
         """
         if self._shutdown:
             raise RuntimeError("cannot submit to a shut-down CompilationService")
         spec = resolve_technique(technique)
         spec.validate_options(dict(options))
         effective = _effective_options(spec, dict(options))
+        # Validates timeout/on_deadline up front (before anything is
+        # enqueued) and gives cancel() its interruption flag.
+        budget = Budget(timeout=timeout, on_deadline=on_deadline or "raise",
+                        fallback=fallback, arm=False)
         key = (
             cache_key(circuit, target, spec.key, effective) if use_cache else None
         )
@@ -365,6 +445,8 @@ class CompilationService:
                 use_cache=use_cache,
                 options=effective,
                 trace_context=capture_context(),
+                timeout=timeout,
+                budget=budget,
             )
             job.fronts.append(front)
             self._jobs[job.job_id] = job
@@ -373,7 +455,7 @@ class CompilationService:
         tracer.event("job.submit", "service", job_id=job.job_id,
                      technique=spec.key, circuit=circuit.name)
         try:
-            self._queue.put(job, block=block, timeout=timeout)
+            self._queue.put(job, block=block, timeout=queue_timeout)
         except queue.Full:
             with self._lock:
                 coalesced = job.waiters > 1
@@ -443,10 +525,15 @@ class CompilationService:
         return self._resolve(handle_or_id).future.result(timeout=timeout)
 
     def cancel(self, handle_or_id: Union[JobHandle, int]) -> bool:
-        """Cancel a handle — or, by job id, every waiter of a queued job.
+        """Cancel a handle — or, by job id, every waiter of a job.
 
-        Running jobs are not interrupted; a coalesced job is only
-        cancelled once all of its waiters are.
+        A coalesced job is only cancelled once all of its waiters are.
+        Queued jobs are reaped immediately; a *running* job is
+        interrupted cooperatively through its budget — the compile
+        unwinds with :class:`repro.resilience.CompileCancelled` at its
+        next solver/pipeline checkpoint and the job books as cancelled.
+        (Process-mode jobs are abandoned rather than interrupted: the
+        child finishes its bounded compile, but no waiter blocks on it.)
         """
         if isinstance(handle_or_id, JobHandle):
             return handle_or_id.cancel()
@@ -464,16 +551,26 @@ class CompilationService:
             return False
         with self._lock:
             abandoned = all(f.cancelled() for f in job.fronts)
-        if abandoned and job.future.cancel():
-            with self._lock:
-                job.status = JobStatus.CANCELLED
-                self._counters["cancelled"] += 1
-                job.finished_wall = time.time()
-                job.finished_mono = time.monotonic()
-                if job.key is not None and self._inflight.get(job.key) is job:
-                    del self._inflight[job.key]
-            current_tracer().event("job.cancel", "service", job_id=job.job_id,
-                                   technique=job.technique)
+        if abandoned:
+            if job.future.cancel():
+                with self._lock:
+                    job.status = JobStatus.CANCELLED
+                    self._counters["cancelled"] += 1
+                    job.finished_wall = time.time()
+                    job.finished_mono = time.monotonic()
+                    if job.key is not None and self._inflight.get(job.key) is job:
+                        del self._inflight[job.key]
+                current_tracer().event("job.cancel", "service",
+                                       job_id=job.job_id,
+                                       technique=job.technique)
+            elif not job.future.done():
+                # Already running: raise the budget's cancel flag; the
+                # worker observes it at the next checkpoint, unwinds with
+                # CompileCancelled and books the job as cancelled.
+                job.budget.cancel("all waiters cancelled")
+                current_tracer().event("job.interrupt", "service",
+                                       job_id=job.job_id,
+                                       technique=job.technique)
         return True
 
     # -- worker loop -----------------------------------------------------
@@ -497,6 +594,9 @@ class CompilationService:
         started = time.monotonic()
         job.started_wall = time.time()
         job.started_mono = started
+        # The deadline clock starts when the job starts running; queue
+        # wait never counts against the compile timeout.
+        job.budget.arm()
         try:
             # Resuming the submitter's captured context parents the job
             # span under the submitting request's span even though this
@@ -510,23 +610,30 @@ class CompilationService:
                                  queue_wait_seconds=started - job.submitted_mono,
                                  mode=self.mode):
                     if self._pool is not None:
-                        payload = (job.circuit, job.target, job.technique,
-                                   job.use_cache, job.options)
-                        result = self._pool.submit(
-                            _compile_in_subprocess, payload).result()
+                        result = self._run_in_pool(job, tracer)
                         if job.use_cache:
                             # The subprocess populated its own caches; merge
                             # the result into this process's L1/L2 tiers.
                             store_result(job.key, result)
                     else:
-                        result = self._compile_fn(
-                            job.circuit, job.target, job.technique,
-                            use_cache=job.use_cache, **job.options,
-                        )
+                        # The budget scope makes the facade's solver/pass
+                        # checkpoints honor this job's deadline and its
+                        # cancel flag; the facade also reads the budget's
+                        # on_deadline/fallback policy from the scope.
+                        with budget_scope(job.budget):
+                            result = self._compile_fn(
+                                job.circuit, job.target, job.technique,
+                                use_cache=job.use_cache, **job.options,
+                            )
         except BaseException as error:  # noqa: BLE001 - forwarded to the futures
+            cancelled = isinstance(error, CompileCancelled)
             with self._lock:
-                job.status = JobStatus.FAILED
-                self._counters["failed"] += 1
+                if cancelled:
+                    job.status = JobStatus.CANCELLED
+                    self._counters["cancelled"] += 1
+                else:
+                    job.status = JobStatus.FAILED
+                    self._counters["failed"] += 1
                 self._finish(job, started)
                 # Resolving the execution future under the lock makes the
                 # dedup done() check atomic with this completion: no front
@@ -537,15 +644,103 @@ class CompilationService:
                 if front.set_running_or_notify_cancel():
                     front.set_exception(error)
         else:
+            report = getattr(result, "report", None)
             with self._lock:
                 job.status = JobStatus.DONE
                 self._counters["completed"] += 1
+                if report is not None and report.degraded_from:
+                    self._counters["degraded"] += 1
                 self._finish(job, started)
                 job.future.set_result(result)
                 fronts = list(job.fronts)
             for front in fronts:
                 if front.set_running_or_notify_cancel():
                     front.set_result(result)
+
+    def _run_in_pool(self, job: _Job, tracer) -> object:
+        """Dispatch one job to the process pool, surviving worker death.
+
+        A crashed worker breaks the whole :class:`ProcessPoolExecutor`;
+        the pool is respawned and the job re-dispatched under a bounded
+        retry-with-backoff budget before its waiters see
+        :class:`WorkerCrashedError`.
+        """
+        budget = job.budget
+        attempts = self._worker_retries + 1
+        delay = self._retry_backoff
+        for attempt in range(1, attempts + 1):
+            pool = self._pool
+            if pool is None:
+                raise RuntimeError("CompilationService was shut down")
+            # Fault counting happens here, parent-side, so a killed
+            # worker's fault is consumed: the retry dispatch is clean.
+            poison = any(spec.action == "die"
+                         for spec in maybe_fault("worker.compile"))
+            payload = (job.circuit, job.target, job.technique, job.use_cache,
+                       job.options, budget.remaining(), budget.on_deadline,
+                       budget.fallback, poison)
+            try:
+                future = pool.submit(_compile_in_subprocess, payload)
+                return self._await_pool_future(job, future)
+            except BrokenProcessPool:
+                job.attempts = attempt
+                self._respawn_pool(pool)
+                tracer.event("resilience.worker_crash", "service",
+                             job_id=job.job_id, technique=job.technique,
+                             attempt=attempt)
+                if attempt >= attempts:
+                    raise WorkerCrashedError(
+                        f"process worker died {attempts} time(s) while "
+                        f"compiling job {job.job_id}"
+                    ) from None
+                if delay:
+                    time.sleep(delay)
+                    delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _await_pool_future(self, job: _Job, future: Future) -> object:
+        """Wait for a pool result in slices, observing cancellation.
+
+        Cooperative cancellation cannot reach the subprocess, so an
+        interrupted wait abandons the child (its own deadline still
+        bounds it) instead of blocking the worker thread forever.  A
+        generous parent-side bound guards against a hung child that
+        stopped honoring its deadline.
+        """
+        bound = None
+        if job.timeout is not None:
+            # Deadline + every grace rung + subprocess startup slack.
+            bound = time.monotonic() + 2.0 * job.timeout + 30.0
+        while True:
+            try:
+                return future.result(timeout=0.25)
+            except FutureTimeoutError:
+                if job.budget.cancelled:
+                    future.cancel()
+                    raise CompileCancelled(
+                        job.budget.cancel_reason() or "cancelled",
+                        checkpoint="service.pool_wait", budget=job.budget,
+                    ) from None
+                if bound is not None and time.monotonic() >= bound:
+                    future.cancel()
+                    raise CompileDeadlineExceeded(
+                        f"process worker for job {job.job_id} exceeded the "
+                        f"parent-side deadline bound",
+                        checkpoint="service.pool_wait", budget=job.budget,
+                    ) from None
+
+    def _respawn_pool(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken process pool (once, whichever thread wins)."""
+        with self._lock:
+            if self._shutdown:
+                return
+            if self._pool is broken:
+                self._counters["worker_crashes"] += 1
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            broken.shutdown(wait=False)
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
 
     def _finish(self, job: _Job, started: float) -> None:
         """Book-keeping common to success and failure (lock held)."""

@@ -17,8 +17,11 @@ Guarantees:
 * **LRU / size-budget eviction** — each hit refreshes the entry's mtime;
   when the store exceeds ``max_bytes``, the least recently used entries
   are evicted until it fits again.
-* **Corruption tolerance** — an unreadable or truncated entry counts as
-  a miss and is deleted rather than poisoning every later read.
+* **Corruption quarantine** — an unreadable or truncated entry counts
+  as a miss and is moved into a ``.corrupt/`` sidecar directory (never
+  poisoning later reads, but preserved for post-mortem inspection); the
+  ``corrupted`` counter in :meth:`PersistentResultStore.statistics`
+  tracks how many were caught.
 
 Install a store behind :func:`repro.compile` with
 :func:`use_persistent_store` (or pass it to a
@@ -42,6 +45,8 @@ from repro.api.cache import (
     uninstall_persistent_store,
 )
 from repro.core.adapter import AdaptationResult
+from repro.resilience.faults import maybe_fault
+from repro.trace.tracer import current_tracer
 
 #: On-disk payload schema version; bump when the layout changes.
 STORE_FORMAT = 1
@@ -54,6 +59,9 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 #: writer and is left alone by the stale-file sweep.
 _TMP_GRACE_SECONDS = 60.0
 
+#: Sidecar directory (under the store root) corrupt entries are moved to.
+QUARANTINE_DIR = ".corrupt"
+
 
 @dataclass
 class StoreInfo:
@@ -63,6 +71,7 @@ class StoreInfo:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    corrupted: int = 0
     entries: int = 0
     total_bytes: int = 0
 
@@ -73,6 +82,7 @@ class StoreInfo:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "corrupted": self.corrupted,
             "entries": self.entries,
             "total_bytes": self.total_bytes,
         }
@@ -98,6 +108,7 @@ class PersistentResultStore:
         self._misses = 0
         self._puts = 0
         self._evictions = 0
+        self._corrupted = 0
         # Running footprint tally so the hot write path never rescans the
         # store; corrected against a real scan whenever eviction runs.
         self._total_bytes = sum(size for _, size, _ in self._scan())
@@ -121,12 +132,23 @@ class PersistentResultStore:
         """Load and deserialize the entry for ``key``, or ``None``.
 
         A hit refreshes the file mtime (the LRU clock).  A corrupt entry
-        is deleted and reported as a miss.
+        is quarantined to ``.corrupt/`` and reported as a miss.
         """
         if key is None:
             return None
         digest = _entry_digest(key)
         path = self._path_of(digest)
+        for spec in maybe_fault("store.read"):
+            if spec.action == "corrupt":
+                # Fault injection: garble the entry before reading it, so
+                # the quarantine path below runs against a real bad file.
+                try:
+                    with open(path, "r+", encoding="utf-8") as handle:
+                        handle.seek(0)
+                        handle.write("{corrupt")
+                        handle.truncate()
+                except OSError:
+                    pass
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -135,16 +157,15 @@ class PersistentResultStore:
             self._count(misses=1)
             return None
         except (OSError, ValueError, KeyError, TypeError):
-            # Truncated/corrupt entry: drop it so it cannot poison reads.
-            with self._shard_lock(self._shard_of(digest)):
-                try:
-                    size = os.stat(path).st_size
-                    os.unlink(path)
-                except OSError:
-                    size = 0
+            # Truncated/corrupt entry: quarantine it so it cannot poison
+            # reads while staying available for post-mortem inspection.
+            size = self._quarantine(digest, path)
             with self._counters_lock:
                 self._misses += 1
+                self._corrupted += 1
                 self._total_bytes -= size
+            current_tracer().event("store.corrupt", "service",
+                                   digest=digest, bytes=size)
             return None
         try:
             os.utime(path)
@@ -199,14 +220,39 @@ class PersistentResultStore:
             self._evict_to_budget()
 
     # -- maintenance -----------------------------------------------------
+    def _quarantine(self, digest: str, path: str) -> int:
+        """Move a corrupt entry into ``.corrupt/``; returns its byte size."""
+        sidecar = os.path.join(self.root, QUARANTINE_DIR)
+        with self._shard_lock(self._shard_of(digest)):
+            try:
+                size = os.stat(path).st_size
+            except OSError:
+                return 0
+            try:
+                os.makedirs(sidecar, exist_ok=True)
+                os.replace(path, os.path.join(sidecar, digest + ".json"))
+            except OSError:
+                # Fall back to deletion: never leave a poisoned entry live.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    return 0
+        return size
+
     def _scan(self) -> List[Tuple[float, int, str]]:
-        """All entries as ``(mtime, size, path)``; sweeps stale tmp files."""
+        """All entries as ``(mtime, size, path)``; sweeps stale tmp files.
+
+        Dot-directories (the ``.corrupt/`` quarantine) are not entries:
+        they are neither counted nor evicted.
+        """
         entries: List[Tuple[float, int, str]] = []
         try:
             shards = os.listdir(self.root)
         except OSError:
             return entries
         for shard in shards:
+            if shard.startswith("."):
+                continue
             shard_dir = os.path.join(self.root, shard)
             if not os.path.isdir(shard_dir):
                 continue
@@ -281,9 +327,14 @@ class PersistentResultStore:
                 misses=self._misses,
                 puts=self._puts,
                 evictions=self._evictions,
+                corrupted=self._corrupted,
                 entries=len(entries),
                 total_bytes=sum(size for _, size, _ in entries),
             )
+
+    def statistics(self) -> Dict[str, int]:
+        """The :meth:`info` counters as a plain dict (for stats dumps)."""
+        return self.info().as_dict()
 
     def _count(self, hits: int = 0, misses: int = 0, puts: int = 0,
                evictions: int = 0) -> None:

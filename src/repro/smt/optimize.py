@@ -20,6 +20,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional
 
+from repro.resilience.budget import current_budget
 from repro.smt.rational import DeltaRational
 from repro.smt.solver import CheckResult, Model, SmtSolver
 from repro.smt.terms import Comparison, Expr, LinearExpr
@@ -102,6 +103,7 @@ class Optimize:
 
         tracer = current_tracer()
         traced = tracer.enabled
+        budget = current_budget()
         omt_token = tracer.begin("omt.optimize", "solver",
                                  sense=self._objective.sense) if traced else None
         try:
@@ -111,6 +113,8 @@ class Optimize:
                 return result
 
             for round_index in range(self._max_rounds):
+                if budget is not None:
+                    budget.charge("omt.round", rounds=1)
                 self.improvement_rounds = round_index + 1
                 simplex = self._solver.last_simplex()
                 assert simplex is not None

@@ -23,6 +23,7 @@ from enum import Enum
 from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.resilience.budget import current_budget
 from repro.sat import Solver as SatSolver
 from repro.smt.cnf import CnfConverter
 from repro.smt.rational import DeltaRational
@@ -155,7 +156,18 @@ class SmtSolver:
         self._sync_clauses()
         tracer = current_tracer()
         traced = tracer.enabled
+        budget = current_budget()
+        pivots_charged = self._stats["theory_pivots"]
         for _ in range(self._max_theory_iterations):
+            if budget is not None:
+                # Charge the pivots of the previous iteration and enforce
+                # the deadline once per theory check (the SAT sub-solve
+                # below has its own per-conflict checkpoint).
+                budget.charge(
+                    "smt.check",
+                    pivots=self._stats["theory_pivots"] - pivots_charged,
+                )
+                pivots_charged = self._stats["theory_pivots"]
             self._stats["theory_checks"] += 1
             pivots_before = self._stats["theory_pivots"] if traced else 0
             if not self._sat.solve(assumption_literals):

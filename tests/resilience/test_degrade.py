@@ -1,0 +1,97 @@
+"""Degradation ladders: resolution, grace windows and compile() fallback."""
+
+import pytest
+
+import repro
+from repro.api import clear_compilation_cache
+from repro.hardware import spin_qubit_target
+from repro.resilience import CompileDeadlineExceeded
+from repro.resilience.degrade import (
+    DEFAULT_LADDERS,
+    GRACE_FRACTION,
+    MIN_GRACE_SECONDS,
+    fallback_grace,
+    resolve_ladder,
+)
+from repro.workloads import ghz_circuit
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compilation_cache()
+    yield
+    clear_compilation_cache()
+
+
+class TestResolveLadder:
+    def test_default_ladders_end_in_direct_or_nothing(self):
+        for technique, ladder in DEFAULT_LADDERS.items():
+            assert resolve_ladder(technique) == ladder
+            if technique != "direct":
+                assert ladder[-1] == "direct"
+        assert resolve_ladder("direct") == ()
+
+    def test_unknown_technique_degrades_straight_to_direct(self):
+        assert resolve_ladder("my_custom_technique") == ("direct",)
+
+    def test_false_disables_degradation(self):
+        assert resolve_ladder("sat_p", False) == ()
+
+    def test_true_selects_the_default_ladder(self):
+        assert resolve_ladder("sat_p", True) == DEFAULT_LADDERS["sat_p"]
+
+    def test_string_and_sequence_are_used_verbatim(self):
+        assert resolve_ladder("sat_p", "direct") == ("direct",)
+        assert resolve_ladder("sat_p", ("template_r", "direct")) == (
+            "template_r", "direct")
+
+    def test_the_failing_technique_is_dropped_from_its_own_ladder(self):
+        assert resolve_ladder("sat_p", ("sat_p", "direct")) == ("direct",)
+
+
+class TestFallbackGrace:
+    def test_unbounded_budget_keeps_the_fallback_unbounded(self):
+        assert fallback_grace(None) is None
+
+    def test_minimum_grace_floor(self):
+        assert fallback_grace(0.0) == MIN_GRACE_SECONDS
+        assert fallback_grace(0.1) == MIN_GRACE_SECONDS
+
+    def test_fractional_grace_above_the_floor(self):
+        assert fallback_grace(100.0) == pytest.approx(100.0 * GRACE_FRACTION)
+
+
+class TestCompileDegradation:
+    def test_degrade_walks_the_default_ladder(self):
+        circuit, target = ghz_circuit(3), spin_qubit_target(3, "D0")
+        result = repro.compile(circuit, target, "sat_p", timeout=0.0,
+                               on_deadline="degrade", use_cache=False)
+        assert result.technique == DEFAULT_LADDERS["sat_p"][0]
+        assert result.report.degraded_from == "sat_p"
+        events = result.report.deadline_events
+        assert events and events[0]["reason"] == "deadline"
+
+    def test_explicit_fallback_overrides_the_ladder(self):
+        result = repro.compile(ghz_circuit(3), spin_qubit_target(3, "D0"),
+                               "sat_p", timeout=0.0, on_deadline="degrade",
+                               fallback="direct", use_cache=False)
+        assert result.technique == "direct"
+        assert result.report.degraded_from == "sat_p"
+
+    def test_fallback_false_raises_instead_of_degrading(self):
+        with pytest.raises(CompileDeadlineExceeded):
+            repro.compile(ghz_circuit(3), spin_qubit_target(3, "D0"),
+                          "sat_p", timeout=0.0, on_deadline="degrade",
+                          fallback=False, use_cache=False)
+
+    def test_degradation_provenance_never_leaks_into_the_cache(self):
+        """The fallback result is cached under its own technique's key —
+        without the degraded_from annotation."""
+        circuit, target = ghz_circuit(3), spin_qubit_target(3, "D0")
+        degraded = repro.compile(circuit, target, "sat_p", timeout=0.0,
+                                 on_deadline="degrade", fallback="direct",
+                                 use_cache=True)
+        assert degraded.report.degraded_from == "sat_p"
+        cached = repro.compile(circuit, target, "direct", use_cache=True)
+        assert cached.report.degraded_from is None
+        assert not cached.report.deadline_events

@@ -1,0 +1,165 @@
+"""Fault injection: spec validation, deterministic firing, env loading."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_hook,
+    install_fault_plan,
+    maybe_fault,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    clear_fault_plan()
+    yield
+    clear_fault_plan()
+
+
+class TestFaultSpec:
+    def test_needs_site_and_action(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec(site="", action="die", nth=1)
+
+    def test_exactly_one_of_nth_or_after(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(site="s", action="die")
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(site="s", action="die", nth=1, after=0)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(site="s", action="die", nth=0)
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec(site="s", action="die", after=-1)
+        with pytest.raises(ValueError, match="seconds"):
+            FaultSpec(site="s", action="delay", nth=1, seconds=-0.1)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault spec field"):
+            FaultSpec.from_dict({"site": "s", "action": "die", "nth": 1,
+                                 "when": "now"})
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(site="s", action="delay", after=2, times=3,
+                         seconds=0.5)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlanCounting:
+    def test_nth_fires_exactly_once(self):
+        plan = FaultPlan([FaultSpec(site="s", action="die", nth=2)])
+        fired = [bool(plan.fire("s")) for _ in range(5)]
+        assert fired == [False, True, False, False, False]
+        assert plan.hits() == {"s": 5}
+
+    def test_nth_with_times_can_refire(self):
+        # `times` raises the once-only cap, but `nth` still pins the hit
+        # number — so it cannot fire again and the cap is moot.
+        plan = FaultPlan([FaultSpec(site="s", action="die", nth=1, times=2)])
+        assert plan.fire("s")
+        assert not plan.fire("s")
+
+    def test_after_fires_on_every_later_hit(self):
+        plan = FaultPlan([FaultSpec(site="s", action="die", after=2)])
+        fired = [bool(plan.fire("s")) for _ in range(5)]
+        assert fired == [False, False, True, True, True]
+
+    def test_after_with_times_caps_the_firings(self):
+        plan = FaultPlan([FaultSpec(site="s", action="die", after=0, times=2)])
+        fired = [bool(plan.fire("s")) for _ in range(4)]
+        assert fired == [True, True, False, False]
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan([FaultSpec(site="a", action="die", nth=1),
+                          FaultSpec(site="b", action="die", nth=2)])
+        assert plan.fire("a")
+        assert not plan.fire("b")
+        assert plan.fire("b")
+
+    def test_reset_restarts_the_counting(self):
+        plan = FaultPlan([FaultSpec(site="s", action="die", nth=1)])
+        assert plan.fire("s")
+        plan.reset()
+        assert plan.fire("s")
+
+    def test_delay_sleeps_in_place_and_returns_the_rest(self):
+        plan = FaultPlan([
+            FaultSpec(site="s", action="delay", nth=1, seconds=0.05),
+            FaultSpec(site="s", action="abort", nth=1),
+        ])
+        started = time.perf_counter()
+        remaining = plan.delay("s")
+        assert time.perf_counter() - started >= 0.05
+        assert [spec.action for spec in remaining] == ["abort"]
+
+
+class TestPlanLoading:
+    def test_from_json_list(self):
+        plan = FaultPlan.from_json(
+            '[{"site": "worker.compile", "action": "die", "nth": 1}]')
+        assert plan.specs[0].site == "worker.compile"
+
+    def test_from_json_faults_envelope(self):
+        plan = FaultPlan.from_json(
+            '{"faults": [{"site": "s", "action": "die", "after": 0}]}')
+        assert plan.specs[0].after == 0
+
+    def test_from_json_rejects_non_lists(self):
+        with pytest.raises(ValueError, match="JSON list"):
+            FaultPlan.from_json('"worker.compile:die"')
+
+    def test_from_env_inline_json_and_file_path(self, tmp_path):
+        payload = [{"site": "s", "action": "die", "nth": 3}]
+        inline = FaultPlan.from_env(json.dumps(payload))
+        assert inline.specs[0].nth == 3
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps(payload))
+        from_file = FaultPlan.from_env(str(path))
+        assert from_file.specs[0].nth == 3
+
+
+class TestProcessWidePlan:
+    def test_no_plan_is_a_no_op(self):
+        assert active_fault_plan() is None
+        assert maybe_fault("anything") == ()
+        assert fault_hook("anything") == ()
+
+    def test_install_and_clear(self):
+        plan = install_fault_plan([{"site": "s", "action": "die", "nth": 1}])
+        assert active_fault_plan() is plan
+        assert [spec.action for spec in maybe_fault("s")] == ["die"]
+        clear_fault_plan()
+        assert active_fault_plan() is None
+
+    def test_install_accepts_inline_json(self):
+        install_fault_plan('[{"site": "s", "action": "die", "nth": 1}]')
+        assert active_fault_plan().specs[0].site == "s"
+
+    def test_env_var_activates_the_plan_in_a_fresh_process(self):
+        """REPRO_FAULTS is picked up at import, like REPRO_TRACE."""
+        env = dict(os.environ)
+        env[FAULTS_ENV_VAR] = json.dumps(
+            [{"site": "worker.compile", "action": "die", "nth": 2}])
+        src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                           "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.resilience.faults import active_fault_plan; "
+             "plan = active_fault_plan(); "
+             "print(plan.specs[0].site, plan.specs[0].nth)"],
+            env=env, capture_output=True, text=True, timeout=60)
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.split() == ["worker.compile", "2"]

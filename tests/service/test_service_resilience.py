@@ -1,0 +1,285 @@
+"""Service resilience: deadlines, cancellation races, crash recovery,
+store quarantine.
+
+The process-pool crash tests SIGKILL real workers (via the fault plan's
+``worker.compile``/``die`` action), so they exercise the actual
+``BrokenProcessPool`` → respawn → retry path, not a simulation.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.api import clear_compilation_cache
+from repro.api.cache import install_persistent_store, uninstall_persistent_store
+from repro.api.fingerprints import cache_key
+from repro.api.registry import resolve_technique
+from repro.hardware import spin_qubit_target
+from repro.resilience import CompileCancelled, CompileDeadlineExceeded
+from repro.resilience.faults import clear_fault_plan, install_fault_plan
+from repro.service import (
+    CompilationService,
+    JobStatus,
+    PersistentResultStore,
+    WorkerCrashedError,
+)
+from repro.service.store import QUARANTINE_DIR
+from repro.workloads import ghz_circuit, qft_circuit
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_compilation_cache()
+    clear_fault_plan()
+    yield
+    clear_fault_plan()
+    clear_compilation_cache()
+
+
+def probe_circuit(variant=0):
+    circuit = repro.QuantumCircuit(2, name=f"res_probe_{variant}")
+    circuit.cx(0, 1)
+    circuit.swap(0, 1)
+    for _ in range(variant):
+        circuit.rz(0.25, 0)
+    return circuit
+
+
+class TestDeadlines:
+    def test_submit_timeout_fails_the_job_with_a_typed_error(self):
+        with CompilationService(workers=1) as service:
+            handle = service.submit(probe_circuit(), spin_qubit_target(2),
+                                    "sat_p", use_cache=False, timeout=0.0)
+            with pytest.raises(CompileDeadlineExceeded):
+                handle.result(timeout=60)
+            assert handle.status() is JobStatus.FAILED
+            assert service.statistics()["failed"] == 1
+
+    def test_submit_timeout_with_degrade_returns_the_fallback(self):
+        with CompilationService(workers=1) as service:
+            handle = service.submit(probe_circuit(), spin_qubit_target(2),
+                                    "sat_p", use_cache=False, timeout=0.0,
+                                    on_deadline="degrade", fallback="direct")
+            result = handle.result(timeout=60)
+            assert result.technique == "direct"
+            assert result.report.degraded_from == "sat_p"
+            assert service.statistics()["degraded"] == 1
+
+    def test_queue_wait_does_not_consume_the_deadline(self):
+        """The budget arms at run start: a job with a tight-but-feasible
+        deadline still succeeds after sitting behind a slow job."""
+        gate = threading.Event()
+
+        def gated_compile(circuit, target, technique, *, use_cache=True,
+                          **options):
+            if circuit.name == "blocker":
+                assert gate.wait(timeout=30)
+            return repro.compile(circuit, target, technique,
+                                 use_cache=use_cache, **options)
+
+        blocker = repro.QuantumCircuit(2, name="blocker")
+        blocker.cx(0, 1)
+        with CompilationService(workers=1, compile_fn=gated_compile) as service:
+            service.submit(blocker, spin_qubit_target(2), "direct",
+                           use_cache=False)
+            handle = service.submit(probe_circuit(), spin_qubit_target(2),
+                                    "direct", use_cache=False, timeout=20.0)
+            time.sleep(0.5)  # the deadline would be half spent if armed now
+            gate.set()
+            result = handle.result(timeout=60)
+            assert result.technique == "direct"
+
+
+class TestCancellation:
+    def test_cancel_interrupts_a_running_job(self):
+        """cancel() on a RUNNING solve unwinds it at the next checkpoint."""
+        with CompilationService(workers=1) as service:
+            handle = service.submit(qft_circuit(4), spin_qubit_target(4),
+                                    "sat_p", use_cache=False)
+            deadline = time.monotonic() + 10.0
+            while (handle.status() is not JobStatus.RUNNING
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert handle.status() is JobStatus.RUNNING
+            assert handle.cancel()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if service.status(handle.job_id) is JobStatus.CANCELLED:
+                    break
+                time.sleep(0.01)
+            assert service.status(handle.job_id) is JobStatus.CANCELLED
+            assert service.statistics()["cancelled"] >= 1
+
+    def test_cancel_storm_leaves_no_wedged_worker(self):
+        """Cancelling a pile of queued jobs behind a blocked worker: every
+        handle resolves, the blocker still completes, the queue drains."""
+        gate = threading.Event()
+
+        def gated_compile(circuit, target, technique, *, use_cache=True,
+                          **options):
+            if circuit.name == "blocker":
+                assert gate.wait(timeout=30)
+            return repro.compile(circuit, target, technique,
+                                 use_cache=use_cache, **options)
+
+        blocker = repro.QuantumCircuit(2, name="blocker")
+        blocker.cx(0, 1)
+        with CompilationService(workers=1, compile_fn=gated_compile) as service:
+            head = service.submit(blocker, spin_qubit_target(2), "direct",
+                                  use_cache=False)
+            victims = [
+                service.submit(probe_circuit(v), spin_qubit_target(2),
+                               "direct", use_cache=False)
+                for v in range(1, 9)
+            ]
+            for handle in victims:
+                assert handle.cancel()
+            gate.set()
+            assert head.result(timeout=60).technique == "direct"
+            for handle in victims:
+                assert handle.status() is JobStatus.CANCELLED
+            assert service.drain(timeout=30)
+            stats = service.statistics()
+            assert stats["cancelled"] == len(victims)
+            assert stats["queue_depth"] == 0 and stats["busy_workers"] == 0
+
+    def test_dedup_cancel_only_cancels_the_shared_job_when_all_agree(self):
+        gate = threading.Event()
+
+        def gated_compile(circuit, target, technique, *, use_cache=True,
+                          **options):
+            assert gate.wait(timeout=30)
+            return repro.compile(circuit, target, technique,
+                                 use_cache=use_cache, **options)
+
+        with CompilationService(workers=1, compile_fn=gated_compile) as service:
+            first = service.submit(probe_circuit(), spin_qubit_target(2),
+                                   "direct")
+            second = service.submit(probe_circuit(), spin_qubit_target(2),
+                                    "direct")
+            assert first.job_id == second.job_id
+            assert first.cancel()
+            gate.set()
+            # The surviving waiter still gets its result.
+            assert second.result(timeout=60).technique == "direct"
+            assert first.status() is JobStatus.CANCELLED
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_job_retries_to_completion(self):
+        install_fault_plan([{"site": "worker.compile", "action": "die",
+                             "nth": 1}])
+        service = CompilationService(workers=1, mode="process",
+                                     worker_retries=2, retry_backoff=0.1)
+        try:
+            handle = service.submit(ghz_circuit(3), spin_qubit_target(3),
+                                    "direct", use_cache=False)
+            result = handle.result(timeout=120)
+            assert result.technique == "direct"
+            assert service.statistics()["worker_crashes"] >= 1
+            assert handle.status() is JobStatus.DONE
+        finally:
+            service.shutdown()
+
+    def test_repeated_crashes_exhaust_the_retry_budget(self):
+        install_fault_plan([{"site": "worker.compile", "action": "die",
+                             "after": 0}])
+        service = CompilationService(workers=1, mode="process",
+                                     worker_retries=1, retry_backoff=0.1)
+        try:
+            handle = service.submit(ghz_circuit(3), spin_qubit_target(3),
+                                    "direct", use_cache=False)
+            with pytest.raises(WorkerCrashedError):
+                handle.result(timeout=120)
+            assert handle.status() is JobStatus.FAILED
+        finally:
+            service.shutdown()
+
+    def test_drain_survives_a_worker_killed_mid_drain(self):
+        """drain() keeps waiting through the crash-respawn-retry cycle and
+        still reports idle once the retried job lands."""
+        install_fault_plan([{"site": "worker.compile", "action": "die",
+                             "nth": 1}])
+        service = CompilationService(workers=1, mode="process",
+                                     worker_retries=2, retry_backoff=0.1)
+        try:
+            handle = service.submit(ghz_circuit(3), spin_qubit_target(3),
+                                    "direct", use_cache=False)
+            assert service.drain(timeout=120)
+            assert handle.result(timeout=1).technique == "direct"
+            assert service.statistics()["worker_crashes"] >= 1
+        finally:
+            service.shutdown()
+
+    def test_pool_deadline_flows_into_the_subprocess(self):
+        service = CompilationService(workers=1, mode="process")
+        try:
+            handle = service.submit(probe_circuit(), spin_qubit_target(2),
+                                    "sat_p", use_cache=False, timeout=0.0,
+                                    on_deadline="degrade", fallback="direct")
+            result = handle.result(timeout=120)
+            assert result.technique == "direct"
+            assert result.report.degraded_from == "sat_p"
+        finally:
+            service.shutdown()
+
+
+class TestStoreQuarantine:
+    @staticmethod
+    def _entry_path(store, circuit, target, technique="direct"):
+        from repro.api.compile import _effective_options
+        from repro.service.store import _entry_digest
+
+        spec = resolve_technique(technique)
+        options = _effective_options(spec, {})
+        key = cache_key(circuit, target, spec.key, options)
+        return store._path_of(_entry_digest(key))
+
+    def test_truncated_entry_is_quarantined_and_recompiled(self, tmp_path):
+        circuit, target = ghz_circuit(3), spin_qubit_target(3, "D0")
+        store = PersistentResultStore(str(tmp_path))
+        install_persistent_store(store)
+        try:
+            baseline = repro.compile(circuit, target, "direct")
+            path = self._entry_path(store, circuit, target)
+            assert os.path.exists(path)
+            with open(path, "w") as handle:
+                handle.write("{this is not json")
+            clear_compilation_cache()  # force the next read down to L2
+            result = repro.compile(circuit, target, "direct")
+            assert (result.cost.gate_fidelity_product
+                    == baseline.cost.gate_fidelity_product)
+            stats = store.statistics()
+            assert stats["corrupted"] == 1
+            quarantine = os.path.join(str(tmp_path), QUARANTINE_DIR)
+            assert len(os.listdir(quarantine)) == 1
+            # The recompile re-persisted a clean entry at the same path.
+            import json
+            with open(path) as handle:
+                json.load(handle)
+        finally:
+            uninstall_persistent_store()
+
+    def test_quarantined_entries_leave_the_footprint_accounting(self, tmp_path):
+        circuit, target = ghz_circuit(3), spin_qubit_target(3, "D0")
+        store = PersistentResultStore(str(tmp_path))
+        install_persistent_store(store)
+        try:
+            repro.compile(circuit, target, "direct")
+            entries_before = store.info().entries
+            assert entries_before == 1
+            install_fault_plan([{"site": "store.read", "action": "corrupt",
+                                 "nth": 1}])
+            clear_compilation_cache()
+            repro.compile(circuit, target, "direct")  # corrupt read, recompile
+            info = store.info()
+            assert info.corrupted == 1
+            # The recompile re-persisted a clean entry; the quarantined
+            # one is not scanned or counted.
+            assert info.entries == 1
+            assert info.total_bytes > 0
+        finally:
+            uninstall_persistent_store()
