@@ -4,6 +4,12 @@ Usage (from the repository root)::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py --preset smoke
     PYTHONPATH=src python benchmarks/perf/run_perf.py --preset full -o BENCH_perf.json
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --preset quality
+
+The ``quality`` preset refreshes *both* checked-in reports: the smoke
+perf matrix into ``BENCH_perf.json`` and the fast golden-quality subset
+(``python -m repro.golden``) into ``BENCH_quality.json``; its exit code
+reflects the quality gate, so a regressed tree fails the refresh.
 
 The script bootstraps ``sys.path`` itself, so a plain
 ``python benchmarks/perf/run_perf.py`` also works without PYTHONPATH.
@@ -26,15 +32,23 @@ from perf.suite import PRESETS, run_suite  # noqa: E402
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--preset", choices=sorted(PRESETS), default="full")
+    parser.add_argument("--preset", choices=sorted(PRESETS) + ["quality"],
+                        default="full")
     parser.add_argument(
         "-o", "--output",
         default=os.path.join(_REPO_ROOT, "BENCH_perf.json"),
         help="path of the JSON report (default: BENCH_perf.json at the repo root)",
     )
+    parser.add_argument(
+        "--quality-output",
+        default=os.path.join(_REPO_ROOT, "BENCH_quality.json"),
+        help="path of the golden-quality report written by --preset quality "
+             "(default: BENCH_quality.json at the repo root)",
+    )
     args = parser.parse_args(argv)
 
-    report = run_suite(args.preset)
+    # "quality" = the smoke perf matrix + the fast golden-quality gate.
+    report = run_suite("smoke" if args.preset == "quality" else args.preset)
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -100,6 +114,15 @@ def main(argv=None) -> int:
         f"warm {service['warm_circuits_per_second']:.2f} c/s "
         f"({service['warm_speedup']:.1f}x, {service['warm_store_hits']} store hits)"
     )
+
+    if args.preset == "quality":
+        from repro.golden import run_golden
+
+        quality = run_golden(output=args.quality_output)
+        print(quality.table())
+        print(quality.summary_line())
+        print(f"wrote {args.quality_output}")
+        return quality.exit_code
     return 0
 
 

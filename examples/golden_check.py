@@ -1,0 +1,73 @@
+"""Golden-quality tour: baselines, the regression gate, rebaselining.
+
+Run with ``python examples/golden_check.py``.  The perf harness tracks
+*speed*; the golden harness tracks the quantity the paper optimizes —
+*solution quality*.  Every benchmark × technique cell has a checked-in
+golden record (gates, 2q count, depth, duration, fidelity, combined
+cost) in ``benchmarks/golden/baseline.json``, and
+``python -m repro.golden`` fails CI when any metric slips past its
+tolerance.  This tour builds a private baseline in a temp directory so
+it is self-contained, then demonstrates a deliberate regression
+tripping the gate.
+"""
+
+import os
+import tempfile
+
+from repro.golden import (
+    GoldenBaseline,
+    default_baseline_path,
+    quality_summary,
+    run_golden,
+)
+
+#: Three cheap cells across three techniques — enough to see verdicts.
+CELLS = ["toffoli_n3:direct", "wstate_n3:template_f", "ghz_n5:kak_cz"]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as scratch:
+        baseline_path = os.path.join(scratch, "baseline.json")
+        report_path = os.path.join(scratch, "BENCH_quality.json")
+
+        # 1. Adopt the current tree as golden (what --rebaseline does).
+        report = run_golden(baseline_path=baseline_path, only=CELLS,
+                            rebaseline=True, note="example seed")
+        print(f"rebaselined {len(report.records)} cells -> "
+              f"{os.path.basename(baseline_path)}")
+
+        # 2. A clean re-run compares all-within: the gate passes.
+        report = run_golden(baseline_path=baseline_path, only=CELLS,
+                            output=report_path)
+        print("\nunmodified tree:")
+        print(report.table())
+        print(report.summary_line(), f"(exit {report.exit_code})")
+
+        # 3. A deliberate quality mutation — disabling single-qubit
+        #    merging — regresses gate counts and fails the gate, which
+        #    is exactly how CI proves the harness has teeth.
+        report = run_golden(baseline_path=baseline_path, only=CELLS,
+                            extra_options={"merge_single_qubit_gates": False})
+        print("\nwith merge_single_qubit_gates=false:")
+        print(report.table())
+        print(report.summary_line(), f"(exit {report.exit_code})")
+
+        # 4. The last run also feeds the HTTP gateway's GET /metrics.
+        quality = quality_summary()
+        worst = quality["worst_regression"]
+        print(f"\n/metrics quality block: failed={quality['failed']}, "
+              f"worst: {worst['benchmark']}:{worst['technique']} "
+              f"{worst['metric']} {worst['baseline']} -> {worst['actual']}")
+
+    # The real gate runs against the checked-in golden file:
+    path = default_baseline_path()
+    if os.path.exists(path):
+        baseline = GoldenBaseline.load(path)
+        timeouts = baseline.expected_timeout_cells()
+        print(f"\nchecked-in baseline: {len(baseline.benchmarks())} "
+              f"benchmarks x {len(baseline.techniques())} techniques, "
+              f"{len(timeouts)} expected_timeout cells")
+
+
+if __name__ == "__main__":
+    main()

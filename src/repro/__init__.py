@@ -37,6 +37,9 @@ plug in with :func:`repro.register_technique`.  The layers underneath:
 * :mod:`repro.resilience` — compile deadlines and cooperative
   cancellation (``compile(timeout=...)``), degradation ladders and
   deterministic fault injection (``REPRO_FAULTS``);
+* :mod:`repro.golden` — the solution-quality regression harness:
+  golden baselines per benchmark × technique with tolerances, CI
+  gating and deliberate rebaselining (``python -m repro.golden``);
 * :mod:`repro.api` — facade, technique registry, compilation cache;
 * :mod:`repro.pipeline` — the instrumented pass pipeline (Fig. 2);
 * :mod:`repro.core` — preprocessing, substitution rules, the SMT model;
@@ -87,6 +90,11 @@ _LAZY_EXPORTS = {
     "CompileInterrupted": ("repro.resilience", "CompileInterrupted"),
     "CompileDeadlineExceeded": ("repro.resilience", "CompileDeadlineExceeded"),
     "CompileCancelled": ("repro.resilience", "CompileCancelled"),
+    "QualityRecord": ("repro.golden", "QualityRecord"),
+    "GoldenBaseline": ("repro.golden", "GoldenBaseline"),
+    "extract_quality": ("repro.golden", "extract_quality"),
+    "run_golden": ("repro.golden", "run_golden"),
+    "quality_summary": ("repro.golden", "quality_summary"),
 }
 
 __all__ = ["__version__"] + sorted(_LAZY_EXPORTS)

@@ -1,0 +1,97 @@
+"""Solution-quality regression harness with golden baselines.
+
+The stack's perf harness tracks *speed*; this package tracks the
+quantity the paper optimizes — *solution quality*.  It extracts a
+canonical :class:`QualityRecord` (gates, 2q count, depth, duration,
+fidelity, combined cost, solver digest) from every compilation result,
+compares records against a checked-in golden baseline
+(``benchmarks/golden/baseline.json``) with per-metric tolerances, and
+gates CI on the typed verdicts: a PR that silently worsens routing or
+scheduling cost fails the same way a crash does.
+
+Entry points::
+
+    python -m repro.golden                 # fast subset vs the baseline
+    python -m repro.golden --full          # the whole suite x technique matrix
+    python -m repro.golden --rebaseline    # deliberately adopt the current tree
+
+See :mod:`repro.golden.runner` for the library API (:func:`run_golden`)
+and :func:`quality_summary` for the ``"quality"`` block served by the
+HTTP gateway's ``GET /metrics``.
+"""
+
+from repro.golden.baseline import (
+    FAILING_STATUSES,
+    BaselineEntry,
+    CellVerdict,
+    ComparisonResult,
+    GoldenBaseline,
+    GoldenBaselineError,
+    MetricDelta,
+    Tolerance,
+    compare_metric,
+    compare_record,
+    compare_run,
+    default_baseline_path,
+    make_entry,
+    make_timeout_entry,
+)
+from repro.golden.metrics import (
+    METRIC_NAMES,
+    METRIC_SPECS,
+    QUALITY_METRICS,
+    MetricSpec,
+    QualityRecord,
+    extract_quality,
+    stable_float,
+)
+from repro.golden.runner import (
+    DEFAULT_CELL_TIMEOUT,
+    FAST_BENCHMARKS,
+    FAST_SMT_CELLS,
+    FAST_TECHNIQUES,
+    GoldenRunReport,
+    fast_cells,
+    full_cells,
+    golden_options,
+    quality_summary,
+    reset_quality_state,
+    resolve_cells,
+    run_golden,
+)
+
+__all__ = [
+    "BaselineEntry",
+    "CellVerdict",
+    "ComparisonResult",
+    "DEFAULT_CELL_TIMEOUT",
+    "FAILING_STATUSES",
+    "FAST_BENCHMARKS",
+    "FAST_SMT_CELLS",
+    "FAST_TECHNIQUES",
+    "GoldenBaseline",
+    "GoldenBaselineError",
+    "GoldenRunReport",
+    "METRIC_NAMES",
+    "METRIC_SPECS",
+    "MetricDelta",
+    "MetricSpec",
+    "QUALITY_METRICS",
+    "QualityRecord",
+    "Tolerance",
+    "compare_metric",
+    "compare_record",
+    "compare_run",
+    "default_baseline_path",
+    "extract_quality",
+    "fast_cells",
+    "full_cells",
+    "golden_options",
+    "make_entry",
+    "make_timeout_entry",
+    "quality_summary",
+    "reset_quality_state",
+    "resolve_cells",
+    "run_golden",
+    "stable_float",
+]

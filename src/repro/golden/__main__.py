@@ -1,0 +1,147 @@
+"""``python -m repro.golden`` — the quality-regression gate CLI.
+
+Examples (from the repository root)::
+
+    python -m repro.golden                         # fast subset, table, exit 1 on regression
+    python -m repro.golden --full                  # whole suite x technique matrix
+    python -m repro.golden --output BENCH_quality.json
+    python -m repro.golden --rebaseline --note "CDCL core landed"
+    python -m repro.golden --rebaseline --only rc_adder_n6:sat_p
+    python -m repro.golden --option merge_single_qubit_gates=false  # mutation check
+    python -m repro.golden --list                  # show the matrix + annotations
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.golden.baseline import GoldenBaseline, GoldenBaselineError, default_baseline_path
+from repro.golden.runner import DEFAULT_CELL_TIMEOUT, resolve_cells, run_golden
+
+
+def _parse_option(spec: str) -> tuple:
+    """Parse one ``key=value`` compile-option override (value is JSON)."""
+    key, sep, raw = spec.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--option expects key=value, got {spec!r}")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare strings pass through
+    return key, value
+
+
+def _csv(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [item for item in (part.strip() for part in raw.split(",")) if item]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.golden",
+        description="Golden-suite solution-quality regression gate.")
+    parser.add_argument("--baseline", default=None,
+                        help="golden file (default: benchmarks/golden/"
+                             "baseline.json, or $REPRO_GOLDEN_BASELINE)")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full suite x technique matrix "
+                             "(default: the fast subset)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated suite benchmarks to run")
+    parser.add_argument("--techniques", default=None,
+                        help="comma-separated technique keys to run")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="BENCH:TECH",
+                        help="run exactly this cell (repeatable; wins over "
+                             "--full/--benchmarks/--techniques)")
+    parser.add_argument("--cell-timeout", type=float,
+                        default=DEFAULT_CELL_TIMEOUT, metavar="SECONDS",
+                        help="per-cell wall-clock deadline "
+                             f"(default {DEFAULT_CELL_TIMEOUT:.0f}s)")
+    parser.add_argument("--option", action="append", default=None,
+                        type=_parse_option, metavar="KEY=VALUE",
+                        help="extra compile option applied to every cell "
+                             "(repeatable; JSON values) — the CI mutation "
+                             "check passes merge_single_qubit_gates=false")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="adopt this run into the golden file "
+                             "(deadline hits become expected_timeout "
+                             "annotations)")
+    parser.add_argument("--retry-timeouts", action="store_true",
+                        help="with --rebaseline: re-attempt cells currently "
+                             "annotated expected_timeout")
+    parser.add_argument("--note", default="",
+                        help="provenance note stored with --rebaseline")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the BENCH_quality.json report here")
+    parser.add_argument("--list", action="store_true", dest="list_cells",
+                        help="list the selected matrix and baseline "
+                             "annotations, then exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-cell progress lines")
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or default_baseline_path()
+    extra_options: Optional[Dict[str, object]] = (
+        dict(args.option) if args.option else None)
+
+    if args.list_cells:
+        try:
+            baseline = GoldenBaseline.load(baseline_path)
+        except GoldenBaselineError:
+            baseline = GoldenBaseline()
+        cells = resolve_cells(benchmarks=_csv(args.benchmarks),
+                              techniques=_csv(args.techniques),
+                              full=args.full, only=args.only)
+        for benchmark, technique in cells:
+            flag = ""
+            if baseline.is_expected_timeout(benchmark, technique):
+                flag = "  [expected_timeout]"
+            elif baseline.get(benchmark, technique) is None:
+                flag = "  [no baseline entry]"
+            print(f"{benchmark}:{technique}{flag}")
+        print(f"{len(cells)} cells; baseline: {baseline_path}")
+        return 0
+
+    def progress(benchmark: str, technique: str, status: str,
+                 seconds: float) -> None:
+        if not args.quiet:
+            print(f"  {benchmark}:{technique} {status} ({seconds:.2f}s)",
+                  flush=True)
+
+    try:
+        report = run_golden(
+            baseline_path=baseline_path,
+            benchmarks=_csv(args.benchmarks),
+            techniques=_csv(args.techniques),
+            full=args.full,
+            only=args.only,
+            cell_timeout=args.cell_timeout,
+            extra_options=extra_options,
+            rebaseline=args.rebaseline,
+            retry_timeouts=args.retry_timeouts,
+            note=args.note,
+            output=args.output,
+            progress=progress,
+        )
+    except (GoldenBaselineError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(report.table())
+    print(report.summary_line())
+    if args.rebaseline:
+        print(f"rebaselined {len(report.records)} cells into "
+              f"{baseline_path}")
+    if args.output:
+        print(f"wrote {args.output}")
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

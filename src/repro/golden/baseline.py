@@ -1,0 +1,503 @@
+"""The golden baseline file and the quality comparison engine.
+
+A *golden baseline* is a checked-in JSON file
+(``benchmarks/golden/baseline.json``) recording, for every
+suite-benchmark × technique cell, the expected
+:class:`repro.golden.metrics.QualityRecord` plus optional per-metric
+tolerance overrides — or an ``expected_timeout`` annotation for cells
+that are known-infeasible in the pure-Python solvers (the Cuccaro adder
+under the OMT techniques, the 8-qubit QFT under every SMT key).  The
+annotation lives *here*, not in test files: the harness owns which cells
+are skipped, and everything else (the slow suite sweep, the golden
+runner itself) asks the baseline.
+
+The comparison engine turns a fresh record plus a baseline entry into a
+typed :class:`CellVerdict`:
+
+``improved``
+    at least one metric moved past its tolerance in the good direction
+    and none moved in the bad one;
+``within``
+    every metric inside its tolerance band (boundary inclusive);
+``regressed``
+    any metric worse than baseline by more than its tolerance — or a
+    non-finite value where the baseline was finite;
+``new``
+    the cell has no baseline entry (informational; rebaseline to adopt);
+``missing``
+    the baseline has an entry but the run produced no record (compile
+    error, or an unexpected deadline);
+``skipped``
+    the cell is ``expected_timeout``-annotated and was not attempted.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.golden.metrics import (
+    METRIC_NAMES,
+    METRIC_SPECS,
+    QualityRecord,
+    stable_float,
+)
+
+#: Verdict statuses that make a golden run fail.
+FAILING_STATUSES = ("regressed", "missing")
+
+
+class GoldenBaselineError(ValueError):
+    """The golden baseline file is malformed or missing."""
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Per-metric comparison slack: ``max(abs, |baseline| * rel)``."""
+
+    abs: float = 0.0
+    rel: float = 0.0
+
+    def slack(self, baseline: float) -> float:
+        return max(self.abs, abs(baseline) * self.rel)
+
+
+def default_tolerance(metric: str) -> Tolerance:
+    spec = METRIC_SPECS.get(metric)
+    if spec is None:
+        return Tolerance()
+    return Tolerance(abs=spec.abs_tol, rel=spec.rel_tol)
+
+
+@dataclass
+class BaselineEntry:
+    """One benchmark × technique cell of the golden file."""
+
+    benchmark: str
+    technique: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    solver: Dict[str, object] = field(default_factory=dict)
+    #: The cell is known-infeasible: the runner (and the slow suite
+    #: sweep) skip it instead of compiling.
+    expected_timeout: bool = False
+    #: Free-form provenance (why rebaselined / why annotated).
+    note: str = ""
+    #: Per-metric tolerance overrides, ``{metric: {"abs": .., "rel": ..}}``.
+    tolerances: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.benchmark}:{self.technique}"
+
+    def tolerance(self, metric: str) -> Tolerance:
+        override = self.tolerances.get(metric)
+        if override is None:
+            return default_tolerance(metric)
+        base = default_tolerance(metric)
+        return Tolerance(abs=float(override.get("abs", base.abs)),
+                         rel=float(override.get("rel", base.rel)))
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "benchmark": self.benchmark,
+            "technique": self.technique,
+        }
+        if self.expected_timeout:
+            payload["expected_timeout"] = True
+        else:
+            payload["metrics"] = {name: self.metrics[name]
+                                  for name in METRIC_NAMES
+                                  if name in self.metrics}
+            if self.solver:
+                payload["solver"] = dict(self.solver)
+        if self.note:
+            payload["note"] = self.note
+        if self.tolerances:
+            payload["tolerances"] = {
+                metric: dict(override)
+                for metric, override in sorted(self.tolerances.items())
+            }
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "BaselineEntry":
+        return BaselineEntry(
+            benchmark=str(payload["benchmark"]),
+            technique=str(payload["technique"]),
+            metrics={str(k): float(v)
+                     for k, v in dict(payload.get("metrics", {})).items()},
+            solver=dict(payload.get("solver", {})),
+            expected_timeout=bool(payload.get("expected_timeout", False)),
+            note=str(payload.get("note", "")),
+            tolerances={str(m): {str(k): float(v) for k, v in dict(o).items()}
+                        for m, o in dict(payload.get("tolerances", {})).items()},
+        )
+
+
+@dataclass
+class GoldenBaseline:
+    """The full golden file: cells plus file-level provenance."""
+
+    entries: Dict[Tuple[str, str], BaselineEntry] = field(default_factory=dict)
+    provenance: Dict[str, object] = field(default_factory=dict)
+
+    def get(self, benchmark: str, technique: str) -> Optional[BaselineEntry]:
+        return self.entries.get((benchmark, technique))
+
+    def set(self, entry: BaselineEntry) -> None:
+        self.entries[(entry.benchmark, entry.technique)] = entry
+
+    def is_expected_timeout(self, benchmark: str, technique: str) -> bool:
+        entry = self.get(benchmark, technique)
+        return entry is not None and entry.expected_timeout
+
+    def expected_timeout_cells(self) -> List[Tuple[str, str]]:
+        """All ``(benchmark, technique)`` cells annotated infeasible."""
+        return sorted(key for key, entry in self.entries.items()
+                      if entry.expected_timeout)
+
+    def benchmarks(self) -> List[str]:
+        return sorted({benchmark for benchmark, _ in self.entries})
+
+    def techniques(self) -> List[str]:
+        return sorted({technique for _, technique in self.entries})
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "provenance": dict(self.provenance),
+            "cells": {
+                entry.key: entry.to_dict()
+                for entry in sorted(self.entries.values(),
+                                    key=lambda e: (e.benchmark, e.technique))
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "GoldenBaseline":
+        cells = payload.get("cells")
+        if not isinstance(cells, dict):
+            raise GoldenBaselineError("golden file has no 'cells' object")
+        baseline = GoldenBaseline(provenance=dict(payload.get("provenance", {})))
+        for key, cell in cells.items():
+            entry = BaselineEntry.from_dict(cell)
+            if entry.key != key:
+                raise GoldenBaselineError(
+                    f"cell key {key!r} disagrees with its payload "
+                    f"({entry.key!r})")
+            baseline.set(entry)
+        return baseline
+
+    def save(self, path: str) -> None:
+        """Write the golden file (sorted keys, trailing newline, atomic)."""
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        tmp = f"{path}.tmp"
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(tmp, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def load(path: str) -> "GoldenBaseline":
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise GoldenBaselineError(
+                f"no golden baseline at {path!r}; create one with "
+                "'python -m repro.golden --rebaseline'") from None
+        except json.JSONDecodeError as error:
+            raise GoldenBaselineError(
+                f"golden baseline {path!r} is not valid JSON: {error}"
+            ) from None
+        return GoldenBaseline.from_dict(payload)
+
+
+def default_baseline_path() -> str:
+    """Locate ``benchmarks/golden/baseline.json``.
+
+    Resolution order: the ``REPRO_GOLDEN_BASELINE`` environment variable,
+    the current working directory's ``benchmarks/golden/baseline.json``,
+    then the repository the package was installed from in editable mode
+    (three levels up from this file).  The last existing candidate wins;
+    when none exists the repo-relative path is returned so error messages
+    and ``--rebaseline`` have a sensible target.
+    """
+    env = os.environ.get("REPRO_GOLDEN_BASELINE")
+    if env:
+        return env
+    candidates = [
+        os.path.join(os.getcwd(), "benchmarks", "golden", "baseline.json"),
+        os.path.abspath(os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir, os.pardir,
+            "benchmarks", "golden", "baseline.json")),
+    ]
+    for candidate in candidates:
+        if os.path.exists(candidate):
+            return candidate
+    return candidates[-1]
+
+
+# ---------------------------------------------------------------------------
+# Comparison engine
+# ---------------------------------------------------------------------------
+@dataclass
+class MetricDelta:
+    """One metric of one cell, compared against its baseline value."""
+
+    metric: str
+    baseline: float
+    actual: float
+    status: str  # "improved" | "within" | "regressed"
+    #: Signed worsening (positive = worse), in the metric's own units.
+    worse_by: float
+    #: ``worse_by`` relative to the baseline magnitude (0 when undefined).
+    rel_worse_by: float
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "baseline": _json_float(self.baseline),
+            "actual": _json_float(self.actual),
+            "status": self.status,
+            "worse_by": _json_float(self.worse_by),
+            "rel_worse_by": _json_float(self.rel_worse_by),
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class CellVerdict:
+    """The typed outcome of one benchmark × technique comparison."""
+
+    benchmark: str
+    technique: str
+    status: str  # improved | within | regressed | new | missing | skipped
+    deltas: List[MetricDelta] = field(default_factory=list)
+    reason: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.benchmark}:{self.technique}"
+
+    @property
+    def failing(self) -> bool:
+        return self.status in FAILING_STATUSES
+
+    def regressed_metrics(self) -> List[MetricDelta]:
+        return [delta for delta in self.deltas if delta.status == "regressed"]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "technique": self.technique,
+            "status": self.status,
+            "reason": self.reason,
+            "deltas": [delta.to_dict() for delta in self.deltas],
+        }
+
+
+def _json_float(value: float) -> object:
+    """JSON-safe float (inf/nan degrade to strings)."""
+    if value != value:
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    return value
+
+
+def compare_metric(metric: str, baseline: float, actual: float,
+                   tolerance: Optional[Tolerance] = None) -> MetricDelta:
+    """Compare one metric value against its baseline.
+
+    The tolerance band is inclusive: a worsening of exactly the allowed
+    slack is still ``within`` (the boundary belongs to the passing side).
+    Non-finite values never pass silently: a NaN on either side is a
+    regression, a worse-direction infinity is a regression, and a finite
+    actual against a non-finite baseline is an improvement.
+    """
+    spec = METRIC_SPECS.get(metric)
+    direction = spec.direction if spec is not None else "lower"
+    if tolerance is None:
+        tolerance = default_tolerance(metric)
+    sign = 1.0 if direction == "lower" else -1.0
+
+    if math.isnan(baseline) or math.isnan(actual):
+        return MetricDelta(metric, baseline, actual, "regressed",
+                           worse_by=float("nan"), rel_worse_by=float("nan"),
+                           reason="NaN metric value")
+    if math.isinf(baseline) or math.isinf(actual):
+        if baseline == actual:
+            return MetricDelta(metric, baseline, actual, "within",
+                               worse_by=0.0, rel_worse_by=0.0,
+                               reason="both values infinite")
+        worse = sign * (actual - baseline)  # inf arithmetic gives ±inf
+        status = "regressed" if worse > 0 else "improved"
+        reason = ("non-finite actual value" if math.isinf(actual)
+                  else "baseline was non-finite")
+        return MetricDelta(metric, baseline, actual, status,
+                           worse_by=worse, rel_worse_by=worse, reason=reason)
+
+    worse_by = sign * (actual - baseline)
+    slack = tolerance.slack(baseline)
+    if worse_by > slack:
+        status = "regressed"
+    elif worse_by < -slack:
+        status = "improved"
+    else:
+        status = "within"
+    rel = worse_by / abs(baseline) if baseline != 0 else (
+        0.0 if worse_by == 0 else math.copysign(float("inf"), worse_by))
+    return MetricDelta(metric, baseline, actual, status,
+                       worse_by=worse_by, rel_worse_by=rel)
+
+
+def compare_record(record: QualityRecord,
+                   entry: BaselineEntry) -> CellVerdict:
+    """Compare a fresh quality record against its baseline entry."""
+    deltas: List[MetricDelta] = []
+    regressed = improved = 0
+    for metric in METRIC_NAMES:
+        if metric not in entry.metrics:
+            continue  # baseline predates this metric: nothing to gate
+        baseline_value = entry.metrics[metric]
+        actual = record.metrics.get(metric)
+        if actual is None:
+            delta = MetricDelta(metric, baseline_value, float("nan"),
+                                "regressed", worse_by=float("nan"),
+                                rel_worse_by=float("nan"),
+                                reason="metric missing from the run")
+        else:
+            delta = compare_metric(metric, baseline_value, actual,
+                                   entry.tolerance(metric))
+        deltas.append(delta)
+        if delta.status == "regressed":
+            regressed += 1
+        elif delta.status == "improved":
+            improved += 1
+    if regressed:
+        status = "regressed"
+    elif improved:
+        status = "improved"
+    else:
+        status = "within"
+    return CellVerdict(record.benchmark, record.technique, status, deltas)
+
+
+@dataclass
+class ComparisonResult:
+    """All verdicts of one golden run, plus the aggregates CI gates on."""
+
+    verdicts: List[CellVerdict] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {status: 0 for status in
+                  ("improved", "within", "regressed", "new", "missing",
+                   "skipped")}
+        for verdict in self.verdicts:
+            counts[verdict.status] = counts.get(verdict.status, 0) + 1
+        return counts
+
+    @property
+    def failed(self) -> bool:
+        return any(verdict.failing for verdict in self.verdicts)
+
+    def worst_regression(self) -> Optional[Dict[str, object]]:
+        """The single worst regressed metric across all cells (by relative
+        worsening, NaN-poisoned deltas first)."""
+        worst: Optional[Tuple[float, CellVerdict, MetricDelta]] = None
+        for verdict in self.verdicts:
+            for delta in verdict.regressed_metrics():
+                magnitude = delta.rel_worse_by
+                rank = float("inf") if magnitude != magnitude else magnitude
+                if worst is None or rank > worst[0]:
+                    worst = (rank, verdict, delta)
+        if worst is None:
+            return None
+        _, verdict, delta = worst
+        return {
+            "benchmark": verdict.benchmark,
+            "technique": verdict.technique,
+            **delta.to_dict(),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counts": self.counts,
+            "failed": self.failed,
+            "worst_regression": self.worst_regression(),
+            "cells": [verdict.to_dict() for verdict in self.verdicts],
+        }
+
+
+def compare_run(records: Iterable[QualityRecord], baseline: GoldenBaseline,
+                expected: Iterable[Tuple[str, str]] = (),
+                errors: Optional[Mapping[Tuple[str, str], str]] = None,
+                ) -> ComparisonResult:
+    """Compare a run's records against the baseline.
+
+    ``expected`` lists the cells the run *attempted* (so baseline entries
+    whose compile crashed or blew an unexpected deadline are reported as
+    ``missing`` rather than silently ignored); ``errors`` carries the
+    per-cell failure reasons.  Cells annotated ``expected_timeout`` in
+    the baseline come back as ``skipped``.
+    """
+    errors = dict(errors or {})
+    result = ComparisonResult()
+    seen = set()
+    for record in records:
+        cell = (record.benchmark, record.technique)
+        seen.add(cell)
+        entry = baseline.get(*cell)
+        if entry is None:
+            result.verdicts.append(CellVerdict(
+                record.benchmark, record.technique, "new",
+                reason="no baseline entry; rebaseline to adopt this cell"))
+        elif entry.expected_timeout:
+            result.verdicts.append(CellVerdict(
+                record.benchmark, record.technique, "improved",
+                reason="cell was annotated expected_timeout but completed; "
+                       "rebaseline to adopt its metrics"))
+        else:
+            result.verdicts.append(compare_record(record, entry))
+    for cell in expected:
+        if cell in seen:
+            continue
+        seen.add(cell)
+        benchmark, technique = cell
+        if baseline.is_expected_timeout(benchmark, technique):
+            result.verdicts.append(CellVerdict(
+                benchmark, technique, "skipped",
+                reason="expected_timeout annotation in the golden baseline"))
+        else:
+            result.verdicts.append(CellVerdict(
+                benchmark, technique, "missing",
+                reason=errors.get(cell, "cell produced no quality record")))
+    result.verdicts.sort(key=lambda v: (v.benchmark, v.technique))
+    return result
+
+
+def make_entry(record: QualityRecord, note: str = "") -> BaselineEntry:
+    """A baseline entry adopting a fresh record's metrics verbatim."""
+    return BaselineEntry(
+        benchmark=record.benchmark,
+        technique=record.technique,
+        metrics={name: stable_float(value)
+                 for name, value in record.metrics.items()},
+        solver=dict(record.solver),
+        note=note,
+    )
+
+
+def make_timeout_entry(benchmark: str, technique: str,
+                       note: str = "") -> BaselineEntry:
+    """A baseline entry annotating a cell as known-infeasible."""
+    return BaselineEntry(benchmark=benchmark, technique=technique,
+                         expected_timeout=True, note=note)

@@ -1,0 +1,152 @@
+"""Canonical solution-quality records extracted from compilation results.
+
+The perf harness (``BENCH_perf.json``) tracks *speed*; this module is the
+quality half: for every compiled benchmark it distills the metrics the
+paper actually optimizes — gate counts, depth, schedule duration,
+fidelity, the combined cost — into one JSON-stable
+:class:`QualityRecord`.  Records are what the golden baseline
+(:mod:`repro.golden.baseline`) stores and what the runner compares
+against it.
+
+JSON stability matters because records are diffed and checked in: every
+float is normalized to 12 significant digits (far below any tolerance,
+far above double noise), so ``to_dict`` → ``json`` → ``from_dict`` is an
+exact round trip and a re-run on the same tree produces a byte-identical
+baseline file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one quality metric is extracted and compared.
+
+    ``direction`` says which way is better (``"lower"`` for costs,
+    ``"higher"`` for fidelities); ``abs_tol``/``rel_tol`` are the default
+    slack applied by the comparison engine before a worsening counts as a
+    regression.  Integer metrics default to zero slack: any count
+    increase is a regression.
+    """
+
+    name: str
+    direction: str  # "lower" | "higher"
+    abs_tol: float = 0.0
+    rel_tol: float = 0.0
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("lower", "higher"):
+            raise ValueError(f"direction must be 'lower' or 'higher', "
+                             f"got {self.direction!r}")
+
+
+#: The gated quality metrics, in report order.  Float tolerances absorb
+#: libm last-ulp drift across platforms/Python builds; they are orders of
+#: magnitude below any real quality change.
+QUALITY_METRICS: Tuple[MetricSpec, ...] = (
+    MetricSpec("gate_count", "lower", integer=True),
+    MetricSpec("two_qubit_gate_count", "lower", integer=True),
+    MetricSpec("depth", "lower", integer=True),
+    MetricSpec("duration", "lower", abs_tol=1e-6, rel_tol=1e-6),
+    MetricSpec("total_idle_time", "lower", abs_tol=1e-6, rel_tol=1e-6),
+    MetricSpec("gate_fidelity_product", "higher", abs_tol=1e-9, rel_tol=1e-6),
+    MetricSpec("combined_score", "higher", abs_tol=1e-9, rel_tol=1e-6),
+)
+
+METRIC_SPECS: Dict[str, MetricSpec] = {spec.name: spec for spec in QUALITY_METRICS}
+
+#: Order in which metrics appear in records, tables and delta lists.
+METRIC_NAMES: Tuple[str, ...] = tuple(spec.name for spec in QUALITY_METRICS)
+
+
+def stable_float(value: float) -> float:
+    """Normalize a float to 12 significant digits (JSON-stable)."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return value
+    return float(f"{value:.12g}")
+
+
+@dataclass
+class QualityRecord:
+    """The solution-quality snapshot of one benchmark × technique cell.
+
+    ``metrics`` holds the gated values (one per :data:`QUALITY_METRICS`
+    entry); ``solver`` is an informational digest of the deterministic
+    solver/selection counters (never gated — it explains *why* a metric
+    moved, it does not fail runs by itself).
+    """
+
+    benchmark: str
+    technique: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    solver: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form; metric floats round-trip exactly."""
+        return {
+            "benchmark": self.benchmark,
+            "technique": self.technique,
+            "metrics": {name: self.metrics[name] for name in METRIC_NAMES
+                        if name in self.metrics},
+            "solver": dict(self.solver),
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "QualityRecord":
+        """Inverse of :meth:`to_dict`."""
+        return QualityRecord(
+            benchmark=str(payload["benchmark"]),
+            technique=str(payload["technique"]),
+            metrics={str(k): float(v)
+                     for k, v in dict(payload.get("metrics", {})).items()},
+            solver=dict(payload.get("solver", {})),
+        )
+
+
+def _solver_digest(statistics: Mapping[str, object]) -> Dict[str, object]:
+    """The deterministic, JSON-safe subset of the solver statistics."""
+    digest: Dict[str, object] = {}
+    for key in sorted(statistics):
+        value = statistics[key]
+        if isinstance(value, bool) or isinstance(value, int):
+            digest[key] = int(value)
+        elif isinstance(value, str):
+            digest[key] = value
+        # Floats (and anything exotic) are dropped: solver float stats
+        # tend to be derived timings, which are not reproducible.
+    return digest
+
+
+def extract_quality(result, benchmark: Optional[str] = None) -> QualityRecord:
+    """Distill an :class:`repro.core.AdaptationResult` into a record.
+
+    ``benchmark`` overrides the record's benchmark name (the adapted
+    circuit's name is used otherwise).  The technique is taken from the
+    result's report when present — for degraded results that is the
+    technique that actually produced the circuit.
+    """
+    cost = result.cost
+    circuit = result.adapted_circuit
+    technique = result.technique
+    if result.report is not None:
+        technique = result.report.technique
+    metrics = {
+        "gate_count": float(cost.gate_count),
+        "two_qubit_gate_count": float(cost.two_qubit_gate_count),
+        "depth": float(circuit.depth()),
+        "duration": stable_float(cost.duration),
+        "total_idle_time": stable_float(cost.total_idle_time),
+        "gate_fidelity_product": stable_float(cost.gate_fidelity_product),
+        "combined_score": stable_float(cost.combined_score),
+    }
+    return QualityRecord(
+        benchmark=benchmark if benchmark is not None else circuit.name,
+        technique=technique,
+        metrics=metrics,
+        solver=_solver_digest(result.statistics or {}),
+    )

@@ -11,7 +11,7 @@ gate count) is computed from the parsed circuit, never hand-maintained.
 
     >>> from repro.interop import load_suite, suite_names
     >>> suite_names()[:3]
-    ['adder_n4', 'bv_n5', 'dj_n4']
+    ['adder_n4', 'bv_n5', 'clifford_s11_n4']
     >>> entry = load_suite(["ghz_n5"])[0]
     >>> entry.circuit().num_qubits
     5
@@ -36,26 +36,39 @@ def _parsed(name: str) -> QuantumCircuit:
 
 @dataclass(frozen=True)
 class SuiteEntry:
-    """One bundled benchmark: name, provenance note and QASM source."""
+    """One bundled benchmark: name, provenance note and QASM source.
+
+    Generated entries (the random-Clifford and QV-style families)
+    additionally record the ``family`` they were drawn from and the
+    ``seed`` that deterministically produced their QASM source.
+    """
 
     name: str
     description: str
     qasm: str
+    family: Optional[str] = None
+    seed: Optional[int] = None
 
     def circuit(self) -> QuantumCircuit:
         """The parsed circuit (a copy — instructions are immutable, the
         container is not; the parse itself is cached per benchmark)."""
         return _parsed(self.name).copy()
 
-    def metadata(self) -> Dict[str, int]:
-        """Computed circuit statistics: qubits, gates, depth, 2q count."""
+    def metadata(self) -> Dict[str, object]:
+        """Computed circuit statistics: qubits, gates, depth, 2q count
+        (plus ``family``/``seed`` provenance for generated entries)."""
         circuit = _parsed(self.name)
-        return {
+        metadata: Dict[str, object] = {
             "qubits": circuit.num_qubits,
             "gates": len(circuit.instructions),
             "depth": circuit.depth(),
             "two_qubit_gates": circuit.two_qubit_gate_count(),
         }
+        if self.family is not None:
+            metadata["family"] = self.family
+        if self.seed is not None:
+            metadata["seed"] = self.seed
+        return metadata
 
 
 _HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
@@ -63,8 +76,10 @@ _HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
 _BENCHMARKS: Dict[str, SuiteEntry] = {}
 
 
-def _register(name: str, description: str, body: str) -> None:
-    _BENCHMARKS[name] = SuiteEntry(name, description, _HEADER + body)
+def _register(name: str, description: str, body: str,
+              family: Optional[str] = None, seed: Optional[int] = None) -> None:
+    _BENCHMARKS[name] = SuiteEntry(name, description, _HEADER + body,
+                                   family=family, seed=seed)
 
 
 _register(
@@ -441,6 +456,167 @@ ch q[0],q[1];
 cx q[1],q[2];
 cx q[0],q[1];
 x q[0];
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# Generated families: QFT, random Cliffords, QV-style models, ECC encoder
+# ---------------------------------------------------------------------------
+# The generators below are deterministic by construction: the only
+# randomness is a self-contained 32-bit LCG (so the emitted QASM is
+# bit-identical across Python versions and platforms), and every float
+# is formatted with repr() (shortest round-tripping decimal).  The
+# golden-suite quality harness (repro.golden) relies on this — the same
+# seed must always produce the same source, hence the same circuit hash.
+
+
+class _Lcg:
+    """Tiny deterministic PRNG (Numerical Recipes LCG, 32-bit state)."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = (seed ^ 0x9E3779B9) & 0xFFFFFFFF
+
+    def next_int(self, bound: int) -> int:
+        """A deterministic integer in ``[0, bound)``."""
+        self._state = (1664525 * self._state + 1013904223) & 0xFFFFFFFF
+        return (self._state >> 8) % bound
+
+    def next_angle(self) -> float:
+        """A deterministic angle in ``[0, 2*pi)``."""
+        self._state = (1664525 * self._state + 1013904223) & 0xFFFFFFFF
+        return (self._state / 2.0**32) * 6.283185307179586
+
+
+def qft_qasm_body(num_qubits: int) -> str:
+    """QFT circuit body: Hadamard + controlled-phase ladder + final swaps."""
+    lines = [f"qreg q[{num_qubits}];"]
+    for i in range(num_qubits):
+        lines.append(f"h q[{i}];")
+        for j in range(i + 1, num_qubits):
+            lines.append(f"cu1(pi/{2 ** (j - i)}) q[{j}],q[{i}];")
+    for i in range(num_qubits // 2):
+        lines.append(f"swap q[{i}],q[{num_qubits - 1 - i}];")
+    return "\n".join(lines) + "\n"
+
+
+#: Gate pools of the random-Clifford family.
+_CLIFFORD_1Q = ("h", "s", "sdg", "x", "z")
+_CLIFFORD_2Q = ("cx", "cz", "swap")
+
+
+def random_clifford_qasm_body(num_qubits: int, seed: int,
+                              moments: int = 8) -> str:
+    """Seeded random Clifford circuit body (same seed → identical QASM).
+
+    Each moment applies one single-qubit Clifford per qubit outside a
+    randomly chosen pair, then one two-qubit Clifford on that pair.
+    """
+    rng = _Lcg(seed)
+    lines = [f"qreg q[{num_qubits}];"]
+    for _ in range(moments):
+        a = rng.next_int(num_qubits)
+        b = rng.next_int(num_qubits - 1)
+        if b >= a:
+            b += 1
+        for qubit in range(num_qubits):
+            if qubit not in (a, b):
+                gate = _CLIFFORD_1Q[rng.next_int(len(_CLIFFORD_1Q))]
+                lines.append(f"{gate} q[{qubit}];")
+        gate = _CLIFFORD_2Q[rng.next_int(len(_CLIFFORD_2Q))]
+        lines.append(f"{gate} q[{a}],q[{b}];")
+    return "\n".join(lines) + "\n"
+
+
+def qv_model_qasm_body(num_qubits: int, layers: int, seed: int) -> str:
+    """Quantum-volume-style model circuit body (same seed → same QASM).
+
+    Each layer pairs up a shuffled qubit permutation and applies a
+    haar-flavored two-qubit block (u3 · u3 · cx · u3 · u3) to every pair.
+    """
+    rng = _Lcg(seed)
+    lines = [f"qreg q[{num_qubits}];"]
+
+    def u3(qubit: int) -> str:
+        theta, phi, lam = (rng.next_angle() for _ in range(3))
+        return f"u3({theta!r},{phi!r},{lam!r}) q[{qubit}];"
+
+    for _ in range(layers):
+        order = list(range(num_qubits))
+        for i in range(num_qubits - 1, 0, -1):  # Fisher-Yates on the LCG
+            j = rng.next_int(i + 1)
+            order[i], order[j] = order[j], order[i]
+        for i in range(0, num_qubits - 1, 2):
+            a, b = order[i], order[i + 1]
+            lines.append(u3(a))
+            lines.append(u3(b))
+            lines.append(f"cx q[{a}],q[{b}];")
+            lines.append(u3(a))
+            lines.append(u3(b))
+    return "\n".join(lines) + "\n"
+
+
+_register(
+    "qft_n6",
+    "6-qubit quantum Fourier transform (generated cu1 ladder + swaps)",
+    qft_qasm_body(6),
+)
+
+_register(
+    "qft_n8",
+    "8-qubit quantum Fourier transform (generated cu1 ladder + swaps)",
+    qft_qasm_body(8),
+)
+
+_register(
+    "clifford_s11_n4",
+    "seeded random Clifford circuit, 8 moments over {h,s,sdg,x,z,cx,cz,swap}",
+    random_clifford_qasm_body(4, seed=11),
+    family="clifford", seed=11,
+)
+
+_register(
+    "clifford_s23_n5",
+    "seeded random Clifford circuit, 8 moments over {h,s,sdg,x,z,cx,cz,swap}",
+    random_clifford_qasm_body(5, seed=23),
+    family="clifford", seed=23,
+)
+
+_register(
+    "clifford_s42_n6",
+    "seeded random Clifford circuit, 8 moments over {h,s,sdg,x,z,cx,cz,swap}",
+    random_clifford_qasm_body(6, seed=42),
+    family="clifford", seed=42,
+)
+
+_register(
+    "qv_n4",
+    "QV-style model circuit: 3 layers of permuted u3/cx two-qubit blocks",
+    qv_model_qasm_body(4, layers=3, seed=7),
+    family="qv", seed=7,
+)
+
+_register(
+    "qv_n5",
+    "QV-style model circuit: 3 layers of permuted u3/cx two-qubit blocks",
+    qv_model_qasm_body(5, layers=3, seed=13),
+    family="qv", seed=13,
+)
+
+_register(
+    "repetition_n5",
+    "3-qubit repetition-code encoder + syndrome extraction (2 ancillas)",
+    """qreg q[5];
+creg c[2];
+ry(0.59999999999999998) q[0];
+cx q[0],q[1];
+cx q[0],q[2];
+cx q[0],q[3];
+cx q[1],q[3];
+cx q[1],q[4];
+cx q[2],q[4];
+measure q[3] -> c[0];
+measure q[4] -> c[1];
 """,
 )
 

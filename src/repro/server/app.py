@@ -624,6 +624,8 @@ class CompilationGateway:
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """The ``/metrics`` document: service stats + request telemetry."""
+        from repro.golden import quality_summary
+
         return {
             "server": {
                 "version": __version__,
@@ -637,6 +639,10 @@ class CompilationGateway:
             "service": self.service.statistics(),
             "requests": self.metrics.snapshot(),
             "passes": PASS_METRICS.snapshot(),
+            # Last golden-quality run: verdict counts + worst regression
+            # (in-process run if any, else the BENCH_quality.json named
+            # by REPRO_QUALITY_REPORT).  Never raises by contract.
+            "quality": quality_summary(),
         }
 
     def drain(self, timeout: Optional[float]) -> Dict[str, object]:

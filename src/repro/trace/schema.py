@@ -7,8 +7,8 @@ deliberately flat so traces stay greppable:
 ``kind``  ``meta`` | ``begin`` | ``end`` | ``point``
 ``ts``    ``time.perf_counter()`` seconds — monotonic within one process
 ``name``  event name, e.g. ``http.request``, ``pass:solve``, ``sat.restart``
-``layer`` ``server`` | ``service`` | ``api`` | ``pipeline`` | ``solver``
-          (plus ``trace`` for the ``meta`` header)
+``layer`` ``server`` | ``service`` | ``api`` | ``pipeline`` | ``solver`` |
+          ``golden`` (plus ``trace`` for the ``meta`` header)
 ``pid``   producing process id
 ``tid``   producing thread id
 ``span``  span id: the opened span (``begin``/``end``), the enclosing span
@@ -34,7 +34,7 @@ from typing import Dict, Iterable, List, Mapping, Tuple
 KINDS = ("meta", "begin", "end", "point")
 
 #: Layers instrumented by the subsystem (``meta`` headers use ``trace``).
-LAYERS = ("trace", "server", "service", "api", "pipeline", "solver")
+LAYERS = ("trace", "server", "service", "api", "pipeline", "solver", "golden")
 
 #: Keys every event must carry, regardless of kind.
 REQUIRED_KEYS = ("kind", "ts", "name", "layer", "pid", "tid", "span", "fields")

@@ -1,0 +1,286 @@
+"""Comparison-engine edge cases and golden-file round-trips."""
+
+import json
+import math
+
+import pytest
+
+from repro.golden import (
+    FAILING_STATUSES,
+    BaselineEntry,
+    GoldenBaseline,
+    GoldenBaselineError,
+    QualityRecord,
+    Tolerance,
+    compare_metric,
+    compare_record,
+    compare_run,
+    default_baseline_path,
+    make_entry,
+    make_timeout_entry,
+)
+
+BASE_METRICS = {
+    "gate_count": 40.0,
+    "two_qubit_gate_count": 9.0,
+    "depth": 20.0,
+    "duration": 1500.0,
+    "total_idle_time": 300.0,
+    "gate_fidelity_product": 0.97,
+    "combined_score": 0.9,
+}
+
+
+def record(benchmark="toffoli_n3", technique="direct", **overrides):
+    metrics = dict(BASE_METRICS)
+    metrics.update(overrides)
+    return QualityRecord(benchmark=benchmark, technique=technique,
+                         metrics=metrics)
+
+
+def entry(benchmark="toffoli_n3", technique="direct", **kwargs):
+    kwargs.setdefault("metrics", dict(BASE_METRICS))
+    return BaselineEntry(benchmark=benchmark, technique=technique, **kwargs)
+
+
+class TestCompareMetric:
+    def test_lower_is_better_regression(self):
+        delta = compare_metric("gate_count", 40.0, 43.0)
+        assert delta.status == "regressed"
+        assert delta.worse_by == 3.0
+        assert delta.rel_worse_by == pytest.approx(3.0 / 40.0)
+
+    def test_lower_is_better_improvement(self):
+        assert compare_metric("gate_count", 40.0, 37.0).status == "improved"
+
+    def test_higher_is_better_direction_flips_the_sign(self):
+        worse = compare_metric("gate_fidelity_product", 0.97, 0.90)
+        better = compare_metric("gate_fidelity_product", 0.90, 0.97)
+        assert worse.status == "regressed" and worse.worse_by > 0
+        assert better.status == "improved" and better.worse_by < 0
+
+    def test_tolerance_boundary_exactly_met_is_within(self):
+        """The inclusive boundary: worsening == slack passes."""
+        tolerance = Tolerance(abs=5.0)
+        at = compare_metric("duration", 100.0, 105.0, tolerance)
+        past = compare_metric("duration", 100.0, 105.0000001, tolerance)
+        assert at.status == "within"
+        assert past.status == "regressed"
+
+    def test_relative_tolerance_boundary(self):
+        tolerance = Tolerance(rel=0.1)
+        assert compare_metric("duration", 200.0, 220.0,
+                              tolerance).status == "within"
+        assert compare_metric("duration", 200.0, 220.01,
+                              tolerance).status == "regressed"
+
+    def test_slack_is_max_of_abs_and_rel(self):
+        assert Tolerance(abs=2.0, rel=0.1).slack(100.0) == 10.0
+        assert Tolerance(abs=2.0, rel=0.1).slack(5.0) == 2.0
+
+    def test_nan_actual_is_a_regression(self):
+        delta = compare_metric("duration", 100.0, float("nan"))
+        assert delta.status == "regressed"
+        assert "NaN" in delta.reason
+
+    def test_nan_baseline_is_a_regression(self):
+        assert compare_metric("duration", float("nan"),
+                              100.0).status == "regressed"
+
+    def test_worse_direction_infinity_is_a_regression(self):
+        delta = compare_metric("duration", 100.0, float("inf"))
+        assert delta.status == "regressed"
+        assert delta.worse_by == float("inf")
+
+    def test_good_direction_against_infinite_baseline_is_improved(self):
+        delta = compare_metric("duration", float("inf"), 100.0)
+        assert delta.status == "improved"
+
+    def test_both_infinite_is_within(self):
+        assert compare_metric("duration", float("inf"),
+                              float("inf")).status == "within"
+
+    def test_zero_baseline_relative_delta_is_well_defined(self):
+        delta = compare_metric("total_idle_time", 0.0, 1.0)
+        assert delta.status == "regressed"
+        assert delta.rel_worse_by == float("inf")
+        assert compare_metric("total_idle_time", 0.0, 0.0).rel_worse_by == 0.0
+
+    def test_integer_metrics_gate_on_any_worsening(self):
+        assert compare_metric("depth", 20.0, 21.0).status == "regressed"
+        assert compare_metric("depth", 20.0, 20.0).status == "within"
+
+
+class TestCompareRecord:
+    def test_identical_record_is_within(self):
+        verdict = compare_record(record(), entry())
+        assert verdict.status == "within"
+        assert not verdict.failing
+        assert verdict.regressed_metrics() == []
+
+    def test_one_regressed_metric_fails_the_cell(self):
+        verdict = compare_record(record(gate_count=41.0), entry())
+        assert verdict.status == "regressed"
+        assert verdict.failing
+        assert [d.metric for d in verdict.regressed_metrics()] == ["gate_count"]
+
+    def test_mixed_improved_and_regressed_is_regressed(self):
+        verdict = compare_record(
+            record(gate_count=30.0, depth=25.0), entry())
+        assert verdict.status == "regressed"
+
+    def test_pure_improvement_is_improved(self):
+        verdict = compare_record(record(gate_count=30.0), entry())
+        assert verdict.status == "improved"
+        assert not verdict.failing
+
+    def test_metric_missing_from_the_run_regresses(self):
+        sparse = record()
+        del sparse.metrics["depth"]
+        verdict = compare_record(sparse, entry())
+        assert verdict.status == "regressed"
+        (delta,) = verdict.regressed_metrics()
+        assert delta.metric == "depth"
+        assert "missing" in delta.reason
+
+    def test_metric_missing_from_the_baseline_is_not_gated(self):
+        old = entry(metrics={"gate_count": 40.0})
+        verdict = compare_record(record(depth=999.0), old)
+        assert verdict.status == "within"
+        assert [d.metric for d in verdict.deltas] == ["gate_count"]
+
+    def test_per_metric_tolerance_override(self):
+        loose = entry(tolerances={"gate_count": {"abs": 5.0}})
+        assert compare_record(record(gate_count=44.0),
+                              loose).status == "within"
+        assert compare_record(record(gate_count=46.0),
+                              loose).status == "regressed"
+
+
+class TestCompareRun:
+    def test_new_benchmark_not_in_baseline(self):
+        baseline = GoldenBaseline()
+        baseline.set(entry())
+        result = compare_run([record(), record(benchmark="brand_new_n3")],
+                             baseline,
+                             expected=[("toffoli_n3", "direct"),
+                                       ("brand_new_n3", "direct")])
+        by_key = {v.key: v for v in result.verdicts}
+        assert by_key["brand_new_n3:direct"].status == "new"
+        assert "rebaseline" in by_key["brand_new_n3:direct"].reason
+        assert not result.failed
+
+    def test_missing_technique_reports_the_cell_error(self):
+        baseline = GoldenBaseline()
+        baseline.set(entry())
+        baseline.set(entry(technique="sat_p"))
+        result = compare_run(
+            [record()], baseline,
+            expected=[("toffoli_n3", "direct"), ("toffoli_n3", "sat_p")],
+            errors={("toffoli_n3", "sat_p"): "deadline exceeded after 1s"})
+        by_key = {v.key: v for v in result.verdicts}
+        assert by_key["toffoli_n3:sat_p"].status == "missing"
+        assert "deadline" in by_key["toffoli_n3:sat_p"].reason
+        assert result.failed
+
+    def test_expected_timeout_cell_is_skipped_not_failed(self):
+        baseline = GoldenBaseline()
+        baseline.set(make_timeout_entry("rc_adder_n6", "sat_p", note="slow"))
+        result = compare_run([], baseline,
+                             expected=[("rc_adder_n6", "sat_p")])
+        (verdict,) = result.verdicts
+        assert verdict.status == "skipped"
+        assert not result.failed
+
+    def test_completed_expected_timeout_cell_suggests_rebaseline(self):
+        baseline = GoldenBaseline()
+        baseline.set(make_timeout_entry("toffoli_n3", "sat_p"))
+        result = compare_run([record(technique="sat_p")], baseline,
+                             expected=[("toffoli_n3", "sat_p")])
+        (verdict,) = result.verdicts
+        assert verdict.status == "improved"
+        assert "rebaseline" in verdict.reason
+
+    def test_verdicts_are_sorted_and_counted(self):
+        baseline = GoldenBaseline()
+        baseline.set(entry())
+        baseline.set(entry(benchmark="bv_n5"))
+        result = compare_run([record(), record(benchmark="bv_n5")], baseline,
+                             expected=[("toffoli_n3", "direct"),
+                                       ("bv_n5", "direct")])
+        assert [v.benchmark for v in result.verdicts] == ["bv_n5", "toffoli_n3"]
+        assert result.counts["within"] == 2
+        assert result.counts["regressed"] == 0
+
+    def test_worst_regression_ranks_nan_first(self):
+        baseline = GoldenBaseline()
+        baseline.set(entry())
+        baseline.set(entry(benchmark="bv_n5"))
+        result = compare_run(
+            [record(gate_count=80.0),
+             record(benchmark="bv_n5", duration=float("nan"))],
+            baseline,
+            expected=[("toffoli_n3", "direct"), ("bv_n5", "direct")])
+        worst = result.worst_regression()
+        assert worst["benchmark"] == "bv_n5"
+        assert worst["metric"] == "duration"
+        assert worst["actual"] == "nan"  # JSON-safe rendering
+
+    def test_failing_statuses_are_exactly_regressed_and_missing(self):
+        assert set(FAILING_STATUSES) == {"regressed", "missing"}
+
+
+class TestGoldenFile:
+    def test_save_load_round_trip_is_exact(self, tmp_path):
+        baseline = GoldenBaseline(provenance={"note": "test"})
+        baseline.set(make_entry(record(), note="seed"))
+        baseline.set(make_timeout_entry("rc_adder_n6", "sat_f"))
+        path = str(tmp_path / "golden.json")
+        baseline.save(path)
+        back = GoldenBaseline.load(path)
+        assert back.to_dict() == baseline.to_dict()
+        assert back.is_expected_timeout("rc_adder_n6", "sat_f")
+        assert back.get("toffoli_n3", "direct").metrics == \
+            baseline.get("toffoli_n3", "direct").metrics
+
+    def test_rebaseline_round_trip_compares_within(self):
+        """Adopting a record then comparing the same record: all-within."""
+        fresh = record(duration=1234.56789012345678,
+                       gate_fidelity_product=0.9712345678901234567)
+        adopted = make_entry(fresh)
+        assert compare_record(fresh, adopted).status == "within"
+        # ... and survives a JSON round-trip of the golden file.
+        reloaded = BaselineEntry.from_dict(
+            json.loads(json.dumps(adopted.to_dict())))
+        assert compare_record(fresh, reloaded).status == "within"
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(GoldenBaselineError, match="rebaseline"):
+            GoldenBaseline.load(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(GoldenBaselineError, match="not valid JSON"):
+            GoldenBaseline.load(str(path))
+
+    def test_cell_key_mismatch_is_rejected(self):
+        payload = {"cells": {"wrong:key": entry().to_dict()}}
+        with pytest.raises(GoldenBaselineError, match="disagrees"):
+            GoldenBaseline.from_dict(payload)
+
+    def test_env_var_overrides_the_default_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GOLDEN_BASELINE", "/tmp/elsewhere.json")
+        assert default_baseline_path() == "/tmp/elsewhere.json"
+
+    def test_timeout_cells_listed(self):
+        baseline = GoldenBaseline()
+        baseline.set(make_timeout_entry("qft_n8", "sat_p"))
+        baseline.set(entry())
+        assert baseline.expected_timeout_cells() == [("qft_n8", "sat_p")]
+
+    def test_nan_metric_survives_report_serialization(self):
+        delta = compare_metric("duration", 100.0, float("nan"))
+        payload = json.dumps(delta.to_dict())  # must not raise
+        assert "nan" in payload
+        assert math.isnan(delta.worse_by)

@@ -1,0 +1,104 @@
+"""Quality-record extraction: canonical metrics, JSON stability."""
+
+import json
+import math
+
+import pytest
+
+import repro
+from repro.golden import (
+    METRIC_NAMES,
+    METRIC_SPECS,
+    QUALITY_METRICS,
+    QualityRecord,
+    extract_quality,
+    stable_float,
+)
+from repro.golden.metrics import MetricSpec, _solver_digest
+from repro.hardware import spin_qubit_target
+from repro.interop import suite_circuit
+
+
+@pytest.fixture(scope="module")
+def direct_result():
+    return repro.compile(
+        suite_circuit("toffoli_n3"), spin_qubit_target(3), "direct",
+        use_cache=False, merge_single_qubit_gates=True,
+    )
+
+
+class TestExtraction:
+    def test_every_gated_metric_is_present(self, direct_result):
+        record = extract_quality(direct_result, benchmark="toffoli_n3")
+        assert set(record.metrics) == set(METRIC_NAMES)
+        assert record.benchmark == "toffoli_n3"
+        assert record.technique == "direct"
+
+    def test_metrics_match_the_result(self, direct_result):
+        record = extract_quality(direct_result)
+        cost = direct_result.cost
+        assert record.metrics["gate_count"] == cost.gate_count
+        assert record.metrics["two_qubit_gate_count"] == cost.two_qubit_gate_count
+        assert record.metrics["depth"] == direct_result.adapted_circuit.depth()
+        assert record.metrics["duration"] == stable_float(cost.duration)
+        assert (record.metrics["gate_fidelity_product"]
+                == stable_float(cost.gate_fidelity_product))
+        assert (record.metrics["combined_score"]
+                == stable_float(cost.combined_score))
+
+    def test_solver_digest_is_deterministic_counters_only(self):
+        digest = _solver_digest({
+            "sat_conflicts": 51, "selection": "greedy", "flag": True,
+            "seconds": 0.123, "weird": object(),
+        })
+        assert digest == {"sat_conflicts": 51, "selection": "greedy",
+                          "flag": 1}
+
+    def test_record_json_round_trip_is_exact(self, direct_result):
+        record = extract_quality(direct_result, benchmark="toffoli_n3")
+        payload = json.loads(json.dumps(record.to_dict()))
+        back = QualityRecord.from_dict(payload)
+        assert back.metrics == record.metrics
+        assert back.benchmark == record.benchmark
+        assert back.technique == record.technique
+        assert back.solver == record.solver
+
+    def test_extraction_is_deterministic_across_compiles(self):
+        records = []
+        for _ in range(2):
+            result = repro.compile(
+                suite_circuit("wstate_n3"), spin_qubit_target(3),
+                "template_f", use_cache=False,
+                merge_single_qubit_gates=True,
+            )
+            records.append(extract_quality(result, benchmark="wstate_n3"))
+        assert records[0].to_dict() == records[1].to_dict()
+
+
+class TestStableFloat:
+    def test_normalizes_to_twelve_significant_digits(self):
+        assert stable_float(0.1234567890123456789) == 0.123456789012
+
+    def test_non_finite_pass_through(self):
+        assert math.isnan(stable_float(float("nan")))
+        assert stable_float(float("inf")) == float("inf")
+
+    def test_idempotent(self):
+        value = stable_float(math.pi)
+        assert stable_float(value) == value
+
+
+class TestSpecs:
+    def test_directions_are_sane(self):
+        assert METRIC_SPECS["gate_count"].direction == "lower"
+        assert METRIC_SPECS["gate_fidelity_product"].direction == "higher"
+        assert METRIC_SPECS["combined_score"].direction == "higher"
+
+    def test_integer_metrics_have_zero_tolerance(self):
+        for spec in QUALITY_METRICS:
+            if spec.integer:
+                assert spec.abs_tol == 0.0 and spec.rel_tol == 0.0, spec.name
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            MetricSpec("x", "sideways")

@@ -1,0 +1,71 @@
+"""The gateway's ``GET /metrics`` quality block end to end."""
+
+import pytest
+
+from repro.golden import quality_summary, reset_quality_state, run_golden
+from repro.server import ReproClient, build_server
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = build_server(workers=2).start_background()
+    yield server
+    server.stop(drain=False)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ReproClient(server.url, timeout=120.0)
+
+
+@pytest.fixture(autouse=True)
+def _forget_last_run():
+    reset_quality_state()
+    yield
+    reset_quality_state()
+
+
+def test_metrics_quality_block_reflects_the_last_golden_run(
+        client, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_QUALITY_REPORT",
+                       str(tmp_path / "unwritten.json"))
+
+    # No golden run in this process, no readable report: degrade cleanly.
+    payload = client.metrics()
+    assert payload["quality"]["status"] == "unavailable"
+    assert "reason" in payload["quality"]
+
+    # A golden run in this process surfaces through the gateway.
+    out = str(tmp_path / "BENCH_quality.json")
+    baseline_path = str(tmp_path / "baseline.json")
+    run_golden(baseline_path=baseline_path, only=["toffoli_n3:direct"],
+               rebaseline=True, output=out)
+    payload = client.metrics()
+    quality = payload["quality"]
+    assert quality["status"] == "ok"
+    assert quality["source"] == "in-process"
+    assert quality["failed"] is False
+    assert quality["counts"]["within"] == 1
+    assert quality["worst_regression"] is None
+
+    # After a restart (simulated by forgetting), the written report
+    # named by REPRO_QUALITY_REPORT backs the same block.
+    reset_quality_state()
+    monkeypatch.setenv("REPRO_QUALITY_REPORT", out)
+    payload = client.metrics()
+    quality = payload["quality"]
+    assert quality["status"] == "ok"
+    assert quality["source"] == out
+    assert quality["counts"]["within"] == 1
+
+
+def test_quality_summary_matches_what_the_gateway_serves(
+        client, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_QUALITY_REPORT",
+                       str(tmp_path / "unwritten.json"))
+    baseline_path = str(tmp_path / "baseline.json")
+    run_golden(baseline_path=baseline_path, only=["wstate_n3:direct"],
+               rebaseline=True)
+    direct = quality_summary()
+    served = client.metrics()["quality"]
+    assert served == direct

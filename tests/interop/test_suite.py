@@ -18,8 +18,8 @@ from repro.interop import (
 
 
 class TestInventory:
-    def test_at_least_fifteen_benchmarks(self):
-        assert len(suite_names()) >= 15
+    def test_at_least_twenty_four_benchmarks(self):
+        assert len(suite_names()) >= 24
 
     def test_qubit_range_matches_the_paper(self):
         for name, metadata in suite_metadata().items():
@@ -62,6 +62,63 @@ class TestInventory:
         assert first.to_text() == second.to_text()
 
 
+class TestGeneratedFamilies:
+    """The generated entries: provenance metadata and determinism."""
+
+    def test_clifford_entries_carry_family_and_seed(self):
+        metadata = suite_metadata()
+        clifford = {name: md for name, md in metadata.items()
+                    if md.get("family") == "clifford"}
+        assert len(clifford) >= 3
+        for name, md in clifford.items():
+            assert isinstance(md["seed"], int), name
+            assert md["two_qubit_gates"] > 0, name
+
+    def test_qv_entries_carry_family_and_seed(self):
+        metadata = suite_metadata()
+        qv = {name: md for name, md in metadata.items()
+              if md.get("family") == "qv"}
+        assert len(qv) >= 2
+        for md in qv.values():
+            assert isinstance(md["seed"], int)
+
+    def test_plain_entries_have_no_family_keys(self):
+        metadata = suite_metadata(["toffoli_n3", "qft_n6"])
+        for md in metadata.values():
+            assert "family" not in md and "seed" not in md
+
+    def test_same_seed_is_bit_identical_qasm(self):
+        from repro.interop.suite import (
+            qv_model_qasm_body,
+            random_clifford_qasm_body,
+        )
+
+        assert (random_clifford_qasm_body(5, seed=23)
+                == random_clifford_qasm_body(5, seed=23))
+        assert (qv_model_qasm_body(4, layers=3, seed=7)
+                == qv_model_qasm_body(4, layers=3, seed=7))
+        # Registered entries embed exactly what the generator emits.
+        entry = load_suite(["clifford_s23_n5"])[0]
+        assert entry.qasm.endswith(random_clifford_qasm_body(5, seed=23))
+        qv = load_suite(["qv_n4"])[0]
+        assert qv.qasm.endswith(qv_model_qasm_body(4, layers=3, seed=7))
+
+    def test_different_seeds_differ(self):
+        from repro.interop.suite import random_clifford_qasm_body
+
+        assert (random_clifford_qasm_body(5, seed=1)
+                != random_clifford_qasm_body(5, seed=2))
+
+    def test_qft_generator_matches_handwritten_shape(self):
+        from repro.interop.suite import qft_qasm_body
+
+        circuit = suite_circuit("qft_n6")
+        assert circuit.num_qubits == 6
+        # h + cu1 ladder + swaps: n Hadamards, n(n-1)/2 cu1, n//2 swaps.
+        assert len(circuit.instructions) == 6 + 15 + 3
+        assert qft_qasm_body(6) == qft_qasm_body(6)
+
+
 class TestSuiteCompilation:
     def test_every_benchmark_compiles_direct(self):
         """Smoke tier: the baseline technique over the whole suite."""
@@ -82,21 +139,24 @@ class TestSuiteCompilation:
             )
             assert result.cost.gate_count > 0
 
-    #: Excluded from the *SMT* legs of the slow sweep (compiled by every
-    #: other technique): the 33-two-qubit-gate Cuccaro adder makes the
-    #: combined-objective OMT run for tens of minutes in the pure-Python
-    #: solver.  Verified to compile under sat_r; 18 of 19 benchmarks
-    #: (>= the 15 the acceptance bar asks for) go through all 8 keys.
-    SMT_EXCLUDED = {"rc_adder_n6"}
-
     @pytest.mark.slow
     @pytest.mark.parametrize("technique", PAPER_TECHNIQUES)
     def test_every_benchmark_compiles_through_every_technique(self, technique):
-        """Full tier (slow): all 8 registered techniques over the suite."""
+        """Full tier (slow): all 8 registered techniques over the suite.
+
+        Cells that are known-infeasible in the pure-Python solvers (e.g.
+        the Cuccaro adder or the 8-qubit QFT under the OMT techniques)
+        are skipped — but the *golden baseline* owns that list via its
+        ``expected_timeout`` annotations, not this file: rebaselining is
+        the only way to declare a cell infeasible.
+        """
+        from repro.golden import GoldenBaseline, default_baseline_path
+
+        baseline = GoldenBaseline.load(default_baseline_path())
         is_smt = technique.startswith("sat_")
         options = {"max_improvement_rounds": 10} if is_smt else {}
         for entry in load_suite():
-            if is_smt and entry.name in self.SMT_EXCLUDED:
+            if baseline.is_expected_timeout(entry.name, technique):
                 continue
             circuit = entry.circuit()
             target = spin_qubit_target(max(2, circuit.num_qubits))

@@ -11,7 +11,8 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
 @pytest.mark.parametrize(
     "script",
     ["quickstart.py", "spin_device_tour.py", "paper_example.py",
-     "qasm_interop.py", "http_server.py", "tracing.py", "deadlines.py"],
+     "qasm_interop.py", "http_server.py", "tracing.py", "deadlines.py",
+     "golden_check.py"],
 )
 def test_example_runs(script, capsys):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
