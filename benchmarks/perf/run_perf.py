@@ -85,6 +85,13 @@ def main(argv=None) -> int:
         f"disabled ~{trace['disabled_overhead_percent']:.3f}% "
         f"({trace['disabled_hook_ns']:.0f} ns/hook)"
     )
+    telemetry = report["telemetry"]
+    print(
+        f"telemetry {telemetry['workload']} [{telemetry['technique']}]: "
+        f"enabled {telemetry['enabled_overhead_percent']:+.1f}%, "
+        f"disabled counter {telemetry['disabled_counter_ns']:.0f} ns/inc, "
+        f"helper {telemetry['disabled_helper_ns']:.0f} ns/call"
+    )
     resilience = report["resilience"]
     print(
         f"resilience {resilience['workload']} [{resilience['technique']}]: "

@@ -403,6 +403,73 @@ def bench_trace(preset: Dict) -> Dict:
     }
 
 
+def bench_telemetry(preset: Dict) -> Dict:
+    """Metric-registry overhead: disabled hook cost + enabled compile cost.
+
+    Two numbers back the telemetry subsystem's overhead claims:
+
+    * ``disabled_counter_ns`` — per-call cost of ``Counter.inc()`` with
+      telemetry off (one module-flag read and return), the hook that
+      sits on the SAT conflict loop;
+    * ``enabled_overhead_percent`` — wall-time cost of compiling with
+      the registry live (pass timers, cache counters, solver flushes)
+      versus telemetry off.
+    """
+    from repro.telemetry.instruments import SOLVER_EVENTS, record_cache
+    from repro.telemetry.registry import (
+        disable_telemetry,
+        enable_telemetry,
+        telemetry_enabled,
+    )
+
+    name, build = preset["compile_workloads"][0]
+    circuit = build()
+    target = spin_qubit_target(max(4, circuit.num_qubits))
+    technique = preset["compile_techniques"][0]
+    repeats = max(2, preset["repeats"])
+
+    was_enabled = telemetry_enabled()
+    disable_telemetry()
+    try:
+        counter = SOLVER_EVENTS.labels("conflicts")
+        probe_calls = 200000
+        start = time.perf_counter()
+        for _ in range(probe_calls):
+            counter.inc()
+        disabled_counter_ns = 1e9 * (time.perf_counter() - start) / probe_calls
+        start = time.perf_counter()
+        for _ in range(probe_calls):
+            record_cache("l1", True)
+        disabled_helper_ns = 1e9 * (time.perf_counter() - start) / probe_calls
+
+        disabled_seconds = _best_of(
+            lambda: repro.compile(circuit, target, technique, use_cache=False),
+            repeats,
+        )
+        enable_telemetry()
+        enabled_seconds = _best_of(
+            lambda: repro.compile(circuit, target, technique, use_cache=False),
+            repeats,
+        )
+    finally:
+        if was_enabled:
+            enable_telemetry()
+        else:
+            disable_telemetry()
+    return {
+        "workload": name,
+        "technique": technique,
+        "disabled_counter_ns": disabled_counter_ns,
+        "disabled_helper_ns": disabled_helper_ns,
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "enabled_overhead_percent": (
+            100.0 * (enabled_seconds - disabled_seconds) / disabled_seconds
+            if disabled_seconds > 0 else 0.0
+        ),
+    }
+
+
 def bench_resilience(preset: Dict) -> Dict:
     """Deadline-checkpoint overhead: disabled hook cost + degrade timing.
 
@@ -602,6 +669,7 @@ def run_suite(preset_name: str) -> Dict:
         "smt": bench_smt(preset),
         "compile": bench_compile(preset),
         "trace": bench_trace(preset),
+        "telemetry": bench_telemetry(preset),
         "resilience": bench_resilience(preset),
         "theory_engine_ab": bench_theory_engine_ab(preset),
         "service": bench_service(preset),

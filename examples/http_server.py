@@ -56,7 +56,8 @@ def main() -> None:
     print("\nrequest latencies so far:")
     for route, stats in sorted(requests.items()):
         print(f"  {route:<32} n={stats['count']:<3} "
-              f"p50={stats['p50_ms']:.1f}ms p95={stats['p95_ms']:.1f}ms")
+              f"p50={stats['p50_ms_lifetime']:.1f}ms "
+              f"p95={stats['p95_ms_lifetime']:.1f}ms")
 
     server.stop(drain=True)
     print("\nserver drained and stopped")

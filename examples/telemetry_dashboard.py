@@ -1,0 +1,64 @@
+"""Telemetry tour: metrics registry, Prometheus scrape, console dashboard.
+
+Run with ``python examples/telemetry_dashboard.py``.  Boots the gateway
+in-process, compiles a couple of circuits to generate traffic, then
+shows the three faces of the same metric registry:
+
+1. the JSON ``/metrics`` document (lifetime + windowed percentiles),
+2. the Prometheus text exposition at ``/metrics?format=prometheus``,
+3. one frame of the ``python -m repro.telemetry`` console dashboard.
+
+Against a live deployment you would run the dashboard directly::
+
+    python -m repro.telemetry --url http://localhost:8000 --interval 2
+"""
+
+import urllib.request
+
+from repro.server import ReproClient, build_server
+from repro.telemetry.dashboard import fetch_metrics, render_dashboard
+from repro.telemetry.prometheus import validate_prometheus
+
+
+def main() -> None:
+    server = build_server(workers=2).start_background()
+    print(f"serving on {server.url}")
+
+    # Generate a little traffic: two techniques, one repeat (cache hit).
+    client = ReproClient(server.url)
+    qasm = ('OPENQASM 2.0; include "qelib1.inc"; '
+            "qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];")
+    for technique in ("direct", "kak_cz", "direct"):
+        result = client.compile(qasm, technique=technique)
+        print(f"  compiled with {technique:<8} -> "
+              f"{result.cost.gate_count} gates "
+              f"(cache_hit={result.report.cache_hit})")
+
+    # 1. JSON: windowed request percentiles next to lifetime counters.
+    requests = client.metrics()["requests"]
+    print("\nper-route request latency (JSON /metrics):")
+    for route, stats in sorted(requests.items()):
+        one_minute = stats["windows"]["1m"]
+        print(f"  {route:<28} n={stats['count']:<3} "
+              f"lifetime p95={stats['p95_ms_lifetime']:.1f}ms "
+              f"1m p95={one_minute['p95_ms']:.1f}ms")
+
+    # 2. Prometheus text format, checked by the in-repo scraper.
+    with urllib.request.urlopen(server.url + "/metrics?format=prometheus",
+                                timeout=10) as response:
+        document = response.read().decode("utf-8")
+    families = validate_prometheus(document)
+    print(f"\nPrometheus scrape: {len(families)} conformant families, e.g.")
+    for line in document.splitlines():
+        if line.startswith("repro_http_requests_total{"):
+            print(f"  {line}")
+
+    # 3. One dashboard frame (the CLI repaints this continuously).
+    print("\n" + render_dashboard(fetch_metrics(server.url)))
+
+    server.stop(drain=True)
+    print("server drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

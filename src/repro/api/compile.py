@@ -23,6 +23,7 @@ Both entry points also ingest OpenQASM 2.0 directly: a string that is a
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Iterable, Optional, Tuple, Union
 
@@ -44,6 +45,7 @@ from repro.resilience.budget import (
     budget_scope,
     current_budget,
 )
+from repro.telemetry.instruments import record_cache, record_compile
 from repro.trace.tracer import scoped_tracer
 
 BatchItem = Union[
@@ -178,8 +180,10 @@ def compile(
             if use_cache:
                 cached = GLOBAL_CACHE.get(key)
                 if cached is not None:
+                    record_cache("l1", "hit")
                     tracer.event("cache.hit", "api", level="memory")
                     return cached
+                record_cache("l1", "miss")
                 store = persistent_store()
                 if store is not None and key is not None:
                     persisted = store.get(key)
@@ -189,8 +193,10 @@ def compile(
                         GLOBAL_CACHE.put(key, persisted)
                         if persisted.report is not None:
                             persisted.report = persisted.report.as_cache_hit()
+                        record_cache("l2", "hit")
                         tracer.event("cache.hit", "api", level="persistent")
                         return persisted
+                    record_cache("l2", "miss")
 
             report = CompilationReport(
                 technique=spec.key,
@@ -201,9 +207,11 @@ def compile(
             )
             pipeline = spec.build_pipeline()
             try:
+                started = time.perf_counter()
                 with budget_scope(budget):
                     result = pipeline.run(circuit, target, technique=spec.key,
                                           options=options, report=report)
+                record_compile(spec.key, time.perf_counter() - started)
             except CompileInterrupted as error:
                 tracer.event("resilience.deadline", "api",
                              technique=spec.key, reason=error.reason,

@@ -19,6 +19,8 @@ from repro.hardware.target import Target
 from repro.pipeline.passes import Pass, PassContext
 from repro.pipeline.report import CompilationReport, PassStats
 from repro.resilience.budget import check_budget
+from repro.telemetry.registry import telemetry_enabled
+from repro.telemetry.resources import resource_usage
 from repro.trace.metrics import observe_pass
 from repro.trace.tracer import current_tracer
 
@@ -135,6 +137,7 @@ class Pipeline:
                 technique=technique, circuit=circuit.name,
                 gates_in=len(circuit.instructions),
             )
+        usage_start = resource_usage() if telemetry_enabled() else None
         try:
             for pass_ in self._passes:
                 # Pass boundaries are deadline checkpoints too, so
@@ -153,6 +156,12 @@ class Pipeline:
                 observe_pass(pass_.name, elapsed)
                 if pass_token is not None:
                     tracer.end(pass_token, **counters)
+            if usage_start is not None:
+                cpu_end, rss_end = resource_usage()
+                report.resources = {
+                    "cpu_seconds": max(0.0, cpu_end - usage_start[0]),
+                    "peak_rss_bytes": float(rss_end),
+                }
             result = self._finalize(context, report)
         finally:
             if pipeline_token is not None:

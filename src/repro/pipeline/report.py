@@ -90,6 +90,12 @@ class CompilationReport:
     deadline_events:
         The interruption record of each abandoned attempt (see
         :meth:`repro.resilience.CompileInterrupted.event`), in order.
+    resources:
+        Per-compile resource attribution measured by the pipeline when
+        telemetry is enabled: ``cpu_seconds`` (user+system CPU consumed
+        while the passes ran) and ``peak_rss_bytes`` (the process
+        high-water resident set at the end of the run).  Empty when
+        telemetry was off for the original compile.
     """
 
     technique: str
@@ -102,6 +108,7 @@ class CompilationReport:
     contenders: List[Dict[str, object]] = field(default_factory=list)
     degraded_from: Optional[str] = None
     deadline_events: List[Dict[str, object]] = field(default_factory=list)
+    resources: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -128,7 +135,8 @@ class CompilationReport:
         """A copy of this report flagged as served from the cache."""
         return replace(self, cache_hit=True, stages=list(self.stages),
                        contenders=[dict(c) for c in self.contenders],
-                       deadline_events=[dict(e) for e in self.deadline_events])
+                       deadline_events=[dict(e) for e in self.deadline_events],
+                       resources=dict(self.resources))
 
     def to_dict(self) -> dict:
         """JSON-serializable form for the persistent result store.
@@ -152,6 +160,7 @@ class CompilationReport:
             "contenders": [dict(c) for c in self.contenders],
             "degraded_from": self.degraded_from,
             "deadline_events": [dict(e) for e in self.deadline_events],
+            "resources": dict(self.resources),
         }
 
     @staticmethod
@@ -172,6 +181,8 @@ class CompilationReport:
             contenders=[dict(c) for c in payload.get("contenders", [])],
             degraded_from=payload.get("degraded_from"),
             deadline_events=[dict(e) for e in payload.get("deadline_events", [])],
+            resources={k: float(v)
+                       for k, v in payload.get("resources", {}).items()},
         )
 
     def summary(self) -> str:

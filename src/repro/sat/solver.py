@@ -25,6 +25,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.resilience.budget import current_budget
 from repro.resilience.faults import active_fault_plan
+from repro.telemetry.instruments import record_sat_progress
+from repro.telemetry.registry import telemetry_enabled
 from repro.trace.tracer import current_tracer
 
 #: Conflict-count granularity of the sampled ``sat.conflicts`` trace
@@ -557,6 +559,13 @@ class Solver:
         # in the common case is a single `is not None` test each.
         budget = current_budget()
         fault_plan = active_fault_plan()
+        # Telemetry mirrors the tracing discipline: the flag is read once
+        # per solve, deltas flush at the same conflict milestones (live
+        # rates during long solves) and once more on exit.
+        metered = telemetry_enabled()
+        stats = self.statistics
+        flushed = (stats.conflicts, stats.propagations, stats.decisions,
+                   stats.restarts)
 
         internal_assumptions = [self._lit_to_internal(lit) for lit in assumptions]
         conflicts_since_restart = 0
@@ -564,97 +573,119 @@ class Solver:
         restart_limit = self._restart_base * luby(restart_index)
         learned_limit = max(100, len(self._clauses) // 3)
 
-        while True:
-            conflict = self._propagate()
-            if conflict is not None:
-                self.statistics.conflicts += 1
-                conflicts_since_restart += 1
-                if self._decision_level() == 0:
-                    self._ok = False
-                    return SolverResult.UNSAT
-                if self._decision_level() <= len(self._assumption_levels):
-                    # Conflict within the assumption prefix: extract the core.
-                    self._failed_assumptions = self._analyze_final(conflict, internal_assumptions)
-                    self._backtrack(0)
-                    return SolverResult.UNSAT
-                learned, backtrack_level = self._analyze(conflict)
-                backtrack_level = max(backtrack_level, len(self._assumption_levels))
-                self._backtrack(backtrack_level)
-                self._install_learned(learned)
-                self._decay_var_activity()
-                self._decay_clause_activity()
-                if (
-                    self._max_conflicts is not None
-                    and self.statistics.conflicts >= self._max_conflicts
-                ):
-                    self._backtrack(0)
-                    return SolverResult.UNKNOWN
-                if budget is not None:
-                    budget.charge("sat.conflict", conflicts=1)
-                if fault_plan is not None:
-                    fault_plan.delay("sat.conflict")
-                if traced and self.statistics.conflicts % TRACE_CONFLICT_MILESTONE == 0:
-                    tracer.event(
-                        "sat.conflicts", "solver",
-                        d_conflicts=TRACE_CONFLICT_MILESTONE,
-                        conflicts=self.statistics.conflicts,
-                        learned=len(self._learned),
-                        decisions=self.statistics.decisions,
-                    )
-                if conflicts_since_restart >= restart_limit:
-                    self.statistics.restarts += 1
-                    restart_index += 1
-                    restart_limit = self._restart_base * luby(restart_index)
-                    conflicts_since_restart = 0
-                    self._backtrack(len(self._assumption_levels))
-                    if traced:
+        try:
+            while True:
+                conflict = self._propagate()
+                if conflict is not None:
+                    self.statistics.conflicts += 1
+                    conflicts_since_restart += 1
+                    if self._decision_level() == 0:
+                        self._ok = False
+                        return SolverResult.UNSAT
+                    if self._decision_level() <= len(self._assumption_levels):
+                        # Conflict within the assumption prefix: extract the core.
+                        self._failed_assumptions = self._analyze_final(conflict, internal_assumptions)
+                        self._backtrack(0)
+                        return SolverResult.UNSAT
+                    learned, backtrack_level = self._analyze(conflict)
+                    backtrack_level = max(backtrack_level, len(self._assumption_levels))
+                    self._backtrack(backtrack_level)
+                    self._install_learned(learned)
+                    self._decay_var_activity()
+                    self._decay_clause_activity()
+                    if (
+                        self._max_conflicts is not None
+                        and self.statistics.conflicts >= self._max_conflicts
+                    ):
+                        self._backtrack(0)
+                        return SolverResult.UNKNOWN
+                    if budget is not None:
+                        budget.charge("sat.conflict", conflicts=1)
+                    if fault_plan is not None:
+                        fault_plan.delay("sat.conflict")
+                    if traced and self.statistics.conflicts % TRACE_CONFLICT_MILESTONE == 0:
                         tracer.event(
-                            "sat.restart", "solver",
-                            d_restarts=1,
-                            restarts=self.statistics.restarts,
+                            "sat.conflicts", "solver",
+                            d_conflicts=TRACE_CONFLICT_MILESTONE,
                             conflicts=self.statistics.conflicts,
-                            next_limit=restart_limit,
-                        )
-                if len(self._learned) > learned_limit:
-                    learned_before = len(self._learned)
-                    self._reduce_learned()
-                    learned_limit = int(learned_limit * 1.3) + 10
-                    if traced:
-                        tracer.event(
-                            "sat.reduce_db", "solver",
-                            d_deleted=learned_before - len(self._learned),
                             learned=len(self._learned),
-                            next_limit=learned_limit,
+                            decisions=self.statistics.decisions,
                         )
-                continue
+                    if metered and stats.conflicts % TRACE_CONFLICT_MILESTONE == 0:
+                        record_sat_progress(
+                            conflicts=stats.conflicts - flushed[0],
+                            propagations=stats.propagations - flushed[1],
+                            decisions=stats.decisions - flushed[2],
+                            restarts=stats.restarts - flushed[3],
+                            learned=len(self._learned),
+                        )
+                        flushed = (stats.conflicts, stats.propagations,
+                                   stats.decisions, stats.restarts)
+                    if conflicts_since_restart >= restart_limit:
+                        self.statistics.restarts += 1
+                        restart_index += 1
+                        restart_limit = self._restart_base * luby(restart_index)
+                        conflicts_since_restart = 0
+                        self._backtrack(len(self._assumption_levels))
+                        if traced:
+                            tracer.event(
+                                "sat.restart", "solver",
+                                d_restarts=1,
+                                restarts=self.statistics.restarts,
+                                conflicts=self.statistics.conflicts,
+                                next_limit=restart_limit,
+                            )
+                    if len(self._learned) > learned_limit:
+                        learned_before = len(self._learned)
+                        self._reduce_learned()
+                        learned_limit = int(learned_limit * 1.3) + 10
+                        if traced:
+                            tracer.event(
+                                "sat.reduce_db", "solver",
+                                d_deleted=learned_before - len(self._learned),
+                                learned=len(self._learned),
+                                next_limit=learned_limit,
+                            )
+                    continue
 
-            # No conflict: extend assumptions first, then decide.
-            if len(self._assumption_levels) < len(internal_assumptions):
-                next_assumption = internal_assumptions[len(self._assumption_levels)]
-                value = self._value_of_lit(next_assumption)
-                if value == _FALSE:
-                    self._failed_assumptions = self._analyze_final_assigned(
-                        next_assumption, internal_assumptions
-                    )
+                # No conflict: extend assumptions first, then decide.
+                if len(self._assumption_levels) < len(internal_assumptions):
+                    next_assumption = internal_assumptions[len(self._assumption_levels)]
+                    value = self._value_of_lit(next_assumption)
+                    if value == _FALSE:
+                        self._failed_assumptions = self._analyze_final_assigned(
+                            next_assumption, internal_assumptions
+                        )
+                        self._backtrack(0)
+                        return SolverResult.UNSAT
+                    self._new_decision_level()
+                    self._assumption_levels.append(self._decision_level())
+                    if value == _UNASSIGNED:
+                        self._enqueue(next_assumption, None)
+                    continue
+
+                decision = self._pick_branch_literal()
+                if decision is None:
+                    self._store_model()
                     self._backtrack(0)
-                    return SolverResult.UNSAT
+                    return SolverResult.SAT
+                self.statistics.decisions += 1
                 self._new_decision_level()
-                self._assumption_levels.append(self._decision_level())
-                if value == _UNASSIGNED:
-                    self._enqueue(next_assumption, None)
-                continue
-
-            decision = self._pick_branch_literal()
-            if decision is None:
-                self._store_model()
-                self._backtrack(0)
-                return SolverResult.SAT
-            self.statistics.decisions += 1
-            self._new_decision_level()
-            self.statistics.max_decision_level = max(
-                self.statistics.max_decision_level, self._decision_level()
-            )
-            self._enqueue(decision, None)
+                self.statistics.max_decision_level = max(
+                    self.statistics.max_decision_level, self._decision_level()
+                )
+                self._enqueue(decision, None)
+        finally:
+            # Flush any unreported progress exactly once per solve, even
+            # when the budget aborts mid-search with CompileInterrupted.
+            if metered:
+                record_sat_progress(
+                    conflicts=stats.conflicts - flushed[0],
+                    propagations=stats.propagations - flushed[1],
+                    decisions=stats.decisions - flushed[2],
+                    restarts=stats.restarts - flushed[3],
+                    learned=len(self._learned),
+                )
 
     def _install_learned(self, learned: List[int]) -> None:
         self.statistics.learned_clauses += 1

@@ -21,6 +21,8 @@ dependencies beyond the standard library.  Resources:
 ``GET /healthz``                            liveness + job counts
 ``GET /metrics``                            request counters, latency
                                             histograms, service statistics
+                                            (``?format=prometheus`` for
+                                            text exposition)
 ``POST /internal/drain``                    quiesce hook (sharding router)
 ==========================================  ===============================
 
@@ -42,7 +44,7 @@ import json
 import re
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -62,8 +64,25 @@ from repro.service.scheduler import (
     ServiceSaturatedError,
 )
 from repro.service.store import PersistentResultStore
-from repro.trace.metrics import PASS_METRICS, enable_pass_metrics
-from repro.trace.tracer import current_tracer
+from repro.telemetry.instruments import (
+    HTTP_ERRORS,
+    HTTP_LATENCY,
+    SERVER_JOBS_TRACKED,
+    SERVER_UPTIME,
+    record_http_request,
+)
+from repro.telemetry.prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
+from repro.telemetry.registry import REGISTRY
+from repro.telemetry.resources import start_resource_sampler
+from repro.trace.metrics import (
+    PASS_METRICS,
+    enable_pass_metrics,
+    snapshot_histogram_family,
+)
+from repro.trace.tracer import TRACE_HEADER, current_tracer
 from repro.workloads.manifest import parse_manifest
 
 #: Hard cap on how long one ``GET .../result?timeout=`` request blocks
@@ -90,6 +109,9 @@ RETRY_AFTER_SECONDS = 1.0
 #: are given).
 DEADLINE_HEADER = "X-Repro-Deadline"
 
+#: Shape of a valid ``X-Repro-Trace`` value (``"pid:span"``).
+_REMOTE_PARENT_RE = re.compile(r"^\d+:\d+$")
+
 
 class ApiError(Exception):
     """An error with an HTTP status and a JSON body.
@@ -112,82 +134,38 @@ class ApiError(Exception):
 # ---------------------------------------------------------------------------
 # Request metrics
 # ---------------------------------------------------------------------------
-class _RouteStats:
-    """Counters and a latency reservoir for one route label."""
-
-    __slots__ = ("count", "server_errors", "client_errors", "total_seconds",
-                 "buckets", "recent")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.server_errors = 0
-        self.client_errors = 0
-        self.total_seconds = 0.0
-        self.buckets = [0] * (len(LATENCY_BUCKETS_MS) + 1)
-        #: Recent latencies (seconds) for the percentile estimates.
-        self.recent: "deque[float]" = deque(maxlen=2048)
-
-
-def _percentile(sorted_values: List[float], quantile: float) -> float:
-    """Nearest-rank percentile of an already sorted sample."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1,
-               max(0, int(round(quantile * (len(sorted_values) - 1)))))
-    return sorted_values[rank]
-
-
 class RequestMetrics:
-    """Thread-safe per-route request counters and latency histograms."""
+    """Per-route request counters and latency stats over the telemetry
+    registry.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._routes: Dict[str, _RouteStats] = {}
+    Historically this class kept its own reservoir of recent latencies
+    and reported them as ``p50_ms``/``p95_ms`` — *lifetime*-sounding keys
+    computed from a recency-biased sample.  The stats now come from the
+    registry's ``repro_http_*`` families: percentile keys carry an
+    explicit window label (``_lifetime`` interpolated from the full
+    histogram, plus a ``windows`` sub-dict with true 1/5/15-minute
+    percentiles from the sliding ring).
+    """
 
     def observe(self, route: str, status: int, seconds: float) -> None:
-        with self._lock:
-            stats = self._routes.get(route)
-            if stats is None:
-                stats = self._routes[route] = _RouteStats()
-            stats.count += 1
-            if status >= 500:
-                stats.server_errors += 1
-            elif status >= 400:
-                stats.client_errors += 1
-            stats.total_seconds += seconds
-            stats.recent.append(seconds)
-            millis = 1e3 * seconds
-            for index, bound in enumerate(LATENCY_BUCKETS_MS):
-                if millis <= bound:
-                    stats.buckets[index] += 1
-                    break
-            else:
-                stats.buckets[-1] += 1
+        record_http_request(route, status, seconds)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """JSON-ready per-route counters, histogram and p50/p95 latency."""
-        with self._lock:
-            routes = {label: (stats.count, stats.server_errors,
-                              stats.client_errors, stats.total_seconds,
-                              list(stats.buckets), sorted(stats.recent))
-                      for label, stats in self._routes.items()}
+        """JSON-ready per-route counters, histogram and latency stats."""
+        errors: Dict[Tuple[str, str], int] = {}
+        for sample in HTTP_ERRORS.snapshot()["samples"]:
+            labels = sample["labels"]
+            errors[(labels["route"], labels["kind"])] = int(sample["value"])
         snapshot: Dict[str, Dict[str, object]] = {}
-        for label, (count, server_errors, client_errors, total,
-                    buckets, latencies) in routes.items():
-            histogram = {
-                f"le_{bound}ms": buckets[index]
-                for index, bound in enumerate(LATENCY_BUCKETS_MS)
-            }
-            histogram["le_inf"] = buckets[-1]
-            snapshot[label] = {
-                "count": count,
-                "server_errors": server_errors,
-                "client_errors": client_errors,
-                "mean_ms": 1e3 * total / count if count else 0.0,
-                "p50_ms": 1e3 * _percentile(latencies, 0.50),
-                "p95_ms": 1e3 * _percentile(latencies, 0.95),
-                "histogram_ms": histogram,
-            }
+        for route, block in snapshot_histogram_family(HTTP_LATENCY, "route").items():
+            block = dict(block)
+            # The percentile keys say what they measure: lifetime
+            # interpolation vs the windows sub-dict's 1m/5m/15m rings.
+            block["p50_ms_lifetime"] = block.pop("p50_ms")
+            block["p95_ms_lifetime"] = block.pop("p95_ms")
+            block["server_errors"] = errors.get((route, "server"), 0)
+            block["client_errors"] = errors.get((route, "client"), 0)
+            snapshot[route] = block
         return snapshot
 
 
@@ -259,8 +237,12 @@ class CompilationGateway:
         self.metrics = RequestMetrics()
         # /metrics serves per-pipeline-pass histograms alongside the
         # per-route ones; the registry aggregates in-process regardless
-        # of whether JSONL tracing is on.
+        # of whether JSONL tracing is on.  enable_pass_metrics() turns on
+        # the whole telemetry registry; the resource sampler keeps
+        # RSS/CPU/FD gauges fresh between scrapes.
         enable_pass_metrics()
+        start_resource_sampler()
+        REGISTRY.register_collector("gateway", self._collect_telemetry)
         self._jobs: "OrderedDict[str, _GatewayJob]" = OrderedDict()
         self._lock = threading.Lock()
         self._next_id = 0
@@ -622,6 +604,11 @@ class CompilationGateway:
             "jobs": {"total": len(jobs), **by_status},
         }
 
+    def _collect_telemetry(self) -> None:
+        """Scrape-time collector: gauges only the gateway knows."""
+        SERVER_UPTIME.set(time.time() - self._started_at)
+        SERVER_JOBS_TRACKED.set(len(self._jobs))
+
     def metrics_snapshot(self) -> Dict[str, object]:
         """The ``/metrics`` document: service stats + request telemetry."""
         from repro.golden import quality_summary
@@ -639,11 +626,25 @@ class CompilationGateway:
             "service": self.service.statistics(),
             "requests": self.metrics.snapshot(),
             "passes": PASS_METRICS.snapshot(),
+            # The raw registry view the JSON blocks above are carved
+            # from: every family, with windowed rates/percentiles.
+            "telemetry": REGISTRY.collect(),
             # Last golden-quality run: verdict counts + worst regression
             # (in-process run if any, else the BENCH_quality.json named
             # by REPRO_QUALITY_REPORT).  Never raises by contract.
             "quality": quality_summary(),
         }
+
+    def prometheus_document(self) -> str:
+        """``/metrics?format=prometheus``: the registry in text format.
+
+        Sharded deployments self-label: the job prefix (``s0-``) becomes
+        a ``shard`` label on every sample so the router can concatenate
+        shard documents under one HELP/TYPE header per family.
+        """
+        shard = self.job_prefix.rstrip("-")
+        extra = {"shard": shard} if shard else None
+        return render_prometheus(REGISTRY.collect(), extra_labels=extra)
 
     def drain(self, timeout: Optional[float]) -> Dict[str, object]:
         """Handle ``POST /internal/drain``: quiesce the whole gateway.
@@ -682,6 +683,8 @@ class CompilationGateway:
               timeout: Optional[float] = None) -> None:
         """Reject new work, optionally drain in-flight jobs, stop the pool."""
         self._closed = True
+        if REGISTRY.get_collector("gateway") == self._collect_telemetry:
+            REGISTRY.unregister_collector("gateway")
         if drain:
             self.service.drain(timeout=timeout)
         self._portfolio_pool.shutdown(wait=drain)
@@ -710,6 +713,16 @@ _ROUTES: List[Tuple[str, "re.Pattern[str]", str, str]] = [
      "POST /v1/circuits/validate"),
     ("POST", re.compile(r"^/internal/drain$"), "drain", "POST /internal/drain"),
 ]
+
+
+class _TextResponse:
+    """A non-JSON response body (Prometheus exposition) + content type."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -785,7 +798,15 @@ class _Handler(BaseHTTPRequestHandler):
         status, payload = 500, {"error": "internal error"}
         retry_after: Optional[float] = None
         tracer = current_tracer()
-        request_token = tracer.begin("http.request", "server", method=method)
+        begin_fields: Dict[str, object] = {"method": method}
+        # A caller's propagation header ("pid:span") stitches its span
+        # tree onto this request's; the structural parent stays local so
+        # per-process trace invariants hold.  Malformed values (anyone
+        # can set a header) are dropped, not trusted.
+        remote = self.headers.get(TRACE_HEADER)
+        if remote and _REMOTE_PARENT_RE.match(remote):
+            begin_fields["remote_parent"] = remote
+        request_token = tracer.begin("http.request", "server", **begin_fields)
         try:
             matched = None
             path_exists = False
@@ -841,6 +862,9 @@ class _Handler(BaseHTTPRequestHandler):
         if action == "healthz":
             return 200, gateway.healthz()
         if action == "metrics":
+            if "prometheus" in (query.get("format") or ()):
+                return 200, _TextResponse(gateway.prometheus_document(),
+                                          PROMETHEUS_CONTENT_TYPE)
             return 200, gateway.metrics_snapshot()
         if action == "submit":
             return 202, gateway.submit_payload(
@@ -875,9 +899,14 @@ class _Handler(BaseHTTPRequestHandler):
                 max(0.0, min(wait, MAX_DRAIN_WAIT_SECONDS)))
         raise ApiError(500, f"unrouted action {action!r}")  # pragma: no cover
 
-    def _respond(self, status: int, payload: Dict[str, object],
+    def _respond(self, status: int, payload,
                  retry_after: Optional[float] = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _TextResponse):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         if status >= 400:
             # Error paths may answer before the request body was read
             # (404/405 routing, 413 oversize); leftover body bytes would
@@ -886,7 +915,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             if retry_after is not None:
                 # Integer seconds per RFC 9110 (rounded up, so a client

@@ -23,6 +23,7 @@ typed :class:`ServerError` subclass carrying the decoded error payload.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import time
 import urllib.error
@@ -33,6 +34,7 @@ from urllib.parse import quote
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.adapter import AdaptationResult
 from repro.hardware.target import Target
+from repro.trace.tracer import TRACE_HEADER, current_tracer
 
 #: Per-request cap on the server-side long-poll slice (the server caps at
 #: 60 s; staying under it keeps one HTTP round trip per slice).
@@ -178,47 +180,63 @@ class ReproClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        delay = self.backoff
-        started = time.monotonic()
-        last_error: Optional[ServerError] = None
-        for attempt in range(self.retries + 1):
-            request = urllib.request.Request(url, data=data, headers=headers,
-                                             method=method)
-            retry_after: Optional[float] = None
-            try:
-                with urllib.request.urlopen(
-                    request, timeout=timeout or self.timeout
-                ) as response:
-                    return response.status, self._decode(response.read())
-            except urllib.error.HTTPError as error:
-                body = self._decode(error.read())
-                # 502/504 (routing-layer trouble) always retries; 503 only
-                # when the server marked it transient (full queue) — a
-                # draining server will never come back for this request.
-                retryable = error.code in (502, 504) or (
-                    error.code == 503 and bool(
-                        body.get("retry") or body.get("retry_after"))
-                )
-                if retryable:
-                    last_error = _error_for(error.code, body)
-                    retry_after = self._retry_after(error, body)
-                else:
-                    raise _error_for(error.code, body) from None
-            except (urllib.error.URLError, ConnectionError,
-                    socket.timeout, TimeoutError) as error:
-                reason = getattr(error, "reason", error)
-                last_error = ServerUnavailableError(
-                    f"cannot reach {url}: {reason}")
-            if attempt < self.retries:
-                pause = delay if retry_after is None else retry_after
-                # Bound the total retry wall-clock: when the next sleep
-                # would blow the cap, surface the last error instead.
-                elapsed = time.monotonic() - started
-                if elapsed + pause > self.max_retry_seconds:
-                    break
-                time.sleep(pause)
-                delay *= 2
-        raise last_error  # type: ignore[misc]
+        # When this process traces, the exchange gets a client-layer span
+        # and its identity rides the propagation header so the gateway's
+        # request span records us as its remote parent.
+        tracer = current_tracer()
+        token = None
+        if tracer.enabled:
+            token = tracer.begin("client.request", "client",
+                                 method=method, path=path.split("?", 1)[0])
+            headers[TRACE_HEADER] = f"{os.getpid()}:{token[0]}"
+        final_status: Optional[int] = None
+        try:
+            delay = self.backoff
+            started = time.monotonic()
+            last_error: Optional[ServerError] = None
+            for attempt in range(self.retries + 1):
+                request = urllib.request.Request(url, data=data, headers=headers,
+                                                 method=method)
+                retry_after: Optional[float] = None
+                try:
+                    with urllib.request.urlopen(
+                        request, timeout=timeout or self.timeout
+                    ) as response:
+                        final_status = response.status
+                        return response.status, self._decode(response.read())
+                except urllib.error.HTTPError as error:
+                    body = self._decode(error.read())
+                    final_status = error.code
+                    # 502/504 (routing-layer trouble) always retries; 503 only
+                    # when the server marked it transient (full queue) — a
+                    # draining server will never come back for this request.
+                    retryable = error.code in (502, 504) or (
+                        error.code == 503 and bool(
+                            body.get("retry") or body.get("retry_after"))
+                    )
+                    if retryable:
+                        last_error = _error_for(error.code, body)
+                        retry_after = self._retry_after(error, body)
+                    else:
+                        raise _error_for(error.code, body) from None
+                except (urllib.error.URLError, ConnectionError,
+                        socket.timeout, TimeoutError) as error:
+                    reason = getattr(error, "reason", error)
+                    last_error = ServerUnavailableError(
+                        f"cannot reach {url}: {reason}")
+                if attempt < self.retries:
+                    pause = delay if retry_after is None else retry_after
+                    # Bound the total retry wall-clock: when the next sleep
+                    # would blow the cap, surface the last error instead.
+                    elapsed = time.monotonic() - started
+                    if elapsed + pause > self.max_retry_seconds:
+                        break
+                    time.sleep(pause)
+                    delay *= 2
+            raise last_error  # type: ignore[misc]
+        finally:
+            if token is not None:
+                tracer.end(token, status=final_status)
 
     @staticmethod
     def _retry_after(error: urllib.error.HTTPError,

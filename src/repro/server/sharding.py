@@ -50,10 +50,19 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro.api.fingerprints import payload_fingerprint
+from repro.telemetry.prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    merge_prometheus,
+)
+from repro.trace.tracer import TRACE_HEADER
 
 #: How long the router waits for one forwarded request; must exceed the
 #: gateway's 60 s result long-poll cap.
 _FORWARD_TIMEOUT_SECONDS = 120.0
+
+#: End-to-end headers relayed to the shard: trace propagation and the
+#: compile-deadline hint.  Everything else stops at the router.
+_FORWARDED_HEADERS = (TRACE_HEADER, "X-Repro-Deadline")
 
 #: Submission resources routed by body fingerprint (prefix match for the
 #: suite-compile resource).
@@ -325,17 +334,31 @@ class ShardRouter:
     def _forward_to_shard(self, index: int, method: str, path: str,
                           body: Optional[bytes] = None,
                           timeout: float = _FORWARD_TIMEOUT_SECONDS,
+                          headers: Optional[Dict[str, str]] = None,
                           ) -> Tuple[int, bytes]:
         url = self.shard_url(index) + path
+        request_headers = dict(headers or {})
+        if body:
+            request_headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
-            url, data=body, method=method,
-            headers={"Content-Type": "application/json"} if body else {},
+            url, data=body, method=method, headers=request_headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=timeout) as response:
                 return response.status, response.read()
         except urllib.error.HTTPError as error:
             return error.code, error.read()
+
+    @staticmethod
+    def _relayed_headers(headers) -> Dict[str, str]:
+        """The end-to-end headers a client request carries to its shard."""
+        relayed: Dict[str, str] = {}
+        if headers is not None:
+            for name in _FORWARDED_HEADERS:
+                value = headers.get(name)
+                if value is not None:
+                    relayed[name] = value
+        return relayed
 
     @staticmethod
     def _shard_down_answer(detail: str) -> Tuple[int, bytes]:
@@ -346,9 +369,23 @@ class ShardRouter:
             "retry_after": _SHARD_RETRY_AFTER_SECONDS,
         }).encode()
 
-    def route(self, method: str, path: str, query: str,
-              body: bytes) -> Tuple[int, bytes]:
-        """Route one request; returns ``(status, JSON body bytes)``."""
+    def route(self, method: str, path: str, query: str, body: bytes,
+              headers=None) -> Tuple[int, bytes, str]:
+        """Route one request; returns ``(status, body bytes, content type)``.
+
+        ``headers`` (a mapping, e.g. the handler's message object) feeds
+        the end-to-end relay: trace propagation and deadline headers
+        travel to the shard, everything else stops here.
+        """
+        if path == "/metrics" and "format=prometheus" in (query or ""):
+            status, answer = self._aggregate_prometheus()
+            return status, answer, PROMETHEUS_CONTENT_TYPE
+        status, answer = self._route_json(method, path, query, body,
+                                          self._relayed_headers(headers))
+        return status, answer, "application/json"
+
+    def _route_json(self, method: str, path: str, query: str, body: bytes,
+                    relayed: Dict[str, str]) -> Tuple[int, bytes]:
         target = path if not query else f"{path}?{query}"
         if path in ("/healthz", "/metrics"):
             return self._aggregate(path)
@@ -370,7 +407,7 @@ class ShardRouter:
                     "is unavailable")
             try:
                 return self._forward_to_shard(index, method, target,
-                                              body or None)
+                                              body or None, headers=relayed)
             except OSError:
                 return self._shard_down_answer(
                     f"shard {index} is unreachable")
@@ -378,12 +415,15 @@ class ShardRouter:
                                                   path.startswith(p))
                                     for p in _BODY_ROUTED):
             preferred = self.shard_for_body(body, path)
-            return self._forward_failover(preferred, method, target, body)
+            return self._forward_failover(preferred, method, target, body,
+                                          relayed)
         # Shard-agnostic reads (e.g. GET /v1/suite): any shard can answer.
-        return self._forward_failover(0, method, target, body)
+        return self._forward_failover(0, method, target, body, relayed)
 
     def _forward_failover(self, preferred: int, method: str, target: str,
-                          body: bytes) -> Tuple[int, bytes]:
+                          body: bytes,
+                          headers: Optional[Dict[str, str]] = None,
+                          ) -> Tuple[int, bytes]:
         """Forward to ``preferred``, failing over to any live shard.
 
         Cache affinity is best-effort: a submission whose home shard is
@@ -397,10 +437,31 @@ class ShardRouter:
                 continue
             try:
                 return self._forward_to_shard(index, method, target,
-                                              body or None)
+                                              body or None, headers=headers)
             except OSError:
                 continue
         return self._shard_down_answer("no shard is currently available")
+
+    def _aggregate_prometheus(self) -> Tuple[int, bytes]:
+        """Fan the Prometheus scrape out and concatenate shard documents.
+
+        Every shard self-labels its samples with ``shard="s<k>"``, so the
+        merge only needs to deduplicate HELP/TYPE headers per family.
+        """
+        documents: List[str] = []
+        status = 200
+        for index in sorted(self._shard_ports):
+            try:
+                shard_status, raw = self._forward_to_shard(
+                    index, "GET", "/metrics?format=prometheus")
+            except OSError:
+                status = 502
+                continue
+            if shard_status != 200:
+                status = 502
+                continue
+            documents.append(raw.decode("utf-8", "replace"))
+        return status, merge_prometheus(documents).encode("utf-8")
 
     def _aggregate(self, path: str) -> Tuple[int, bytes]:
         """Fan ``/healthz`` or ``/metrics`` out to every shard and merge."""
@@ -479,9 +540,10 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self.wfile.write(answer)
             return
         body = self.rfile.read(length) if length else b""
+        content_type = "application/json"
         try:
-            status, answer = self.router.route(method, parsed.path,
-                                               parsed.query, body)
+            status, answer, content_type = self.router.route(
+                method, parsed.path, parsed.query, body, self.headers)
         except OSError as error:
             status = 502
             answer = json.dumps({"error": f"shard unreachable: {error}"}).encode()
@@ -497,7 +559,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
                 retry_after = None
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(answer)))
             if retry_after is not None:
                 self.send_header("Retry-After",

@@ -59,6 +59,14 @@ from repro.resilience.budget import (
 )
 from repro.resilience.faults import maybe_fault
 from repro.service.store import PersistentResultStore
+from repro.telemetry.instruments import (
+    SCHEDULER_JOBS,
+    STORE_BYTES,
+    STORE_EVENTS,
+    WORKER_UTILIZATION,
+    record_scheduler_saturation,
+)
+from repro.telemetry.registry import REGISTRY, telemetry_enabled
 from repro.trace.tracer import (
     TraceContext,
     Tracer,
@@ -376,6 +384,11 @@ class CompilationService:
         for thread in self._threads:
             thread.start()
 
+        # Scrape-time refresh of values the hot path does not push:
+        # lifecycle counters, utilization, store bytes/evictions.  Keyed
+        # "service" so a newer service instance replaces, never stacks.
+        REGISTRY.register_collector("service", self._collect_telemetry)
+
     # -- submission ------------------------------------------------------
     def submit(
         self,
@@ -471,12 +484,14 @@ class CompilationService:
                 # job is enqueued anyway (accepting one over-budget slot)
                 # rather than cancelled out from under the other caller.
                 self._queue.put(job)
+                self._observe_saturation()
                 return JobHandle(self, job, front)
             job.future.cancel()
             front.cancel()
             raise ServiceSaturatedError(
                 f"job queue is full ({self._queue.maxsize} pending)"
             ) from None
+        self._observe_saturation()
         # Close the submit/shutdown race: if shutdown() ran while the put
         # was in flight, this job may sit behind the worker sentinels and
         # would never resolve.  If so (the cancel succeeds only when no
@@ -591,6 +606,7 @@ class CompilationService:
         with self._lock:
             job.status = JobStatus.RUNNING
             self._busy_workers += 1
+            self._observe_saturation()
         started = time.monotonic()
         job.started_wall = time.time()
         job.started_mono = started
@@ -750,6 +766,43 @@ class CompilationService:
         self._busy_seconds += job.finished_mono - started
         if job.key is not None and self._inflight.get(job.key) is job:
             del self._inflight[job.key]
+        self._observe_saturation()
+
+    # -- telemetry -------------------------------------------------------
+    def _observe_saturation(self) -> None:
+        """Push live saturation gauges at submit/start/finish transitions.
+
+        ``jobs_pending`` counts admitted-but-unfinished work (queued plus
+        running) via the queue's own accounting, so ``drain()``-style
+        consumers and the dashboard see the same number.
+        """
+        if not telemetry_enabled():
+            return
+        record_scheduler_saturation(
+            queue_depth=self._queue.qsize(),
+            workers_busy=self._busy_workers,
+            jobs_pending=self._queue.unfinished_tasks,
+        )
+
+    def _collect_telemetry(self) -> None:
+        """Scrape-time collector: mirror pull-only values into the registry."""
+        if self._shutdown:
+            return
+        with self._lock:
+            counters = dict(self._counters)
+            busy_seconds = self._busy_seconds
+        for state, count in counters.items():
+            SCHEDULER_JOBS.labels(state).set_total(count)
+        uptime = max(time.monotonic() - self._started_at, 1e-9)
+        WORKER_UTILIZATION.set(busy_seconds / (self.workers * uptime))
+        self._observe_saturation()
+        store = self.store if self.store is not None else persistent_store()
+        if store is not None:
+            info = store.info()
+            STORE_BYTES.set(info.total_bytes)
+            STORE_EVENTS.labels("puts").set_total(info.puts)
+            STORE_EVENTS.labels("evictions").set_total(info.evictions)
+            STORE_EVENTS.labels("corruptions").set_total(info.corrupted)
 
     # -- portfolio -------------------------------------------------------
     def compile_portfolio(
@@ -876,6 +929,8 @@ class CompilationService:
                 thread.join()
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
+        if REGISTRY.get_collector("service") == self._collect_telemetry:
+            REGISTRY.unregister_collector("service")
         if self._installed_store:
             uninstall_persistent_store()
             self._installed_store = False

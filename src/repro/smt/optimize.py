@@ -24,6 +24,8 @@ from repro.resilience.budget import current_budget
 from repro.smt.rational import DeltaRational
 from repro.smt.solver import CheckResult, Model, SmtSolver
 from repro.smt.terms import Comparison, Expr, LinearExpr
+from repro.telemetry.instruments import record_omt_rounds
+from repro.telemetry.registry import telemetry_enabled
 from repro.trace.tracer import current_tracer
 
 #: Sampling schedule of the ``omt.round`` trace events (same shape as
@@ -104,6 +106,8 @@ class Optimize:
         tracer = current_tracer()
         traced = tracer.enabled
         budget = current_budget()
+        metered = telemetry_enabled()
+        rounds_at_entry = self.improvement_rounds
         omt_token = tracer.begin("omt.optimize", "solver",
                                  sense=self._objective.sense) if traced else None
         try:
@@ -154,6 +158,8 @@ class Optimize:
         finally:
             if omt_token is not None:
                 tracer.end(omt_token, rounds=self.improvement_rounds)
+            if metered:
+                record_omt_rounds(self.improvement_rounds - rounds_at_entry)
 
     def _finalize_objective(self, best_value: Optional[Fraction]) -> None:
         assert self._objective is not None

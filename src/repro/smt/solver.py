@@ -29,6 +29,8 @@ from repro.smt.cnf import CnfConverter
 from repro.smt.rational import DeltaRational
 from repro.smt.simplex import Simplex
 from repro.smt.terms import BoolVar, Comparison, Expr, LinearExpr
+from repro.telemetry.instruments import record_theory
+from repro.telemetry.registry import telemetry_enabled
 from repro.trace.tracer import current_tracer
 
 #: Sampling schedule of the ``smt.check`` trace events: the first this
@@ -158,42 +160,55 @@ class SmtSolver:
         traced = tracer.enabled
         budget = current_budget()
         pivots_charged = self._stats["theory_pivots"]
-        for _ in range(self._max_theory_iterations):
-            if budget is not None:
-                # Charge the pivots of the previous iteration and enforce
-                # the deadline once per theory check (the SAT sub-solve
-                # below has its own per-conflict checkpoint).
-                budget.charge(
-                    "smt.check",
-                    pivots=self._stats["theory_pivots"] - pivots_charged,
-                )
-                pivots_charged = self._stats["theory_pivots"]
-            self._stats["theory_checks"] += 1
-            pivots_before = self._stats["theory_pivots"] if traced else 0
-            if not self._sat.solve(assumption_literals):
-                self._model = None
-                return CheckResult.UNSAT
-            sat_model = self._sat.model()
-            simplex, conflict = self._theory_check(sat_model)
-            if traced:
-                index = self._stats["theory_checks"]
-                if index <= TRACE_CHECK_HEAD or index % TRACE_CHECK_STRIDE == 0:
-                    tracer.event(
-                        "smt.check", "solver",
-                        check=index,
-                        consistent=conflict is None,
-                        d_pivots=self._stats["theory_pivots"] - pivots_before,
-                        theory_conflicts=self._stats["theory_conflicts"],
+        # Telemetry deltas flush once per check() call, including aborts
+        # (budget.charge raises CompileInterrupted mid-loop).
+        metered = telemetry_enabled()
+        entry = (self._stats["theory_checks"], self._stats["theory_pivots"],
+                 self._stats["theory_conflicts"])
+        try:
+            for _ in range(self._max_theory_iterations):
+                if budget is not None:
+                    # Charge the pivots of the previous iteration and enforce
+                    # the deadline once per theory check (the SAT sub-solve
+                    # below has its own per-conflict checkpoint).
+                    budget.charge(
+                        "smt.check",
+                        pivots=self._stats["theory_pivots"] - pivots_charged,
                     )
-            if conflict is None:
-                self._store_model(sat_model, simplex)
-                self._last_simplex = simplex
-                return CheckResult.SAT
-            self._stats["theory_conflicts"] += 1
-            blocking = [-literal for literal in conflict]
-            self._converter.clauses.append(blocking)
-            self._sync_clauses()
-        return CheckResult.UNKNOWN
+                    pivots_charged = self._stats["theory_pivots"]
+                self._stats["theory_checks"] += 1
+                pivots_before = self._stats["theory_pivots"] if traced else 0
+                if not self._sat.solve(assumption_literals):
+                    self._model = None
+                    return CheckResult.UNSAT
+                sat_model = self._sat.model()
+                simplex, conflict = self._theory_check(sat_model)
+                if traced:
+                    index = self._stats["theory_checks"]
+                    if index <= TRACE_CHECK_HEAD or index % TRACE_CHECK_STRIDE == 0:
+                        tracer.event(
+                            "smt.check", "solver",
+                            check=index,
+                            consistent=conflict is None,
+                            d_pivots=self._stats["theory_pivots"] - pivots_before,
+                            theory_conflicts=self._stats["theory_conflicts"],
+                        )
+                if conflict is None:
+                    self._store_model(sat_model, simplex)
+                    self._last_simplex = simplex
+                    return CheckResult.SAT
+                self._stats["theory_conflicts"] += 1
+                blocking = [-literal for literal in conflict]
+                self._converter.clauses.append(blocking)
+                self._sync_clauses()
+            return CheckResult.UNKNOWN
+        finally:
+            if metered:
+                record_theory(
+                    checks=self._stats["theory_checks"] - entry[0],
+                    pivots=self._stats["theory_pivots"] - entry[1],
+                    conflicts=self._stats["theory_conflicts"] - entry[2],
+                )
 
     # ------------------------------------------------------------------
     def _working_simplex(self) -> Simplex:

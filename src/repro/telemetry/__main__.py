@@ -1,0 +1,63 @@
+"""Dashboard CLI: ``python -m repro.telemetry --url http://host:port``.
+
+Polls the server's ``/metrics`` JSON and redraws a top-style frame
+every ``--interval`` seconds.  ``--once`` prints a single frame (no
+clearing) and exits — handy in scripts and smoke tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import urllib.error
+from typing import List, Optional
+
+from repro.telemetry.dashboard import fetch_metrics, render_dashboard
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Console dashboard over a repro server's /metrics.",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8000",
+                        help="server base URL (default http://127.0.0.1:8000)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh period in seconds (default 2)")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N frames; 0 runs until Ctrl-C")
+    parser.add_argument("--once", action="store_true",
+                        help="print one frame and exit (implies --no-clear)")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="append frames instead of redrawing in place")
+    args = parser.parse_args(argv)
+
+    iterations = 1 if args.once else args.iterations
+    clear = not (args.once or args.no_clear)
+    frame = 0
+    try:
+        while True:
+            try:
+                doc = fetch_metrics(args.url)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                print(f"error: cannot scrape {args.url}/metrics: {exc}",
+                      file=sys.stderr)
+                return 1
+            text = render_dashboard(doc, title=f"repro telemetry — {args.url}")
+            if clear:
+                sys.stdout.write(_CLEAR)
+            sys.stdout.write(text)
+            sys.stdout.flush()
+            frame += 1
+            if iterations and frame >= iterations:
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

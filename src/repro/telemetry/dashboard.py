@@ -1,0 +1,186 @@
+"""Top-style console dashboard over a live server's ``/metrics`` JSON.
+
+Curses-free: each frame is a plain-text block; the CLI redraws it with
+an ANSI home+clear unless ``--no-clear``.  :func:`render_dashboard` is
+pure (document in, text out) so tests and the bundled example can
+render frames without a terminal or even a socket.
+
+Handles both document shapes: a single gateway's ``/metrics`` and the
+shard router's ``{shards, aggregate, per_shard}`` envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["fetch_metrics", "render_dashboard"]
+
+
+def fetch_metrics(url: str, timeout: float = 5.0) -> Dict:
+    """GET ``{url}/metrics`` and return the parsed JSON document."""
+    target = url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _family(telemetry: Optional[List[Mapping]], name: str) -> Optional[Mapping]:
+    for entry in telemetry or ():
+        if entry.get("name") == name:
+            return entry
+    return None
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{value:.1f} GiB"
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def _render_gateway(doc: Mapping, lines: List[str], heading: str = "") -> None:
+    server = doc.get("server") or {}
+    service = doc.get("service") or {}
+    telemetry = doc.get("telemetry") or []
+    requests = doc.get("requests") or {}
+
+    if heading:
+        lines.append(heading)
+
+    uptime = float(server.get("uptime_seconds") or 0.0)
+    lines.append(
+        f"  server v{server.get('version', '?')}"
+        f"  up {uptime:8.1f}s"
+        f"  jobs tracked {server.get('jobs_tracked', 0)}"
+    )
+
+    # -- scheduler saturation
+    workers = int(service.get("workers") or 0)
+    busy = int(service.get("busy_workers") or 0)
+    depth = int(service.get("queue_depth") or 0)
+    util = float(service.get("worker_utilization") or 0.0)
+    lines.append(
+        f"  workers {busy}/{workers} busy {_bar(busy / workers if workers else 0.0)}"
+        f"  queue {depth:4d}  utilization {100.0 * util:5.1f}%"
+    )
+    lines.append(
+        "  jobs: "
+        + "  ".join(
+            f"{key} {int(service.get(key, 0))}"
+            for key in ("submitted", "deduplicated", "completed", "failed",
+                        "cancelled", "worker_crashes")
+        )
+    )
+
+    # -- caches
+    l2 = service.get("l2") or {}
+    l1_rate = service.get("l1_hit_rate")
+    l2_rate = service.get("l2_hit_rate") if "l2" in service else None
+
+    def _pct(rate) -> str:
+        return f"{100.0 * float(rate):5.1f}%" if rate is not None else "    --"
+
+    store_bytes = l2.get("total_bytes")
+    lines.append(
+        f"  cache: L1 hit {_pct(l1_rate)}  L2 hit {_pct(l2_rate)}"
+        + (f"  store {_fmt_bytes(float(store_bytes))}" if store_bytes is not None else "")
+    )
+
+    # -- requests: totals plus 1-minute rate and 5-minute p95 per route
+    total_reqs = sum(int(stats.get("count", 0)) for stats in requests.values())
+    req_rate = 0.0
+    http_family = _family(telemetry, "repro_http_requests_total")
+    if http_family:
+        req_rate = sum(
+            float((sample.get("rates") or {}).get("1m", 0.0))
+            for sample in http_family.get("samples", ())
+        )
+    lines.append(f"  requests: {total_reqs} total, {req_rate:6.2f} req/s (1m)")
+    busiest = sorted(
+        requests.items(), key=lambda item: -int(item[1].get("count", 0))
+    )[:6]
+    for route, stats in busiest:
+        windows = stats.get("windows") or {}
+        five = windows.get("5m") or {}
+        lines.append(
+            f"    {route:<22} n={int(stats.get('count', 0)):<6}"
+            f" p95(5m) {float(five.get('p95_ms', 0.0)):8.2f} ms"
+            f"  err {int(stats.get('server_errors', 0))}"
+        )
+
+    # -- solver rates (1-minute window)
+    solver = _family(telemetry, "repro_solver_events_total")
+    if solver and solver.get("samples"):
+        parts = []
+        for sample in solver["samples"]:
+            event = (sample.get("labels") or {}).get("event", "?")
+            rate = float((sample.get("rates") or {}).get("1m", 0.0))
+            parts.append(f"{event} {rate:8.1f}/s")
+        lines.append("  solver (1m): " + "  ".join(parts[:4]))
+        if len(parts) > 4:
+            lines.append("               " + "  ".join(parts[4:]))
+
+    # -- per-technique compile p95
+    compiles = _family(telemetry, "repro_compile_duration_seconds")
+    if compiles and compiles.get("samples"):
+        lines.append("  compile p95 (5m):")
+        for sample in compiles["samples"]:
+            technique = (sample.get("labels") or {}).get("technique", "?")
+            five = (sample.get("windows") or {}).get("5m") or {}
+            lines.append(
+                f"    {technique:<14} n={int(five.get('count', 0)):<5}"
+                f" p95 {1e3 * float(five.get('p95', 0.0)):8.2f} ms"
+                f"  lifetime n={int(sample.get('count', 0))}"
+            )
+
+    # -- process resources
+    rss = _family(telemetry, "repro_process_resident_memory_bytes")
+    cpu = _family(telemetry, "repro_process_cpu_seconds_total")
+    fds = _family(telemetry, "repro_process_open_fds")
+
+    def _single_value(entry: Optional[Mapping]) -> Optional[float]:
+        samples = (entry or {}).get("samples") or []
+        return float(samples[0]["value"]) if samples else None
+
+    rss_value = _single_value(rss)
+    cpu_value = _single_value(cpu)
+    fds_value = _single_value(fds)
+    if rss_value is not None or cpu_value is not None:
+        resource_bits = []
+        if rss_value is not None:
+            resource_bits.append(f"rss {_fmt_bytes(rss_value)}")
+        if cpu_value is not None:
+            resource_bits.append(f"cpu {cpu_value:.1f}s")
+        if fds_value is not None:
+            resource_bits.append(f"fds {int(fds_value)}")
+        lines.append("  process: " + "  ".join(resource_bits))
+
+
+def render_dashboard(doc: Mapping, title: str = "repro telemetry") -> str:
+    """One dashboard frame for a ``/metrics`` JSON document."""
+    lines: List[str] = [title, "=" * max(len(title), 40)]
+    per_shard = doc.get("per_shard")
+    if isinstance(per_shard, Mapping):  # shard-router envelope
+        aggregate = doc.get("aggregate") or {}
+        lines.append(
+            f"  {doc.get('shards', len(per_shard))} shards"
+            f"  queue {int(aggregate.get('queue_depth', 0))}"
+            f"  busy {int(aggregate.get('busy_workers', 0))}"
+            f"/{int(aggregate.get('workers', 0))}"
+            f"  completed {int(aggregate.get('completed', 0))}"
+        )
+        for shard_id in sorted(per_shard):
+            lines.append("")
+            _render_gateway(per_shard[shard_id], lines, heading=f"shard {shard_id}")
+    else:
+        _render_gateway(doc, lines)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,224 @@
+"""The stack's named metric families and their hot-path hook helpers.
+
+Everything the serving stack measures registers here, once, at import —
+call sites use the ``record_*`` helpers, each of which opens with the
+``telemetry_enabled()`` fast path so a disabled hook costs one global
+read regardless of how many families it would touch.
+
+Family naming follows Prometheus conventions: ``repro_`` prefix, base
+units (seconds, bytes), ``_total`` suffix on counters.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import REGISTRY, telemetry_enabled
+
+__all__ = [
+    "record_cache",
+    "record_compile",
+    "record_http_request",
+    "record_omt_rounds",
+    "record_pass",
+    "record_sat_progress",
+    "record_scheduler_saturation",
+    "record_theory",
+]
+
+# -- HTTP gateway ----------------------------------------------------------
+
+HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by route.",
+    ("route",),
+)
+HTTP_ERRORS = REGISTRY.counter(
+    "repro_http_request_errors_total",
+    "HTTP error responses, by route and kind (client 4xx / server 5xx).",
+    ("route", "kind"),
+)
+HTTP_LATENCY = REGISTRY.histogram(
+    "repro_http_request_duration_seconds",
+    "Wall-clock request latency, by route.",
+    ("route",),
+)
+
+# -- pipeline --------------------------------------------------------------
+
+PASS_LATENCY = REGISTRY.histogram(
+    "repro_pass_duration_seconds",
+    "Compilation pass latency, by pass name.",
+    ("pass",),
+)
+
+COMPILE_LATENCY = REGISTRY.histogram(
+    "repro_compile_duration_seconds",
+    "End-to-end compile latency, by technique.",
+    ("technique",),
+    buckets=(0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+             15.0, 60.0),
+)
+
+# -- scheduler / service ---------------------------------------------------
+
+QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_scheduler_queue_depth",
+    "Jobs waiting in the scheduler queue (live, updated on transitions).",
+)
+WORKERS_BUSY = REGISTRY.gauge(
+    "repro_scheduler_workers_busy",
+    "Worker threads currently running a job (live, updated on transitions).",
+)
+JOBS_PENDING = REGISTRY.gauge(
+    "repro_scheduler_jobs_pending",
+    "Jobs admitted but not finished: queued plus running.",
+)
+SCHEDULER_JOBS = REGISTRY.counter(
+    "repro_scheduler_jobs_total",
+    "Job lifecycle outcomes, by state.",
+    ("state",),
+)
+WORKER_UTILIZATION = REGISTRY.gauge(
+    "repro_scheduler_worker_utilization",
+    "Fraction of worker-seconds spent running jobs since service start.",
+)
+
+# -- caches / store --------------------------------------------------------
+
+CACHE_REQUESTS = REGISTRY.counter(
+    "repro_cache_requests_total",
+    "Result-cache lookups, by tier (l1 memory / l2 store) and outcome.",
+    ("tier", "outcome"),
+)
+STORE_BYTES = REGISTRY.gauge(
+    "repro_store_bytes",
+    "Bytes currently held by the persistent result store.",
+)
+STORE_EVENTS = REGISTRY.counter(
+    "repro_store_events_total",
+    "Persistent-store lifecycle events (puts, evictions, corruptions).",
+    ("event",),
+)
+
+# -- solvers ---------------------------------------------------------------
+
+SOLVER_EVENTS = REGISTRY.counter(
+    "repro_solver_events_total",
+    "SAT/SMT/OMT solver progress events flushed at checkpoint milestones.",
+    ("event",),
+)
+SOLVER_LEARNED_CLAUSES = REGISTRY.gauge(
+    "repro_solver_learned_clauses",
+    "Learned-clause database size after the most recent SAT solve.",
+)
+
+# -- process resources -----------------------------------------------------
+
+PROCESS_RSS = REGISTRY.gauge(
+    "repro_process_resident_memory_bytes",
+    "Resident set size of this process.",
+)
+PROCESS_CPU = REGISTRY.counter(
+    "repro_process_cpu_seconds_total",
+    "User plus system CPU time consumed by this process.",
+)
+PROCESS_GC = REGISTRY.counter(
+    "repro_process_gc_collections_total",
+    "Python garbage collections, by generation.",
+    ("generation",),
+)
+PROCESS_FDS = REGISTRY.gauge(
+    "repro_process_open_fds",
+    "Open file descriptors held by this process.",
+)
+
+# -- server ----------------------------------------------------------------
+
+SERVER_UPTIME = REGISTRY.gauge(
+    "repro_server_uptime_seconds",
+    "Seconds since the gateway started.",
+)
+SERVER_JOBS_TRACKED = REGISTRY.gauge(
+    "repro_server_jobs_tracked",
+    "Job handles the gateway currently retains.",
+)
+
+
+# -- hot-path helpers ------------------------------------------------------
+
+def record_http_request(route: str, status: int, seconds: float) -> None:
+    """One served request: count, error class, latency."""
+    if not telemetry_enabled():
+        return
+    HTTP_REQUESTS.labels(route).inc()
+    if status >= 500:
+        HTTP_ERRORS.labels(route, "server").inc()
+    elif status >= 400:
+        HTTP_ERRORS.labels(route, "client").inc()
+    HTTP_LATENCY.labels(route).observe(seconds)
+
+
+def record_pass(name: str, seconds: float) -> None:
+    """One completed pipeline pass."""
+    if not telemetry_enabled():
+        return
+    PASS_LATENCY.labels(name).observe(seconds)
+
+
+def record_compile(technique: str, seconds: float) -> None:
+    """One end-to-end compile (cache misses that ran the pipeline)."""
+    if not telemetry_enabled():
+        return
+    COMPILE_LATENCY.labels(technique).observe(seconds)
+
+
+def record_cache(tier: str, outcome: str) -> None:
+    """One cache lookup: ``tier`` in {l1, l2}, ``outcome`` in {hit, miss}."""
+    if not telemetry_enabled():
+        return
+    CACHE_REQUESTS.labels(tier, outcome).inc()
+
+
+def record_scheduler_saturation(queue_depth: int, workers_busy: int,
+                                jobs_pending: int) -> None:
+    """Live saturation gauges, pushed at submit/start/finish."""
+    if not telemetry_enabled():
+        return
+    QUEUE_DEPTH.set(queue_depth)
+    WORKERS_BUSY.set(workers_busy)
+    JOBS_PENDING.set(jobs_pending)
+
+
+def record_sat_progress(conflicts: int, propagations: int, decisions: int,
+                        restarts: int, learned: int) -> None:
+    """Flush SAT search deltas (milestone checkpoints and solve exit)."""
+    if not telemetry_enabled():
+        return
+    if conflicts:
+        SOLVER_EVENTS.labels("conflicts").inc(conflicts)
+    if propagations:
+        SOLVER_EVENTS.labels("propagations").inc(propagations)
+    if decisions:
+        SOLVER_EVENTS.labels("decisions").inc(decisions)
+    if restarts:
+        SOLVER_EVENTS.labels("restarts").inc(restarts)
+    SOLVER_LEARNED_CLAUSES.set(learned)
+
+
+def record_theory(checks: int, pivots: int, conflicts: int) -> None:
+    """Flush DPLL(T) theory-engine deltas at the end of a check."""
+    if not telemetry_enabled():
+        return
+    if checks:
+        SOLVER_EVENTS.labels("theory_checks").inc(checks)
+    if pivots:
+        SOLVER_EVENTS.labels("theory_pivots").inc(pivots)
+    if conflicts:
+        SOLVER_EVENTS.labels("theory_conflicts").inc(conflicts)
+
+
+def record_omt_rounds(rounds: int) -> None:
+    """Flush OMT improvement rounds at the end of an optimize call."""
+    if not telemetry_enabled():
+        return
+    if rounds:
+        SOLVER_EVENTS.labels("omt_rounds").inc(rounds)

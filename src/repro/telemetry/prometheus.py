@@ -1,0 +1,393 @@
+"""Prometheus text exposition (version 0.0.4) and a minimal scraper.
+
+:func:`render_prometheus` turns :meth:`MetricRegistry.collect`
+snapshots into a conformant text document — sanitized names, escaped
+label values, one ``# HELP``/``# TYPE`` pair per family, cumulative
+``le`` histogram buckets ending in ``+Inf`` plus ``_sum``/``_count``.
+
+:func:`parse_prometheus` / :func:`validate_prometheus` are the in-repo
+scraper: enough of the format to round-trip our own documents, assert
+conformance in tests and CI, and let :class:`ShardRouter` merge
+per-shard documents (:func:`merge_prometheus`) without duplicating
+``HELP``/``TYPE`` lines.  No third-party client library involved.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "merge_prometheus",
+    "parse_prometheus",
+    "render_prometheus",
+    "sanitize_label_name",
+    "sanitize_metric_name",
+    "validate_prometheus",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_METRIC_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHAR = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (invalid chars -> ``_``)."""
+    cleaned = _INVALID_METRIC_CHAR.sub("_", name) or "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def sanitize_label_name(name: str) -> str:
+    """Coerce to ``[a-zA-Z_][a-zA-Z0-9_]*``; reserved ``__`` prefix bent."""
+    cleaned = _INVALID_LABEL_CHAR.sub("_", name) or "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    if cleaned.startswith("__"):  # reserved for Prometheus internals
+        cleaned = "label" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _label_pairs(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_label_name(name)}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(
+    snapshots: Iterable[Mapping[str, object]],
+    extra_labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render registry snapshots as one exposition document.
+
+    ``extra_labels`` (e.g. ``{"shard": "s0"}``) are appended to every
+    sample — how a sharded gateway self-identifies before the router
+    merges documents.
+    """
+    const = dict(extra_labels or {})
+    lines: List[str] = []
+    for family in snapshots:
+        name = sanitize_metric_name(str(family["name"]))
+        kind = str(family["kind"])
+        help_text = str(family.get("help") or "")
+        samples = family.get("samples") or []
+        if not samples:
+            continue
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in samples:
+            labels = dict(sample.get("labels") or {})
+            labels.update(const)
+            if kind == "histogram":
+                cumulative = 0
+                bucket_labels = dict(labels)
+                for bound, running in sample["buckets"]:
+                    cumulative = running
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        f"{name}_bucket{_label_pairs(bucket_labels)} {running}"
+                    )
+                bucket_labels["le"] = "+Inf"
+                lines.append(
+                    f"{name}_bucket{_label_pairs(bucket_labels)} {sample['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_label_pairs(labels)} {_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_pairs(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_pairs(labels)} {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------
+# The scraper: parse / validate / merge.
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PART_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+class PrometheusParseError(ValueError):
+    """The document violates the exposition format."""
+
+
+def _unescape_label_value(raw: str) -> str:
+    out = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char == "\\" and index + 1 < len(raw):
+            nxt = raw[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(char)
+                out.append(nxt)
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _parse_labels(raw: Optional[str], line_no: int) -> Dict[str, str]:
+    if not raw:
+        return {}
+    labels: Dict[str, str] = {}
+    position = 0
+    while position < len(raw):
+        match = _LABEL_PART_RE.match(raw, position)
+        if match is None:
+            raise PrometheusParseError(
+                f"line {line_no}: malformed label block {raw!r}"
+            )
+        labels[match.group("name")] = _unescape_label_value(match.group("value"))
+        position = match.end()
+    return labels
+
+
+def _parse_value(raw: str, line_no: int) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise PrometheusParseError(f"line {line_no}: bad value {raw!r}") from exc
+
+
+class ParsedFamily:
+    """One family from a scraped document."""
+
+    __slots__ = ("name", "kind", "help", "samples", "lines")
+
+    def __init__(self, name: str, kind: str = "untyped", help_text: str = "") -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        #: ``(sample_name, labels, value)`` triples, document order.
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+        #: Raw sample lines, for lossless re-emission by the merger.
+        self.lines: List[str] = []
+
+
+def _family_of(sample_name: str, known: Mapping[str, ParsedFamily]) -> str:
+    # histogram series ride under their parent family name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in known and known[base].kind == "histogram":
+                return base
+    return sample_name
+
+
+def parse_prometheus(text: str) -> Dict[str, ParsedFamily]:
+    """Parse an exposition document into families (document order kept)."""
+    families: Dict[str, ParsedFamily] = {}
+
+    def family(name: str) -> ParsedFamily:
+        if name not in families:
+            families[name] = ParsedFamily(name)
+        return families[name]
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                # "# TYPE name kind" -> parts = ["#","TYPE",name,kind]
+                name = parts[2]
+                kind = parts[3] if len(parts) > 3 else "untyped"
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise PrometheusParseError(
+                        f"line {line_no}: unknown TYPE {kind!r}"
+                    )
+                entry = family(name)
+                if entry.samples:
+                    raise PrometheusParseError(
+                        f"line {line_no}: TYPE for {name!r} after its samples"
+                    )
+                entry.kind = kind
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                name = parts[2]
+                family(name).help = parts[3] if len(parts) > 3 else ""
+            continue  # other comments ignored
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PrometheusParseError(f"line {line_no}: malformed sample {line!r}")
+        sample_name = match.group("name")
+        if not _METRIC_NAME_RE.match(sample_name):
+            raise PrometheusParseError(
+                f"line {line_no}: invalid metric name {sample_name!r}"
+            )
+        labels = _parse_labels(match.group("labels"), line_no)
+        for label_name in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                raise PrometheusParseError(
+                    f"line {line_no}: invalid label name {label_name!r}"
+                )
+        value = _parse_value(match.group("value"), line_no)
+        entry = family(_family_of(sample_name, families))
+        entry.samples.append((sample_name, labels, value))
+        entry.lines.append(raw_line)
+    return families
+
+
+def validate_prometheus(text: str) -> Dict[str, ParsedFamily]:
+    """Parse *and* enforce the invariants our exposition guarantees.
+
+    Beyond well-formedness: every histogram's ``le`` buckets are
+    cumulative per label set, the ``+Inf`` bucket equals ``_count``, and
+    ``_sum``/``_count`` series exist.  Raises
+    :class:`PrometheusParseError` with the first violation.
+    """
+    families = parse_prometheus(text)
+    for name, entry in families.items():
+        if entry.kind == "histogram":
+            _validate_histogram(name, entry)
+        elif entry.kind == "counter":
+            for sample_name, _labels, value in entry.samples:
+                if value < 0:
+                    raise PrometheusParseError(
+                        f"counter {sample_name} has negative value {value}"
+                    )
+    return families
+
+
+def _histogram_series_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
+def _validate_histogram(name: str, entry: ParsedFamily) -> None:
+    buckets: Dict[Tuple, List[Tuple[float, float]]] = {}
+    sums: Dict[Tuple, float] = {}
+    counts: Dict[Tuple, float] = {}
+    for sample_name, labels, value in entry.samples:
+        key = _histogram_series_key(labels)
+        if sample_name == f"{name}_bucket":
+            if "le" not in labels:
+                raise PrometheusParseError(f"{sample_name} missing 'le' label")
+            buckets.setdefault(key, []).append(
+                (_parse_value(labels["le"], 0), value)
+            )
+        elif sample_name == f"{name}_sum":
+            sums[key] = value
+        elif sample_name == f"{name}_count":
+            counts[key] = value
+        else:
+            raise PrometheusParseError(
+                f"unexpected series {sample_name!r} under histogram {name!r}"
+            )
+    if not buckets:
+        raise PrometheusParseError(f"histogram {name!r} has no buckets")
+    for key, series in buckets.items():
+        if key not in sums:
+            raise PrometheusParseError(f"histogram {name!r} series missing _sum")
+        if key not in counts:
+            raise PrometheusParseError(f"histogram {name!r} series missing _count")
+        previous = None
+        for bound, value in series:  # document order == ascending bounds
+            if previous is not None:
+                if bound <= previous[0]:
+                    raise PrometheusParseError(
+                        f"histogram {name!r} buckets out of order "
+                        f"({bound} after {previous[0]})"
+                    )
+                if value < previous[1]:
+                    raise PrometheusParseError(
+                        f"histogram {name!r} buckets not cumulative "
+                        f"(le={bound} count {value} < {previous[1]})"
+                    )
+            previous = (bound, value)
+        if series[-1][0] != float("inf"):
+            raise PrometheusParseError(f"histogram {name!r} missing +Inf bucket")
+        if series[-1][1] != counts[key]:
+            raise PrometheusParseError(
+                f"histogram {name!r} +Inf bucket {series[-1][1]} != _count {counts[key]}"
+            )
+
+
+def merge_prometheus(documents: Sequence[str]) -> str:
+    """Merge per-shard documents into one conformant document.
+
+    Families keep one ``HELP``/``TYPE`` pair; sample lines concatenate
+    in shard order (shards disambiguate by their own ``shard`` label).
+    Documents that fail to parse are skipped — a dying shard must not
+    take the fleet's scrape down with it.
+    """
+    merged: Dict[str, ParsedFamily] = {}
+    order: List[str] = []
+    for document in documents:
+        try:
+            families = parse_prometheus(document)
+        except PrometheusParseError:
+            continue
+        for name, entry in families.items():
+            existing = merged.get(name)
+            if existing is None:
+                clone = ParsedFamily(name, entry.kind, entry.help)
+                clone.samples.extend(entry.samples)
+                clone.lines.extend(entry.lines)
+                merged[name] = clone
+                order.append(name)
+            else:
+                if existing.kind != entry.kind:
+                    continue  # type clash: keep the first shard's series
+                existing.samples.extend(entry.samples)
+                existing.lines.extend(entry.lines)
+    lines: List[str] = []
+    for name in order:
+        entry = merged[name]
+        if entry.help:
+            lines.append(f"# HELP {name} {_escape_help(entry.help)}")
+        if entry.kind != "untyped":
+            lines.append(f"# TYPE {name} {entry.kind}")
+        lines.extend(entry.lines)
+    return "\n".join(lines) + "\n"

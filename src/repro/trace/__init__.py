@@ -25,13 +25,17 @@ from repro.trace.reader import (
     build_spans,
     diff_summaries,
     load_events,
+    parse_remote_parent,
     pass_totals,
+    resolve_parent,
     summarize,
+    trace_forest,
 )
 from repro.trace.schema import TraceValidationError, validate_event, validate_trace
 from repro.trace.tracer import (
     NULL_TRACER,
     TRACE_ENV_VAR,
+    TRACE_HEADER,
     NullTracer,
     TraceContext,
     Tracer,
@@ -51,6 +55,7 @@ __all__ = [
     "PASS_METRICS",
     "PassMetricsRegistry",
     "TRACE_ENV_VAR",
+    "TRACE_HEADER",
     "TraceContext",
     "TraceValidationError",
     "Tracer",
@@ -62,12 +67,15 @@ __all__ = [
     "global_tracer",
     "load_events",
     "observe_pass",
+    "parse_remote_parent",
     "pass_totals",
+    "resolve_parent",
     "resume_context",
     "scoped_tracer",
     "start_tracing",
     "stop_tracing",
     "summarize",
+    "trace_forest",
     "tracing_active",
     "validate_event",
     "validate_trace",

@@ -1,102 +1,101 @@
-"""In-process per-pass latency metrics fed from the pipeline trace hooks.
+"""Per-pass latency metrics — a facade over ``repro.telemetry``.
 
-The ``/metrics`` endpoint historically exposed per-route latency only;
-this registry extends it with per-pipeline-pass histograms (same bucket
-bounds and p50/p95 estimation as the server's request metrics) fed from
-the exact hook points that emit trace events.  Unlike tracing, the
-registry is in-memory aggregation — no file, no events — and is enabled
-by the gateway on construction so ``/metrics`` always has pass data,
-even when JSONL tracing is off.
-
-The recording path is one flag check when disabled, one lock + histogram
-update when enabled; it never allocates event objects.
+Historically this module kept its own histogram registry; pass timing
+now lands in the process-wide telemetry registry
+(``repro_pass_duration_seconds``) so one sink feeds the JSON
+``/metrics`` block, the Prometheus exposition, and the windowed
+percentiles.  The public surface (``PASS_METRICS``, ``observe_pass``,
+``enable_pass_metrics``) and the ``/metrics`` JSON shape are unchanged;
+``p50_ms``/``p95_ms`` are now interpolated from the lifetime buckets
+(not a recency-biased reservoir) and each pass block gains a
+``windows`` sub-dict with 1/5/15-minute percentiles.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-from typing import Dict, List
+from typing import Dict
+
+from repro.telemetry.instruments import PASS_LATENCY
+from repro.telemetry.registry import (
+    _quantile_from_buckets,
+    enable_telemetry,
+    telemetry_enabled,
+)
 
 #: Upper bucket bounds (milliseconds); matches the server's route buckets
 #: so the two ``/metrics`` sections read the same way.
 PASS_LATENCY_BUCKETS_MS = (1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
 
 
-def _percentile(sorted_values: List[float], quantile: float) -> float:
-    """Nearest-rank percentile of an already sorted sample."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1,
-               max(0, int(round(quantile * (len(sorted_values) - 1)))))
-    return sorted_values[rank]
+def _bucket_label(bound_seconds: float) -> str:
+    millis = 1e3 * bound_seconds
+    return f"le_{int(millis)}ms" if millis == int(millis) else f"le_{millis}ms"
 
 
-class _PassStats:
-    """Counters and a latency reservoir for one pipeline pass."""
+def snapshot_histogram_family(family, label_name: str) -> Dict[str, Dict[str, object]]:
+    """JSON block for one labelled histogram family, keyed by label value.
 
-    __slots__ = ("count", "total_seconds", "buckets", "recent")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total_seconds = 0.0
-        self.buckets = [0] * (len(PASS_LATENCY_BUCKETS_MS) + 1)
-        self.recent: "deque[float]" = deque(maxlen=2048)
+    The shape the gateway's ``/metrics`` always used: lifetime
+    ``count``/``mean_ms``/``p50_ms``/``p95_ms`` plus a *non-cumulative*
+    ``histogram_ms``, now with a ``windows`` sub-dict of 1/5/15-minute
+    percentiles sourced from the registry's sliding ring.
+    """
+    snapshot: Dict[str, Dict[str, object]] = {}
+    for sample in family.snapshot()["samples"]:
+        name = sample["labels"].get(label_name, "")
+        count = sample["count"]
+        total = sample["sum"]
+        bounds = [bound for bound, _running in sample["buckets"]]
+        # buckets arrive cumulative; the JSON block is non-cumulative.
+        flat = []
+        previous = 0
+        for _bound, running in sample["buckets"]:
+            flat.append(running - previous)
+            previous = running
+        flat.append(count - previous)  # +Inf overflow
+        histogram = {_bucket_label(bound): flat[index]
+                     for index, bound in enumerate(bounds)}
+        histogram["le_inf"] = flat[-1]
+        windows = {
+            window: {
+                "count": stats["count"],
+                "p50_ms": 1e3 * stats["p50"],
+                "p95_ms": 1e3 * stats["p95"],
+                "p99_ms": 1e3 * stats["p99"],
+            }
+            for window, stats in sample["windows"].items()
+        }
+        snapshot[name] = {
+            "count": count,
+            "total_seconds": total,
+            "mean_ms": 1e3 * total / count if count else 0.0,
+            "p50_ms": 1e3 * _quantile_from_buckets(bounds, flat, count, 0.50),
+            "p95_ms": 1e3 * _quantile_from_buckets(bounds, flat, count, 0.95),
+            "histogram_ms": histogram,
+            "windows": windows,
+        }
+    return snapshot
 
 
 class PassMetricsRegistry:
-    """Thread-safe per-pass latency histograms with p50/p95 snapshots."""
+    """Compatibility facade over the telemetry pass-latency family."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._passes: Dict[str, _PassStats] = {}
-        self.enabled = False
+    @property
+    def enabled(self) -> bool:
+        return telemetry_enabled()
 
     def enable(self) -> None:
-        self.enabled = True
+        enable_telemetry()
 
     def reset(self) -> None:
-        with self._lock:
-            self._passes.clear()
+        PASS_LATENCY._reset()
 
     def observe(self, name: str, seconds: float) -> None:
-        with self._lock:
-            stats = self._passes.get(name)
-            if stats is None:
-                stats = self._passes[name] = _PassStats()
-            stats.count += 1
-            stats.total_seconds += seconds
-            stats.recent.append(seconds)
-            millis = 1e3 * seconds
-            for index, bound in enumerate(PASS_LATENCY_BUCKETS_MS):
-                if millis <= bound:
-                    stats.buckets[index] += 1
-                    break
-            else:
-                stats.buckets[-1] += 1
+        PASS_LATENCY.labels(name).observe(seconds)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """JSON-ready per-pass counters, histogram and p50/p95 latency."""
-        with self._lock:
-            passes = {name: (stats.count, stats.total_seconds,
-                             list(stats.buckets), sorted(stats.recent))
-                      for name, stats in self._passes.items()}
-        snapshot: Dict[str, Dict[str, object]] = {}
-        for name, (count, total, buckets, latencies) in passes.items():
-            histogram = {
-                f"le_{bound}ms": buckets[index]
-                for index, bound in enumerate(PASS_LATENCY_BUCKETS_MS)
-            }
-            histogram["le_inf"] = buckets[-1]
-            snapshot[name] = {
-                "count": count,
-                "total_seconds": total,
-                "mean_ms": 1e3 * total / count if count else 0.0,
-                "p50_ms": 1e3 * _percentile(latencies, 0.50),
-                "p95_ms": 1e3 * _percentile(latencies, 0.95),
-                "histogram_ms": histogram,
-            }
-        return snapshot
+        """JSON-ready per-pass counters, histogram and latency stats."""
+        return snapshot_histogram_family(PASS_LATENCY, "pass")
 
 
 #: Process-wide registry the pipeline hooks feed (when enabled).
@@ -110,6 +109,17 @@ def enable_pass_metrics() -> PassMetricsRegistry:
 
 
 def observe_pass(name: str, seconds: float) -> None:
-    """Record one pass execution (no-op unless the registry is enabled)."""
-    if PASS_METRICS.enabled:
-        PASS_METRICS.observe(name, seconds)
+    """Record one pass execution (no-op unless telemetry is enabled)."""
+    if not telemetry_enabled():
+        return
+    PASS_LATENCY.labels(name).observe(seconds)
+
+
+__all__ = [
+    "PASS_LATENCY_BUCKETS_MS",
+    "PASS_METRICS",
+    "PassMetricsRegistry",
+    "enable_pass_metrics",
+    "observe_pass",
+    "snapshot_histogram_family",
+]

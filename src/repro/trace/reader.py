@@ -57,7 +57,7 @@ class Span:
     """One reconstructed span: its begin/end events joined by (pid, id)."""
 
     __slots__ = ("span_id", "pid", "tid", "name", "layer", "parent",
-                 "start", "duration", "fields")
+                 "remote_parent", "start", "duration", "fields")
 
     def __init__(self, begin: Mapping[str, object]) -> None:
         self.span_id = begin["span"]
@@ -69,10 +69,22 @@ class Span:
         self.start = float(begin["ts"])  # type: ignore[arg-type]
         self.duration: Optional[float] = None
         self.fields: Dict[str, object] = dict(begin.get("fields") or {})  # type: ignore[arg-type]
+        #: ``(pid, span)`` of the remote caller, from the propagation header.
+        self.remote_parent = parse_remote_parent(self.fields.get("remote_parent"))
 
     def close(self, end: Mapping[str, object]) -> None:
         self.duration = float(end["dur"])  # type: ignore[arg-type]
         self.fields.update(end.get("fields") or {})  # type: ignore[arg-type]
+
+
+def parse_remote_parent(value: object) -> Optional[Tuple[int, int]]:
+    """Parse a ``"pid:span"`` propagation field into ``(pid, span)``."""
+    if not isinstance(value, str):
+        return None
+    pid_text, sep, span_text = value.partition(":")
+    if not sep or not pid_text.isdigit() or not span_text.isdigit():
+        return None
+    return int(pid_text), int(span_text)
 
 
 def build_spans(events: Iterable[Mapping[str, object]]) -> List[Span]:
@@ -90,6 +102,43 @@ def build_spans(events: Iterable[Mapping[str, object]]) -> List[Span]:
             if span is not None:
                 span.close(event)
     return ordered
+
+
+def resolve_parent(span: Span,
+                   span_index: Mapping[Tuple[object, object], Span]) -> Optional[Span]:
+    """Return a span's parent, following cross-process links if needed.
+
+    Structural parents are process-local; a span whose local parent is
+    absent (or that has none) falls back to its ``remote_parent`` — the
+    ``pid:span`` identity propagated over HTTP — stitching client,
+    gateway, shard, and worker processes into one tree.
+    """
+    if span.parent is not None:
+        local = span_index.get((span.pid, span.parent))
+        if local is not None:
+            return local
+    if span.remote_parent is not None:
+        return span_index.get(span.remote_parent)
+    return None
+
+
+def trace_forest(spans: Sequence[Span]) -> Tuple[List[Span], Dict[Tuple[object, object], List[Span]]]:
+    """Stitch spans into trees across processes.
+
+    Returns ``(roots, children)`` where ``children`` maps a span's
+    ``(pid, span_id)`` to its child spans (local children plus remote
+    spans whose propagation header named it).
+    """
+    span_index = {(span.pid, span.span_id): span for span in spans}
+    roots: List[Span] = []
+    children: Dict[Tuple[object, object], List[Span]] = {}
+    for span in spans:
+        parent = resolve_parent(span, span_index)
+        if parent is None:
+            roots.append(span)
+        else:
+            children.setdefault((parent.pid, parent.span_id), []).append(span)
+    return roots, children
 
 
 def _stat_block(durations: List[float]) -> Dict[str, float]:
@@ -191,10 +240,13 @@ def summarize(events: Sequence[Mapping[str, object]],
 
     layers = sorted({str(event.get("layer")) for event in events
                      if event.get("layer") and event.get("layer") != "trace"})
+    roots, _children = trace_forest(spans)
     return {
         "events": len(events),
         "spans": len(spans),
         "unclosed_spans": len(spans) - len(closed),
+        "processes": len({span.pid for span in spans}),
+        "trace_trees": len(roots),
         "layers": layers,
         "stages": stages,
         "techniques": technique_breakdown,
@@ -242,6 +294,8 @@ def render_summary(summary: Mapping[str, object]) -> str:
     lines.append(
         f"trace: {summary['events']} events, {summary['spans']} spans "
         f"({summary['unclosed_spans']} unclosed), "
+        f"{summary.get('processes', '?')} processes, "
+        f"{summary.get('trace_trees', '?')} trees, "
         f"layers: {', '.join(summary['layers']) or '-'}"  # type: ignore[arg-type]
     )
     stages = summary.get("stages", {})

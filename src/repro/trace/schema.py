@@ -21,6 +21,12 @@ deliberately flat so traces stay greppable:
 ``wall`` (``time.time()``) so perf-counter timestamps can be anchored to
 wall-clock time.
 
+Spans begun on behalf of a *remote* caller (another process that sent an
+``X-Repro-Trace`` header) record the caller as ``fields.remote_parent``
+(``"pid:span"``).  The structural ``parent`` stays process-local, so the
+per-process invariants below are unaffected; the reader stitches
+processes together through ``remote_parent``.
+
 :func:`validate_trace` checks the *structural* invariants the tests rely
 on: well-formed span nesting per thread, parents that exist within the
 same process, and per-thread monotonic timestamps.
@@ -34,7 +40,8 @@ from typing import Dict, Iterable, List, Mapping, Tuple
 KINDS = ("meta", "begin", "end", "point")
 
 #: Layers instrumented by the subsystem (``meta`` headers use ``trace``).
-LAYERS = ("trace", "server", "service", "api", "pipeline", "solver", "golden")
+LAYERS = ("trace", "client", "server", "service", "api", "pipeline", "solver",
+          "golden")
 
 #: Keys every event must carry, regardless of kind.
 REQUIRED_KEYS = ("kind", "ts", "name", "layer", "pid", "tid", "span", "fields")

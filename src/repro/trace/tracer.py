@@ -337,6 +337,11 @@ _ATEXIT_REGISTERED = False
 #: spawned worker processes, which inherit the environment).
 TRACE_ENV_VAR = "REPRO_TRACE"
 
+#: HTTP header carrying the caller's span identity (``"pid:span"``) so a
+#: receiving process can record it as ``fields.remote_parent`` and the
+#: trace reader can stitch client → gateway → shard into one tree.
+TRACE_HEADER = "X-Repro-Trace"
+
 
 def current_tracer() -> Union[Tracer, NullTracer]:
     """The tracer for the calling context, or the no-op tracer.

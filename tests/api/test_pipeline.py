@@ -96,6 +96,47 @@ class TestReportContents:
         assert counters["improvement_rounds"] >= 1
         assert counters["theory_checks"] >= 1
 
+    def test_resources_attributed_when_telemetry_enabled(self):
+        from repro.telemetry.registry import (
+            disable_telemetry,
+            enable_telemetry,
+            telemetry_enabled,
+        )
+
+        was_enabled = telemetry_enabled()
+        enable_telemetry()
+        try:
+            result = repro.compile(probe_circuit(), spin_qubit_target(2),
+                                   "direct", use_cache=False)
+        finally:
+            if not was_enabled:
+                disable_telemetry()
+        resources = result.report.resources
+        assert set(resources) == {"cpu_seconds", "peak_rss_bytes"}
+        assert resources["cpu_seconds"] >= 0.0
+        assert resources["peak_rss_bytes"] > 0.0
+        # The attribution survives the dict round-trip with the rest of
+        # the report.
+        restored = CompilationReport.from_dict(result.report.to_dict())
+        assert restored.resources == resources
+
+    def test_resources_empty_when_telemetry_disabled(self):
+        from repro.telemetry.registry import (
+            disable_telemetry,
+            enable_telemetry,
+            telemetry_enabled,
+        )
+
+        was_enabled = telemetry_enabled()
+        disable_telemetry()
+        try:
+            result = repro.compile(probe_circuit(), spin_qubit_target(2),
+                                   "direct", use_cache=False)
+        finally:
+            if was_enabled:
+                enable_telemetry()
+        assert result.report.resources == {}
+
     def test_verify_stage_records_whether_it_checked(self):
         circuit = probe_circuit()
         target = spin_qubit_target(2)

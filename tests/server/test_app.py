@@ -279,9 +279,12 @@ class TestHealthAndMetrics:
         json.dumps(metrics)  # Must be pure JSON all the way down.
         route = metrics["requests"]["GET /healthz"]
         assert route["count"] >= 1
-        assert route["p50_ms"] >= 0.0
-        assert route["p95_ms"] >= route["p50_ms"] - 1e-9
+        assert route["p50_ms_lifetime"] >= 0.0
+        assert route["p95_ms_lifetime"] >= route["p50_ms_lifetime"] - 1e-9
         assert "le_inf" in route["histogram_ms"]
+        # Windowed percentiles ride along, labelled by their window.
+        assert set(route["windows"]) == {"1m", "5m", "15m"}
+        assert route["windows"]["1m"]["count"] >= 1
         assert metrics["service"]["workers"] == 2
 
 

@@ -106,3 +106,36 @@ class TestShardedDeployment:
 
         router, client = deployment
         assert len(client.suite()) == len(suite_names())
+
+    def test_prometheus_scrape_is_conformant_and_shard_labelled(
+            self, deployment):
+        import urllib.request
+
+        from repro.telemetry.prometheus import validate_prometheus
+
+        router, client = deployment
+        client.healthz()  # every shard has served at least one request
+        request = urllib.request.Request(
+            router.url + "/metrics?format=prometheus")
+        with urllib.request.urlopen(request, timeout=60) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            document = response.read().decode("utf-8")
+
+        # The in-repo scraper doubles as the conformance oracle.
+        families = validate_prometheus(document)
+        for name in ("repro_http_requests_total",
+                     "repro_http_request_duration_seconds",
+                     "repro_scheduler_queue_depth",
+                     "repro_scheduler_jobs_total",
+                     "repro_process_resident_memory_bytes",
+                     "repro_server_uptime_seconds"):
+            assert name in families, f"missing family {name}"
+
+        # Every sample in the merged document names its shard, and both
+        # shards contribute series.
+        shards = set()
+        for family in families.values():
+            for _sample_name, labels, _value in family.samples:
+                assert "shard" in labels
+                shards.add(labels["shard"])
+        assert shards == {"s0", "s1"}

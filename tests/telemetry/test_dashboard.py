@@ -1,0 +1,101 @@
+"""Dashboard rendering: pure frames from gateway and shard-envelope docs."""
+
+from repro.telemetry.dashboard import render_dashboard
+
+
+def _gateway_doc():
+    return {
+        "server": {"version": "1.0", "uptime_seconds": 12.5, "jobs_tracked": 3},
+        "service": {
+            "workers": 4, "busy_workers": 2, "queue_depth": 1,
+            "worker_utilization": 0.5, "submitted": 10, "deduplicated": 2,
+            "completed": 7, "failed": 1, "cancelled": 0, "worker_crashes": 0,
+            "l1_hit_rate": 0.25,
+            "l2": {"total_bytes": 2048, "entries": 4},
+            "l2_hit_rate": 0.5,
+        },
+        "requests": {
+            "POST /compile": {
+                "count": 8, "server_errors": 1, "client_errors": 0,
+                "windows": {"5m": {"count": 8, "p95_ms": 120.5}},
+            },
+            "GET /healthz": {
+                "count": 2, "server_errors": 0, "client_errors": 0,
+                "windows": {"5m": {"count": 2, "p95_ms": 0.4}},
+            },
+        },
+        "telemetry": [
+            {
+                "name": "repro_http_requests_total",
+                "kind": "counter",
+                "samples": [
+                    {"labels": {"route": "POST /compile"}, "value": 8,
+                     "rates": {"1m": 0.5, "5m": 0.1, "15m": 0.05}},
+                ],
+            },
+            {
+                "name": "repro_solver_events_total",
+                "kind": "counter",
+                "samples": [
+                    {"labels": {"event": "conflicts"}, "value": 4096,
+                     "rates": {"1m": 2048.0}},
+                    {"labels": {"event": "propagations"}, "value": 100000,
+                     "rates": {"1m": 50000.0}},
+                ],
+            },
+            {
+                "name": "repro_compile_duration_seconds",
+                "kind": "histogram",
+                "samples": [
+                    {"labels": {"technique": "sat_p"}, "count": 6,
+                     "windows": {"5m": {"count": 6, "p95": 0.8}}},
+                ],
+            },
+            {
+                "name": "repro_process_resident_memory_bytes",
+                "kind": "gauge",
+                "samples": [{"labels": {}, "value": 64 * 1024 * 1024}],
+            },
+            {
+                "name": "repro_process_cpu_seconds_total",
+                "kind": "counter",
+                "samples": [{"labels": {}, "value": 3.5}],
+            },
+        ],
+    }
+
+
+def test_gateway_frame_carries_every_section():
+    frame = render_dashboard(_gateway_doc())
+    assert frame.startswith("repro telemetry\n")
+    assert "workers 2/4 busy" in frame
+    assert "L1 hit  25.0%" in frame
+    assert "L2 hit  50.0%" in frame
+    assert "POST /compile" in frame
+    assert "p95(5m)   120.50 ms" in frame
+    assert "conflicts   2048.0/s" in frame
+    assert "sat_p" in frame
+    assert "rss 64.0 MiB" in frame
+    assert "cpu 3.5s" in frame
+
+
+def test_shard_envelope_renders_one_section_per_shard():
+    doc = {
+        "shards": 2,
+        "aggregate": {"queue_depth": 3, "busy_workers": 2, "workers": 8,
+                      "completed": 11},
+        "per_shard": {"s0": _gateway_doc(), "s1": _gateway_doc()},
+    }
+    frame = render_dashboard(doc, title="cluster")
+    assert frame.startswith("cluster\n")
+    assert "2 shards" in frame
+    assert "shard s0" in frame and "shard s1" in frame
+    assert frame.index("shard s0") < frame.index("shard s1")
+
+
+def test_sparse_document_renders_without_crashing():
+    # A freshly booted server may not have served anything yet.
+    frame = render_dashboard({"server": {}, "service": {}, "requests": {},
+                              "telemetry": []})
+    assert "workers 0/0 busy" in frame
+    assert frame.endswith("\n")

@@ -1,0 +1,237 @@
+"""Unit tests for the process-wide metric registry.
+
+The window ring is driven with a fake clock (patching ``registry._now``)
+so the 1/5/15-minute behaviour is deterministic: windowed stats decay
+after idle time while lifetime counters stay monotone — the exact
+property the lifetime-percentile fix rides on.
+"""
+
+import threading
+
+import pytest
+
+from repro.telemetry import registry as registry_module
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    MetricRegistry,
+    REGISTRY,
+    WINDOWS,
+    _quantile_from_buckets,
+    disable_telemetry,
+    enable_telemetry,
+    telemetry_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _enabled():
+    was_enabled = telemetry_enabled()
+    enable_telemetry()
+    yield
+    if not was_enabled:
+        disable_telemetry()
+
+
+@pytest.fixture()
+def clock(monkeypatch):
+    state = {"now": 1000.0}
+    monkeypatch.setattr(registry_module, "_now", lambda: state["now"])
+    return state
+
+
+@pytest.fixture()
+def registry():
+    return MetricRegistry()
+
+
+class TestCounter:
+    def test_inc_and_lifetime_value(self, registry):
+        counter = registry.counter("t_total", "help")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("t_total", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_disabled_hook_is_a_noop(self, registry):
+        counter = registry.counter("t_total", "help")
+        disable_telemetry()
+        try:
+            counter.inc(10)
+        finally:
+            enable_telemetry()
+        assert counter.value == 0.0
+
+    def test_windowed_rates_decay_while_lifetime_is_monotone(
+            self, registry, clock):
+        counter = registry.counter("t_total", "help")
+        counter.inc(60)
+        assert counter.rates()["1m"] == pytest.approx(1.0)
+        before = counter.value
+        clock["now"] += 2 * WINDOWS["15m"]  # idle well past every window
+        assert counter.rates()["1m"] == 0.0
+        assert counter.rates()["15m"] == 0.0
+        assert counter.value == before  # lifetime never decays
+
+    def test_set_total_mirrors_and_windows_the_delta(self, registry, clock):
+        counter = registry.counter("t_total", "help")
+        counter.set_total(100)
+        counter.set_total(160)
+        assert counter.value == 160.0
+        # Only the observed delta lands in the ring, never the base.
+        assert counter.rates()["1m"] == pytest.approx(160 / 60.0)
+
+    def test_set_total_backwards_resets_without_negative_rate(
+            self, registry, clock):
+        counter = registry.counter("t_total", "help")
+        counter.set_total(100)
+        counter.set_total(40)  # source restarted
+        assert counter.value == 40.0
+        assert counter.rates()["1m"] >= 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("t_gauge", "help")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6.0
+
+
+class TestHistogram:
+    def test_bucket_assignment_le_semantics(self, registry):
+        histogram = registry.histogram("t_seconds", "help",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.1)   # == bound -> first bucket (le is <=)
+        histogram.observe(0.5)
+        histogram.observe(9.0)   # overflow
+        snapshot = histogram.snapshot()["samples"][0]
+        assert snapshot["buckets"] == [[0.1, 1], [1.0, 2]]
+        assert snapshot["count"] == 3
+
+    def test_window_percentiles_change_after_idle(self, registry, clock):
+        histogram = registry.histogram("t_seconds", "help",
+                                       buckets=DEFAULT_BUCKETS)
+        for _ in range(100):
+            histogram.observe(0.2)
+        busy = histogram.window_stats("1m")
+        assert busy["count"] == 100
+        assert 0.1 <= busy["p95"] <= 0.25
+        clock["now"] += 2 * WINDOWS["1m"]
+        idle = histogram.window_stats("1m")
+        assert idle["count"] == 0
+        assert idle["p95"] == 0.0
+        # Lifetime histogram still remembers everything.
+        assert histogram.snapshot()["samples"][0]["count"] == 100
+
+    def test_slot_reuse_after_a_full_ring_lap(self, registry, clock):
+        histogram = registry.histogram("t_seconds", "help")
+        histogram.observe(0.01)
+        clock["now"] += 2 * WINDOWS["15m"]  # lap the ring twice
+        histogram.observe(0.01)
+        assert histogram.window_stats("15m")["count"] == 1
+
+
+class TestQuantileInterpolation:
+    def test_linear_within_bucket(self):
+        # 100 observations all in (0.1, 0.2]: p50 sits mid-bucket.
+        bounds = (0.1, 0.2, 0.4)
+        counts = (0, 100, 0, 0)
+        assert _quantile_from_buckets(bounds, counts, 100, 0.50) == \
+            pytest.approx(0.15)
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        bounds = (0.1, 0.2)
+        counts = (0, 0, 10)  # everything beyond the last bound
+        assert _quantile_from_buckets(bounds, counts, 10, 0.95) == 0.2
+
+    def test_empty_is_zero(self):
+        assert _quantile_from_buckets((1.0,), (0, 0), 0, 0.5) == 0.0
+
+
+class TestFamilies:
+    def test_labelled_children_are_distinct(self, registry):
+        family = registry.counter("t_total", "help", ("route",))
+        family.labels("a").inc()
+        family.labels("a").inc()
+        family.labels("b").inc()
+        by_label = {
+            sample["labels"]["route"]: sample["value"]
+            for sample in family.snapshot()["samples"]
+        }
+        assert by_label == {"a": 2.0, "b": 1.0}
+
+    def test_labelless_family_proxies_child_api(self, registry):
+        gauge = registry.gauge("t_gauge", "help")
+        gauge.set(3)
+        assert gauge.value == 3.0
+
+    def test_labelled_family_rejects_bare_use(self, registry):
+        family = registry.counter("t_total", "help", ("route",))
+        with pytest.raises(ValueError):
+            family.inc()
+
+    def test_reregistration_is_idempotent_but_conflicts_raise(self, registry):
+        first = registry.counter("t_total", "help", ("route",))
+        again = registry.counter("t_total", "help", ("route",))
+        assert first is again
+        with pytest.raises(ValueError):
+            registry.gauge("t_total", "help")
+
+    def test_concurrent_increments_are_not_lost(self, registry):
+        counter = registry.counter("t_total", "help")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000.0
+
+
+class TestCollectors:
+    def test_collectors_run_at_collect_and_replace_by_key(self, registry):
+        gauge = registry.gauge("t_gauge", "help")
+        registry.register_collector("k", lambda: gauge.set(1))
+        registry.register_collector("k", lambda: gauge.set(2))  # replaces
+        registry.collect()
+        assert gauge.value == 2.0
+
+    def test_broken_collector_does_not_break_the_scrape(self, registry):
+        def boom():
+            raise RuntimeError("collector bug")
+
+        registry.register_collector("bad", boom)
+        registry.counter("t_total", "help").inc()
+        snapshots = registry.collect()  # must not raise
+        assert any(s["name"] == "t_total" for s in snapshots)
+
+    def test_unregister_and_get(self, registry):
+        fn = lambda: None  # noqa: E731
+        registry.register_collector("k", fn)
+        assert registry.get_collector("k") is fn
+        registry.unregister_collector("k")
+        assert registry.get_collector("k") is None
+
+
+class TestResetHygiene:
+    def test_reset_values_zeroes_children_but_keeps_families(self, registry):
+        counter = registry.counter("t_total", "help")
+        counter.inc(7)
+        registry.reset_values()
+        assert counter.value == 0.0
+        assert registry.get("t_total") is counter or \
+            registry.get("t_total").name == "t_total"
+
+    def test_global_registry_has_the_instrument_families(self):
+        import repro.telemetry.instruments  # noqa: F401 - registers families
+        assert REGISTRY.get("repro_http_requests_total") is not None
+        assert REGISTRY.get("repro_solver_events_total") is not None

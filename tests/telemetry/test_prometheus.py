@@ -1,0 +1,215 @@
+"""Prometheus text-format conformance: render, scrape, validate, merge.
+
+The in-repo scraper (:func:`parse_prometheus` / :func:`validate_prometheus`)
+is the conformance oracle both here and in CI's telemetry-smoke job, so
+these tests also pin the scraper's own behaviour (escaping round-trips,
+histogram invariant enforcement).
+"""
+
+import pytest
+
+from repro.telemetry.prometheus import (
+    CONTENT_TYPE,
+    PrometheusParseError,
+    merge_prometheus,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_label_name,
+    sanitize_metric_name,
+    validate_prometheus,
+)
+from repro.telemetry.registry import (
+    MetricRegistry,
+    disable_telemetry,
+    enable_telemetry,
+    telemetry_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _enabled():
+    was_enabled = telemetry_enabled()
+    enable_telemetry()
+    yield
+    if not was_enabled:
+        disable_telemetry()
+
+
+def _document():
+    registry = MetricRegistry()
+    requests = registry.counter("repro_http_requests_total",
+                                "Requests served.", ("route",))
+    requests.labels("GET /healthz").inc(3)
+    requests.labels('weird "route"\nname\\x').inc()
+    gauge = registry.gauge("repro_queue_depth", "Queue depth.")
+    gauge.set(7)
+    latency = registry.histogram("repro_latency_seconds", "Latency.",
+                                 ("route",), buckets=(0.1, 1.0))
+    child = latency.labels("GET /healthz")
+    child.observe(0.05)
+    child.observe(0.5)
+    child.observe(30.0)
+    return render_prometheus(registry.collect())
+
+
+class TestRender:
+    def test_content_type_is_the_004_text_format(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_help_and_type_precede_samples(self):
+        lines = _document().splitlines()
+        type_at = lines.index("# TYPE repro_http_requests_total counter")
+        help_at = lines.index(
+            "# HELP repro_http_requests_total Requests served.")
+        first_sample = next(i for i, line in enumerate(lines)
+                            if line.startswith("repro_http_requests_total{"))
+        assert help_at < type_at < first_sample
+
+    def test_histogram_buckets_cumulative_with_inf_sum_count(self):
+        document = _document()
+        families = validate_prometheus(document)  # enforces the invariants
+        histogram = families["repro_latency_seconds"]
+        values = {sample_name: value
+                  for sample_name, labels, value in histogram.samples
+                  if labels.get("le") in (None, "+Inf")}
+        assert values["repro_latency_seconds_count"] == 3
+        # +Inf bucket equals _count; _sum carries the raw total.
+        inf_bucket = [value for sample_name, labels, value in histogram.samples
+                      if labels.get("le") == "+Inf"]
+        assert inf_bucket == [3.0]
+        total = [value for sample_name, _labels, value in histogram.samples
+                 if sample_name == "repro_latency_seconds_sum"]
+        assert total[0] == pytest.approx(30.55)
+
+    def test_label_escaping_round_trips(self):
+        document = _document()
+        families = validate_prometheus(document)
+        routes = {labels["route"]
+                  for _name, labels, _value in
+                  families["repro_http_requests_total"].samples}
+        assert 'weird "route"\nname\\x' in routes
+
+    def test_extra_labels_land_on_every_sample(self):
+        registry = MetricRegistry()
+        registry.counter("repro_total", "t").inc()
+        document = render_prometheus(registry.collect(),
+                                     extra_labels={"shard": "s1"})
+        families = parse_prometheus(document)
+        assert families["repro_total"].samples[0][1] == {"shard": "s1"}
+
+    def test_empty_families_are_skipped(self):
+        registry = MetricRegistry()
+        registry.counter("repro_labelled_total", "t", ("route",))  # no children
+        assert "repro_labelled_total" not in render_prometheus(registry.collect())
+
+
+class TestSanitization:
+    @pytest.mark.parametrize("raw,expected", [
+        ("repro_ok_total", "repro_ok_total"),
+        ("has space", "has_space"),
+        ("1starts_with_digit", "_1starts_with_digit"),
+        ("dots.and-dashes", "dots_and_dashes"),
+        ("", "_"),
+    ])
+    def test_metric_names(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("route", "route"),
+        ("has-dash", "has_dash"),
+        ("9lives", "_9lives"),
+        ("__reserved", "label__reserved"),
+    ])
+    def test_label_names(self, raw, expected):
+        assert sanitize_label_name(raw) == expected
+
+
+class TestScraper:
+    def test_rejects_malformed_sample_line(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("this is not a sample\n")
+
+    def test_rejects_type_after_samples(self):
+        bad = "x_total 1\n# TYPE x_total counter\n"
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus(bad)
+
+    def test_rejects_noncumulative_histogram(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'      # decreasing: not cumulative
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(PrometheusParseError, match="not cumulative"):
+            validate_prometheus(bad)
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 4\n"               # != +Inf bucket
+        )
+        with pytest.raises(PrometheusParseError, match=r"\+Inf bucket"):
+            validate_prometheus(bad)
+
+    def test_rejects_missing_sum_or_count(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 3\n"
+        )
+        with pytest.raises(PrometheusParseError, match="_sum"):
+            validate_prometheus(bad)
+
+    def test_rejects_negative_counter(self):
+        bad = "# TYPE x_total counter\nx_total -1\n"
+        with pytest.raises(PrometheusParseError, match="negative"):
+            validate_prometheus(bad)
+
+    def test_own_document_round_trips(self):
+        document = _document()
+        families = validate_prometheus(document)
+        assert set(families) == {"repro_http_requests_total",
+                                 "repro_queue_depth",
+                                 "repro_latency_seconds"}
+        assert families["repro_latency_seconds"].kind == "histogram"
+
+
+class TestMerge:
+    def _shard_document(self, shard: str, count: int) -> str:
+        registry = MetricRegistry()
+        registry.counter("repro_http_requests_total", "Requests.",
+                         ("route",)).labels("GET /metrics").inc(count)
+        registry.histogram("repro_latency_seconds", "Latency.",
+                           ("route",)).labels("GET /metrics").observe(0.01)
+        return render_prometheus(registry.collect(),
+                                 extra_labels={"shard": shard})
+
+    def test_merged_document_is_conformant_with_one_type_per_family(self):
+        merged = merge_prometheus([self._shard_document("s0", 2),
+                                   self._shard_document("s1", 5)])
+        families = validate_prometheus(merged)
+        assert merged.count("# TYPE repro_http_requests_total counter") == 1
+        shards = {labels["shard"] for _n, labels, _v in
+                  families["repro_http_requests_total"].samples}
+        assert shards == {"s0", "s1"}
+        # Both shards' histogram series survive, disambiguated by label.
+        count_series = [
+            (labels["shard"], value)
+            for name, labels, value in families["repro_latency_seconds"].samples
+            if name == "repro_latency_seconds_count"
+        ]
+        assert sorted(count_series) == [("s0", 1.0), ("s1", 1.0)]
+
+    def test_unparsable_shard_document_is_skipped(self):
+        merged = merge_prometheus([self._shard_document("s0", 1),
+                                   "total garbage {{{\n"])
+        families = validate_prometheus(merged)
+        assert {labels["shard"] for _n, labels, _v in
+                families["repro_http_requests_total"].samples} == {"s0"}

@@ -1,0 +1,83 @@
+"""Resource sampler: probes, gauge refresh, thread lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.instruments import PROCESS_CPU, PROCESS_RSS
+from repro.telemetry.registry import (
+    REGISTRY,
+    disable_telemetry,
+    enable_telemetry,
+    telemetry_enabled,
+)
+from repro.telemetry.resources import (
+    ResourceSampler,
+    resource_usage,
+    sample_resources,
+    start_resource_sampler,
+    stop_resource_sampler,
+)
+
+
+@pytest.fixture(autouse=True)
+def _enabled():
+    was_enabled = telemetry_enabled()
+    enable_telemetry()
+    yield
+    stop_resource_sampler()
+    if not was_enabled:
+        disable_telemetry()
+
+
+def test_resource_usage_reports_positive_cpu_and_rss():
+    cpu, peak_rss = resource_usage()
+    assert cpu > 0.0
+    assert peak_rss > 1024 * 1024  # a running interpreter is >1 MiB
+
+
+def test_sample_resources_refreshes_process_gauges():
+    sample_resources()
+    assert PROCESS_RSS.value > 0.0
+    assert PROCESS_CPU.value > 0.0
+
+
+def test_sample_resources_is_a_noop_when_disabled():
+    sample_resources()
+    cpu_before = PROCESS_CPU.value
+    disable_telemetry()
+    try:
+        for _ in range(50_000):
+            pass  # burn a little CPU so a live sample would move the total
+        sample_resources()
+    finally:
+        enable_telemetry()
+    assert PROCESS_CPU.value == cpu_before
+
+
+def test_registry_scrape_pulls_fresh_numbers_between_ticks():
+    # The "process_resources" collector keys every collect() to a fresh
+    # sample, so scrapes never depend on sampler timing.
+    assert REGISTRY.get_collector("process_resources") is sample_resources
+    REGISTRY.collect()
+    assert PROCESS_RSS.value > 0.0
+
+
+def test_sampler_singleton_and_idempotent_start():
+    first = start_resource_sampler(interval=60.0)
+    second = start_resource_sampler(interval=60.0)
+    assert first is second
+    thread_names = {thread.name for thread in threading.enumerate()}
+    assert "repro-telemetry-resources" in thread_names
+    stop_resource_sampler()
+    thread_names = {thread.name for thread in threading.enumerate()}
+    assert "repro-telemetry-resources" not in thread_names
+
+
+def test_sampler_start_stop_start_recovers():
+    sampler = ResourceSampler(interval=60.0)
+    sampler.start()
+    sampler.stop()
+    sampler.start()
+    assert sampler._thread is not None and sampler._thread.is_alive()
+    sampler.stop()

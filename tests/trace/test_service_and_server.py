@@ -176,3 +176,99 @@ class TestServerTracing:
             assert block["p50_ms"] <= block["p95_ms"] or block["count"] == 1
             # Non-cumulative buckets: every observation lands in exactly one.
             assert sum(block["histogram_ms"].values()) == block["count"]
+
+
+class TestTracePropagation:
+    """Client spans travel over ``X-Repro-Trace`` and stitch into the
+    server's trace via ``fields.remote_parent``."""
+
+    def test_client_requests_root_the_request_trees(self, tmp_path):
+        from repro.trace import build_spans, resolve_parent, trace_forest
+
+        path = str(tmp_path / "stitched.jsonl")
+        server = build_server(workers=2, trace=path).start_background()
+        try:
+            client = ReproClient(server.url, timeout=120.0)
+            # use_cache=False: a cache hit would skip the pipeline layer
+            # this test walks the stitched tree for.
+            client.compile_suite("teleport_n3", technique="direct",
+                                 use_cache=False, timeout=300)
+        finally:
+            server.stop(drain=True)
+
+        events = load_events(path)
+        validate_trace(events)  # remote stitching never bends local invariants
+        spans = build_spans(events)
+        roots, children = trace_forest(spans)
+        index = {(span.pid, span.span_id): span for span in spans}
+
+        # Every server-side request span hangs off the client span that
+        # sent it; only client.request spans root the forest.
+        requests = [span for span in spans if span.name == "http.request"]
+        assert requests
+        for span in requests:
+            parent = resolve_parent(span, index)
+            assert parent is not None and parent.name == "client.request"
+        assert {root.layer for root in roots} == {"client"}
+        # The compile request's tree reaches all the way into the workers.
+        compile_root = next(
+            root for root in roots
+            if str(root.fields.get("path", "")).endswith("/compile"))
+        layers = set()
+        stack = [compile_root]
+        while stack:
+            span = stack.pop()
+            layers.add(span.layer)
+            stack.extend(children.get((span.pid, span.span_id), ()))
+        assert {"client", "server", "service", "pipeline"} <= layers
+
+    def test_two_processes_stitch_into_one_validated_forest(self, tmp_path):
+        """Acceptance: a traced client compile against a *separate* server
+        process yields one stitched trace tree per request, and the pair
+        of files passes ``python -m repro.trace --validate``."""
+        import subprocess
+        import sys
+        import time as time_module
+
+        from repro.trace import build_spans, resolve_parent, start_tracing
+        from repro.trace.__main__ import main as trace_main
+
+        server_path = tmp_path / "server.jsonl"
+        client_path = tmp_path / "client.jsonl"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.server", "--port", "0",
+             "--workers", "1", "--trace", str(server_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "listening on " in banner, banner
+            url = banner.split("listening on ", 1)[1].split()[0]
+
+            start_tracing(str(client_path))
+            client = ReproClient(url, timeout=120.0)
+            client.compile_suite("teleport_n3", technique="direct",
+                                 timeout=300)
+            stop_tracing()
+        finally:
+            process.terminate()
+            process.wait(timeout=60)
+
+        deadline = time_module.time() + 10
+        while not server_path.exists() and time_module.time() < deadline:
+            time_module.sleep(0.05)
+
+        assert trace_main(["--validate", str(client_path),
+                           str(server_path)]) == 0
+
+        events = load_events([client_path, server_path])
+        spans = build_spans(events)
+        index = {(span.pid, span.span_id): span for span in spans}
+        assert len({span.pid for span in spans}) == 2
+        requests = [span for span in spans if span.name == "http.request"]
+        assert requests
+        for span in requests:
+            parent = resolve_parent(span, index)
+            assert parent is not None
+            assert parent.name == "client.request"
+            assert parent.pid != span.pid  # genuinely cross-process
