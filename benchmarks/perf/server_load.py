@@ -13,6 +13,13 @@ Usage (from the repository root)::
     python benchmarks/perf/server_load.py                     # 8 clients
     python benchmarks/perf/server_load.py --clients 16 --requests 8
     python benchmarks/perf/server_load.py --shards 2          # sharded
+    python benchmarks/perf/server_load.py --scaling           # 1 vs 2 shards
+
+``--scaling`` additionally compares req/s at 1 vs 2 shards over the
+replicated store backend and then *scales out* to 3 shards against the
+same store, counting warm cross-shard peer fetches.  Shard scaling is
+process-level parallelism — the recorded ``cpu_count`` says how much
+headroom the machine actually offered (a 1-core box can only timeshare).
 """
 
 from __future__ import annotations
@@ -61,7 +68,8 @@ def build_corpus() -> List[QuantumCircuit]:
     ]
 
 
-def boot_server(store: str, workers: int, shards: int) -> Tuple[subprocess.Popen, str]:
+def boot_server(store: str, workers: int, shards: int,
+                auth: str = None) -> Tuple[subprocess.Popen, str]:
     """Start ``python -m repro.server`` and wait for its banner line."""
     env = dict(os.environ)
     env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
@@ -69,6 +77,8 @@ def boot_server(store: str, workers: int, shards: int) -> Tuple[subprocess.Popen
                "--workers", str(workers), "--store", store]
     if shards > 1:
         command += ["--shards", str(shards)]
+    if auth:
+        command += ["--auth-keys", auth]
     process = subprocess.Popen(command, stdout=subprocess.PIPE,
                                stderr=subprocess.STDOUT, text=True, env=env)
     banner = process.stdout.readline()
@@ -176,6 +186,96 @@ def bench_server(clients: int, requests_per_client: int, workers: int,
     return report
 
 
+def scaling_corpus(total: int) -> List[QuantumCircuit]:
+    """One distinct circuit per request: every compile is real work."""
+    return [random_template_circuit(3, 12, seed=seed) for seed in range(total)]
+
+
+def run_unique_phase(url: str, clients: int, requests_per_client: int,
+                     circuits: List[QuantumCircuit],
+                     technique: str) -> Tuple[List[float], float]:
+    """Like :func:`run_phase` but every request compiles its own circuit."""
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(index: int) -> None:
+        client = ReproClient(url, timeout=300.0)
+        barrier.wait()
+        try:
+            for request in range(requests_per_client):
+                circuit = circuits[index * requests_per_client + request]
+                started = time.perf_counter()
+                client.compile(circuit, technique=technique, timeout=300)
+                latencies[index].append(time.perf_counter() - started)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return [value for per_client in latencies for value in per_client], wall
+
+
+def bench_scaling(clients: int, requests_per_client: int, workers: int,
+                  technique: str) -> Dict[str, object]:
+    """Shard scaling: req/s at 1 vs 2 shards, then a scale-out warm run.
+
+    Three deployments over the same distinct-circuit corpus:
+
+    1. one shard, its own store — the single-node baseline;
+    2. two shards, a fresh *replicated* store — the scaling claim;
+    3. three shards over the 2-shard run's store — rerouted fingerprints
+       land on shards that never compiled them, so the peer-fetch backend
+       serves them cross-shard (the ``cross_shard_l2_hits`` count).
+    """
+    circuits = scaling_corpus(clients * requests_per_client)
+    report: Dict[str, object] = {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "workers": workers,
+        "technique": technique,
+        "cpu_count": os.cpu_count(),
+    }
+    single_store = tempfile.mkdtemp(prefix="repro-scale-1-")
+    cluster_store = tempfile.mkdtemp(prefix="repro-scale-2-")
+    try:
+        runs = (
+            ("one_shard", 1, f"dir:{single_store}"),
+            ("two_shards", 2, f"replicated:{cluster_store}"),
+            # Scale-out: +1 shard over the SAME store; the modulo change
+            # reroutes most fingerprints away from the tier that holds
+            # them, forcing warm peer fetches.
+            ("scale_out_warm", 3, f"replicated:{cluster_store}"),
+        )
+        for name, shards, store in runs:
+            process, url = boot_server(store, workers, shards)
+            try:
+                latencies, wall = run_unique_phase(
+                    url, clients, requests_per_client, circuits, technique)
+                report[name] = phase_stats(latencies, wall)
+                if name == "scale_out_warm":
+                    stores = ReproClient(url).metrics().get("stores", {})
+                    report["cross_shard_l2_hits"] = int(
+                        stores.get("replicated", {}).get("peer_hits", 0))
+            finally:
+                stop_server(process)
+        one = report["one_shard"]["requests_per_second"]
+        two = report["two_shards"]["requests_per_second"]
+        report["two_shard_speedup"] = two / one if one > 0 else float("inf")
+    finally:
+        shutil.rmtree(single_store, ignore_errors=True)
+        shutil.rmtree(cluster_store, ignore_errors=True)
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--clients", type=int, default=8,
@@ -189,6 +289,14 @@ def main(argv=None) -> int:
     parser.add_argument("--technique", default="direct",
                         help="technique key every request compiles with "
                              "(default direct)")
+    parser.add_argument("--scaling", action="store_true",
+                        help="also run the 1-vs-2-shard scaling comparison "
+                             "and the 3-shard scale-out warm run (adds a "
+                             "'scaling' block to the 'server' key)")
+    parser.add_argument("--scaling-technique", default="sat_p",
+                        help="technique for the scaling runs (default "
+                             "sat_p: CPU-bound compiles measure shard "
+                             "scaling, not HTTP relay overhead)")
     parser.add_argument(
         "-o", "--output",
         default=os.path.join(_REPO_ROOT, "BENCH_perf.json"),
@@ -199,6 +307,10 @@ def main(argv=None) -> int:
 
     report = bench_server(args.clients, args.requests, args.workers,
                           args.shards, args.technique)
+    if args.scaling:
+        report["scaling"] = bench_scaling(args.clients, args.requests,
+                                          args.workers,
+                                          args.scaling_technique)
 
     existing: Dict[str, object] = {}
     if os.path.exists(args.output):
@@ -220,6 +332,15 @@ def main(argv=None) -> int:
               f"({stats['requests']} requests, {args.clients} clients)")
     print(f"  warm speedup {report['warm_speedup']:.2f}x, "
           f"{report['warm_l2_hits']} L2 hits after restart")
+    if args.scaling:
+        scaling = report["scaling"]
+        for name in ("one_shard", "two_shards", "scale_out_warm"):
+            stats = scaling[name]
+            print(f"  {name:<15} {stats['requests_per_second']:8.2f} req/s  "
+                  f"p50 {stats['p50_ms']:7.1f} ms")
+        print(f"  2-shard speedup {scaling['two_shard_speedup']:.2f}x "
+              f"({scaling['cpu_count']} cpu), "
+              f"{scaling['cross_shard_l2_hits']} cross-shard L2 hits")
     return 0
 
 

@@ -1,0 +1,102 @@
+"""Multi-node serving tour: auth, rate limits, event streams, peer fetch.
+
+Run with ``python examples/cluster_serving.py``.  Two gateways share one
+*replicated* store root (each with a private tier plus HTTP peer fetch),
+API keys gate every ``/v1`` route, and job lifecycles stream back over
+server-sent events — the same pieces ``python -m repro.server --shards N
+--store replicated:DIR --auth-keys keys.json`` wires up in production.
+"""
+
+import json
+import tempfile
+
+from repro.server import (
+    AuthenticationError,
+    RateLimitedError,
+    ReproClient,
+    build_server,
+)
+
+QASM = ('OPENQASM 2.0; include "qelib1.inc"; '
+        "qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];")
+
+KEYS = {"keys": [
+    {"key": "sk-demo", "name": "demo", "priority": 8,
+     "rate": 50, "burst": 100},
+    {"key": "sk-trial", "name": "trial", "priority": 1,
+     "rate": 1.0, "burst": 1},
+]}
+
+
+def main() -> None:
+    store_root = tempfile.mkdtemp(prefix="repro-cluster-")
+    auth = json.dumps(KEYS)
+
+    # One node first; a second joins later and warm-starts from its
+    # peer.  Static peer lists here — a ShardRouter publishes peers.json
+    # with live ports instead.
+    node_a = build_server(workers=2, job_prefix="s0-", auth=auth,
+                          store=f"replicated:{store_root}").start_background()
+    print(f"node A on {node_a.url}  (store {store_root}/s0)")
+
+    # /v1 routes demand a key; health stays open for probes.
+    try:
+        ReproClient(node_a.url, retries=0, api_key="").suite()
+    except AuthenticationError as error:
+        print(f"\nno key -> HTTP {error.status}: {error}")
+
+    # An authenticated compile, following the job over its SSE stream.
+    client_a = ReproClient(node_a.url, api_key="sk-demo")
+    job = client_a.submit(QASM, technique="sat_p",
+                          max_improvement_rounds=60)
+    print(f"\nsubmitted {job.job_id}; streaming events:")
+    for event, payload in job.stream(timeout=120):
+        print(f"  event: {event:<9} status={payload.get('status')}")
+    result = job.wait(timeout=60)
+    print(f"adapted: {result.cost.gate_count} gates, "
+          f"fidelity {result.cost.gate_fidelity_product:.4f}")
+
+    # Scale out: node B joins with its own (empty) store tier and node A
+    # as a peer.  Its first compile of the same circuit misses locally,
+    # peer-fetches node A's entry, adopts it, and returns warm.  (Both
+    # demo nodes share this process's L1 memory cache; real deployments
+    # run one process per node.  Clear it so node B has to go through
+    # its own store tier.)
+    from repro.api import clear_compilation_cache
+
+    node_b = build_server(
+        workers=2, job_prefix="s1-", auth=auth,
+        store=f"replicated:{store_root}?peers={node_a.url}",
+    ).start_background()
+    print(f"\nnode B joined on {node_b.url}  (store {store_root}/s1)")
+    clear_compilation_cache()
+    client_b = ReproClient(node_b.url, api_key="sk-demo")
+    warm = client_b.compile(QASM, technique="sat_p",
+                            max_improvement_rounds=60)
+    stats = client_b.metrics()["service"]["l2"]
+    print(f"node B served it via peer fetch: cost match "
+          f"{warm.cost == result.cost}, peer_hits={stats['peer_hits']}")
+
+    # The trial key's bucket holds one token: the second call is 429
+    # with a Retry-After hint (the client retries it automatically when
+    # retries are enabled).
+    trial = ReproClient(node_b.url, retries=0, api_key="sk-trial")
+    trial.suite()
+    try:
+        trial.suite()
+    except RateLimitedError as error:
+        print(f"\ntrial key throttled -> HTTP {error.status}, "
+              f"retry after {error.payload['retry_after']:.2f}s")
+
+    # Keyed decisions land on the auth metrics.
+    auth_metrics = client_a.metrics()["auth"]
+    print(f"\nauth on node A: enabled={auth_metrics['enabled']}, "
+          f"keys={auth_metrics['keys']}")
+
+    node_b.stop(drain=True)
+    node_a.stop(drain=True)
+    print("drained both nodes.")
+
+
+if __name__ == "__main__":
+    main()

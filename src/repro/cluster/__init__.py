@@ -1,0 +1,60 @@
+"""repro.cluster — multi-node serving building blocks.
+
+Four orthogonal pieces the HTTP layer composes into a cluster:
+
+* :mod:`repro.cluster.backends` — the pluggable persistent-store
+  surface (:class:`StoreBackend`), the HTTP peer-fetch
+  :class:`ReplicatedStoreBackend`, and the ``dir:``/``replicated:``
+  spec parser :func:`resolve_store_backend`.
+* :mod:`repro.cluster.auth` — API keys with token-bucket rate limits,
+  daily quotas and expiry (:class:`Authenticator`, :class:`ApiKey`).
+* :mod:`repro.cluster.events` — the job-event broker behind
+  ``GET /v1/jobs/{id}/events`` (:class:`JobEventBroker`).
+* :mod:`repro.cluster.shedding` — priority-aware admission control
+  tied to scheduler saturation (:class:`LoadShedder`).
+"""
+
+from repro.cluster.auth import (
+    ApiKey,
+    AuthError,
+    Authenticator,
+    ExpiredKeyError,
+    InvalidKeyError,
+    MissingKeyError,
+    QuotaExceededError,
+    RateLimitedError,
+    TokenBucket,
+    credential_from_headers,
+)
+from repro.cluster.backends import (
+    PEERS_FILE,
+    ReplicatedStoreBackend,
+    StoreBackend,
+    resolve_store_backend,
+    write_peers_file,
+)
+from repro.cluster.events import TERMINAL_EVENTS, JobEventBroker
+from repro.cluster.shedding import LoadShedder, ShedError, SheddingPolicy
+
+__all__ = [
+    "ApiKey",
+    "AuthError",
+    "Authenticator",
+    "ExpiredKeyError",
+    "InvalidKeyError",
+    "JobEventBroker",
+    "LoadShedder",
+    "MissingKeyError",
+    "PEERS_FILE",
+    "QuotaExceededError",
+    "RateLimitedError",
+    "ReplicatedStoreBackend",
+    "ShedError",
+    "SheddingPolicy",
+    "StoreBackend",
+    "TERMINAL_EVENTS",
+    "TokenBucket",
+    "credential_from_headers",
+    "resolve_store_backend",
+    "write_peers_file",
+]

@@ -1,0 +1,176 @@
+"""In-process job-event broker feeding server-sent event streams.
+
+The scheduler publishes lifecycle transitions through its listener hook
+(:meth:`repro.service.CompilationService.add_listener`); the broker
+fans them out to any number of concurrent subscribers per job, each of
+which is one ``GET /v1/jobs/{id}/events`` handler thread running
+:meth:`JobEventBroker.stream`.
+
+Design points:
+
+* **Replay-before-wait** — every channel keeps its full (bounded) event
+  history, and a subscriber first replays it.  This closes the race
+  where a job finishes between the submit response and the client
+  opening its stream: the terminal event is in history and the stream
+  ends immediately.
+* **Channel keys are opaque tuples** — the gateway uses
+  ``("svc", service_job_id)`` for technique jobs (so gateway jobs
+  coalesced onto one service job share a channel) and
+  ``("gw", gateway_job_id)`` for portfolio jobs it publishes itself.
+* **Heartbeats** — an idle wait yields a synthetic ``heartbeat`` event
+  at ``heartbeat_seconds`` intervals so proxies and clients can tell a
+  quiet stream from a dead one.
+* **Bounded memory** — terminal channels beyond ``max_channels`` are
+  evicted oldest-first; per-channel history is capped at
+  ``max_history`` events.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["JobEvent", "JobEventBroker", "TERMINAL_EVENTS"]
+
+#: Events that end a job's stream (and allow channel eviction).
+TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+
+#: A published event: (sequence, event name, payload dict).
+JobEvent = Tuple[int, str, Dict[str, object]]
+
+
+class _Channel:
+    """One job's event history and terminal flag (under the broker lock)."""
+
+    __slots__ = ("events", "terminal", "created")
+
+    def __init__(self, created: float) -> None:
+        self.events: List[JobEvent] = []
+        self.terminal = False
+        self.created = created
+
+
+class JobEventBroker:
+    """Publish/subscribe fan-out for job lifecycle events.
+
+    One global condition serializes publication and wakes every waiting
+    stream; streams filter by channel key themselves.  That favors
+    simplicity over per-channel wakeups — lifecycle events are rare
+    (a handful per job) next to the cost of a compile.
+    """
+
+    def __init__(self, max_channels: int = 4096,
+                 max_history: int = 256) -> None:
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._channels: "OrderedDict[tuple, _Channel]" = OrderedDict()
+        self._sequence = itertools.count(1)
+        self.max_channels = max_channels
+        self.max_history = max_history
+
+    # -- publishing ------------------------------------------------------
+    def publish(self, channel: tuple, event: str,
+                payload: Optional[Dict[str, object]] = None) -> None:
+        """Append ``event`` to ``channel`` and wake every subscriber."""
+        with self._wakeup:
+            entry = self._channels.get(channel)
+            if entry is None:
+                entry = _Channel(created=time.monotonic())
+                self._channels[channel] = entry
+                self._evict_terminal_locked()
+            if entry.terminal:
+                return  # Nothing may follow a terminal event.
+            if len(entry.events) >= self.max_history:
+                # Keep the tail: late events (including the terminal one)
+                # matter more than early queue churn.
+                del entry.events[0:len(entry.events) - self.max_history + 1]
+            entry.events.append(
+                (next(self._sequence), event, dict(payload or {})))
+            if event in TERMINAL_EVENTS:
+                entry.terminal = True
+            self._wakeup.notify_all()
+
+    def _evict_terminal_locked(self) -> None:
+        if len(self._channels) <= self.max_channels:
+            return
+        for key in [k for k, c in self._channels.items() if c.terminal]:
+            del self._channels[key]
+            if len(self._channels) <= self.max_channels:
+                return
+        # Still over budget: drop the oldest channels outright (bounded
+        # memory beats completeness for streams nobody is reading).
+        while len(self._channels) > self.max_channels:
+            self._channels.popitem(last=False)
+
+    # -- subscribing -----------------------------------------------------
+    def stream(
+        self,
+        channel: tuple,
+        heartbeat_seconds: float = 15.0,
+        poll_seconds: float = 1.0,
+        is_alive=None,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """Yield ``(event, payload)`` pairs for ``channel`` until terminal.
+
+        Replays history first, then waits for new events.  Idle gaps
+        yield ``("heartbeat", {...})`` every ``heartbeat_seconds``.
+        ``is_alive`` (a nullary callable) is polled between waits — the
+        SSE handler passes a connection probe so an abandoned stream
+        releases its thread within ``poll_seconds``.  ``timeout`` bounds
+        the whole stream (a final ``("timeout", ...)`` is yielded).
+        """
+        last_seen = 0
+        started = time.monotonic()
+        last_emit = started
+        while True:
+            batch: List[JobEvent] = []
+            terminal = False
+            with self._wakeup:
+                entry = self._channels.get(channel)
+                if entry is not None:
+                    batch = [e for e in entry.events if e[0] > last_seen]
+                    terminal = entry.terminal
+                if not batch and not terminal:
+                    self._wakeup.wait(poll_seconds)
+                    entry = self._channels.get(channel)
+                    if entry is not None:
+                        batch = [e for e in entry.events if e[0] > last_seen]
+                        terminal = entry.terminal
+            for sequence, event, payload in batch:
+                last_seen = sequence
+                last_emit = time.monotonic()
+                yield event, payload
+            if terminal:
+                return
+            now = time.monotonic()
+            if timeout is not None and now - started >= timeout:
+                yield "timeout", {"elapsed_seconds": now - started}
+                return
+            if is_alive is not None and not is_alive():
+                return
+            if now - last_emit >= heartbeat_seconds:
+                last_emit = now
+                yield "heartbeat", {"elapsed_seconds": now - started}
+
+    # -- introspection ---------------------------------------------------
+    def history(self, channel: tuple) -> List[Tuple[str, Dict[str, object]]]:
+        """The channel's recorded ``(event, payload)`` pairs so far."""
+        with self._lock:
+            entry = self._channels.get(channel)
+            if entry is None:
+                return []
+            return [(event, dict(payload))
+                    for _, event, payload in entry.events]
+
+    def channels(self) -> int:
+        with self._lock:
+            return len(self._channels)
+
+    def forget(self, channel: tuple) -> None:
+        """Drop a channel outright (gateway job eviction hook)."""
+        with self._lock:
+            self._channels.pop(channel, None)

@@ -22,6 +22,9 @@ Pieces:
   and typed :class:`ServerError` subclasses;
 * :class:`ShardRouter` — N server processes behind a fingerprint-hash
   router sharing one persistent result store;
+* :mod:`repro.cluster` — the multi-node building blocks the server
+  composes: pluggable/replicated store backends, API-key auth with
+  rate limits, the job-event broker and the load shedder;
 * ``python -m repro.server`` — the serving CLI;
 * ``benchmarks/perf/server_load.py`` — the load harness recording
   cold/warm requests-per-second and latency percentiles.
@@ -35,10 +38,13 @@ from repro.server.app import (
     build_server,
 )
 from repro.server.client import (
+    AuthenticationError,
     BadRequestError,
     CompilationFailedError,
     JobCancelledError,
     JobNotFoundError,
+    PermissionDeniedError,
+    RateLimitedError,
     RemoteJob,
     ReproClient,
     ServerError,
@@ -57,6 +63,9 @@ __all__ = [
     "RemoteJob",
     "ServerError",
     "BadRequestError",
+    "AuthenticationError",
+    "PermissionDeniedError",
+    "RateLimitedError",
     "JobNotFoundError",
     "JobCancelledError",
     "CompilationFailedError",

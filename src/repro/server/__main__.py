@@ -43,9 +43,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--shards", type=int, default=1,
                         help="worker *processes* behind the fingerprint-hash "
                              "router; 1 serves in-process (default 1)")
-    parser.add_argument("--store", default=None, metavar="DIR",
-                        help="persistent result store directory shared by "
-                             "every shard (created if missing)")
+    parser.add_argument("--store", default=None, metavar="SPEC",
+                        help="persistent result store: a directory path, "
+                             "'dir:PATH', or 'replicated:PATH?peers=...' for "
+                             "the peer-fetching multi-node backend (created "
+                             "if missing)")
+    parser.add_argument("--auth-keys", default=None, metavar="SPEC",
+                        help="API keys: a JSON file path or inline JSON "
+                             "({'keys': [{'key': ..., 'name': ..., 'rate': "
+                             "...}]}); unset serves anonymously (or from "
+                             "$REPRO_API_KEYS when exported)")
     parser.add_argument("--max-pending", type=int, default=256,
                         help="job-queue bound per shard before submissions "
                              "get 503 (default 256)")
@@ -93,6 +100,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             store=args.store,
             durations=args.target,
             max_pending=args.max_pending,
+            auth=args.auth_keys,
         )
         router.start()
         print(f"repro.server listening on {router.url} "
@@ -116,6 +124,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         store=args.store,
         durations=args.target,
         max_pending=args.max_pending,
+        auth=args.auth_keys,
     )
     print(f"repro.server listening on {server.url} "
           f"(workers={args.workers}"

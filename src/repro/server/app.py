@@ -12,6 +12,10 @@ dependencies beyond the standard library.  Resources:
 ``GET /v1/jobs/{id}/result``                adapted circuit (JSON + QASM),
                                             cost, contenders; long-polls
                                             with ``?timeout=SECONDS``
+``GET /v1/jobs/{id}/events``                server-sent event stream of the
+                                            job's lifecycle (the primary
+                                            result path; heartbeats keep
+                                            idle streams alive)
 ``DELETE /v1/jobs/{id}``                    cancel
 ``POST /v1/batch``                          submit a workload manifest
 ``GET /v1/suite``                           bundled-benchmark index
@@ -24,7 +28,17 @@ dependencies beyond the standard library.  Resources:
                                             (``?format=prometheus`` for
                                             text exposition)
 ``POST /internal/drain``                    quiesce hook (sharding router)
+``GET /internal/store/{digest}``            raw persistent-store entry
+                                            (peer replication; see
+                                            :mod:`repro.cluster.backends`)
 ==========================================  ===============================
+
+With API keys configured (``build_server(auth=...)`` or the
+``REPRO_API_KEYS`` environment variable) every ``/v1/*`` resource
+requires ``Authorization: Bearer <key>`` or ``X-API-Key``; rejected
+requests get 401/403/429 with ``Retry-After`` per
+:mod:`repro.cluster.auth`, and saturated submissions are shed by
+priority class per :mod:`repro.cluster.shedding`.
 
 Submissions carry the circuit either as OpenQASM 2.0 *source text*
 (never a server-side path — the gateway refuses path lookups from the
@@ -41,19 +55,26 @@ the worker pool winds down.
 from __future__ import annotations
 
 import json
+import math
 import re
+import select
+import socket
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
 from repro.api.registry import UnknownTechniqueError
 from repro.circuits.circuit import QuantumCircuit
+from repro.cluster.auth import AuthError, Authenticator, credential_from_headers
+from repro.cluster.backends import resolve_store_backend
+from repro.cluster.events import TERMINAL_EVENTS, JobEventBroker
+from repro.cluster.shedding import LoadShedder, ShedError, SheddingPolicy
 from repro.hardware import spin_qubit_target
 from repro.hardware.target import Target
 from repro.interop import QasmError, QasmExportError, circuit_to_qasm, qasm_to_circuit
@@ -65,8 +86,10 @@ from repro.service.scheduler import (
 )
 from repro.service.store import PersistentResultStore
 from repro.telemetry.instruments import (
+    EVENT_STREAMS_ACTIVE,
     HTTP_ERRORS,
     HTTP_LATENCY,
+    LONGPOLL_ACTIVE,
     SERVER_JOBS_TRACKED,
     SERVER_UPTIME,
     record_http_request,
@@ -111,6 +134,41 @@ DEADLINE_HEADER = "X-Repro-Deadline"
 
 #: Shape of a valid ``X-Repro-Trace`` value (``"pid:span"``).
 _REMOTE_PARENT_RE = re.compile(r"^\d+:\d+$")
+
+#: How often a waiting long-poll re-checks its client connection; an
+#: abandoned ``GET .../result`` frees its handler thread within this.
+LONGPOLL_POLL_SECONDS = 1.0
+
+#: Hard cap on one ``GET .../events`` stream; clients reconnect (the
+#: broker replays history, so nothing is lost across reconnects).
+MAX_EVENT_STREAM_SECONDS = 600.0
+
+#: Idle heartbeat interval on event streams.
+EVENT_HEARTBEAT_SECONDS = 15.0
+
+SSE_CONTENT_TYPE = "text/event-stream"
+
+
+def _percentile(values, fraction: float) -> float:
+    """Linear-interpolated percentile of a sample list.
+
+    Shared by the perf/chaos benchmark harnesses (which historically
+    imported it from here); ``fraction`` is in ``[0, 1]``.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+class _ClientGone(Exception):
+    """The request's client disconnected mid-wait; answer nobody."""
 
 
 class ApiError(Exception):
@@ -229,12 +287,30 @@ class CompilationGateway:
         durations: str = "D0",
         job_prefix: str = "",
         max_jobs: int = 10000,
+        auth: Optional[Authenticator] = None,
+        shedding: Union[LoadShedder, SheddingPolicy, bool, None] = True,
     ) -> None:
         self.service = service
         self.durations = durations
         self.job_prefix = job_prefix
         self.max_jobs = max_jobs
         self.metrics = RequestMetrics()
+        self.auth = auth if auth is not None else Authenticator()
+        if isinstance(shedding, LoadShedder):
+            self.shedder: Optional[LoadShedder] = shedding
+        elif isinstance(shedding, SheddingPolicy):
+            self.shedder = LoadShedder(service.saturation, shedding)
+        elif shedding:
+            self.shedder = LoadShedder(service.saturation)
+        else:
+            self.shedder = None
+        # Job-event streaming: the scheduler's lifecycle hook feeds the
+        # broker; SSE handlers subscribe per job.  Technique jobs use the
+        # service job id as the channel key, so coalesced gateway jobs
+        # share one channel; portfolio jobs are published by the gateway
+        # itself under their gateway id.
+        self.broker = JobEventBroker()
+        service.add_listener(self._on_service_event)
         # /metrics serves per-pipeline-pass histograms alongside the
         # per-route ones; the registry aggregates in-process regardless
         # of whether JSONL tracing is on.  enable_pass_metrics() turns on
@@ -254,6 +330,117 @@ class CompilationGateway:
             max_workers=max(4, service.workers),
             thread_name_prefix="repro-gateway-portfolio",
         )
+
+    # -- auth / admission ------------------------------------------------
+    def authorize(self, headers, shed: bool = False):
+        """Admit one request: authenticate, then (on submissions) shed.
+
+        Returns the matched :class:`repro.cluster.ApiKey` (``None`` when
+        auth is not configured).  Raises :class:`ApiError` with the
+        mapped status — 401/403/429 from auth, 503 from the shedder —
+        and ``retry_after`` so clients pace themselves.
+        """
+        try:
+            key = self.auth.authenticate(credential_from_headers(headers))
+        except AuthError as error:
+            extra: Dict[str, object] = {"key": error.key_name}
+            if error.status == 429:
+                extra["retry"] = True
+            raise ApiError(error.status, str(error),
+                           retry_after=error.retry_after, **extra) from None
+        # Shedding is *per-key* admission: anonymous deployments keep the
+        # plain ServiceSaturatedError contract (503, Retry-After 1) so a
+        # keyless gateway behaves exactly as before the cluster layer.
+        if shed and key is not None and self.shedder is not None:
+            try:
+                self.shedder.admit(key)
+            except ShedError as error:
+                raise ApiError(503, str(error), retry=True,
+                               retry_after=error.retry_after,
+                               shed=True) from None
+        return key
+
+    # -- job events ------------------------------------------------------
+    def _on_service_event(self, event: str, info: Dict[str, object]) -> None:
+        """Scheduler lifecycle hook -> broker channel per service job."""
+        self.broker.publish(("svc", info["job_id"]), event, info)
+
+    def _event_channel(self, job: _GatewayJob) -> tuple:
+        if job.handle is not None:
+            return ("svc", job.handle.job_id)
+        return ("gw", job.id)
+
+    def _publish_portfolio_event(self, job: _GatewayJob, event: str,
+                                 **extra: object) -> None:
+        self.broker.publish(("gw", job.id), event, {
+            "job_id": job.id, "event": event, "technique": job.label,
+            "status": job.status(), **extra,
+        })
+
+    def job_events(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        is_alive=None,
+    ) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """Handle ``GET /v1/jobs/{id}/events``: the job's event stream.
+
+        Yields ``(event, payload)`` pairs — history first, then live —
+        ending after the terminal event.  Payload job ids are rewritten
+        to the gateway id (the service's internal id stays visible as
+        ``service_job_id``).  A job that finished before its channel
+        existed (gateway restart, evicted channel) gets a synthesized
+        terminal event instead of a hung stream.
+        """
+        # Unknown-job lookup happens *here*, not inside the generator:
+        # the 404 must fire before the handler commits SSE headers.
+        job = self._job(job_id)
+        return self._job_event_iter(job, timeout, is_alive)
+
+    def _job_event_iter(self, job: _GatewayJob, timeout, is_alive):
+        channel = self._event_channel(job)
+        if job.done() and not any(
+                event in TERMINAL_EVENTS
+                for event, _ in self.broker.history(channel)):
+            status = job.status()
+            terminal = status if status in TERMINAL_EVENTS else "done"
+            yield terminal, {**self.job_summary(job), "event": terminal,
+                             "synthesized": True}
+            return
+        cap = MAX_EVENT_STREAM_SECONDS if timeout is None else max(
+            0.0, min(float(timeout), MAX_EVENT_STREAM_SECONDS))
+        for event, payload in self.broker.stream(
+                channel,
+                heartbeat_seconds=EVENT_HEARTBEAT_SECONDS,
+                poll_seconds=LONGPOLL_POLL_SECONDS,
+                is_alive=is_alive,
+                timeout=cap):
+            out = dict(payload)
+            if job.handle is not None and "job_id" in out:
+                out["service_job_id"] = out["job_id"]
+            out["job_id"] = job.id
+            out.setdefault("event", event)
+            yield event, out
+
+    # -- peer replication ------------------------------------------------
+    def store_entry(self, digest: str) -> str:
+        """Handle ``GET /internal/store/{digest}``: the raw entry document.
+
+        Serves only the *local* tier (``read_raw`` never peer-fetches),
+        so replication can never recurse through a ring of nodes.
+        """
+        store = self.service.store
+        if store is None:
+            from repro.api.cache import persistent_store
+
+            store = persistent_store()
+        reader = getattr(store, "read_raw", None)
+        if reader is None:
+            raise ApiError(404, "this server has no persistent store")
+        document = reader(digest)
+        if document is None:
+            raise ApiError(404, f"no store entry {digest!r}")
+        return document
 
     # -- decoding --------------------------------------------------------
     def parse_circuit(self, payload: Dict[str, object]) -> QuantumCircuit:
@@ -400,6 +587,13 @@ class CompilationGateway:
                 [str(key) for key in portfolio],
                 policy=policy, use_cache=use_cache, **options,
             )
+            # The service's lifecycle hook doesn't see portfolio races
+            # (they fan out to technique jobs internally), so the gateway
+            # publishes the portfolio job's own channel.
+            self._publish_portfolio_event(job, "queued")
+            job.future.add_done_callback(
+                lambda future, job=job: self._publish_portfolio_event(
+                    job, self._portfolio_terminal(future)))
         else:
             key = str(technique or "sat_p")
             try:
@@ -421,6 +615,12 @@ class CompilationGateway:
             job = self._new_job(name, "technique", handle.technique)
             job.handle = handle
         return self.job_summary(job)
+
+    @staticmethod
+    def _portfolio_terminal(future) -> str:
+        if future.cancelled():
+            return "cancelled"
+        return "failed" if future.exception() is not None else "done"
 
     def submit_batch(self, payload) -> Dict[str, object]:
         """Handle ``POST /v1/batch``: a workload manifest over the wire."""
@@ -513,30 +713,50 @@ class CompilationGateway:
                     summary["report"] = result.report.to_dict()
         return summary
 
-    def job_result(self, job_id: str,
-                   timeout: Optional[float]) -> Tuple[int, Dict[str, object]]:
+    def job_result(self, job_id: str, timeout: Optional[float],
+                   is_alive=None) -> Tuple[int, Dict[str, object]]:
         """Handle ``GET /v1/jobs/{id}/result`` with long-poll semantics.
 
         Returns ``(202, status stub)`` while the job is still pending
         after ``timeout`` seconds (capped server-side); 410 for cancelled
         jobs, 422 for failed compilations, 200 with the full payload on
         success.
+
+        The wait runs in short slices, probing ``is_alive`` between
+        them: an abandoned long-poll frees its handler thread within
+        :data:`LONGPOLL_POLL_SECONDS` instead of blocking out the full
+        timeout (the job itself keeps running).
         """
         job = self._job(job_id)
         wait = MAX_RESULT_WAIT_SECONDS if timeout is None else max(
             0.0, min(float(timeout), MAX_RESULT_WAIT_SECONDS))
+        deadline = time.monotonic() + wait
+        LONGPOLL_ACTIVE.inc()
         try:
-            result = job.wait(timeout=wait)
-        except (FutureTimeoutError, TimeoutError):
-            return 202, self.job_summary(job)
+            while True:
+                remaining = deadline - time.monotonic()
+                try:
+                    result = job.wait(
+                        timeout=min(LONGPOLL_POLL_SECONDS,
+                                    max(0.0, remaining)))
+                    break
+                except (FutureTimeoutError, TimeoutError):
+                    if remaining <= 0:
+                        return 202, self.job_summary(job)
+                    if is_alive is not None and not is_alive():
+                        raise _ClientGone() from None
         except CancelledError:
             raise ApiError(410, f"job {job_id} was cancelled",
                            job_id=job_id, job_status="cancelled") from None
+        except _ClientGone:
+            raise
         except Exception as error:  # noqa: BLE001 - surfaced to the client
             raise ApiError(
                 422, f"compilation failed: {type(error).__name__}: {error}",
                 job_id=job_id, job_status="failed",
             ) from None
+        finally:
+            LONGPOLL_ACTIVE.dec()
         payload = self.job_summary(job)
         payload["result"] = result.to_dict()
         payload["cost"] = result.cost.to_dict()
@@ -620,6 +840,14 @@ class CompilationGateway:
                 "job_prefix": self.job_prefix,
                 "jobs_tracked": len(self._jobs),
             },
+            "auth": {
+                "enabled": self.auth.enabled,
+                "keys": len(self.auth),
+                "enforce_limits": self.auth.enforce_limits,
+            },
+            "shedding": (self.shedder.snapshot()
+                         if self.shedder is not None else None),
+            "events": {"channels": self.broker.channels()},
             # service.statistics() is JSON-safe by contract (regression-
             # tested) and the local sections are plain numbers/strings,
             # so nothing needs a coercion pass here.
@@ -683,6 +911,7 @@ class CompilationGateway:
               timeout: Optional[float] = None) -> None:
         """Reject new work, optionally drain in-flight jobs, stop the pool."""
         self._closed = True
+        self.service.remove_listener(self._on_service_event)
         if REGISTRY.get_collector("gateway") == self._collect_telemetry:
             REGISTRY.unregister_collector("gateway")
         if drain:
@@ -703,6 +932,8 @@ _ROUTES: List[Tuple[str, "re.Pattern[str]", str, str]] = [
      "GET /v1/jobs/{id}"),
     ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[^/]+)/result$"), "result",
      "GET /v1/jobs/{id}/result"),
+    ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[^/]+)/events$"), "events",
+     "GET /v1/jobs/{id}/events"),
     ("DELETE", re.compile(r"^/v1/jobs/(?P<job_id>[^/]+)$"), "cancel",
      "DELETE /v1/jobs/{id}"),
     ("POST", re.compile(r"^/v1/batch$"), "batch", "POST /v1/batch"),
@@ -712,7 +943,17 @@ _ROUTES: List[Tuple[str, "re.Pattern[str]", str, str]] = [
     ("POST", re.compile(r"^/v1/circuits/validate$"), "validate",
      "POST /v1/circuits/validate"),
     ("POST", re.compile(r"^/internal/drain$"), "drain", "POST /internal/drain"),
+    ("GET", re.compile(r"^/internal/store/(?P<digest>[^/]+)$"), "store_entry",
+     "GET /internal/store/{digest}"),
 ]
+
+#: Actions that stay reachable without an API key even when auth is on:
+#: ops probes and node-internal endpoints (deployments firewall
+#: ``/internal/*`` and the metrics port; API keys protect ``/v1/*``).
+_AUTH_EXEMPT = frozenset({"healthz", "metrics", "drain", "store_entry"})
+
+#: Actions that enqueue new work and therefore pass the load shedder.
+_SHED_ACTIONS = frozenset({"submit", "batch", "suite_compile"})
 
 
 class _TextResponse:
@@ -723,6 +964,15 @@ class _TextResponse:
     def __init__(self, text: str, content_type: str) -> None:
         self.text = text
         self.content_type = content_type
+
+
+class _EventStream:
+    """A server-sent event response: an iterator of (event, payload)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterator[Tuple[str, Dict[str, object]]]) -> None:
+        self.events = events
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -765,6 +1015,22 @@ class _Handler(BaseHTTPRequestHandler):
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise ApiError(400, f"request body is not valid JSON: {error}") from None
+
+    def _connection_alive(self) -> bool:
+        """Probe whether the request's client socket is still open.
+
+        A waiting GET has nothing left to send, so readability here
+        means either EOF (client closed — ``recv`` peeks ``b""``) or
+        stray pipelined bytes (treated as alive; the next request will
+        deal with them).  Errors count as dead: the wait should end.
+        """
+        try:
+            readable, _, _ = select.select([self.connection], [], [], 0)
+            if not readable:
+                return True
+            return bool(self.connection.recv(1, socket.MSG_PEEK))
+        except (OSError, ValueError):
+            return False
 
     def _query_timeout(self, query: Dict[str, List[str]]) -> Optional[float]:
         values = query.get("timeout")
@@ -826,13 +1092,17 @@ class _Handler(BaseHTTPRequestHandler):
                                f"no such resource: {method} {parsed.path}")
             action, label, match = matched
             query = parse_qs(parsed.query)
+            if action not in _AUTH_EXEMPT:
+                self.gateway.authorize(self.headers,
+                                       shed=action in _SHED_ACTIONS)
             status, payload = self._handle(action, match, query)
         except ApiError as error:
             status, payload = error.status, error.payload
             retry_after = error.retry_after
-        except BrokenPipeError:
+        except (BrokenPipeError, _ClientGone):
             # Client went away mid-request; nothing to answer.
             tracer.end(request_token, route=label, status=0)
+            self.close_connection = True
             return
         except Exception as error:  # noqa: BLE001 - the server must answer
             status = 500
@@ -873,7 +1143,17 @@ class _Handler(BaseHTTPRequestHandler):
             return 200, gateway.job_status(match.group("job_id"))
         if action == "result":
             return gateway.job_result(match.group("job_id"),
-                                      self._query_timeout(query))
+                                      self._query_timeout(query),
+                                      is_alive=self._connection_alive)
+        if action == "events":
+            return 200, _EventStream(gateway.job_events(
+                match.group("job_id"),
+                timeout=self._query_timeout(query),
+                is_alive=self._connection_alive))
+        if action == "store_entry":
+            return 200, _TextResponse(
+                gateway.store_entry(match.group("digest")),
+                "application/json")
         if action == "cancel":
             return 200, gateway.cancel_job(match.group("job_id"))
         if action == "batch":
@@ -901,6 +1181,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, status: int, payload,
                  retry_after: Optional[float] = None) -> None:
+        if isinstance(payload, _EventStream):
+            self._respond_sse(payload.events)
+            return
         if isinstance(payload, _TextResponse):
             body = payload.text.encode("utf-8")
             content_type = payload.content_type
@@ -928,6 +1211,36 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
             pass  # Client went away; the job (if any) keeps running.
+
+    def _respond_sse(self, events) -> None:
+        """Write one server-sent event stream and close the connection.
+
+        No ``Content-Length`` — the stream's length is unknown — so the
+        connection cannot be kept alive afterwards.  Heartbeats go out
+        as SSE comment lines (``: heartbeat``); every frame is flushed
+        immediately so subscribers see events as they happen.
+        """
+        self.close_connection = True
+        EVENT_STREAMS_ACTIVE.inc()
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", SSE_CONTENT_TYPE)
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.flush()
+            for event, payload in events:
+                if event == "heartbeat":
+                    frame = f": heartbeat {payload.get('elapsed_seconds', 0):.0f}\n\n"
+                else:
+                    frame = (f"event: {event}\n"
+                             f"data: {json.dumps(payload)}\n\n")
+                self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # Subscriber went away; the job keeps running.
+        finally:
+            EVENT_STREAMS_ACTIVE.dec()
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -991,25 +1304,44 @@ def build_server(
     job_prefix: str = "",
     service: Optional[CompilationService] = None,
     trace: Optional[str] = None,
+    auth=None,
+    enforce_limits: bool = True,
+    shedding: Union[LoadShedder, SheddingPolicy, bool, None] = True,
 ) -> ReproServer:
     """Assemble service + gateway + HTTP server (not yet serving).
 
     ``port=0`` binds an OS-assigned free port (see ``server.port``).
     Pass an existing ``service`` to serve it directly; otherwise one is
-    created with ``workers``/``max_pending``/``store``.  ``trace``
-    enables structured JSONL event tracing into the given path for the
-    server's lifetime (see :mod:`repro.trace`).  Call
+    created with ``workers``/``max_pending``/``store`` (``store``
+    accepts a backend instance or a ``dir:``/``replicated:`` spec
+    string, see :func:`repro.cluster.resolve_store_backend`).
+
+    ``auth`` is an :class:`repro.cluster.Authenticator`, a key-config
+    dict/JSON/path, or ``None`` (falls back to ``$REPRO_API_KEYS``; with
+    nothing configured the server is open).  ``enforce_limits=False``
+    makes this gateway validate keys without charging rate limits — the
+    mode shards behind a charging router run in.  ``shedding`` tunes the
+    saturation-tied admission policy (``False`` disables it).
+
+    ``trace`` enables structured JSONL event tracing into the given path
+    for the server's lifetime (see :mod:`repro.trace`).  Call
     ``start_background()`` (tests, embedding) or ``serve_forever()``
     (CLI) on the returned server, and ``stop()`` to shut down draining.
     """
+    # A shard prefix ("s0-", "s0g2-" after a respawn) names the node in
+    # the cluster's peers file; generation suffixes are not identity.
+    shard_match = re.match(r"^(s\d+)", job_prefix)
+    node = shard_match.group(1) if shard_match else (job_prefix.rstrip("-") or None)
     if service is None:
         service = CompilationService(
-            workers=workers, max_pending=max_pending, store=store,
-            trace=trace)
+            workers=workers, max_pending=max_pending,
+            store=resolve_store_backend(store, node=node), trace=trace)
     elif trace is not None:
         from repro.trace.tracer import start_tracing
 
         start_tracing(trace)
+    authenticator = Authenticator.from_spec(auth, enforce_limits=enforce_limits)
     gateway = CompilationGateway(service, durations=durations,
-                                 job_prefix=job_prefix)
+                                 job_prefix=job_prefix,
+                                 auth=authenticator, shedding=shedding)
     return ReproServer((host, port), gateway)

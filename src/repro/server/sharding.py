@@ -50,6 +50,8 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro.api.fingerprints import payload_fingerprint
+from repro.cluster.auth import AuthError, Authenticator, credential_from_headers
+from repro.cluster.backends import _parse_spec, write_peers_file
 from repro.telemetry.prometheus import (
     CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
     merge_prometheus,
@@ -60,9 +62,20 @@ from repro.trace.tracer import TRACE_HEADER
 #: gateway's 60 s result long-poll cap.
 _FORWARD_TIMEOUT_SECONDS = 120.0
 
-#: End-to-end headers relayed to the shard: trace propagation and the
-#: compile-deadline hint.  Everything else stops at the router.
-_FORWARDED_HEADERS = (TRACE_HEADER, "X-Repro-Deadline")
+#: End-to-end headers relayed to the shard: trace propagation, the
+#: compile-deadline hint and the API credential (shards re-check key
+#: *validity*; the router already charged the rate limits).  Everything
+#: else stops at the router.
+_FORWARDED_HEADERS = (TRACE_HEADER, "X-Repro-Deadline", "Authorization",
+                      "X-API-Key")
+
+#: Event-stream resources are relayed incrementally, not buffered.
+_EVENTS_PATH = re.compile(r"^/v1/jobs/(?P<job_id>[^/]+)/events$")
+
+#: Per-backend store statistics summed across shards in /metrics.
+_STORE_SUMMED = ("total_bytes", "entries", "hits", "misses", "puts",
+                 "evictions", "corrupted", "peer_hits", "peer_misses",
+                 "peer_errors")
 
 #: Submission resources routed by body fingerprint (prefix match for the
 #: suite-compile resource).
@@ -97,6 +110,10 @@ def _shard_main(index: int, host: str, ready, config: Dict,
         durations=config["durations"],
         max_pending=config["max_pending"],
         job_prefix=job_prefix,
+        # The router is the charging edge; shards only re-check key
+        # validity so one request never pays its rate limit twice.
+        auth=config.get("auth"),
+        enforce_limits=False,
     )
     ready.put((index, server.port))
     try:
@@ -117,22 +134,36 @@ class ShardRouter:
         store: Optional[str] = None,
         durations: str = "D0",
         max_pending: int = 256,
+        auth=None,
     ) -> None:
         if shards < 1:
             raise ValueError("the router needs at least one shard")
         if store is not None and not isinstance(store, str):
             raise TypeError(
-                "the sharded store must be a directory path (each worker "
-                "process opens its own PersistentResultStore over it)"
+                "the sharded store must be a directory path or a "
+                "'dir:'/'replicated:' spec string (each worker process "
+                "opens its own store backend over it)"
             )
         self.shards = shards
         self.host = host
         self.store = store
+        # A replicated store spec makes each shard keep a *private*
+        # local tier under <root>/s<k> and peer-fetch misses over HTTP;
+        # the router publishes the peer map once every port is known.
+        self._store_root: Optional[str] = None
+        if store is not None:
+            scheme, root, _ = _parse_spec(store)
+            if scheme == "replicated":
+                self._store_root = root
+        # The router is the charging edge of the key set; the shards it
+        # spawns get the same keys in validity-only mode.
+        self._auth = Authenticator.from_spec(auth, enforce_limits=True)
         self._config = {
             "workers": workers,
             "store": store,
             "durations": durations,
             "max_pending": max_pending,
+            "auth": self._auth.key_config() if self._auth.enabled else None,
         }
         self._requested_port = port
         self._processes: Dict[int, multiprocessing.Process] = {}
@@ -184,6 +215,7 @@ class ShardRouter:
             except Exception:  # queue.Empty (multiprocessing re-exports it)
                 continue
             self._shard_ports[index] = port
+        self._publish_peers()
 
         router = self
         handler = type("_BoundRouterHandler", (_RouterHandler,),
@@ -236,7 +268,22 @@ class ShardRouter:
                 except Exception:  # queue.Empty
                     continue
                 self._shard_ports[announced] = port
+            self._publish_peers()
             return True
+
+    def _publish_peers(self) -> None:
+        """Refresh the replicated store's peer map (node -> base URL).
+
+        Shard ports are OS-assigned, so the peers file can only be
+        written once they are known — and must be rewritten whenever a
+        respawn moves one.  Backends re-read it on mtime change.
+        """
+        if self._store_root is None:
+            return
+        write_peers_file(self._store_root, {
+            f"s{index}": self.shard_url(index)
+            for index in sorted(self._shard_ports)
+        })
 
     def respawns(self) -> Dict[int, int]:
         """Per-shard respawn counts so far (a snapshot)."""
@@ -369,14 +416,40 @@ class ShardRouter:
             "retry_after": _SHARD_RETRY_AFTER_SECONDS,
         }).encode()
 
+    def authorize(self, headers) -> Optional[Tuple[int, bytes]]:
+        """Edge auth decision: ``None`` admits, else the rejection answer.
+
+        The router charges each request's rate limit and quota exactly
+        once here; the shard it forwards to re-checks only validity.
+        """
+        if not self._auth.enabled:
+            return None
+        credential = (credential_from_headers(headers)
+                      if headers is not None else None)
+        try:
+            self._auth.authenticate(credential)
+        except AuthError as error:
+            payload: Dict[str, object] = {"error": str(error),
+                                          "key": error.key_name}
+            if error.retry_after is not None:
+                payload["retry_after"] = error.retry_after
+            if error.status == 429:
+                payload["retry"] = True
+            return error.status, json.dumps(payload).encode()
+        return None
+
     def route(self, method: str, path: str, query: str, body: bytes,
               headers=None) -> Tuple[int, bytes, str]:
         """Route one request; returns ``(status, body bytes, content type)``.
 
         ``headers`` (a mapping, e.g. the handler's message object) feeds
-        the end-to-end relay: trace propagation and deadline headers
-        travel to the shard, everything else stops here.
+        the end-to-end relay: trace propagation, deadline and credential
+        headers travel to the shard, everything else stops here.
         """
+        if path.startswith("/v1/"):
+            rejected = self.authorize(headers)
+            if rejected is not None:
+                return rejected[0], rejected[1], "application/json"
         if path == "/metrics" and "format=prometheus" in (query or ""):
             status, answer = self._aggregate_prometheus()
             return status, answer, PROMETHEUS_CONTENT_TYPE
@@ -489,6 +562,7 @@ class ShardRouter:
             }
         else:
             totals: Dict[str, float] = {}
+            stores: Dict[str, Dict[str, float]] = {}
             for document in documents.values():
                 service = document.get("service") if isinstance(document, dict) else None
                 if not isinstance(service, dict):
@@ -497,9 +571,23 @@ class ShardRouter:
                     value = service.get(counter)
                     if isinstance(value, (int, float)):
                         totals[counter] = totals.get(counter, 0) + value
+                # Per-backend store statistics: shards sharing one
+                # local-dir double-report the same bytes, but replicated
+                # backends own private tiers, so the per-backend sums
+                # (and peer hit/miss counters) are the cluster truth.
+                l2 = service.get("l2")
+                if isinstance(l2, dict):
+                    backend = str(l2.get("backend", "local_dir"))
+                    bucket = stores.setdefault(backend, {"shards": 0})
+                    bucket["shards"] += 1
+                    for field in _STORE_SUMMED:
+                        value = l2.get(field)
+                        if isinstance(value, (int, float)):
+                            bucket[field] = bucket.get(field, 0) + value
             merged = {
                 "shards": self.shards,
                 "aggregate": totals,
+                "stores": stores,
                 "per_shard": documents,
             }
         return status, json.dumps(merged).encode()
@@ -525,6 +613,12 @@ class _RouterHandler(BaseHTTPRequestHandler):
 
     def _relay(self, method: str) -> None:
         parsed = urlparse(self.path)
+        if method == "GET" and _EVENTS_PATH.match(parsed.path):
+            # Event streams must flow through incrementally — buffering
+            # the whole response would hold every event until the job
+            # ended and defeat the stream.
+            self._relay_stream(parsed)
+            return
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
@@ -552,7 +646,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
             answer = json.dumps(
                 {"error": f"{type(error).__name__}: {error}"}).encode()
         retry_after: Optional[float] = None
-        if status == 503:
+        if status in (429, 503):
             try:
                 retry_after = float(json.loads(answer).get("retry_after"))
             except (TypeError, ValueError):
@@ -568,3 +662,88 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self.wfile.write(answer)
         except (BrokenPipeError, ConnectionResetError):
             pass
+
+    def _send_buffered(self, status: int, answer: bytes,
+                       retry_after: Optional[float] = None) -> None:
+        """One JSON answer on the streaming path (errors before commit)."""
+        self.close_connection = True
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(answer)))
+            if retry_after is not None:
+                self.send_header("Retry-After",
+                                 str(max(1, int(-(-retry_after // 1)))))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(answer)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _relay_stream(self, parsed) -> None:
+        """Relay ``GET /v1/jobs/{id}/events`` chunk-by-chunk.
+
+        Edge auth applies exactly as on buffered routes; the shard's
+        SSE bytes are then copied through as they arrive (``read1``
+        returns whatever the socket has) with a flush per chunk.
+        """
+        router = self.router
+        rejected = router.authorize(self.headers)
+        if rejected is not None:
+            status, answer = rejected
+            retry_after = None
+            try:
+                retry_after = float(json.loads(answer).get("retry_after"))
+            except (TypeError, ValueError):
+                pass
+            self._send_buffered(status, answer, retry_after)
+            return
+        job_id = _EVENTS_PATH.match(parsed.path).group("job_id")
+        index = router.shard_for_job(job_id)
+        if index is None:
+            self._send_buffered(404, json.dumps(
+                {"error": f"unknown job {job_id!r}"}).encode())
+            return
+        if index not in router._shard_ports:
+            status, answer = router._shard_down_answer(
+                f"shard {index} is restarting; job {job_id!r} events are "
+                "unavailable")
+            self._send_buffered(status, answer,
+                                _SHARD_RETRY_AFTER_SECONDS)
+            return
+        target = parsed.path if not parsed.query else \
+            f"{parsed.path}?{parsed.query}"
+        request = urllib.request.Request(
+            router.shard_url(index) + target,
+            headers=router._relayed_headers(self.headers))
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=_FORWARD_TIMEOUT_SECONDS)
+        except urllib.error.HTTPError as error:
+            self._send_buffered(error.code, error.read())
+            return
+        except OSError:
+            status, answer = router._shard_down_answer(
+                f"shard {index} is unreachable")
+            self._send_buffered(status, answer, _SHARD_RETRY_AFTER_SECONDS)
+            return
+        self.close_connection = True
+        try:
+            with response:
+                self.send_response(response.status)
+                self.send_header(
+                    "Content-Type",
+                    response.headers.get("Content-Type",
+                                         "text/event-stream"))
+                self.send_header("Cache-Control", "no-store")
+                self.send_header("Connection", "close")
+                self.end_headers()
+                self.wfile.flush()
+                while True:
+                    chunk = response.read1(8192)
+                    if not chunk:
+                        break
+                    self.wfile.write(chunk)
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # Either side went away; the job keeps running.

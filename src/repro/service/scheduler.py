@@ -64,6 +64,7 @@ from repro.telemetry.instruments import (
     STORE_BYTES,
     STORE_EVENTS,
     WORKER_UTILIZATION,
+    record_job_event,
     record_scheduler_saturation,
 )
 from repro.telemetry.registry import REGISTRY, telemetry_enabled
@@ -359,6 +360,7 @@ class CompilationService:
             "degraded": 0,
         }
         self._portfolio_wins: Dict[str, int] = {}
+        self._listeners: List[Callable[[str, Dict[str, object]], None]] = []
 
         self._owns_tracer = False
         if trace is not None:
@@ -366,7 +368,13 @@ class CompilationService:
             self._owns_tracer = True
 
         if isinstance(store, str):
-            store = PersistentResultStore(store)
+            # Lazy import: the cluster package sits above the service
+            # layer; resolving here keeps spec strings ("dir:...",
+            # "replicated:...?peers=...") usable everywhere a store
+            # argument is, without a module-level upward import.
+            from repro.cluster.backends import resolve_store_backend
+
+            store = resolve_store_backend(store)
         self.store = store
         self._installed_store = False
         if store is not None and persistent_store() is not store:
@@ -388,6 +396,70 @@ class CompilationService:
         # lifecycle counters, utilization, store bytes/evictions.  Keyed
         # "service" so a newer service instance replaces, never stacks.
         REGISTRY.register_collector("service", self._collect_telemetry)
+
+    # -- lifecycle listeners ---------------------------------------------
+    def add_listener(
+        self, listener: Callable[[str, Dict[str, object]], None]
+    ) -> None:
+        """Subscribe to job lifecycle events.
+
+        ``listener(event, info)`` fires at every transition — ``queued``,
+        ``dedup``, ``running``, ``done``, ``failed``, ``cancelled``,
+        ``interrupted`` — with ``info`` carrying at least ``job_id``,
+        ``status``, ``technique`` and ``waiters``.  Listeners run on the
+        transitioning thread, *outside* the service lock: they may call
+        back into the service, but must return quickly (the event broker
+        hands off to its own condition variable for exactly this reason).
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(
+        self, listener: Callable[[str, Dict[str, object]], None]
+    ) -> None:
+        """Unsubscribe a listener; unknown listeners are ignored."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify(self, job: _Job, event: str, **extra: object) -> None:
+        """Fan one lifecycle event out to listeners (never under the lock).
+
+        A listener that raises is dropped from the fan-out for this event
+        only; event delivery must never take down a worker thread.
+        """
+        with self._lock:
+            listeners = list(self._listeners)
+        if not listeners:
+            return
+        record_job_event(event)
+        info: Dict[str, object] = {
+            "job_id": job.job_id,
+            "event": event,
+            "status": job.status.value,
+            "technique": job.technique,
+            "waiters": job.waiters,
+        }
+        info.update(extra)
+        for listener in listeners:
+            try:
+                listener(event, info)
+            except Exception:  # noqa: BLE001 - listeners must not kill workers
+                pass
+
+    def saturation(self) -> float:
+        """Admission pressure in ``[0, 1]``: pending work over capacity.
+
+        Pending counts queued plus running jobs (the queue's own
+        accounting); capacity is the queue bound plus the worker count.
+        The load shedder reads this to decide which keys to admit.
+        """
+        capacity = self._queue.maxsize + self.workers
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self._queue.unfinished_tasks / capacity)
 
     # -- submission ------------------------------------------------------
     def submit(
@@ -434,6 +506,7 @@ class CompilationService:
 
         tracer = current_tracer()
         front = Future()
+        dedup_of: Optional[_Job] = None
         with self._lock:
             self._counters["submitted"] += 1
             if key is not None:
@@ -444,27 +517,30 @@ class CompilationService:
                 if running is not None and not running.future.done():
                     running.fronts.append(front)
                     self._counters["deduplicated"] += 1
-                    tracer.event("job.dedup", "service",
-                                 job_id=running.job_id, technique=spec.key,
-                                 waiters=running.waiters)
-                    return JobHandle(self, running, front)
-            self._next_id += 1
-            job = _Job(
-                job_id=self._next_id,
-                key=key,
-                circuit=circuit,
-                target=target,
-                technique=spec.key,
-                use_cache=use_cache,
-                options=effective,
-                trace_context=capture_context(),
-                timeout=timeout,
-                budget=budget,
-            )
-            job.fronts.append(front)
-            self._jobs[job.job_id] = job
-            if key is not None:
-                self._inflight[key] = job
+                    dedup_of = running
+            if dedup_of is None:
+                self._next_id += 1
+                job = _Job(
+                    job_id=self._next_id,
+                    key=key,
+                    circuit=circuit,
+                    target=target,
+                    technique=spec.key,
+                    use_cache=use_cache,
+                    options=effective,
+                    trace_context=capture_context(),
+                    timeout=timeout,
+                    budget=budget,
+                )
+                job.fronts.append(front)
+                self._jobs[job.job_id] = job
+                if key is not None:
+                    self._inflight[key] = job
+        if dedup_of is not None:
+            tracer.event("job.dedup", "service", job_id=dedup_of.job_id,
+                         technique=spec.key, waiters=dedup_of.waiters)
+            self._notify(dedup_of, "dedup")
+            return JobHandle(self, dedup_of, front)
         tracer.event("job.submit", "service", job_id=job.job_id,
                      technique=spec.key, circuit=circuit.name)
         try:
@@ -485,13 +561,16 @@ class CompilationService:
                 # rather than cancelled out from under the other caller.
                 self._queue.put(job)
                 self._observe_saturation()
+                self._notify(job, "queued")
                 return JobHandle(self, job, front)
             job.future.cancel()
             front.cancel()
+            self._notify(job, "cancelled", reason="queue_full")
             raise ServiceSaturatedError(
                 f"job queue is full ({self._queue.maxsize} pending)"
             ) from None
         self._observe_saturation()
+        self._notify(job, "queued")
         # Close the submit/shutdown race: if shutdown() ran while the put
         # was in flight, this job may sit behind the worker sentinels and
         # would never resolve.  If so (the cancel succeeds only when no
@@ -504,6 +583,7 @@ class CompilationService:
                 self._inflight.pop(key, None)
                 self._jobs.pop(job.job_id, None)
             front.cancel()
+            self._notify(job, "cancelled", reason="shutdown")
             raise RuntimeError(
                 "CompilationService was shut down while the job was being "
                 "submitted"
@@ -578,6 +658,7 @@ class CompilationService:
                 current_tracer().event("job.cancel", "service",
                                        job_id=job.job_id,
                                        technique=job.technique)
+                self._notify(job, "cancelled")
             elif not job.future.done():
                 # Already running: raise the budget's cancel flag; the
                 # worker observes it at the next checkpoint, unwinds with
@@ -586,6 +667,7 @@ class CompilationService:
                 current_tracer().event("job.interrupt", "service",
                                        job_id=job.job_id,
                                        technique=job.technique)
+                self._notify(job, "interrupted")
         return True
 
     # -- worker loop -----------------------------------------------------
@@ -607,6 +689,7 @@ class CompilationService:
             job.status = JobStatus.RUNNING
             self._busy_workers += 1
             self._observe_saturation()
+        self._notify(job, "running")
         started = time.monotonic()
         job.started_wall = time.time()
         job.started_mono = started
@@ -659,6 +742,8 @@ class CompilationService:
             for front in fronts:
                 if front.set_running_or_notify_cancel():
                     front.set_exception(error)
+            self._notify(job, "cancelled" if cancelled else "failed",
+                         error=type(error).__name__)
         else:
             report = getattr(result, "report", None)
             with self._lock:
@@ -672,6 +757,7 @@ class CompilationService:
             for front in fronts:
                 if front.set_running_or_notify_cancel():
                     front.set_result(result)
+            self._notify(job, "done")
 
     def _run_in_pool(self, job: _Job, tracer) -> object:
         """Dispatch one job to the process pool, surviving worker death.
@@ -799,10 +885,11 @@ class CompilationService:
         store = self.store if self.store is not None else persistent_store()
         if store is not None:
             info = store.info()
-            STORE_BYTES.set(info.total_bytes)
-            STORE_EVENTS.labels("puts").set_total(info.puts)
-            STORE_EVENTS.labels("evictions").set_total(info.evictions)
-            STORE_EVENTS.labels("corruptions").set_total(info.corrupted)
+            backend = getattr(store, "backend", "local_dir")
+            STORE_BYTES.labels(backend).set(info.total_bytes)
+            STORE_EVENTS.labels(backend, "puts").set_total(info.puts)
+            STORE_EVENTS.labels(backend, "evictions").set_total(info.evictions)
+            STORE_EVENTS.labels(backend, "corruptions").set_total(info.corrupted)
 
     # -- portfolio -------------------------------------------------------
     def compile_portfolio(
@@ -867,8 +954,14 @@ class CompilationService:
         if store is not None:
             info = store.info()
             lookups = info.hits + info.misses
-            stats["l2"] = info.as_dict()
+            # Backends report richer statistics() (backend label, peer
+            # counters); fall back to bare StoreInfo for minimal stores.
+            if hasattr(store, "statistics"):
+                stats["l2"] = store.statistics()
+            else:
+                stats["l2"] = info.as_dict()
             stats["l2_hit_rate"] = info.hits / lookups if lookups else 0.0
+        stats["saturation"] = self.saturation()
         return _json_safe(stats)
 
     def drain(self, timeout: Optional[float] = None) -> bool:

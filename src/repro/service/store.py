@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 import threading
 import time
@@ -61,6 +62,10 @@ _TMP_GRACE_SECONDS = 60.0
 
 #: Sidecar directory (under the store root) corrupt entries are moved to.
 QUARANTINE_DIR = ".corrupt"
+
+#: Shape of a valid entry digest (sha256 hex); raw-entry access validates
+#: it so a peer request can never escape the store root.
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
 
 
 @dataclass
@@ -94,7 +99,17 @@ def _entry_digest(key: CacheKey) -> str:
 
 
 class PersistentResultStore:
-    """Sharded on-disk result store keyed by compilation fingerprints."""
+    """Sharded on-disk result store keyed by compilation fingerprints.
+
+    This is the **local-dir backend** of the pluggable store-backend
+    interface (see :mod:`repro.cluster.backends`): any object with the
+    same ``get``/``put``/``read_raw``/``write_raw``/``info``/
+    ``statistics`` surface can be installed behind :func:`repro.compile`
+    or a :class:`repro.service.CompilationService`.
+    """
+
+    #: Backend label carried on statistics and telemetry samples.
+    backend = "local_dir"
 
     def __init__(self, root: str, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
         self.root = os.path.abspath(root)
@@ -219,6 +234,74 @@ class PersistentResultStore:
         if over_budget:
             self._evict_to_budget()
 
+    # -- raw entry access (the peer-replication wire format) -------------
+    def read_raw(self, digest: str) -> Optional[str]:
+        """The stored entry document for ``digest``, verbatim, or ``None``.
+
+        This is the peer-fetch serving path (``GET /internal/store/...``):
+        the exact on-disk JSON text travels to the requesting node, which
+        validates it before adopting it.  Reads do not touch the hit/miss
+        counters — serving a peer is not a local cache lookup.
+        """
+        if not _DIGEST_RE.match(digest):
+            return None
+        try:
+            with open(self._path_of(digest), "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def write_raw(self, digest: str, document: str) -> bool:
+        """Adopt a peer-fetched entry document; ``True`` when stored.
+
+        The document must parse as a store entry (``format``/``result``
+        keys) — a corrupt or truncated peer response is rejected here
+        rather than quarantined later.  Writes are atomic exactly like
+        :meth:`put` and count toward the size budget.
+        """
+        if not _DIGEST_RE.match(digest):
+            return False
+        try:
+            payload = json.loads(document)
+        except ValueError:
+            return False
+        if not isinstance(payload, dict) or "result" not in payload:
+            return False
+        if payload.get("format") != STORE_FORMAT:
+            return False
+        shard = self._shard_of(digest)
+        shard_dir = os.path.join(self.root, shard)
+        path = self._path_of(digest)
+        with self._shard_lock(shard):
+            os.makedirs(shard_dir, exist_ok=True)
+            try:
+                replaced = os.stat(path).st_size
+            except OSError:
+                replaced = 0
+            descriptor, tmp_path = tempfile.mkstemp(
+                prefix=digest + ".", suffix=".tmp", dir=shard_dir
+            )
+            try:
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    handle.write(document)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        with self._counters_lock:
+            self._puts += 1
+            self._total_bytes += len(document.encode("utf-8")) - replaced
+            over_budget = (
+                self.max_bytes is not None
+                and 0 <= self.max_bytes < self._total_bytes
+            )
+        if over_budget:
+            self._evict_to_budget()
+        return True
+
     # -- maintenance -----------------------------------------------------
     def _quarantine(self, digest: str, path: str) -> int:
         """Move a corrupt entry into ``.corrupt/``; returns its byte size."""
@@ -332,9 +415,11 @@ class PersistentResultStore:
                 total_bytes=sum(size for _, size, _ in entries),
             )
 
-    def statistics(self) -> Dict[str, int]:
+    def statistics(self) -> Dict[str, object]:
         """The :meth:`info` counters as a plain dict (for stats dumps)."""
-        return self.info().as_dict()
+        stats: Dict[str, object] = dict(self.info().as_dict())
+        stats["backend"] = self.backend
+        return stats
 
     def _count(self, hits: int = 0, misses: int = 0, puts: int = 0,
                evictions: int = 0) -> None:

@@ -14,13 +14,17 @@ from __future__ import annotations
 from repro.telemetry.registry import REGISTRY, telemetry_enabled
 
 __all__ = [
+    "record_auth",
     "record_cache",
     "record_compile",
     "record_http_request",
+    "record_job_event",
     "record_omt_rounds",
     "record_pass",
+    "record_peer_fetch",
     "record_sat_progress",
     "record_scheduler_saturation",
+    "record_shed",
     "record_theory",
 ]
 
@@ -91,12 +95,46 @@ CACHE_REQUESTS = REGISTRY.counter(
 )
 STORE_BYTES = REGISTRY.gauge(
     "repro_store_bytes",
-    "Bytes currently held by the persistent result store.",
+    "Bytes currently held by the persistent result store, by backend.",
+    ("backend",),
 )
 STORE_EVENTS = REGISTRY.counter(
     "repro_store_events_total",
-    "Persistent-store lifecycle events (puts, evictions, corruptions).",
+    "Persistent-store lifecycle events, by backend (puts, evictions, "
+    "corruptions).",
+    ("backend", "event"),
+)
+STORE_PEER_FETCHES = REGISTRY.counter(
+    "repro_store_peer_fetches_total",
+    "Replicated-backend peer fetch attempts, by backend and outcome.",
+    ("backend", "outcome"),
+)
+
+# -- cluster: auth / admission ---------------------------------------------
+
+AUTH_REQUESTS = REGISTRY.counter(
+    "repro_auth_requests_total",
+    "Authentication decisions, by key name and outcome "
+    "(ok, missing, invalid, expired, throttled, quota).",
+    ("key", "outcome"),
+)
+SHED_REQUESTS = REGISTRY.counter(
+    "repro_shed_requests_total",
+    "Submissions refused by the load shedder, by key name.",
+    ("key",),
+)
+JOB_EVENTS_PUBLISHED = REGISTRY.counter(
+    "repro_job_events_total",
+    "Job lifecycle events published to streaming subscribers, by event.",
     ("event",),
+)
+EVENT_STREAMS_ACTIVE = REGISTRY.gauge(
+    "repro_event_streams_active",
+    "Server-sent event streams currently open.",
+)
+LONGPOLL_ACTIVE = REGISTRY.gauge(
+    "repro_longpoll_active",
+    "Long-poll result waits currently holding a handler thread.",
 )
 
 # -- solvers ---------------------------------------------------------------
@@ -222,3 +260,31 @@ def record_omt_rounds(rounds: int) -> None:
         return
     if rounds:
         SOLVER_EVENTS.labels("omt_rounds").inc(rounds)
+
+
+def record_auth(key: str, outcome: str) -> None:
+    """One authentication decision for a (possibly anonymous) key."""
+    if not telemetry_enabled():
+        return
+    AUTH_REQUESTS.labels(key, outcome).inc()
+
+
+def record_shed(key: str) -> None:
+    """One submission refused by the load shedder."""
+    if not telemetry_enabled():
+        return
+    SHED_REQUESTS.labels(key).inc()
+
+
+def record_peer_fetch(backend: str, outcome: str) -> None:
+    """One peer fetch attempt: ``outcome`` in {hit, miss, error}."""
+    if not telemetry_enabled():
+        return
+    STORE_PEER_FETCHES.labels(backend, outcome).inc()
+
+
+def record_job_event(event: str) -> None:
+    """One job lifecycle event published to the streaming broker."""
+    if not telemetry_enabled():
+        return
+    JOB_EVENTS_PUBLISHED.labels(event).inc()

@@ -1,0 +1,190 @@
+"""API keys: parsing, token buckets, quotas, expiry, the authenticator."""
+
+import json
+import time
+
+import pytest
+
+from repro.cluster.auth import (
+    ApiKey,
+    Authenticator,
+    ExpiredKeyError,
+    InvalidKeyError,
+    MissingKeyError,
+    QuotaExceededError,
+    RateLimitedError,
+    TokenBucket,
+    credential_from_headers,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        now = 1000.0
+        assert bucket.take(now) is None
+        assert bucket.take(now) is None
+        assert bucket.take(now) is None
+        wait = bucket.take(now)
+        assert wait is not None and wait > 0
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        now = 1000.0
+        assert bucket.take(now) is None
+        assert bucket.take(now) is not None
+        # 0.5 s at 2 tokens/s refills the one token we need.
+        assert bucket.take(now + 0.5) is None
+
+    def test_wait_hint_is_exact(self):
+        bucket = TokenBucket(rate=4.0, burst=1.0)
+        now = 1000.0
+        bucket.take(now)
+        wait = bucket.take(now)
+        assert wait == pytest.approx(0.25)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+
+
+class TestApiKey:
+    def test_from_dict_defaults(self):
+        key = ApiKey.from_dict({"key": "sk-x", "name": "x"})
+        assert key.priority == 5
+        assert key.rate == 10.0
+        assert key.burst == 20.0  # 2 * rate
+        assert key.daily_quota is None
+        assert not key.expired()
+
+    def test_from_dict_requires_secret(self):
+        with pytest.raises(ValueError):
+            ApiKey.from_dict({"name": "nameless"})
+
+    def test_priority_is_clamped(self):
+        assert ApiKey.from_dict({"key": "a", "priority": 99}).priority == 9
+        assert ApiKey.from_dict({"key": "b", "priority": -3}).priority == 0
+
+    def test_iso_expiry_covers_the_whole_day(self):
+        key = ApiKey.from_dict({"key": "a", "expires": "2020-01-01"})
+        assert key.expired()  # Long past.
+        future = ApiKey.from_dict({"key": "b", "expires": "2099-01-01"})
+        assert not future.expired()
+
+    def test_unix_expiry(self):
+        key = ApiKey.from_dict({"key": "a", "expires": time.time() - 1})
+        assert key.expired()
+
+    def test_bad_expiry_raises(self):
+        with pytest.raises(ValueError):
+            ApiKey.from_dict({"key": "a", "expires": "next tuesday"})
+
+    def test_charge_throttles_after_burst(self):
+        key = ApiKey(secret="s", name="n", rate=0.001, burst=2)
+        key.charge()
+        key.charge()
+        with pytest.raises(RateLimitedError) as excinfo:
+            key.charge()
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after > 0
+
+    def test_quota_exhaustion_and_midnight_retry_hint(self):
+        key = ApiKey(secret="s", name="n", rate=1000, burst=1000,
+                     daily_quota=3)
+        for _ in range(3):
+            key.charge()
+        with pytest.raises(QuotaExceededError) as excinfo:
+            key.charge()
+        # Retry-After points at the UTC midnight rollover.
+        assert 0 < excinfo.value.retry_after <= 86400
+        assert key.quota_remaining() == 0
+
+    def test_throttled_request_does_not_burn_quota(self):
+        key = ApiKey(secret="s", name="n", rate=0.001, burst=1,
+                     daily_quota=10)
+        key.charge()
+        with pytest.raises(RateLimitedError):
+            key.charge()
+        # The throttled attempt rolled its quota debit back.
+        assert key.quota_remaining() == 9
+
+
+class TestAuthenticator:
+    def _auth(self, enforce_limits=True, **extra):
+        entry = {"key": "sk-alpha", "name": "alpha", "rate": 1000,
+                 "burst": 1000}
+        entry.update(extra)
+        return Authenticator.from_spec({"keys": [entry]},
+                                       enforce_limits=enforce_limits)
+
+    def test_open_when_no_keys_configured(self):
+        auth = Authenticator()
+        assert not auth.enabled
+        assert auth.authenticate(None) is None
+        assert auth.authenticate("whatever") is None
+
+    def test_missing_and_invalid_keys(self):
+        auth = self._auth()
+        with pytest.raises(MissingKeyError):
+            auth.authenticate(None)
+        with pytest.raises(InvalidKeyError):
+            auth.authenticate("sk-wrong")
+
+    def test_valid_key_returns_the_principal(self):
+        auth = self._auth()
+        key = auth.authenticate("sk-alpha")
+        assert key is not None and key.name == "alpha"
+
+    def test_expired_key_is_403(self):
+        auth = self._auth(expires="2020-01-01")
+        with pytest.raises(ExpiredKeyError) as excinfo:
+            auth.authenticate("sk-alpha")
+        assert excinfo.value.status == 403
+
+    def test_backend_role_skips_charging(self):
+        # A gateway behind a charging router validates but never debits.
+        auth = self._auth(enforce_limits=False, rate=0.001, burst=1)
+        for _ in range(10):
+            assert auth.authenticate("sk-alpha") is not None
+
+    def test_from_spec_json_string_and_file(self, tmp_path):
+        config = {"keys": [{"key": "sk-f", "name": "filed"}]}
+        from_string = Authenticator.from_spec(json.dumps(config))
+        assert from_string.enabled and len(from_string) == 1
+        path = tmp_path / "keys.json"
+        path.write_text(json.dumps(config))
+        from_file = Authenticator.from_spec(str(path))
+        assert from_file.lookup("sk-f").name == "filed"
+
+    def test_from_spec_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_API_KEYS",
+                           '{"keys": [{"key": "sk-env", "name": "env"}]}')
+        auth = Authenticator.from_spec(None)
+        assert auth.lookup("sk-env").name == "env"
+        monkeypatch.delenv("REPRO_API_KEYS")
+        assert not Authenticator.from_spec(None).enabled
+
+    def test_key_config_round_trips(self):
+        auth = self._auth(daily_quota=50, priority=8)
+        clone = Authenticator.from_spec(auth.key_config(),
+                                        enforce_limits=False)
+        key = clone.lookup("sk-alpha")
+        assert key.name == "alpha"
+        assert key.daily_quota == 50
+        assert key.priority == 8
+
+
+class TestCredentialExtraction:
+    def test_bearer_header(self):
+        assert credential_from_headers(
+            {"Authorization": "Bearer sk-1"}) == "sk-1"
+        assert credential_from_headers(
+            {"Authorization": "bearer sk-2"}) == "sk-2"
+
+    def test_x_api_key_header(self):
+        assert credential_from_headers({"X-API-Key": " sk-3 "}) == "sk-3"
+
+    def test_no_credential(self):
+        assert credential_from_headers({}) is None
+        assert credential_from_headers({"Authorization": "Basic abc"}) is None
+        assert credential_from_headers({"Authorization": "Bearer "}) is None

@@ -1,0 +1,264 @@
+"""Store backends: spec parsing, peer discovery, HTTP peer fetch, adoption."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+import repro
+from repro.api import cache_key, clear_compilation_cache
+from repro.cluster.backends import (
+    PEERS_FILE,
+    ReplicatedStoreBackend,
+    StoreBackend,
+    _parse_spec,
+    resolve_store_backend,
+    write_peers_file,
+)
+from repro.hardware import spin_qubit_target
+from repro.service import PersistentResultStore
+from repro.service.store import _entry_digest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_compilation_cache()
+    yield
+    clear_compilation_cache()
+
+
+def _probe():
+    circuit = repro.QuantumCircuit(2, name="backend_probe")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+def _compiled():
+    circuit = _probe()
+    target = spin_qubit_target(2)
+    result = repro.compile(circuit, target, "direct")
+    return cache_key(circuit, target, "direct", {}), result
+
+
+class TestSpecParsing:
+    def test_bare_path_is_local_dir(self, tmp_path):
+        backend = resolve_store_backend(str(tmp_path / "s"))
+        assert isinstance(backend, PersistentResultStore)
+        assert backend.backend == "local_dir"
+
+    def test_dir_scheme(self, tmp_path):
+        backend = resolve_store_backend(f"dir:{tmp_path / 's'}")
+        assert isinstance(backend, PersistentResultStore)
+
+    def test_replicated_scheme_with_static_peers(self, tmp_path):
+        backend = resolve_store_backend(
+            f"replicated:{tmp_path / 's'}"
+            "?peers=http://a:1,http://b:2&timeout=0.5")
+        assert isinstance(backend, ReplicatedStoreBackend)
+        assert backend.peers() == ["http://a:1", "http://b:2"]
+        assert backend.peer_timeout == 0.5
+
+    def test_parse_spec_shapes(self):
+        assert _parse_spec("dir:/x") == ("dir", "/x", {})
+        scheme, path, query = _parse_spec("replicated:/x?peers=u1,u2")
+        assert (scheme, path) == ("replicated", "/x")
+        assert query == {"peers": ["u1,u2"]}
+        assert _parse_spec("/plain/path")[0] == "dir"
+
+    def test_none_and_objects_pass_through(self, tmp_path):
+        assert resolve_store_backend(None) is None
+        store = PersistentResultStore(str(tmp_path / "s"))
+        assert resolve_store_backend(store) is store
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError):
+            resolve_store_backend("dir:")
+        with pytest.raises(ValueError):
+            resolve_store_backend("replicated:/x?timeout=soon")
+        with pytest.raises(TypeError):
+            resolve_store_backend(42)
+
+    def test_both_backends_are_store_backends(self, tmp_path):
+        assert isinstance(PersistentResultStore(str(tmp_path / "a")),
+                          StoreBackend)
+        assert isinstance(ReplicatedStoreBackend(str(tmp_path / "b")),
+                          StoreBackend)
+
+
+class TestPeerDiscovery:
+    def test_peers_file_round_trip_excludes_own_node(self, tmp_path):
+        root = str(tmp_path)
+        write_peers_file(root, {"s0": "http://h:1", "s1": "http://h:2"})
+        backend = ReplicatedStoreBackend(root, node="s0")
+        assert backend.peers() == ["http://h:2"]
+
+    def test_missing_peers_file_means_no_peers(self, tmp_path):
+        backend = ReplicatedStoreBackend(str(tmp_path), node="s0")
+        assert backend.peers() == []
+
+    def test_peers_file_is_reread_on_mtime_change(self, tmp_path):
+        import os
+
+        root = str(tmp_path)
+        path = write_peers_file(root, {"s1": "http://h:2"})
+        backend = ReplicatedStoreBackend(root, node="s0")
+        assert backend.peers() == ["http://h:2"]
+        write_peers_file(root, {"s1": "http://h:2", "s2": "http://h:3"})
+        # Guarantee an mtime step even on coarse filesystem clocks.
+        os.utime(path, (os.stat(path).st_atime,
+                        os.stat(path).st_mtime + 2))
+        assert backend.peers() == ["http://h:2", "http://h:3"]
+
+    def test_corrupt_peers_file_is_tolerated(self, tmp_path):
+        (tmp_path / PEERS_FILE).write_text("{not json")
+        backend = ReplicatedStoreBackend(str(tmp_path), node="s0")
+        assert backend.peers() == []
+
+    def test_statistics_with_a_peers_file_does_not_deadlock(self, tmp_path):
+        # Regression: statistics() once called peers() while holding the
+        # (non-reentrant) counter lock peers() also takes.
+        root = str(tmp_path)
+        write_peers_file(root, {"s0": "http://h:1", "s1": "http://h:2"})
+        backend = ReplicatedStoreBackend(root, node="s0")
+        stats = backend.statistics()
+        assert stats["peers"] == 1
+        assert stats["backend"] == "replicated"
+
+    def test_node_scopes_the_local_tier(self, tmp_path):
+        key, result = _compiled()
+        a = ReplicatedStoreBackend(str(tmp_path), node="s0", peers=[])
+        b = ReplicatedStoreBackend(str(tmp_path), node="s1", peers=[])
+        a.put(key, result)
+        assert a.get(key) is not None
+        assert b.get(key) is None  # Private tiers, no peers configured.
+
+
+class _PeerHandler(BaseHTTPRequestHandler):
+    """Serves one store's entries the way the gateway's /internal route does."""
+
+    store = None
+    requests = []
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        type(self).requests.append(self.path)
+        digest = self.path.rsplit("/", 1)[-1]
+        document = self.store.read_raw(digest)
+        if document is None:
+            self.send_response(404)
+            self.end_headers()
+            return
+        raw = document.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def log_message(self, *args):  # noqa: D102 - silence
+        pass
+
+
+@pytest.fixture()
+def peer_server(tmp_path):
+    store = PersistentResultStore(str(tmp_path / "peer-tier"))
+    handler = type("Handler", (_PeerHandler,),
+                   {"store": store, "requests": []})
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield store, f"http://127.0.0.1:{server.server_port}", handler
+    server.shutdown()
+    server.server_close()
+
+
+class TestPeerFetch:
+    def test_miss_fetches_from_peer_and_adopts(self, tmp_path, peer_server):
+        peer_store, peer_url, handler = peer_server
+        key, result = _compiled()
+        peer_store.put(key, result)
+
+        backend = ReplicatedStoreBackend(str(tmp_path / "local"),
+                                         peers=[peer_url])
+        fetched = backend.get(key)
+        assert fetched is not None
+        assert fetched.cost == result.cost
+        stats = backend.statistics()
+        assert stats["peer_hits"] == 1
+        # Adoption: the second read is local, no extra peer request.
+        before = len(handler.requests)
+        assert backend.get(key) is not None
+        assert len(handler.requests) == before
+
+    def test_peer_miss_counts_and_returns_none(self, tmp_path, peer_server):
+        _, peer_url, _ = peer_server
+        key, _ = _compiled()
+        backend = ReplicatedStoreBackend(str(tmp_path / "local"),
+                                         peers=[peer_url])
+        assert backend.get(key) is None
+        assert backend.statistics()["peer_misses"] == 1
+
+    def test_unreachable_peer_degrades_to_miss(self, tmp_path):
+        key, _ = _compiled()
+        backend = ReplicatedStoreBackend(
+            str(tmp_path / "local"),
+            peers=["http://127.0.0.1:1"],  # Nothing listens there.
+            peer_timeout=0.2)
+        assert backend.get(key) is None
+        assert backend.statistics()["peer_errors"] >= 1
+
+    def test_garbage_from_peer_is_not_adopted(self, tmp_path):
+        key, result = _compiled()
+        digest = _entry_digest(key)
+
+        class _Garbage:
+            def read_raw(self, _digest):
+                return "{\"not\": \"an entry\"}"
+
+        handler = type("Handler", (_PeerHandler,),
+                       {"store": _Garbage(), "requests": []})
+        server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            backend = ReplicatedStoreBackend(
+                str(tmp_path / "local"),
+                peers=[f"http://127.0.0.1:{server.server_port}"])
+            assert backend.get(key) is None
+            assert backend.local.read_raw(digest) is None
+            assert backend.statistics()["peer_errors"] >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_read_raw_serves_local_entries_only(self, tmp_path, peer_server):
+        # No transitive fan-out: a peer's read_raw never triggers fetches.
+        peer_store, peer_url, handler = peer_server
+        key, result = _compiled()
+        peer_store.put(key, result)
+        backend = ReplicatedStoreBackend(str(tmp_path / "local"),
+                                         peers=[peer_url])
+        assert backend.read_raw(_entry_digest(key)) is None
+        assert handler.requests == []
+
+
+class TestRawTransport:
+    def test_write_raw_round_trips_bit_identically(self, tmp_path):
+        key, result = _compiled()
+        source = PersistentResultStore(str(tmp_path / "src"))
+        sink = PersistentResultStore(str(tmp_path / "dst"))
+        source.put(key, result)
+        digest = _entry_digest(key)
+        document = source.read_raw(digest)
+        assert document is not None
+        assert sink.write_raw(digest, document)
+        assert sink.read_raw(digest) == document
+        assert sink.get(key).cost == result.cost
+
+    def test_write_raw_rejects_malformed_documents(self, tmp_path):
+        store = PersistentResultStore(str(tmp_path))
+        bad_digest = "zz" * 32
+        assert not store.write_raw(bad_digest, "{}")
+        good_digest = "ab" * 32
+        assert not store.write_raw(good_digest, "not json")
+        assert not store.write_raw(good_digest, json.dumps({"no": "result"}))

@@ -1,0 +1,109 @@
+"""The job-event broker: replay, terminal semantics, heartbeats, bounds."""
+
+import threading
+
+from repro.cluster.events import TERMINAL_EVENTS, JobEventBroker
+
+
+def _drain(broker, channel, **kwargs):
+    return list(broker.stream(channel, **kwargs))
+
+
+class TestPublishAndReplay:
+    def test_history_replays_before_waiting(self):
+        broker = JobEventBroker()
+        channel = ("svc", "j1")
+        broker.publish(channel, "queued", {"job_id": "j1"})
+        broker.publish(channel, "running")
+        broker.publish(channel, "done")
+        events = _drain(broker, channel)
+        assert [name for name, _ in events] == ["queued", "running", "done"]
+
+    def test_terminal_event_ends_the_stream(self):
+        broker = JobEventBroker()
+        broker.publish(("svc", "j"), "done")
+        assert [n for n, _ in _drain(broker, ("svc", "j"))] == ["done"]
+
+    def test_nothing_follows_a_terminal_event(self):
+        broker = JobEventBroker()
+        channel = ("svc", "j")
+        broker.publish(channel, "failed")
+        broker.publish(channel, "running")  # Ignored.
+        assert broker.history(channel) == [("failed", {})]
+
+    def test_live_subscriber_sees_later_events(self):
+        broker = JobEventBroker()
+        channel = ("svc", "live")
+        broker.publish(channel, "queued")
+        seen = []
+
+        def subscribe():
+            seen.extend(n for n, _ in broker.stream(channel,
+                                                    poll_seconds=0.05))
+
+        thread = threading.Thread(target=subscribe)
+        thread.start()
+        broker.publish(channel, "running")
+        broker.publish(channel, "done")
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert seen == ["queued", "running", "done"]
+
+    def test_payloads_are_copied(self):
+        broker = JobEventBroker()
+        payload = {"status": "queued"}
+        broker.publish(("svc", "j"), "queued", payload)
+        payload["status"] = "mutated"
+        assert broker.history(("svc", "j"))[0][1] == {"status": "queued"}
+
+
+class TestStreamControls:
+    def test_timeout_yields_a_final_timeout_event(self):
+        broker = JobEventBroker()
+        events = _drain(broker, ("svc", "never"),
+                        poll_seconds=0.02, timeout=0.05)
+        assert events and events[-1][0] == "timeout"
+
+    def test_dead_connection_ends_the_stream(self):
+        broker = JobEventBroker()
+        events = _drain(broker, ("svc", "gone"),
+                        poll_seconds=0.01, is_alive=lambda: False)
+        assert events == []
+
+    def test_idle_stream_heartbeats(self):
+        broker = JobEventBroker()
+        stream = broker.stream(("svc", "idle"), heartbeat_seconds=0.0,
+                               poll_seconds=0.01, timeout=1.0)
+        name, payload = next(stream)
+        assert name == "heartbeat"
+        assert "elapsed_seconds" in payload
+        stream.close()
+
+
+class TestBounds:
+    def test_history_keeps_the_tail(self):
+        broker = JobEventBroker(max_history=4)
+        channel = ("svc", "busy")
+        for i in range(10):
+            broker.publish(channel, f"e{i}")
+        names = [n for n, _ in broker.history(channel)]
+        assert len(names) <= 4
+        assert names[-1] == "e9"
+
+    def test_terminal_channels_evict_first(self):
+        broker = JobEventBroker(max_channels=4)
+        for i in range(4):
+            broker.publish(("svc", f"t{i}"), "done")
+        broker.publish(("svc", "fresh"), "queued")
+        assert broker.channels() <= 4
+        # The live channel survived the eviction.
+        assert broker.history(("svc", "fresh")) == [("queued", {})]
+
+    def test_forget_drops_a_channel(self):
+        broker = JobEventBroker()
+        broker.publish(("svc", "x"), "queued")
+        broker.forget(("svc", "x"))
+        assert broker.history(("svc", "x")) == []
+
+    def test_terminal_set(self):
+        assert TERMINAL_EVENTS == {"done", "failed", "cancelled"}

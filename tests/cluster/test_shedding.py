@@ -1,0 +1,72 @@
+"""Priority-aware load shedding: the admission curve and the gate."""
+
+import pytest
+
+from repro.cluster.auth import MAX_PRIORITY, ApiKey
+from repro.cluster.shedding import LoadShedder, ShedError, SheddingPolicy
+
+
+def _key(priority):
+    return ApiKey(secret=f"sk-{priority}", name=f"p{priority}",
+                  priority=priority, rate=1000, burst=1000)
+
+
+class TestSheddingPolicy:
+    def test_below_threshold_admits_everyone(self):
+        policy = SheddingPolicy(threshold=0.75, full=0.95)
+        assert policy.cutoff(0.0) == 0
+        assert policy.cutoff(0.74) == 0
+
+    def test_at_full_only_top_priority_survives(self):
+        policy = SheddingPolicy(threshold=0.75, full=0.95)
+        assert policy.cutoff(0.95) == MAX_PRIORITY
+        assert policy.cutoff(1.0) == MAX_PRIORITY
+
+    def test_cutoff_rises_monotonically(self):
+        policy = SheddingPolicy(threshold=0.5, full=1.0)
+        cutoffs = [policy.cutoff(0.5 + i * 0.05) for i in range(11)]
+        assert cutoffs == sorted(cutoffs)
+        assert cutoffs[0] >= 1  # Crossing the threshold sheds someone.
+
+    def test_retry_after_scales_with_saturation(self):
+        policy = SheddingPolicy()
+        assert policy.retry_after(0.8) < policy.retry_after(1.0)
+        assert policy.retry_after(1.0) == policy.retry_after_ceiling
+        assert policy.retry_after(0.0) == policy.retry_after_floor
+
+
+class TestLoadShedder:
+    def test_admits_everyone_when_calm(self):
+        shedder = LoadShedder(lambda: 0.1)
+        shedder.admit(_key(0))
+        shedder.admit(None)
+
+    def test_sheds_low_priority_first(self):
+        shedder = LoadShedder(lambda: 0.85,
+                              SheddingPolicy(threshold=0.75, full=0.95))
+        cutoff = shedder.policy.cutoff(0.85)
+        with pytest.raises(ShedError) as excinfo:
+            shedder.admit(_key(cutoff - 1))
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after > 0
+        shedder.admit(_key(cutoff))  # At the cutoff: admitted.
+
+    def test_top_priority_survives_full_saturation(self):
+        shedder = LoadShedder(lambda: 1.0)
+        shedder.admit(_key(MAX_PRIORITY))
+        with pytest.raises(ShedError):
+            shedder.admit(_key(MAX_PRIORITY - 1))
+
+    def test_anonymous_uses_the_policy_default_class(self):
+        policy = SheddingPolicy(threshold=0.5, full=0.9,
+                                anonymous_priority=0)
+        shedder = LoadShedder(lambda: 0.8, policy)
+        with pytest.raises(ShedError) as excinfo:
+            shedder.admit(None)
+        assert excinfo.value.key_name == "anonymous"
+
+    def test_snapshot_reports_the_live_cutoff(self):
+        shedder = LoadShedder(lambda: 0.9)
+        snapshot = shedder.snapshot()
+        assert snapshot["saturation"] == 0.9
+        assert snapshot["priority_cutoff"] == shedder.policy.cutoff(0.9)

@@ -12,7 +12,7 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
     "script",
     ["quickstart.py", "spin_device_tour.py", "paper_example.py",
      "qasm_interop.py", "http_server.py", "tracing.py", "deadlines.py",
-     "golden_check.py", "telemetry_dashboard.py"],
+     "golden_check.py", "telemetry_dashboard.py", "cluster_serving.py"],
 )
 def test_example_runs(script, capsys):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
